@@ -1,0 +1,67 @@
+"""Ablation A3: Apriori vs FP-growth vs Eclat on identical inputs.
+
+All three miners return identical itemset→support maps (tested in the
+unit suite); this bench compares their *work* profiles over the
+benchmark corpus's predicate transactions at several support thresholds,
+explaining why the hybrid selector mines residues with Eclat and why
+corpus-scale mining is the expensive arm of Section 6.2.
+
+To keep runtimes sane, mining runs on a projected transaction set (one
+dense residue-like subset of frequent predicates) — the same shape the
+hybrid selector hands to its miner.
+"""
+
+import pytest
+
+from repro.selection import apriori, declat, eclat, fpgrowth
+
+from conftest import print_table
+
+SUPPORT_DIVISORS = (8, 15, 30)  # min_support = |D| / divisor
+
+_rows = []
+
+
+@pytest.fixture(scope="module")
+def projected_db(bench_db):
+    """Transactions projected onto the 24 most frequent predicates."""
+    top = bench_db.frequent_items(1)[:24]
+    return bench_db.project(top)
+
+
+@pytest.mark.parametrize("divisor", SUPPORT_DIVISORS)
+@pytest.mark.parametrize("miner", (apriori, fpgrowth, eclat, declat), ids=lambda m: m.__name__)
+def test_miner(benchmark, projected_db, miner, divisor):
+    min_support = max(len(projected_db) // divisor, 2)
+    result = benchmark.pedantic(
+        lambda: miner(projected_db, min_support=min_support, max_size=6),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    _rows.append(
+        (
+            miner.__name__,
+            min_support,
+            len(result.itemsets),
+            result.work_units,
+            f"{benchmark.stats['mean'] * 1000:.1f}",
+        )
+    )
+
+
+def test_mining_table(benchmark, projected_db):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < 4 * len(SUPPORT_DIVISORS):
+        pytest.skip("arms did not all run")
+    print_table(
+        f"Ablation A3: miners on {len(projected_db):,} projected transactions",
+        ("algorithm", "min_support", "frequent itemsets", "work units", "mean ms"),
+        sorted(_rows, key=lambda r: (r[1], r[0])),
+    )
+    # All miners found the same number of itemsets per support level.
+    by_support = {}
+    for name, support, count, *_ in _rows:
+        by_support.setdefault(support, set()).add(count)
+    for support, counts in by_support.items():
+        assert len(counts) == 1, f"miners disagree at min_support={support}"

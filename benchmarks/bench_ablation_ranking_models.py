@@ -1,0 +1,57 @@
+"""Ablation A4: ranking-model generality (Table 1's framework claim).
+
+The paper's framework claims any statistics-based ranking model becomes
+context-sensitive by swapping ``S_c(D)`` for ``S_c(D_P)``.  This bench
+runs the Figure 6 experiment under BM25 and the Dirichlet language model
+(in addition to the paper's pivoted TF-IDF) and reports the same
+summary; the context-sensitive variant should not regress for any model
+— and the LM arm exercises the ``tc`` (SUM of tf) parameter columns.
+"""
+
+import pytest
+
+from repro import BM25, ContextSearchEngine, DirichletLanguageModel, PivotedNormalizationTFIDF
+from repro.eval import run_quality_comparison
+
+from conftest import print_table
+
+MODELS = (
+    PivotedNormalizationTFIDF(),
+    BM25(),
+    DirichletLanguageModel(mu=500.0),
+)
+
+_rows = []
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_model_quality(benchmark, bench_index, quality_topics, model):
+    engine = ContextSearchEngine(bench_index, ranking=model)
+    comparison = benchmark.pedantic(
+        lambda: run_quality_comparison(engine, quality_topics, k=20),
+        rounds=1,
+        iterations=1,
+    )
+    summary = comparison.summary()
+    _rows.append(
+        (
+            model.name,
+            f"{summary['mean_precision_conventional']:.2f}",
+            f"{summary['mean_precision_context']:.2f}",
+            f"{summary['mrr_conventional']:.2f}",
+            f"{summary['mrr_context']:.2f}",
+            f"{summary['context_wins']}/{summary['conventional_wins']}/{summary['ties']}",
+        )
+    )
+    assert comparison.wins >= comparison.losses
+
+
+def test_ranking_models_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < len(MODELS):
+        pytest.skip("arms did not all run")
+    print_table(
+        "Ablation A4: context sensitivity across ranking models (30 topics)",
+        ("model", "P@20 conv", "P@20 ctx", "MRR conv", "MRR ctx", "W/L/T"),
+        _rows,
+    )

@@ -1,0 +1,67 @@
+"""Ablation A7: view-selection scaling with collection size (Section 6.2).
+
+The paper claims: "Given that the threshold of the context size (T_C) is
+set to a fixed percentage of the size of the document set, the number of
+views to materialize is stable, and does not change much as the document
+set scales. … the complexity of the view selection increases linearly
+with |D|."  This bench sweeps corpus size at fixed relative thresholds
+and reports selection time and view count.
+"""
+
+import time
+
+import pytest
+
+from repro import CorpusConfig, generate_corpus
+from repro.selection import TransactionDatabase, hybrid_selection
+from repro.views import ViewSizeEstimator, WideSparseTable
+
+from conftest import print_table
+
+SIZES = (3_000, 6_000, 12_000)
+T_V = 1024
+
+_rows = []
+
+
+@pytest.mark.parametrize("num_docs", SIZES)
+def test_selection_at_scale(benchmark, num_docs):
+    corpus = generate_corpus(CorpusConfig(num_docs=num_docs, seed=77))
+    index = corpus.build_index()
+    table = WideSparseTable.from_index(index)
+    db = TransactionDatabase(table.predicate_sets())
+    estimator = ViewSizeEstimator(table)
+    t_c = num_docs // 100  # fixed 1% relative threshold
+
+    report = benchmark.pedantic(
+        lambda: hybrid_selection(db, estimator, t_c, T_V),
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(
+        (
+            num_docs,
+            t_c,
+            f"{benchmark.stats['mean']:.1f}",
+            report.num_views,
+            report.separators_computed,
+            report.dense_residues,
+        )
+    )
+
+
+def test_scaling_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < len(SIZES):
+        pytest.skip("arms did not all run")
+    print_table(
+        "Ablation A7: selection scaling at fixed relative thresholds "
+        f"(T_C = 1% of |D|, T_V = {T_V})",
+        ("|D|", "T_C", "selection s", "views", "separators", "residues"),
+        sorted(_rows),
+    )
+    by_size = {r[0]: r for r in sorted(_rows)}
+    views = [by_size[n][3] for n in SIZES]
+    # Paper claim: the view count is stable as |D| scales (same ontology,
+    # relative T_C).  Allow a generous factor-2 band.
+    assert max(views) <= 2 * max(min(views), 1), views

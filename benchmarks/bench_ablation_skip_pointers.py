@@ -1,0 +1,70 @@
+"""Ablation A1: skip pointers on/off across join selectivities (Sec 3.2).
+
+The cost model predicts skip pointers pay off when one list is much
+shorter than the other (the short list's entries each land in a separate
+segment, cost ≈ |L_i| · M0 instead of |L_i| + |L_j|), and stop helping
+when the join cardinality is large (every segment overlaps).  This bench
+sweeps the length ratio and reports wall-clock plus the observable
+counters for both merge variants.
+"""
+
+import pytest
+
+from repro.index.intersection import intersect
+from repro.index.postings import CostCounter, PostingList
+
+from conftest import print_table
+
+LONG_LEN = 200_000
+RATIOS = (1, 10, 100, 1000)
+
+_rows = []
+
+
+def _make_lists(ratio):
+    long_list = PostingList.from_pairs(
+        "long", ((i, 1) for i in range(LONG_LEN))
+    )
+    short_ids = range(0, LONG_LEN, ratio)
+    short_list = PostingList.from_pairs("short", ((i, 1) for i in short_ids))
+    return short_list, long_list
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+@pytest.mark.parametrize("use_skips", (True, False), ids=("skips", "noskips"))
+def test_intersection(benchmark, ratio, use_skips):
+    short_list, long_list = _make_lists(ratio)
+    counter = CostCounter()
+
+    def run():
+        counter.reset()
+        return intersect(short_list, long_list, counter, use_skips=use_skips)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == len(short_list)
+    _rows.append(
+        (
+            f"1:{ratio}",
+            "on" if use_skips else "off",
+            f"{benchmark.stats['mean'] * 1000:.2f}",
+            counter.entries_scanned,
+            counter.segments_skipped,
+        )
+    )
+
+
+def test_skip_pointer_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < 2 * len(RATIOS):
+        pytest.skip("arms did not all run")
+    print_table(
+        "Ablation A1: skip pointers vs plain merge "
+        f"(long list = {LONG_LEN:,} postings)",
+        ("short:long", "skips", "mean ms", "entries scanned", "segments skipped"),
+        sorted(_rows),
+    )
+    # Shape: at high ratios, skips scan far fewer entries.
+    by_key = {(r[0], r[1]): r for r in _rows}
+    assert by_key[("1:1000", "on")][3] < by_key[("1:1000", "off")][3] / 5
+    # At ratio 1 (identical lists) skips cannot help.
+    assert by_key[("1:1", "on")][4] == 0

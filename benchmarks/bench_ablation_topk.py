@@ -1,0 +1,104 @@
+"""Ablation A6: MaxScore pruning vs exhaustive disjunctive scoring.
+
+Section 3.2.2 notes top-k processing cannot start until the context
+statistics are known; with materialized views supplying the statistics
+instantly, pruned top-k becomes worthwhile again.  This bench measures
+how much MaxScore saves over exhaustive OR-scoring at several k, for
+whole-collection queries (the regime with the longest posting lists).
+"""
+
+import pytest
+
+from repro import BM25
+from repro.core.topk import (
+    MaxScoreScorer,
+    TopKDiagnostics,
+    exhaustive_disjunctive,
+)
+
+from conftest import print_table
+
+K_VALUES = (10, 100)
+
+_rows = []
+
+
+@pytest.fixture(scope="module")
+def probe(bench_index):
+    """Keywords mixing one very common and three mid-frequency terms —
+    the asymmetry MaxScore exploits."""
+    terms = sorted(
+        bench_index.vocabulary,
+        key=lambda w: -bench_index.document_frequency(w),
+    )
+    keywords = [terms[0], terms[40], terms[80], terms[160]]
+    from repro.core.statistics import CollectionStatistics
+
+    stats = CollectionStatistics(
+        cardinality=bench_index.num_docs,
+        total_length=bench_index.total_length,
+        df={w: bench_index.document_frequency(w) for w in keywords},
+    )
+    return keywords, stats
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_maxscore(benchmark, bench_index, probe, k):
+    keywords, stats = probe
+    ranking = BM25()
+    diagnostics = TopKDiagnostics()
+
+    def run():
+        scorer = MaxScoreScorer(bench_index, keywords, stats, ranking)
+        return scorer.top_k(k, diagnostics=diagnostics)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == k
+    _rows.append(
+        (
+            "maxscore",
+            k,
+            f"{benchmark.stats['mean'] * 1000:.1f}",
+            diagnostics.candidates_seen // 4,   # per round (3 + warmup)
+            diagnostics.candidates_scored // 4,
+        )
+    )
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_exhaustive(benchmark, bench_index, probe, k):
+    keywords, stats = probe
+    ranking = BM25()
+
+    def run():
+        return exhaustive_disjunctive(bench_index, keywords, stats, ranking, k)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result) == k
+    union = len(
+        {d for w in keywords for d in bench_index.postings(w).doc_ids}
+    )
+    _rows.append(("exhaustive", k, f"{benchmark.stats['mean'] * 1000:.1f}", union, union))
+
+
+def test_equivalence_and_table(benchmark, bench_index, probe):
+    keywords, stats = probe
+    ranking = BM25()
+
+    def check():
+        pruned = MaxScoreScorer(bench_index, keywords, stats, ranking).top_k(50)
+        reference = exhaustive_disjunctive(
+            bench_index, keywords, stats, ranking, 50
+        )
+        assert [s.doc_id for s in pruned] == [s.doc_id for s in reference]
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+    if len(_rows) >= 2 * len(K_VALUES):
+        print_table(
+            "Ablation A6: MaxScore vs exhaustive disjunctive top-k "
+            "(4 keywords over the whole collection)",
+            ("scorer", "k", "mean ms", "candidates seen", "candidates scored"),
+            sorted(_rows, key=lambda r: (r[1], r[0])),
+        )

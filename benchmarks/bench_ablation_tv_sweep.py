@@ -1,0 +1,84 @@
+"""Ablation A2: sweeping the view-size threshold ``T_V``.
+
+``T_V`` trades storage against per-query statistic cost (Theorem 4.2:
+answering from a view costs one view scan).  Small ``T_V`` means many
+small views (cheap scans, more views to store and match); large ``T_V``
+means few big views.  The paper fixes ``T_V`` = 4096; this ablation
+shows what that choice buys.
+"""
+
+import pytest
+
+from repro.core.query import ContextSpecification
+from repro.core.statistics import cardinality_spec, total_length_spec
+from repro.selection import hybrid_selection
+from repro.views import ViewCatalog, materialize_view
+
+from conftest import print_table
+
+TV_VALUES = (64, 512, 4096)
+
+_rows = []
+
+
+@pytest.mark.parametrize("t_v", TV_VALUES)
+def test_tv_value(benchmark, bench_db, bench_table, bench_estimator, t_c, t_v):
+    report = hybrid_selection(bench_db, bench_estimator, t_c, t_v)
+    catalog = ViewCatalog(
+        materialize_view(bench_table, ks) for ks in report.keyword_sets
+    )
+    stats = catalog.stats()
+
+    # Probe cost: answer |D_P| and len(D_P) for every single-predicate
+    # context covered by the catalog.
+    contexts = [
+        ContextSpecification([m])
+        for ks in report.keyword_sets
+        for m in sorted(ks)[:2]
+    ][:40]
+    specs = [cardinality_spec(), total_length_spec()]
+
+    def probe():
+        tuples_scanned = 0
+        for context in contexts:
+            view = catalog.find_covering(context)
+            if view is not None:
+                view.answer_many(specs, context)
+                tuples_scanned += view.size
+        return tuples_scanned
+
+    tuples_scanned = benchmark.pedantic(probe, rounds=3, iterations=1, warmup_rounds=1)
+    _rows.append(
+        (
+            t_v,
+            report.num_views,
+            stats.max_tuples,
+            f"{stats.mean_tuples:.0f}",
+            f"{stats.total_storage_bytes / 1e3:.0f} KB",
+            f"{tuples_scanned / max(len(contexts), 1):.0f}",
+            f"{benchmark.stats['mean'] * 1000:.2f}",
+        )
+    )
+    assert stats.max_tuples <= t_v
+
+
+def test_tv_sweep_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_rows) < len(TV_VALUES):
+        pytest.skip("arms did not all run")
+    print_table(
+        "Ablation A2: view-size threshold sweep (paper fixes T_V = 4096)",
+        (
+            "T_V",
+            "views",
+            "max tuples",
+            "mean tuples",
+            "storage",
+            "tuples/statistic probe",
+            "probe ms",
+        ),
+        sorted(_rows),
+    )
+    # Shape: larger T_V -> no more views than smaller T_V.
+    views_by_tv = {r[0]: r[1] for r in _rows}
+    assert views_by_tv[4096] <= views_by_tv[64]

@@ -1,0 +1,93 @@
+"""Figure 6 (a–d) + Section 6.1 scalars: ranking quality per topic.
+
+Regenerates the paper's four quality series over 30 TREC-style topics:
+precision@20 for conventional (6a) and context-sensitive (6b) ranking,
+and reciprocal rank for both (6c, 6d), plus the quoted means
+(paper: precision 7.9 → 10.2, MRR 0.62 → 0.78 at PubMed scale).
+
+Expected shape: context-sensitive wins a clear majority of topics
+(paper: 21/30) with occasional large gains and a few small losses.
+"""
+
+import pytest
+
+from repro.eval import run_quality_comparison
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def comparison(engine_plain, quality_topics):
+    return run_quality_comparison(engine_plain, quality_topics, k=20)
+
+
+def test_figure6_conventional_ranking_time(
+    benchmark, engine_plain, quality_topics
+):
+    """Timing arm: evaluate all 30 topics with conventional ranking."""
+
+    def run():
+        return [
+            engine_plain.search_conventional(t.query, top_k=20)
+            for t in quality_topics.topics
+        ]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(results) == len(quality_topics.topics)
+
+
+def test_figure6_context_ranking_time(benchmark, engine_with_views, quality_topics):
+    """Timing arm: evaluate all 30 topics with context-sensitive ranking."""
+
+    def run():
+        return [
+            engine_with_views.search(t.query, top_k=20)
+            for t in quality_topics.topics
+        ]
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(results) == len(quality_topics.topics)
+
+
+def test_figure6_series_and_summary(benchmark, comparison):
+    """The actual Figure 6 data: per-topic series and the mean rows."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # bookkeeping only
+
+    rows = [
+        (
+            f"Q{o.topic_id}",
+            o.precision_conventional,
+            o.precision_context,
+            f"{o.rr_conventional:.2f}",
+            f"{o.rr_context:.2f}",
+        )
+        for o in comparison.outcomes
+    ]
+    print_table(
+        "Figure 6: ranking quality of top-20 results (per topic)",
+        ("topic", "P@20 conv (6a)", "P@20 ctx (6b)", "RR conv (6c)", "RR ctx (6d)"),
+        rows,
+    )
+    summary = comparison.summary()
+    print_table(
+        "Section 6.1 summary (paper: P 7.9→10.2, MRR 0.62→0.78, 21/30 wins)",
+        ("metric", "conventional", "context-sensitive"),
+        [
+            (
+                "mean precision@20",
+                f"{summary['mean_precision_conventional']:.2f}",
+                f"{summary['mean_precision_context']:.2f}",
+            ),
+            (
+                "mean reciprocal rank",
+                f"{summary['mrr_conventional']:.2f}",
+                f"{summary['mrr_context']:.2f}",
+            ),
+            ("topics won", summary["conventional_wins"], summary["context_wins"]),
+        ],
+    )
+
+    # The reproduction target: the *shape* of the paper's finding.
+    assert comparison.wins > comparison.losses
+    assert summary["mean_precision_context"] >= summary["mean_precision_conventional"]
+    assert summary["mrr_context"] >= summary["mrr_conventional"] - 1e-9

@@ -1,0 +1,108 @@
+"""Figure 7: execution time for large-context queries (2–5 keywords).
+
+Three arms per keyword count, as in the paper:
+
+1. the conventional query ``Q_t = Q_k ∪ P`` (same result set, global
+   statistics — the floor);
+2. ``Q_c`` **with** materialized views;
+3. ``Q_c`` **without** views (straightforward Figure 3 plan).
+
+Expected shape: with-views lands within a small constant factor of
+conventional (paper: ~2×); without-views is many times slower and its
+gap grows with the context-materialisation cost.  The paper's absolute
+numbers (~100 ms on 18 M docs) are testbed-specific; we print both
+wall-clock and the cost-model counters, which are testbed-independent.
+"""
+
+import pytest
+
+from conftest import print_table
+
+KEYWORD_COUNTS = (2, 3, 4, 5)
+
+_results = {}
+
+
+def _run_bucket(engine, bucket, mode):
+    total_cost = 0
+    for wq in bucket:
+        if mode == "conventional":
+            r = engine.search_conventional(wq.query, top_k=20)
+        else:
+            r = engine.search(wq.query, top_k=20)
+        total_cost += r.report.counter.model_cost
+    return total_cost
+
+
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_conventional(benchmark, engine_plain, large_workload, n_keywords):
+    bucket = large_workload.queries[n_keywords]
+    cost = benchmark.pedantic(
+        lambda: _run_bucket(engine_plain, bucket, "conventional"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _results[("conventional", n_keywords)] = (benchmark.stats["mean"], cost / len(bucket))
+
+
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_context_with_views(benchmark, engine_with_views, large_workload, n_keywords):
+    bucket = large_workload.queries[n_keywords]
+    cost = benchmark.pedantic(
+        lambda: _run_bucket(engine_with_views, bucket, "context"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _results[("with views", n_keywords)] = (benchmark.stats["mean"], cost / len(bucket))
+    # Every query in the large bucket must actually take the views path.
+    sample = engine_with_views.search(bucket[0].query)
+    assert sample.report.resolution.path == "views"
+
+
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_context_without_views(benchmark, engine_plain, large_workload, n_keywords):
+    bucket = large_workload.queries[n_keywords]
+    cost = benchmark.pedantic(
+        lambda: _run_bucket(engine_plain, bucket, "context"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _results[("no views", n_keywords)] = (benchmark.stats["mean"], cost / len(bucket))
+
+
+def test_figure7_table(benchmark):
+    """Assemble and print the Figure 7 series; check the paper's shape."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 3 * len(KEYWORD_COUNTS):
+        pytest.skip("arms did not all run (use --benchmark-only on the whole file)")
+
+    rows = []
+    for n in KEYWORD_COUNTS:
+        conv_t, conv_c = _results[("conventional", n)]
+        view_t, view_c = _results[("with views", n)]
+        plain_t, plain_c = _results[("no views", n)]
+        rows.append(
+            (
+                n,
+                f"{conv_t * 1000:.1f}",
+                f"{view_t * 1000:.1f}",
+                f"{plain_t * 1000:.1f}",
+                f"{view_c:.0f}",
+                f"{plain_c:.0f}",
+            )
+        )
+    print_table(
+        "Figure 7: large-context queries, 50 per point "
+        "(ms per 50-query batch; model cost per query)",
+        ("#kw", "conv ms", "Qc+views ms", "Qc no-views ms", "views cost", "no-views cost"),
+        rows,
+    )
+
+    # Shape assertions: views close to conventional, straightforward slower.
+    for n in KEYWORD_COUNTS:
+        conv_t, _ = _results[("conventional", n)]
+        view_t, view_c = _results[("with views", n)]
+        plain_t, plain_c = _results[("no views", n)]
+        assert plain_c > view_c, f"straightforward should cost more (n={n})"
+    total_view = sum(_results[("with views", n)][0] for n in KEYWORD_COUNTS)
+    total_plain = sum(_results[("no views", n)][0] for n in KEYWORD_COUNTS)
+    total_conv = sum(_results[("conventional", n)][0] for n in KEYWORD_COUNTS)
+    assert total_plain > total_view, "views must beat the straightforward plan"
+    assert total_view < 8 * total_conv, "views should stay near conventional"

@@ -1,0 +1,91 @@
+"""Figure 8: execution time for small-context queries (2–5 keywords).
+
+Small contexts (``ContextSize < T_C``) are *not* covered by any view, so
+``Q_c`` runs the straightforward plan.  Two arms, as in the paper:
+
+1. conventional ``Q_t = Q_k ∪ P``;
+2. ``Q_c`` (straightforward evaluation, views present but unusable).
+
+Expected shape: ``Q_c`` is slower than conventional by a larger factor
+than Figure 7's views arm, but the absolute time stays bounded — small
+contexts are cheap to materialise because the straightforward plan's
+cost is bounded by the (small) predicate lists (Proposition 3.1).
+"""
+
+import pytest
+
+from conftest import print_table
+
+KEYWORD_COUNTS = (2, 3, 4, 5)
+
+_results = {}
+
+
+def _run_bucket(engine, bucket, mode):
+    total_cost = 0
+    for wq in bucket:
+        if mode == "conventional":
+            r = engine.search_conventional(wq.query, top_k=20)
+        else:
+            r = engine.search(wq.query, top_k=20)
+        total_cost += r.report.counter.model_cost
+    return total_cost
+
+
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_conventional(benchmark, engine_plain, small_workload, n_keywords):
+    bucket = small_workload.queries[n_keywords]
+    cost = benchmark.pedantic(
+        lambda: _run_bucket(engine_plain, bucket, "conventional"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _results[("conventional", n_keywords)] = (benchmark.stats["mean"], cost / len(bucket))
+
+
+@pytest.mark.parametrize("n_keywords", KEYWORD_COUNTS)
+def test_context_sensitive(benchmark, engine_with_views, small_workload, n_keywords):
+    bucket = small_workload.queries[n_keywords]
+    cost = benchmark.pedantic(
+        lambda: _run_bucket(engine_with_views, bucket, "context"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _results[("context", n_keywords)] = (benchmark.stats["mean"], cost / len(bucket))
+    # Small contexts must fall through to the straightforward plan.
+    sample = engine_with_views.search(bucket[0].query)
+    assert sample.report.resolution.path == "straightforward"
+
+
+def test_figure8_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_results) < 2 * len(KEYWORD_COUNTS):
+        pytest.skip("arms did not all run (use --benchmark-only on the whole file)")
+
+    rows = []
+    for n in KEYWORD_COUNTS:
+        conv_t, conv_c = _results[("conventional", n)]
+        ctx_t, ctx_c = _results[("context", n)]
+        rows.append(
+            (
+                n,
+                f"{conv_t * 1000:.1f}",
+                f"{ctx_t * 1000:.1f}",
+                f"{conv_c:.0f}",
+                f"{ctx_c:.0f}",
+                f"{ctx_t / conv_t:.1f}x",
+            )
+        )
+    print_table(
+        "Figure 8: small-context queries, 50 per point "
+        "(ms per 50-query batch; model cost per query)",
+        ("#kw", "conv ms", "Qc ms", "conv cost", "Qc cost", "slowdown"),
+        rows,
+    )
+
+    # Shape: Qc pays for statistics but stays bounded.
+    for n in KEYWORD_COUNTS:
+        conv_t, _ = _results[("conventional", n)]
+        ctx_t, _ = _results[("context", n)]
+        assert ctx_t >= conv_t * 0.5, "context arm should not be free"
+    total_ctx = sum(_results[("context", n)][0] for n in KEYWORD_COUNTS)
+    # Bounded: the whole 200-query sweep stays well under a second per batch.
+    assert total_ctx < 10.0

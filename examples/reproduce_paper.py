@@ -1,0 +1,41 @@
+"""Reproduce every paper experiment and write an EXPERIMENTS-style report.
+
+By default runs a quick (few-minute) configuration; ``--full`` uses the
+benchmark-scale configuration the repository's EXPERIMENTS.md was
+generated with (~15–25 minutes).
+
+Run:  python examples/reproduce_paper.py [--full] [--out report.md]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentConfig, run_all, write_report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="benchmark-scale run (12k docs, 50 queries/point)",
+    )
+    parser.add_argument(
+        "--out",
+        default="reproduction_report.md",
+        help="where to write the Markdown report",
+    )
+    args = parser.parse_args()
+
+    config = ExperimentConfig() if args.full else ExperimentConfig.quick()
+    report = run_all(config, progress=True)
+    path = write_report(report, args.out)
+
+    print(f"\nreport written to {path}")
+    print("verdicts:")
+    for name, ok in report.verdicts():
+        print(f"  {'✓' if ok else '✗'} {name}")
+    return 0 if report.all_shapes_hold else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

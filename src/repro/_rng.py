@@ -1,0 +1,78 @@
+"""Deterministic random-number helpers.
+
+All stochastic behaviour in the library flows through explicitly seeded
+:class:`random.Random` instances so that corpora, workloads, and sampled
+estimates are reproducible run-to-run.  Library code never touches the
+module-level :mod:`random` state or the wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Union
+
+SeedLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be an ``int`` (fresh generator), an existing ``Random``
+    (returned as-is, allowing streams to be shared deliberately), or ``None``
+    (fresh generator with a fixed default seed — determinism by default).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        return random.Random(0x5EED)
+    return random.Random(seed)
+
+
+def derive_rng(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child generator from ``rng`` tagged by ``label``.
+
+    Used to decorrelate the sub-streams of a generator (e.g. the ontology
+    stream vs. the document-content stream) so that changing how many draws
+    one consumer makes does not perturb the others.
+    """
+    return random.Random(f"{rng.getrandbits(64)}:{label}")
+
+
+def zipf_weights(n: int, skew: float = 1.1) -> Sequence[float]:
+    """Return unnormalised Zipfian weights ``1/rank**skew`` for ``n`` ranks.
+
+    Term-frequency distributions in text are famously Zipfian; the corpus
+    generator samples vocabulary draws from these weights.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def weighted_sample(
+    rng: random.Random,
+    population: Sequence,
+    weights: Sequence[float],
+    k: int,
+) -> list:
+    """Sample ``k`` distinct items from ``population`` with given weights.
+
+    ``random.choices`` samples with replacement; this helper rejects
+    duplicates, which is what annotation sampling (a document's set of
+    ontology terms) needs.  Falls back to taking the whole population when
+    ``k >= len(population)``.
+    """
+    if k >= len(population):
+        return list(population)
+    chosen: list = []
+    seen: set = set()
+    # Rejection sampling is fine here: k is small relative to the population
+    # in every call site (annotations per document vs. vocabulary size).
+    while len(chosen) < k:
+        (item,) = rng.choices(population, weights=weights, k=1)
+        if id(item) not in seen:
+            seen.add(id(item))
+            chosen.append(item)
+    return chosen

@@ -1,0 +1,198 @@
+"""Command-line interface: generate → index → select → search.
+
+The stages mirror how the paper's system would be deployed::
+
+    python -m repro generate --docs 8000 --seed 7 --out corpus.json.gz
+    python -m repro index    --corpus corpus.json.gz --out index.json.gz
+    python -m repro select   --index index.json.gz --t-c-percent 1 \
+                             --t-v 1024 --out catalog.json.gz
+    python -m repro search   --index index.json.gz --catalog catalog.json.gz \
+                             "pancreas leukemia | DigestiveSystem"
+    python -m repro stats    --index index.json.gz --catalog catalog.json.gz
+
+``search`` accepts ``--conventional`` for the baseline ranking,
+``--disjunctive`` for OR-semantics top-k, and ``--model`` to pick the
+ranking function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .core.engine import ContextSearchEngine
+from .core.ranking import ALL_RANKING_FUNCTIONS
+from .data.corpus import CorpusConfig, generate_corpus
+from .selection.hybrid import select_views
+from .storage import (
+    load_catalog,
+    load_documents,
+    load_index,
+    save_catalog,
+    save_documents,
+    save_index,
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = CorpusConfig(
+        num_docs=args.docs,
+        seed=args.seed,
+        vocabulary_size=args.vocabulary,
+    )
+    corpus = generate_corpus(config)
+    save_documents(corpus.documents, args.out)
+    print(
+        f"wrote {len(corpus)} documents "
+        f"({len(corpus.ontology)} ontology terms) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .index.inverted_index import build_index
+
+    documents = load_documents(args.corpus)
+    index = build_index(documents)
+    save_index(index, args.out)
+    print(
+        f"indexed {index.num_docs} documents: "
+        f"{len(index.vocabulary)} content terms, "
+        f"{len(index.predicate_vocabulary)} predicates -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    t_c = max(int(index.num_docs * args.t_c_percent / 100.0), 1)
+    catalog, report = select_views(
+        index, t_c=t_c, t_v=args.t_v, strategy=args.strategy
+    )
+    save_catalog(catalog, args.out)
+    stats = catalog.stats()
+    print(
+        f"selected {report.num_views} views at T_C={t_c}, T_V={args.t_v} "
+        f"({report.views_from_decomposition} decomposition, "
+        f"{report.views_from_mining} mining); "
+        f"{stats.total_tuples} tuples, "
+        f"{stats.total_storage_bytes / 1e6:.2f} MB -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    catalog = load_catalog(args.catalog) if args.catalog else None
+    ranking = ALL_RANKING_FUNCTIONS[args.model]()
+    engine = ContextSearchEngine(index, ranking=ranking, catalog=catalog)
+
+    if args.conventional:
+        results = engine.search_conventional(args.query, top_k=args.top_k)
+    elif args.disjunctive:
+        results = engine.search_disjunctive(args.query, top_k=args.top_k)
+    else:
+        results = engine.search(args.query, top_k=args.top_k)
+
+    mode = (
+        "conventional"
+        if args.conventional
+        else "disjunctive" if args.disjunctive else "context-sensitive"
+    )
+    print(f"{mode} results for: {args.query}")
+    if not results.hits:
+        print("  (no matches)")
+    for rank, hit in enumerate(results.hits, start=1):
+        print(f"  {rank:>3}. {hit.external_id}  score={hit.score:.4f}")
+    report = results.report
+    print(
+        f"path={report.resolution.path} "
+        f"context={report.context_size} "
+        f"elapsed={report.elapsed_seconds * 1000:.1f}ms "
+        f"model_cost={report.counter.model_cost}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    print(f"index: {args.index}")
+    print(f"  documents: {index.num_docs}")
+    print(f"  total length: {index.total_length} tokens")
+    print(f"  avg doc length: {index.average_document_length():.1f}")
+    print(f"  content terms: {len(index.vocabulary)}")
+    print(f"  predicates: {len(index.predicate_vocabulary)}")
+    if args.catalog:
+        catalog = load_catalog(args.catalog)
+        stats = catalog.stats()
+        print(f"catalog: {args.catalog}")
+        print(f"  views: {stats.num_views}")
+        print(f"  tuples: total={stats.total_tuples} max={stats.max_tuples}")
+        print(f"  storage: {stats.total_storage_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-sensitive ranking for document retrieval "
+        "(SIGMOD 2011 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic corpus")
+    p.add_argument("--docs", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--vocabulary", type=int, default=4000)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("index", help="build and save an inverted index")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("select", help="select and materialise views")
+    p.add_argument("--index", required=True)
+    p.add_argument("--t-c-percent", type=float, default=1.0,
+                   help="context threshold as %% of the collection (paper: 1)")
+    p.add_argument("--t-v", type=int, default=4096,
+                   help="view-size threshold in tuples (paper: 4096)")
+    p.add_argument("--strategy", choices=("hybrid", "mining"), default="hybrid")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_select)
+
+    p = sub.add_parser("search", help="run a context-sensitive query")
+    p.add_argument("query", help='e.g. "pancreas leukemia | DigestiveSystem"')
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    p.add_argument("--conventional", action="store_true",
+                   help="baseline ranking (whole-collection statistics)")
+    p.add_argument("--disjunctive", action="store_true",
+                   help="OR-semantics top-k (MaxScore)")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("stats", help="print index/catalog statistics")
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

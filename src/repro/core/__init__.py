@@ -1,0 +1,104 @@
+"""The paper's primary contribution: context-sensitive query evaluation.
+
+Query model (Section 2.1), statistics framework and ranking functions
+(Section 2.2), the straightforward execution plan and cost model
+(Section 3), and the engine that routes statistics through materialized
+views (Sections 4, 6.3).
+"""
+
+from .query import (
+    ContextQuery,
+    ContextSpecification,
+    KeywordQuery,
+    parse_query,
+)
+from .statistics import (
+    CARDINALITY,
+    DOC_FREQUENCY,
+    TERM_COUNT,
+    TOTAL_LENGTH,
+    UNIQUE_TERMS,
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+    StatisticSpec,
+    cardinality_spec,
+    df_spec,
+    tc_spec,
+    total_length_spec,
+)
+from .ranking import (
+    ALL_RANKING_FUNCTIONS,
+    BM25,
+    DEFAULT_RANKING_FUNCTION,
+    DirichletLanguageModel,
+    PivotedNormalizationTFIDF,
+    RankingFunction,
+)
+from .plan import PlanExecution, StraightforwardPlan
+from .cost import (
+    QueryCostEstimate,
+    context_materialization_bound,
+    estimate_straightforward_cost,
+    estimate_view_cost,
+    pairwise_intersection_cost,
+)
+from .engine import (
+    ContextSearchEngine,
+    ExecutionReport,
+    SearchHit,
+    SearchResults,
+)
+from .stats_cache import CacheMetrics, CachingSearchEngine, StatisticsCache
+from .topk import (
+    MaxScoreScorer,
+    PredicateMembership,
+    ScoredDocument,
+    TopKDiagnostics,
+    exhaustive_disjunctive,
+)
+
+__all__ = [
+    "ContextQuery",
+    "ContextSpecification",
+    "KeywordQuery",
+    "parse_query",
+    "CARDINALITY",
+    "DOC_FREQUENCY",
+    "TERM_COUNT",
+    "TOTAL_LENGTH",
+    "UNIQUE_TERMS",
+    "CollectionStatistics",
+    "DocumentStatistics",
+    "QueryStatistics",
+    "StatisticSpec",
+    "cardinality_spec",
+    "df_spec",
+    "tc_spec",
+    "total_length_spec",
+    "RankingFunction",
+    "PivotedNormalizationTFIDF",
+    "BM25",
+    "DirichletLanguageModel",
+    "DEFAULT_RANKING_FUNCTION",
+    "ALL_RANKING_FUNCTIONS",
+    "PlanExecution",
+    "StraightforwardPlan",
+    "QueryCostEstimate",
+    "context_materialization_bound",
+    "estimate_straightforward_cost",
+    "estimate_view_cost",
+    "pairwise_intersection_cost",
+    "ContextSearchEngine",
+    "ExecutionReport",
+    "SearchHit",
+    "SearchResults",
+    "CacheMetrics",
+    "CachingSearchEngine",
+    "StatisticsCache",
+    "MaxScoreScorer",
+    "PredicateMembership",
+    "ScoredDocument",
+    "TopKDiagnostics",
+    "exhaustive_disjunctive",
+]

@@ -1,0 +1,90 @@
+"""Analytic cost model (Section 3.2).
+
+These functions *predict* work from index metadata alone — no lists are
+scanned — so planners and benches can reason about a query before running
+it.  The observable counterpart is :class:`~repro.index.postings.CostCounter`,
+which the operators fill in during execution; tests check that predictions
+genuinely bound observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..index.intersection import model_intersection_cost
+from ..index.inverted_index import InvertedIndex
+from .query import ContextQuery
+
+
+def context_materialization_bound(
+    index: InvertedIndex, predicates: Sequence[str]
+) -> int:
+    """Proposition 3.1's worst-case bound: ``Σ_{m_i ∈ P} |L_{m_i}|``.
+
+    The cost of materialising the context (and of every aggregation over
+    it, which can only be smaller) is bounded by the summed predicate-list
+    lengths.
+    """
+    return sum(index.predicate_frequency(m) for m in predicates)
+
+
+def pairwise_intersection_cost(
+    index: InvertedIndex, term_a: str, term_b: str, predicates: bool = True
+) -> int:
+    """Model cost ``M0 · (N_a^o + N_b^o)`` for one predicate-list pair."""
+    get = index.predicate_postings if predicates else index.postings
+    return model_intersection_cost(get(term_a), get(term_b))
+
+
+@dataclass(frozen=True)
+class QueryCostEstimate:
+    """Predicted cost components of one context-sensitive query."""
+
+    context_bound: int
+    aggregation_bound: int
+    keyword_stats_bound: int
+
+    @property
+    def total(self) -> int:
+        """Sum of all predicted cost components."""
+        return self.context_bound + self.aggregation_bound + self.keyword_stats_bound
+
+
+def estimate_straightforward_cost(
+    index: InvertedIndex, query: ContextQuery
+) -> QueryCostEstimate:
+    """Upper-bound the straightforward plan's cost for ``query``.
+
+    * context: Proposition 3.1 bound;
+    * aggregations: one full context scan each for ``γ_count``/``γ_sum``
+      — bounded by the context bound itself (the context is no larger
+      than any predicate list);
+    * per-keyword statistics: each ``L_w ∩ context`` touches at most
+      ``|context| + |L_w|`` entries.
+    """
+    context_bound = context_materialization_bound(index, query.predicates)
+    smallest_predicate = min(
+        index.predicate_frequency(m) for m in query.predicates
+    )
+    aggregation_bound = 2 * smallest_predicate
+    keyword_bound = sum(
+        smallest_predicate + index.document_frequency(w)
+        for w in dict.fromkeys(query.keywords)
+    )
+    return QueryCostEstimate(
+        context_bound=context_bound,
+        aggregation_bound=aggregation_bound,
+        keyword_stats_bound=keyword_bound,
+    )
+
+
+def estimate_view_cost(view_size: int, num_specs: int) -> int:
+    """Cost of answering ``num_specs`` statistics from one view.
+
+    Theorem 4.2: a full scan of the view per statistic lookup batch; the
+    implementation answers all specs in a single scan, so the cost is the
+    view size (plus negligible per-spec arithmetic, charged as one unit
+    each).
+    """
+    return view_size + num_specs

@@ -1,0 +1,392 @@
+"""The context-sensitive search engine (Sections 3, 4, 6.3).
+
+:class:`ContextSearchEngine` evaluates context-sensitive queries along
+two paths:
+
+* **views path** — when any catalog view covers the context, collection
+  statistics come from view scans (plus selective-first intersections for
+  rare keywords whose ``df`` columns views do not store), and the unranked
+  result comes from an ordinary selective-first conjunction;
+* **straightforward path** — otherwise, the full Figure 3 plan runs:
+  context materialisation, aggregations, per-keyword context
+  intersections.
+
+It also evaluates the **conventional baseline** ``Q_t = Q_k ∪ P`` (same
+unranked result, whole-collection statistics, predicates as pure boolean
+filters), which Sections 6.1 and 6.3 compare against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import EmptyContextError, QueryError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter
+from ..index.searcher import BooleanSearcher
+from ..views.catalog import ViewCatalog
+from ..views.rewrite import ResolutionReport, compute_rare_term_statistics
+from .plan import StraightforwardPlan
+from .query import ContextQuery, ContextSpecification, KeywordQuery, parse_query
+from .ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
+from .statistics import (
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+    StatisticSpec,
+)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result."""
+
+    doc_id: int
+    external_id: str
+    score: float
+
+
+@dataclass
+class ExecutionReport:
+    """Diagnostics for one query evaluation.
+
+    ``elapsed_seconds`` is wall-clock; ``counter`` holds the operation
+    counts the paper's cost model predicts; ``resolution`` says where the
+    collection statistics came from.
+    """
+
+    elapsed_seconds: float = 0.0
+    counter: CostCounter = field(default_factory=CostCounter)
+    resolution: ResolutionReport = field(default_factory=ResolutionReport)
+    context_size: Optional[int] = None
+    result_size: int = 0
+
+
+@dataclass
+class SearchResults:
+    """Ranked hits plus the execution report."""
+
+    hits: List[SearchHit]
+    report: ExecutionReport
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def external_ids(self) -> List[str]:
+        """Ranked external document ids (the evaluation-facing view)."""
+        return [hit.external_id for hit in self.hits]
+
+
+class ContextSearchEngine:
+    """Evaluates context-sensitive queries and the conventional baseline."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        ranking: Optional[RankingFunction] = None,
+        catalog: Optional[ViewCatalog] = None,
+        use_skips: bool = True,
+    ):
+        if not index.committed:
+            raise QueryError("index must be committed before searching")
+        self.index = index
+        self.ranking = ranking if ranking is not None else DEFAULT_RANKING_FUNCTION
+        self.catalog = catalog
+        self.searcher = BooleanSearcher(index, use_skips=use_skips)
+        self.plan = StraightforwardPlan(index, use_skips=use_skips)
+        self._global_tc_cache: Dict[str, int] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int] = None,
+    ) -> SearchResults:
+        """Evaluate ``Q_c = Q_k | P`` with context-sensitive ranking."""
+        query = self._coerce(query)
+        started = time.perf_counter()
+        report = ExecutionReport()
+        analyzed = self._analyze(query)
+
+        specs = self.ranking.required_collection_specs(analyzed.keywords)
+        values, result_ids = self._resolve_statistics(analyzed, specs, report)
+        collection_stats = CollectionStatistics.from_values(values)
+        if collection_stats.cardinality <= 0:
+            raise EmptyContextError(
+                f"context {analyzed.context} matches no documents"
+            )
+        report.context_size = collection_stats.cardinality
+
+        hits = self._score(analyzed.keywords, result_ids, collection_stats, top_k)
+        report.result_size = len(result_ids)
+        report.elapsed_seconds = time.perf_counter() - started
+        return SearchResults(hits=hits, report=report)
+
+    def search_conventional(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int] = None,
+    ) -> SearchResults:
+        """Evaluate the baseline ``Q_t = Q_k ∪ P``.
+
+        Identical unranked result; ranking uses whole-collection statistics
+        and the predicates contribute nothing to scores (Section 6.1's
+        conventional ranking).
+        """
+        query = self._coerce(query)
+        started = time.perf_counter()
+        report = ExecutionReport()
+        report.resolution.path = "conventional"
+        analyzed = self._analyze(query)
+
+        result_ids = self.searcher.search_conjunction(
+            analyzed.keywords, analyzed.predicates, report.counter
+        )
+        collection_stats = self._global_statistics(analyzed.keywords)
+        hits = self._score(analyzed.keywords, result_ids, collection_stats, top_k)
+        report.result_size = len(result_ids)
+        report.elapsed_seconds = time.perf_counter() - started
+        return SearchResults(hits=hits, report=report)
+
+    def search_disjunctive(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: int = 10,
+    ) -> SearchResults:
+        """OR-semantics context-sensitive search with MaxScore pruning.
+
+        Returns the ``top_k`` documents *in the context* that match at
+        least one keyword, ranked context-sensitively.  Collection
+        statistics resolve exactly as in :meth:`search` (views first,
+        straightforward plan otherwise); the candidate scan then runs
+        document-at-a-time over the keyword posting lists with a lazy
+        context-membership filter, so on the views path the context is
+        never materialised at all.
+
+        Requires a ``decomposable`` ranking model (TF-IDF, BM25);
+        language models raise :class:`~repro.errors.QueryError`.
+        """
+        from .topk import MaxScoreScorer, PredicateMembership, TopKDiagnostics
+
+        query = self._coerce(query)
+        started = time.perf_counter()
+        report = ExecutionReport()
+        analyzed = self._analyze(query)
+
+        specs = self.ranking.required_collection_specs(analyzed.keywords)
+        values = self._resolve_statistics_only(analyzed, specs, report)
+        collection_stats = CollectionStatistics.from_values(values)
+        if collection_stats.cardinality <= 0:
+            raise EmptyContextError(
+                f"context {analyzed.context} matches no documents"
+            )
+        report.context_size = collection_stats.cardinality
+
+        scorer = MaxScoreScorer(
+            self.index,
+            analyzed.keywords,
+            collection_stats,
+            self.ranking,
+            context_filter=PredicateMembership(self.index, analyzed.predicates),
+        )
+        diagnostics = TopKDiagnostics()
+        scored = scorer.top_k(top_k, report.counter, diagnostics)
+        hits = [
+            SearchHit(
+                doc_id=s.doc_id,
+                external_id=self.index.store.get(s.doc_id).external_id,
+                score=s.score,
+            )
+            for s in scored
+        ]
+        report.result_size = len(hits)
+        report.elapsed_seconds = time.perf_counter() - started
+        return SearchResults(hits=hits, report=report)
+
+    def _resolve_statistics_only(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        report: ExecutionReport,
+    ) -> Dict[StatisticSpec, float]:
+        """Statistics resolution without computing a conjunctive result set.
+
+        Same policy as :meth:`_resolve_statistics`; used by evaluation
+        modes (disjunctive top-k) that build their own candidate stream.
+        """
+        resolution = report.resolution
+        if self.catalog is not None and len(self.catalog) > 0:
+            values, unresolved, views_used = self.catalog.resolve(
+                specs, query.context, report.counter
+            )
+            if views_used:
+                resolution.path = "views"
+                resolution.views_used = len(views_used)
+                resolution.view_tuples_scanned = sum(v.size for v in views_used)
+                resolution.specs_from_views = len(values)
+                if unresolved:
+                    values.update(
+                        compute_rare_term_statistics(
+                            self.index, query, unresolved, report.counter
+                        )
+                    )
+                    resolution.rare_term_fallbacks = len(
+                        {spec.term for spec in unresolved}
+                    )
+                    resolution.specs_from_fallback = len(unresolved)
+                return values
+        resolution.path = "straightforward"
+        execution = self.plan.execute(query, specs, report.counter)
+        report.context_size = execution.context_size
+        return execution.statistic_values
+
+    def context_statistics(
+        self, context: Union[ContextSpecification, Sequence[str]], keywords: Sequence[str] = ()
+    ) -> CollectionStatistics:
+        """Collection statistics of a context (diagnostics/tests helper).
+
+        Always computed via the straightforward plan, bypassing views, so
+        it doubles as the ground truth views are checked against.
+        """
+        if not isinstance(context, ContextSpecification):
+            context = ContextSpecification(context)
+        keywords = [self._analyze_keyword(w) for w in keywords] or ["__none__"]
+        probe = ContextQuery(KeywordQuery(keywords), context)
+        specs = self.ranking.required_collection_specs(keywords)
+        execution = self.plan.execute(probe, specs)
+        return CollectionStatistics.from_values(execution.statistic_values)
+
+    # -- internals ------------------------------------------------------------
+
+    def _coerce(self, query: Union[ContextQuery, str]) -> ContextQuery:
+        if isinstance(query, str):
+            return parse_query(query)
+        return query
+
+    def _analyze_keyword(self, keyword: str) -> str:
+        analyzed = self.index.analyzer.analyze_query_term(keyword)
+        if analyzed is None:
+            raise QueryError(f"keyword {keyword!r} was removed by analysis (stopword?)")
+        return analyzed
+
+    def _analyze(self, query: ContextQuery) -> ContextQuery:
+        """Run query terms through the index's analyzers."""
+        keywords = [self._analyze_keyword(w) for w in query.keywords]
+        predicates = []
+        for m in query.predicates:
+            analyzed = self.index.predicate_analyzer.analyze_query_term(m)
+            if analyzed is None:
+                raise QueryError(f"empty context predicate: {m!r}")
+            predicates.append(analyzed)
+        return ContextQuery(
+            KeywordQuery(keywords), ContextSpecification(predicates)
+        )
+
+    def _resolve_statistics(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        report: ExecutionReport,
+    ) -> Tuple[Dict[StatisticSpec, float], List[int]]:
+        """Obtain collection statistics and the unranked result set.
+
+        The two are coupled deliberately: on the views path the result set
+        is a cheap selective-first conjunction, while on the
+        straightforward path the plan has already produced the result as
+        a by-product of computing per-keyword statistics (Figure 3).
+        """
+        resolution = report.resolution
+        if self.catalog is not None and len(self.catalog) > 0:
+            values, unresolved, views_used = self.catalog.resolve(
+                specs, query.context, report.counter
+            )
+            if views_used:
+                resolution.path = "views"
+                resolution.views_used = len(views_used)
+                resolution.view_tuples_scanned = sum(v.size for v in views_used)
+                resolution.specs_from_views = len(values)
+                if unresolved:
+                    fallback = compute_rare_term_statistics(
+                        self.index, query, unresolved, report.counter
+                    )
+                    values.update(fallback)
+                    resolution.rare_term_fallbacks = len(
+                        {spec.term for spec in unresolved}
+                    )
+                    resolution.specs_from_fallback = len(unresolved)
+                result_ids = self.searcher.search_conjunction(
+                    query.keywords, query.predicates, report.counter
+                )
+                return values, result_ids
+
+        resolution.path = "straightforward"
+        execution = self.plan.execute(query, specs, report.counter)
+        report.context_size = execution.context_size
+        return execution.statistic_values, execution.result_ids
+
+    def _global_statistics(self, keywords: Sequence[str]) -> CollectionStatistics:
+        """``S_c(D)``: precomputed whole-collection statistics.
+
+        ``tc`` is only gathered when the ranking model actually requests
+        it (language models); computing it costs a posting-list scan per
+        keyword, which would unfairly slow the conventional baseline the
+        benchmarks compare against.
+        """
+        from .statistics import TERM_COUNT
+
+        df = {w: self.index.document_frequency(w) for w in keywords}
+        wants_tc = any(
+            spec.kind == TERM_COUNT
+            for spec in self.ranking.required_collection_specs(keywords)
+        )
+        tc = {w: self._global_tc(w) for w in keywords} if wants_tc else {}
+        return CollectionStatistics(
+            cardinality=self.index.num_docs,
+            total_length=self.index.total_length,
+            df=df,
+            tc=tc,
+        )
+
+    def _global_tc(self, term: str) -> int:
+        cached = self._global_tc_cache.get(term)
+        if cached is None:
+            cached = sum(tf for _, tf in self.index.postings(term))
+            self._global_tc_cache[term] = cached
+        return cached
+
+    def _score(
+        self,
+        keywords: Sequence[str],
+        result_ids: Sequence[int],
+        collection_stats: CollectionStatistics,
+        top_k: Optional[int],
+    ) -> List[SearchHit]:
+        """Score the result set and return hits sorted best-first.
+
+        Ties break on ascending docid so rankings are fully deterministic.
+        """
+        query_stats = QueryStatistics.from_keywords(keywords)
+        unique_keywords = list(dict.fromkeys(keywords))
+        plists = {w: self.index.postings(w) for w in unique_keywords}
+        hits: List[SearchHit] = []
+        for doc_id in result_ids:
+            doc = self.index.store.get(doc_id)
+            tfs = {
+                w: (plists[w].tf_for(doc_id) or 0) for w in unique_keywords
+            }
+            doc_stats = DocumentStatistics(
+                length=doc.length,
+                unique_terms=doc.unique_terms,
+                term_frequencies=tfs,
+            )
+            score = self.ranking.score(query_stats, doc_stats, collection_stats)
+            hits.append(
+                SearchHit(doc_id=doc_id, external_id=doc.external_id, score=score)
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        if top_k is not None:
+            hits = hits[:top_k]
+        return hits

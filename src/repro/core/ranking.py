@@ -1,0 +1,329 @@
+"""Ranking functions (Section 2.2).
+
+Every model implements :class:`RankingFunction`: a pure function of
+``(S_q, S_d, S_c)``.  Context sensitivity is *not* a property of the
+model — the same object scores conventionally when handed ``S_c(D)`` and
+context-sensitively when handed ``S_c(D_P)`` (Formulas 1 vs 2).  That is
+the paper's central modelling point and the reason the engine, not the
+ranking function, decides which statistics to supply.
+
+Models provided:
+
+* :class:`PivotedNormalizationTFIDF` — Formula 3/4, the paper's evaluation
+  model (Singhal's pivoted normalisation, ``s = 0.2``).
+* :class:`BM25` — Okapi BM25, demonstrating that the framework covers
+  probabilistic relevance models (Table 1 generality claim).
+* :class:`DirichletLanguageModel` — query-likelihood with Dirichlet
+  smoothing; consumes ``tc(w, ·)``, exercising the SUM-of-tf parameter
+  columns and the paper's remark that small contexts make smoothing hard.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from .statistics import (
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+    StatisticSpec,
+    cardinality_spec,
+    df_spec,
+    tc_spec,
+    total_length_spec,
+)
+
+
+class RankingFunction(ABC):
+    """A scoring function ``f(S_q(Q), S_d(d), S_c(·))`` (Formula 1/2)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(
+        self,
+        query_stats: QueryStatistics,
+        doc_stats: DocumentStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        """Relevance score of one document; higher is more relevant."""
+
+    @abstractmethod
+    def required_collection_specs(
+        self, keywords: Sequence[str]
+    ) -> List[StatisticSpec]:
+        """The collection-specific statistics this model needs for ``keywords``.
+
+        The engine resolves each spec from materialized views when usable
+        (Theorem 4.1) and falls back to the straightforward plan otherwise.
+        """
+
+    # -- optional per-term decomposition (top-k pruning support) ----------
+
+    @property
+    def decomposable(self) -> bool:
+        """Whether the score is a sum of per-term parts with zero-tf
+        contributions of zero.  Required by the MaxScore top-k scorer:
+        models with non-zero smoothing mass for absent terms (language
+        models) are not decomposable in this sense."""
+        return False
+
+    def term_score(
+        self,
+        term: str,
+        tf: int,
+        doc_length: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        """One term's additive score contribution (decomposable models)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not decompose per term"
+        )
+
+    def term_upper_bound(
+        self,
+        term: str,
+        max_tf: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        """Upper bound of :meth:`term_score` over all documents.
+
+        MaxScore uses these to skip documents that cannot enter the
+        top-k heap; bounds must dominate every achievable term score.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not decompose per term"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PivotedNormalizationTFIDF(RankingFunction):
+    """Pivoted-normalisation TF-IDF (Formula 3; context form is Formula 4).
+
+    ``score(Q, d) = Σ_w  (1 + ln(1 + ln tf)) / ((1-s) + s·len(d)/avgdl)
+                         · tq(w, Q) · ln((|D| + 1) / df(w, D))``
+
+    The slope ``s`` defaults to 0.2 as in the paper.
+    """
+
+    name = "pivoted-tfidf"
+
+    def __init__(self, slope: float = 0.2):
+        if not 0.0 <= slope <= 1.0:
+            raise ValueError(f"slope must be in [0, 1], got {slope}")
+        self.slope = slope
+
+    def required_collection_specs(
+        self, keywords: Sequence[str]
+    ) -> List[StatisticSpec]:
+        specs = [cardinality_spec(), total_length_spec()]
+        specs.extend(df_spec(w) for w in dict.fromkeys(keywords))
+        return specs
+
+    def score(
+        self,
+        query_stats: QueryStatistics,
+        doc_stats: DocumentStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        return sum(
+            self.term_score(
+                term, doc_stats.tf(term), doc_stats.length, query_stats,
+                collection_stats,
+            )
+            for term in query_stats.term_counts
+        )
+
+    @property
+    def decomposable(self) -> bool:
+        return True
+
+    def term_score(
+        self,
+        term: str,
+        tf: int,
+        doc_length: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        if tf <= 0:
+            return 0.0
+        df = collection_stats.df_for(term)
+        if df <= 0:
+            # A matched document implies df >= 1 in the scored
+            # collection; df == 0 signals stale statistics upstream.
+            return 0.0
+        avgdl = collection_stats.avgdl
+        norm = (1.0 - self.slope) + self.slope * (doc_length / avgdl)
+        tf_part = 1.0 + math.log(1.0 + math.log(tf))
+        idf_part = math.log((collection_stats.cardinality + 1) / df)
+        return (tf_part / norm) * query_stats.tq(term) * idf_part
+
+    def term_upper_bound(
+        self,
+        term: str,
+        max_tf: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        if max_tf <= 0:
+            return 0.0
+        df = collection_stats.df_for(term)
+        if df <= 0:
+            return 0.0
+        # The pivot norm is minimised (score maximised) by the shortest
+        # possible document: norm >= 1 - s.
+        tf_part = 1.0 + math.log(1.0 + math.log(max_tf))
+        idf_part = max(
+            math.log((collection_stats.cardinality + 1) / df), 0.0
+        )
+        min_norm = max(1.0 - self.slope, 1e-6)  # slope == 1 edge case
+        return (tf_part / min_norm) * query_stats.tq(term) * idf_part
+
+
+class BM25(RankingFunction):
+    """Okapi BM25 with the standard ``k1``/``b`` parameterisation.
+
+    Uses the non-negative idf variant ``ln(1 + (N - df + 0.5)/(df + 0.5))``
+    so that very frequent in-context terms never contribute negatively.
+    """
+
+    name = "bm25"
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+
+    def required_collection_specs(
+        self, keywords: Sequence[str]
+    ) -> List[StatisticSpec]:
+        specs = [cardinality_spec(), total_length_spec()]
+        specs.extend(df_spec(w) for w in dict.fromkeys(keywords))
+        return specs
+
+    def score(
+        self,
+        query_stats: QueryStatistics,
+        doc_stats: DocumentStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        return sum(
+            self.term_score(
+                term, doc_stats.tf(term), doc_stats.length, query_stats,
+                collection_stats,
+            )
+            for term in query_stats.term_counts
+        )
+
+    @property
+    def decomposable(self) -> bool:
+        return True
+
+    def term_score(
+        self,
+        term: str,
+        tf: int,
+        doc_length: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        if tf <= 0:
+            return 0.0
+        df = collection_stats.df_for(term)
+        if df <= 0:
+            return 0.0
+        n = collection_stats.cardinality
+        avgdl = collection_stats.avgdl
+        idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        denom = tf + self.k1 * (1.0 - self.b + self.b * doc_length / avgdl)
+        return query_stats.tq(term) * idf * (tf * (self.k1 + 1.0)) / denom
+
+    def term_upper_bound(
+        self,
+        term: str,
+        max_tf: int,
+        query_stats: QueryStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        if max_tf <= 0:
+            return 0.0
+        df = collection_stats.df_for(term)
+        if df <= 0:
+            return 0.0
+        n = collection_stats.cardinality
+        idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        # tf·(k1+1)/(tf + k1·norm) increases in tf and is maximised at the
+        # shortest document (norm -> 1-b); bound with norm >= 0 for safety.
+        saturation = (max_tf * (self.k1 + 1.0)) / (
+            max_tf + self.k1 * (1.0 - self.b)
+        )
+        return query_stats.tq(term) * idf * saturation
+
+
+class DirichletLanguageModel(RankingFunction):
+    """Query likelihood with Dirichlet-prior smoothing.
+
+    ``log p(Q|d) = Σ_w tq(w) · [ln(tf + μ·p(w|C)) − ln(len(d) + μ)]``
+    with ``p(w|C) = tc(w, C) / len(C)``.
+
+    In context-sensitive mode the background model ``p(w|C)`` comes from
+    the context — the paper's Section 6.3 remark that small contexts make
+    smoothing unreliable falls straight out of this estimator.
+    """
+
+    name = "dirichlet-lm"
+
+    # Floor for the background probability: an unseen-in-collection term
+    # would otherwise zero the likelihood.
+    _EPSILON = 1e-9
+
+    def __init__(self, mu: float = 2000.0):
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        self.mu = mu
+
+    def required_collection_specs(
+        self, keywords: Sequence[str]
+    ) -> List[StatisticSpec]:
+        specs = [cardinality_spec(), total_length_spec()]
+        for w in dict.fromkeys(keywords):
+            specs.append(tc_spec(w))
+        return specs
+
+    def score(
+        self,
+        query_stats: QueryStatistics,
+        doc_stats: DocumentStatistics,
+        collection_stats: CollectionStatistics,
+    ) -> float:
+        coll_len = max(collection_stats.total_length, 1)
+        total = 0.0
+        for term, tq in query_stats.term_counts.items():
+            p_background = max(
+                collection_stats.tc_for(term) / coll_len, self._EPSILON
+            )
+            tf = doc_stats.tf(term)
+            total += tq * (
+                math.log(tf + self.mu * p_background)
+                - math.log(doc_stats.length + self.mu)
+            )
+        return total
+
+
+DEFAULT_RANKING_FUNCTION = PivotedNormalizationTFIDF()
+
+ALL_RANKING_FUNCTIONS = {
+    PivotedNormalizationTFIDF.name: PivotedNormalizationTFIDF,
+    BM25.name: BM25,
+    DirichletLanguageModel.name: DirichletLanguageModel,
+}

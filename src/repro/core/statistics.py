@@ -1,0 +1,178 @@
+"""The statistics framework of Section 2.2 / Table 1.
+
+Ranking functions consume three scopes of statistics:
+
+* **query-specific** ``S_q(Q)`` — from the query text alone;
+* **document-specific** ``S_d(d)`` — from one document;
+* **collection-specific** ``S_c(D)`` — aggregations over a collection.
+
+Context-sensitive ranking (Formula 2) is *exactly* conventional ranking
+with ``S_c(D)`` replaced by ``S_c(D_P)``; this module is the shared
+vocabulary that makes that substitution a one-argument change.
+
+Each collection-specific statistic is described by a
+:class:`StatisticSpec` — an aggregation over the wide sparse table of
+Section 4.1 — which is what makes view usability (Theorem 4.1) a
+syntactic check: a view answers a spec iff it carries that spec's
+parameter column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..errors import QueryError
+
+# Spec kinds: the aggregation shapes of Table 1's collection-specific rows.
+CARDINALITY = "cardinality"      # |D_P|          -> COUNT(*)
+TOTAL_LENGTH = "total_length"    # len(D_P)       -> SUM(len(d))
+DOC_FREQUENCY = "df"             # df(w, D_P)     -> COUNT(docs with w)
+TERM_COUNT = "tc"                # tc(w, D_P)     -> SUM(tf(w, d))
+UNIQUE_TERMS = "utc"             # utc(D_P)       -> |union of vocabularies|
+
+_TERM_KINDS = frozenset({DOC_FREQUENCY, TERM_COUNT})
+_TERMLESS_KINDS = frozenset({CARDINALITY, TOTAL_LENGTH, UNIQUE_TERMS})
+
+
+@dataclass(frozen=True)
+class StatisticSpec:
+    """One collection-specific statistic as an aggregation query shape.
+
+    ``kind`` selects the aggregation; term-scoped kinds (``df``, ``tc``)
+    additionally carry the keyword ``term`` they aggregate for.
+    """
+
+    kind: str
+    term: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind in _TERM_KINDS:
+            if not self.term:
+                raise QueryError(f"statistic kind {self.kind!r} requires a term")
+        elif self.kind in _TERMLESS_KINDS:
+            if self.term is not None:
+                raise QueryError(f"statistic kind {self.kind!r} takes no term")
+        else:
+            raise QueryError(f"unknown statistic kind: {self.kind!r}")
+
+    def column_name(self) -> str:
+        """The parameter-column name this spec reads in a materialized view."""
+        if self.term is not None:
+            return f"{self.kind}:{self.term}"
+        return self.kind
+
+
+def cardinality_spec() -> StatisticSpec:
+    """Spec for ``|D_P|`` (COUNT(*))."""
+    return StatisticSpec(CARDINALITY)
+
+
+def total_length_spec() -> StatisticSpec:
+    """Spec for ``len(D_P)`` (SUM of document lengths)."""
+    return StatisticSpec(TOTAL_LENGTH)
+
+
+def df_spec(term: str) -> StatisticSpec:
+    """Spec for ``df(term, D_P)`` (COUNT of documents containing term)."""
+    return StatisticSpec(DOC_FREQUENCY, term)
+
+
+def tc_spec(term: str) -> StatisticSpec:
+    """Spec for ``tc(term, D_P)`` (SUM of term frequencies)."""
+    return StatisticSpec(TERM_COUNT, term)
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """``S_q(Q)``: term counts, length, unique-term count of the query."""
+
+    term_counts: Mapping[str, int]
+    length: int
+    unique_terms: int
+
+    @classmethod
+    def from_keywords(cls, keywords: Sequence[str]) -> "QueryStatistics":
+        """Compute all query-specific statistics from the keyword list."""
+        counts: Dict[str, int] = {}
+        for w in keywords:
+            counts[w] = counts.get(w, 0) + 1
+        return cls(term_counts=counts, length=len(keywords), unique_terms=len(counts))
+
+    def tq(self, term: str) -> int:
+        """``tq(w, Q)``: occurrences of ``w`` in the query."""
+        return self.term_counts.get(term, 0)
+
+
+@dataclass(frozen=True)
+class DocumentStatistics:
+    """``S_d(d)``: per-document statistics for one candidate document."""
+
+    length: int
+    unique_terms: int
+    term_frequencies: Mapping[str, int]
+
+    def tf(self, term: str) -> int:
+        """``tf(w, d)``: occurrences of ``w`` in the document."""
+        return self.term_frequencies.get(term, 0)
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """``S_c(D)`` or ``S_c(D_P)``: aggregations over a (sub-)collection.
+
+    ``df`` and ``tc`` are keyed by term and only need entries for the
+    query's keywords; ``tc``/``unique_terms`` are optional because only
+    some ranking models consume them.
+    """
+
+    cardinality: int
+    total_length: int
+    df: Mapping[str, int]
+    tc: Mapping[str, int] = field(default_factory=dict)
+    unique_terms: Optional[int] = None
+
+    @property
+    def avgdl(self) -> float:
+        """Average document length ``len(D) / |D|`` (Formula 3's pivot)."""
+        if self.cardinality <= 0:
+            raise QueryError("avgdl undefined for an empty collection")
+        return self.total_length / self.cardinality
+
+    def df_for(self, term: str) -> int:
+        """``df(term, ·)`` in this collection (0 for unseen terms)."""
+        return self.df.get(term, 0)
+
+    def tc_for(self, term: str) -> int:
+        """``tc(term, ·)`` in this collection (0 for unseen terms)."""
+        return self.tc.get(term, 0)
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Mapping[StatisticSpec, float],
+    ) -> "CollectionStatistics":
+        """Assemble from resolved spec → value pairs (engine plumbing)."""
+        cardinality = 0
+        total_length = 0
+        unique_terms: Optional[int] = None
+        df: Dict[str, int] = {}
+        tc: Dict[str, int] = {}
+        for spec, value in values.items():
+            if spec.kind == CARDINALITY:
+                cardinality = int(value)
+            elif spec.kind == TOTAL_LENGTH:
+                total_length = int(value)
+            elif spec.kind == DOC_FREQUENCY:
+                df[spec.term] = int(value)
+            elif spec.kind == TERM_COUNT:
+                tc[spec.term] = int(value)
+            elif spec.kind == UNIQUE_TERMS:
+                unique_terms = int(value)
+        return cls(
+            cardinality=cardinality,
+            total_length=total_length,
+            df=df,
+            tc=tc,
+            unique_terms=unique_terms,
+        )

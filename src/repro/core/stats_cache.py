@@ -1,0 +1,147 @@
+"""LRU cache for resolved collection statistics.
+
+A specialist works inside one context for a whole session (the paper's
+usage model), so consecutive queries repeat the same ``S_c(D_P)``
+lookups — including the per-keyword ``df`` values for recurring query
+terms.  This cache sits in front of the engine's statistic resolution
+and memoises spec values per context.
+
+Correctness note: cached values are exact copies of resolved statistics,
+so the views-never-change-answers invariant extends to
+cache-never-changes-answers (tested).  The cache must be invalidated on
+document ingestion — :meth:`CachingSearchEngine.invalidate` exists for
+exactly the :func:`repro.views.maintenance.maintain_catalog` call sites.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.query import ContextQuery
+from ..core.statistics import StatisticSpec
+
+
+@dataclass
+class CacheMetrics:
+    """Hit accounting (per spec, not per query)."""
+
+    spec_hits: int = 0
+    spec_misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.spec_hits + self.spec_misses
+        return self.spec_hits / total if total else 0.0
+
+
+class StatisticsCache:
+    """Per-context LRU of resolved spec values."""
+
+    def __init__(self, max_contexts: int = 128):
+        if max_contexts < 1:
+            raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
+        self.max_contexts = max_contexts
+        self._entries: "OrderedDict[FrozenSet[str], Dict[StatisticSpec, float]]" = (
+            OrderedDict()
+        )
+        self.metrics = CacheMetrics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, context_key: FrozenSet[str], specs: Sequence[StatisticSpec]
+    ) -> Tuple[Dict[StatisticSpec, float], List[StatisticSpec]]:
+        """Return ``(cached values, missing specs)`` for one context."""
+        entry = self._entries.get(context_key)
+        if entry is None:
+            self.metrics.spec_misses += len(specs)
+            return {}, list(specs)
+        self._entries.move_to_end(context_key)
+        found: Dict[StatisticSpec, float] = {}
+        missing: List[StatisticSpec] = []
+        for spec in specs:
+            if spec in entry:
+                found[spec] = entry[spec]
+            else:
+                missing.append(spec)
+        self.metrics.spec_hits += len(found)
+        self.metrics.spec_misses += len(missing)
+        return found, missing
+
+    def store(
+        self,
+        context_key: FrozenSet[str],
+        values: Dict[StatisticSpec, float],
+    ) -> None:
+        """Merge resolved values into the context's entry (LRU-evicting)."""
+        entry = self._entries.get(context_key)
+        if entry is None:
+            entry = self._entries[context_key] = {}
+        entry.update(values)
+        self._entries.move_to_end(context_key)
+        while len(self._entries) > self.max_contexts:
+            self._entries.popitem(last=False)
+            self.metrics.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop everything (call after any document ingestion)."""
+        self.metrics.invalidations += 1
+        self._entries.clear()
+
+
+class CachingSearchEngine:
+    """A :class:`~repro.core.engine.ContextSearchEngine` wrapper that
+    memoises collection statistics across queries.
+
+    Composition rather than inheritance: the wrapper intercepts the
+    engine's ``_resolve_statistics`` / ``_resolve_statistics_only``
+    resolution by pre-filling from the cache and storing what the engine
+    resolves.  Rankings are bit-identical to the uncached engine.
+    """
+
+    def __init__(self, engine, max_contexts: int = 128):
+        self.engine = engine
+        self.cache = StatisticsCache(max_contexts=max_contexts)
+        self._wrap()
+
+    def _wrap(self) -> None:
+        inner_resolve = self.engine._resolve_statistics
+
+        def cached_resolve(query: ContextQuery, specs, report):
+            key = query.context.as_set()
+            found, missing = self.cache.lookup(key, specs)
+            if not missing:
+                # Still need the unranked result set; the conjunction is
+                # cheap (selective-first) relative to statistics.
+                result_ids = self.engine.searcher.search_conjunction(
+                    query.keywords, query.predicates, report.counter
+                )
+                report.resolution.path = "cache"
+                return dict(found), result_ids
+            values, result_ids = inner_resolve(query, specs, report)
+            self.cache.store(key, values)
+            values.update(found)
+            return values, result_ids
+
+        self.engine._resolve_statistics = cached_resolve
+
+    # -- delegation -------------------------------------------------------
+
+    def search(self, query, top_k: Optional[int] = None):
+        return self.engine.search(query, top_k=top_k)
+
+    def search_conventional(self, query, top_k: Optional[int] = None):
+        return self.engine.search_conventional(query, top_k=top_k)
+
+    def invalidate(self) -> None:
+        """Forward to the cache; call after ``append_documents``."""
+        self.cache.invalidate()
+
+    @property
+    def metrics(self) -> CacheMetrics:
+        return self.cache.metrics

@@ -1,0 +1,264 @@
+"""Disjunctive (OR-semantics) top-k retrieval with MaxScore pruning.
+
+Section 3.2.2 observes that top-k processing "reorders inverted lists so
+that only a small fraction of the lists are processed", but cannot help
+context-sensitive ranking *before* collection statistics are known.
+Once the statistics ARE known — instantly, from a materialized view —
+pruned top-k becomes applicable again.  This module supplies that stage:
+document-at-a-time MaxScore over the query terms' posting lists,
+restricted to a context, using per-term score upper bounds from the
+ranking model.
+
+OR semantics also matches the paper's Section 1.1 example, where the
+two citations each match only one of {pancreas, leukemia}: under the
+conjunctive model of Section 2.1 neither would be returned, but with
+disjunctive scoring their *relative order* is exactly the story the
+introduction tells.
+
+Only :class:`~repro.core.ranking.RankingFunction` implementations that
+are ``decomposable`` (zero contribution for absent terms) support
+pruning; language models smooth absent terms and are rejected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter, PostingList
+from .statistics import CollectionStatistics, QueryStatistics
+
+
+@dataclass
+class TopKDiagnostics:
+    """How much work pruning saved (printed by the top-k ablation bench)."""
+
+    candidates_seen: int = 0
+    candidates_scored: int = 0
+    candidates_pruned: int = 0
+    heap_updates: int = 0
+
+
+@dataclass(frozen=True)
+class ScoredDocument:
+    doc_id: int
+    score: float
+
+
+class PredicateMembership:
+    """Lazy context-membership test: ``doc_id in membership``.
+
+    Checks each predicate posting list by binary search instead of
+    materialising the context — O(c·log n) per probe.  This is what lets
+    the views path run disjunctive top-k without ever paying the
+    context-materialisation cost the views exist to avoid.
+    """
+
+    def __init__(self, index: InvertedIndex, predicates: Sequence[str]):
+        self._lists = [index.predicate_postings(m) for m in predicates]
+
+    def __contains__(self, doc_id: int) -> bool:
+        return all(plist.contains(doc_id) for plist in self._lists)
+
+
+class MaxScoreScorer:
+    """Document-at-a-time MaxScore over one query's posting cursors.
+
+    Terms are ordered by descending upper bound; once the running top-k
+    threshold exceeds the total bound of the *non-essential* suffix,
+    documents appearing only in those lists cannot reach the heap and
+    their cursors are never used to generate candidates.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        keywords: Sequence[str],
+        collection_stats: CollectionStatistics,
+        ranking,
+        context_filter: Optional[object] = None,
+    ):
+        if not ranking.decomposable:
+            raise QueryError(
+                f"ranking model {ranking.name!r} does not support "
+                "MaxScore pruning (non-zero score for absent terms)"
+            )
+        self.index = index
+        self.ranking = ranking
+        self.collection_stats = collection_stats
+        self.context_filter = context_filter
+        self.query_stats = QueryStatistics.from_keywords(keywords)
+
+        unique_terms = list(dict.fromkeys(keywords))
+        self._lists: List[Tuple[str, PostingList, float]] = []
+        for term in unique_terms:
+            plist = index.postings(term)
+            if not len(plist):
+                continue
+            bound = ranking.term_upper_bound(
+                term, max(plist.tfs), self.query_stats, collection_stats
+            )
+            self._lists.append((term, plist, bound))
+        # Descending bound: essential lists come first.
+        self._lists.sort(key=lambda item: -item[2])
+        # suffix_bounds[i] = total bound of lists i..end.
+        self._suffix_bounds = [0.0] * (len(self._lists) + 1)
+        for i in range(len(self._lists) - 1, -1, -1):
+            self._suffix_bounds[i] = (
+                self._suffix_bounds[i + 1] + self._lists[i][2]
+            )
+
+    def top_k(
+        self,
+        k: int,
+        counter: Optional[CostCounter] = None,
+        diagnostics: Optional[TopKDiagnostics] = None,
+    ) -> List[ScoredDocument]:
+        """Return the k highest-scoring documents (ties: lowest docid)."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        if not self._lists:
+            return []
+        lengths = self.index.document_lengths()
+        num_lists = len(self._lists)
+        positions = [0] * num_lists
+        # Min-heap of (score, -doc_id) so the worst of the top-k is at
+        # heap[0] and docid ties resolve toward smaller ids.
+        heap: List[Tuple[float, int]] = []
+        threshold = float("-inf")
+        # Index of the first non-essential list: lists [first_ne:] have a
+        # combined bound below the threshold.
+        first_non_essential = num_lists
+
+        while True:
+            # Next candidate: smallest current docid among essential lists.
+            candidate = None
+            for i in range(first_non_essential):
+                plist = self._lists[i][1]
+                if positions[i] < len(plist.doc_ids):
+                    doc_id = plist.doc_ids[positions[i]]
+                    if candidate is None or doc_id < candidate:
+                        candidate = doc_id
+            if candidate is None:
+                break
+            if diagnostics is not None:
+                diagnostics.candidates_seen += 1
+
+            in_context = (
+                self.context_filter is None or candidate in self.context_filter
+            )
+            if in_context:
+                score = self._score_candidate(
+                    candidate, positions, lengths, threshold, counter, diagnostics
+                )
+                entry = (score, -candidate) if score is not None else None
+                if entry is not None and (len(heap) < k or entry > heap[0]):
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry)
+                    else:
+                        heapq.heappushpop(heap, entry)
+                    if diagnostics is not None:
+                        diagnostics.heap_updates += 1
+                    if len(heap) == k:
+                        threshold = heap[0][0]
+                        first_non_essential = self._essential_prefix(threshold)
+
+            # Advance every essential cursor sitting on the candidate.
+            for i in range(first_non_essential):
+                plist = self._lists[i][1]
+                pos = positions[i]
+                if pos < len(plist.doc_ids) and plist.doc_ids[pos] == candidate:
+                    positions[i] = pos + 1
+                    if counter is not None:
+                        counter.entries_scanned += 1
+
+        ranked = sorted(heap, key=lambda entry: (-entry[0], -entry[1]))
+        return [ScoredDocument(doc_id=-neg, score=s) for s, neg in ranked]
+
+    # -- internals ---------------------------------------------------------
+
+    def _essential_prefix(self, threshold: float) -> int:
+        """Smallest prefix of lists whose suffix bound clears ``threshold``.
+
+        Lists beyond the returned index cannot, even in combination, lift
+        a document over the current threshold, so they never *generate*
+        candidates (they still contribute to scoring).
+        """
+        first = len(self._lists)
+        # Strict comparison: a suffix that can exactly *tie* the threshold
+        # may still win on the docid tie-break, so it stays essential.
+        while first > 1 and self._suffix_bounds[first - 1] < threshold:
+            first -= 1
+        return first
+
+    def _score_candidate(
+        self,
+        doc_id: int,
+        positions: List[int],
+        lengths: Sequence[int],
+        threshold: float,
+        counter: Optional[CostCounter],
+        diagnostics: Optional[TopKDiagnostics],
+    ) -> Optional[float]:
+        """Score with early termination against the remaining bound."""
+        total = 0.0
+        doc_length = lengths[doc_id]
+        for i, (term, plist, bound) in enumerate(self._lists):
+            remaining = self._suffix_bounds[i]
+            # Strict: equal-scoring documents must still be scored so the
+            # docid tie-break matches exhaustive evaluation exactly.
+            if total + remaining < threshold:
+                if diagnostics is not None:
+                    diagnostics.candidates_pruned += 1
+                return None
+            positions[i] = plist.skip_to(positions[i], doc_id, counter)
+            tf = 0
+            if (
+                positions[i] < len(plist.doc_ids)
+                and plist.doc_ids[positions[i]] == doc_id
+            ):
+                tf = plist.tfs[positions[i]]
+            if tf:
+                total += self.ranking.term_score(
+                    term, tf, doc_length, self.query_stats, self.collection_stats
+                )
+        if diagnostics is not None:
+            diagnostics.candidates_scored += 1
+        return total
+
+
+def exhaustive_disjunctive(
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    collection_stats: CollectionStatistics,
+    ranking,
+    k: int,
+    context_filter: Optional[object] = None,
+) -> List[ScoredDocument]:
+    """Reference implementation: score every matching document, no pruning.
+
+    Used by tests and the top-k ablation bench as ground truth.
+    """
+    query_stats = QueryStatistics.from_keywords(keywords)
+    lengths = index.document_lengths()
+    unique_terms = list(dict.fromkeys(keywords))
+    tfs: Dict[int, Dict[str, int]] = {}
+    for term in unique_terms:
+        for doc_id, tf in index.postings(term):
+            if context_filter is not None and doc_id not in context_filter:
+                continue
+            tfs.setdefault(doc_id, {})[term] = tf
+    scored = []
+    for doc_id, term_tfs in tfs.items():
+        total = sum(
+            ranking.term_score(
+                term, tf, lengths[doc_id], query_stats, collection_stats
+            )
+            for term, tf in term_tfs.items()
+        )
+        scored.append(ScoredDocument(doc_id=doc_id, score=total))
+    scored.sort(key=lambda s: (-s.score, s.doc_id))
+    return scored[:k]

@@ -1,0 +1,60 @@
+"""Synthetic PubMed/MeSH/TREC substrate (the Section 6 data stack).
+
+Everything the paper gets from proprietary or non-redistributable data is
+generated here with the same distributional structure: the MeSH-like
+ontology with annotation inheritance, the citation corpus with
+per-concept vocabularies, PubMed's Automatic Term Mapping, the
+TREC-Genomics-style quality benchmark, and the Figure 7/8 performance
+workloads.  See DESIGN.md §3 for the substitution rationale.
+"""
+
+from .mesh import ROOT_CATEGORIES, MeshOntology, MeshTerm
+from .corpus import (
+    SEED_WORDS,
+    CorpusConfig,
+    SyntheticCorpus,
+    generate_corpus,
+)
+from .atm import AutomaticTermMapper
+from .trec import QualityBenchmark, Topic, generate_benchmark
+from .workloads import (
+    PerformanceWorkload,
+    WorkloadQuery,
+    generate_performance_workload,
+)
+from .navigator import OntologyNavigator, TermEntry
+from .diagnostics import (
+    ContextSizeProfile,
+    InversionExample,
+    ZipfFit,
+    context_divergence,
+    context_size_profile,
+    find_idf_inversions,
+    fit_zipf,
+)
+
+__all__ = [
+    "OntologyNavigator",
+    "TermEntry",
+    "ContextSizeProfile",
+    "InversionExample",
+    "ZipfFit",
+    "context_divergence",
+    "context_size_profile",
+    "find_idf_inversions",
+    "fit_zipf",
+    "ROOT_CATEGORIES",
+    "MeshOntology",
+    "MeshTerm",
+    "SEED_WORDS",
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "AutomaticTermMapper",
+    "QualityBenchmark",
+    "Topic",
+    "generate_benchmark",
+    "PerformanceWorkload",
+    "WorkloadQuery",
+    "generate_performance_workload",
+]

@@ -1,0 +1,85 @@
+"""Automatic Term Mapping (ATM) simulation.
+
+PubMed's ATM maps free-text query keywords to MeSH terms ("Given a set
+of keywords, PubMed's ATM maps them to one or more MeSH terms",
+Section 6.1); the paper uses it to construct context specifications
+mechanically for both the quality benchmark and the performance
+workloads.  Our mapper does the same against the synthetic corpus's
+alias table (each ontology concept's strongest topic words are its entry
+terms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.query import ContextSpecification
+from .corpus import SyntheticCorpus
+from .mesh import MeshOntology
+
+
+class AutomaticTermMapper:
+    """Keyword → ontology-term mapper with optional ancestor generalisation."""
+
+    def __init__(
+        self,
+        aliases: Mapping[str, Sequence[str]],
+        ontology: Optional[MeshOntology] = None,
+        generalise_to_parent: bool = False,
+    ):
+        self._aliases: Dict[str, List[str]] = {
+            word.lower(): list(terms) for word, terms in aliases.items()
+        }
+        self._ontology = ontology
+        self._generalise = generalise_to_parent
+        if generalise_to_parent and ontology is None:
+            raise ValueError("generalise_to_parent requires an ontology")
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: SyntheticCorpus, generalise_to_parent: bool = False
+    ) -> "AutomaticTermMapper":
+        return cls(
+            corpus.aliases, corpus.ontology, generalise_to_parent
+        )
+
+    def map_keyword(self, keyword: str) -> List[str]:
+        """Ontology terms for one keyword (empty when unmapped).
+
+        With ``generalise_to_parent``, leaf hits are lifted to their
+        parents — mimicking ATM's tendency to map to broader headings,
+        which yields the *larger* contexts performance experiments need.
+        """
+        terms = self._aliases.get(keyword.lower(), [])
+        if not self._generalise or self._ontology is None:
+            return list(terms)
+        lifted: List[str] = []
+        for term in terms:
+            parent = self._ontology.term(term).parent
+            lifted.append(parent if parent is not None else term)
+        return list(dict.fromkeys(lifted))
+
+    def map_keywords(self, keywords: Iterable[str]) -> List[str]:
+        """Deduplicated union of mappings, in first-hit order."""
+        out: List[str] = []
+        for keyword in keywords:
+            for term in self.map_keyword(keyword):
+                if term not in out:
+                    out.append(term)
+        return out
+
+    def build_context(
+        self, keywords: Iterable[str], max_terms: Optional[int] = None
+    ) -> Optional[ContextSpecification]:
+        """A context specification from mapped keywords, or ``None``.
+
+        ``None`` (no keyword mapped) corresponds to ATM failing to find
+        MeSH headings, in which case the paper's pipeline has no context
+        to attach.
+        """
+        terms = self.map_keywords(keywords)
+        if not terms:
+            return None
+        if max_terms is not None:
+            terms = terms[:max_terms]
+        return ContextSpecification(terms)

@@ -1,0 +1,340 @@
+"""Synthetic PubMed-like citation corpus (the Section 6 substrate).
+
+The paper evaluates on 18 M PubMed citations — proprietary-scale data we
+replace with a generator that controls exactly the distributional
+properties the paper's claims rest on:
+
+* every citation has ``title``/``abstract`` text and MeSH-style
+  annotations with ancestor inheritance (heavily skewed context sizes);
+* each ontology concept carries its own *topic vocabulary*, so keyword
+  statistics (``df``, ``tc``) genuinely differ between contexts — the
+  premise of context-sensitive ranking;
+* topic vocabularies deliberately include globally *common* words, so
+  "common over D, rare/discriminative inside D_P" (the leukemia/pancreas
+  story of Section 1.1) occurs by construction.
+
+Everything is driven by one explicitly seeded RNG; identical configs
+produce identical corpora.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._rng import derive_rng, make_rng, weighted_sample, zipf_weights
+from ..errors import DataGenerationError
+from ..index.analysis import DEFAULT_STOPWORDS
+from ..index.documents import Document
+from ..index.inverted_index import InvertedIndex, build_index
+from .mesh import MeshOntology
+
+# Real biomedical words seeded into the vocabulary for readable examples.
+SEED_WORDS = (
+    "pancreas", "leukemia", "transplant", "infection", "parvovirus",
+    "symptom", "gastric", "tumor", "therapy", "lymphoma", "anemia",
+    "insulin", "biopsy", "carcinoma", "mutation", "receptor", "protein",
+    "kinase", "antibody", "antigen", "diagnosis", "prognosis", "syndrome",
+    "lesion", "chronic", "acute", "clinical", "hepatic", "renal",
+    "cardiac", "pulmonary", "vascular", "metastasis", "remission",
+    "chemotherapy", "radiation", "genome", "sequence", "expression",
+    "pathway", "inflammation", "fibrosis", "necrosis", "apoptosis",
+    "malignant", "benign", "screening", "cohort",
+)
+
+_ONSETS = (
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t",
+    "v", "z", "br", "cr", "dr", "gl", "pr", "st", "tr", "pl", "sp",
+)
+_VOWELS = ("a", "e", "i", "o", "u")
+_CODAS = ("", "", "n", "r", "s", "x", "l", "m")
+
+_STOPWORD_POOL = tuple(sorted(DEFAULT_STOPWORDS))
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """All knobs of the generator; defaults give a quick laptop-scale corpus."""
+
+    num_docs: int = 5000
+    vocabulary_size: int = 4000
+    seed: int = 42
+    # Ontology shape.
+    num_roots: int = 6
+    branching: int = 4
+    depth: int = 3
+    # Annotations per document (leaf terms, before ancestor inheritance).
+    annotations_min: int = 2
+    annotations_max: int = 4
+    # Text shape.
+    title_length_mean: int = 9
+    abstract_length_mean: int = 70
+    stopword_rate: float = 0.25
+    # Topic model: per-concept vocabulary and how strongly documents use it.
+    topic_vocab_size: int = 40
+    topic_mixture: float = 0.45
+    # A document is *about* its first annotation: that primary concept
+    # receives this share of the topical draws, concentrating its words
+    # (burstiness) — the within-document relevance signal TREC-style
+    # judgements key on.
+    primary_share: float = 0.55
+    # Zipf skew *within* a concept's vocabulary: higher values focus mass
+    # on the concept's few characteristic words, giving them tf > 1 in
+    # documents about the concept.
+    topic_word_skew: float = 1.3
+    zipf_skew: float = 1.05
+    term_popularity_skew: float = 1.05
+    aliases_per_term: int = 2
+    # Publication years (for the Section 7 time-extended contexts):
+    # drawn from [year_min, year_max] with linearly increasing weight,
+    # like real literature growth.
+    year_min: int = 1985
+    year_max: int = 2010
+
+    def __post_init__(self):
+        if self.num_docs < 1:
+            raise DataGenerationError("num_docs must be positive")
+        if self.vocabulary_size < len(SEED_WORDS) + 10:
+            raise DataGenerationError(
+                f"vocabulary_size must be at least {len(SEED_WORDS) + 10}"
+            )
+        if not 0.0 <= self.topic_mixture <= 1.0:
+            raise DataGenerationError("topic_mixture must be in [0, 1]")
+        if not 0.0 <= self.primary_share <= 1.0:
+            raise DataGenerationError("primary_share must be in [0, 1]")
+        if not 0.0 <= self.stopword_rate < 1.0:
+            raise DataGenerationError("stopword_rate must be in [0, 1)")
+        if self.annotations_min < 1 or self.annotations_max < self.annotations_min:
+            raise DataGenerationError("invalid annotations_min/max")
+        if self.year_max < self.year_min:
+            raise DataGenerationError("year_max must be >= year_min")
+
+
+@dataclass
+class SyntheticCorpus:
+    """The generator's output: documents plus the latent structure.
+
+    The latent structure (topic vocabularies, aliases) is what the
+    TREC-style benchmark and the ATM simulation consume; a real deployment
+    would not have it, but the evaluation harness needs the ground truth.
+    """
+
+    config: CorpusConfig
+    documents: List[Document]
+    ontology: MeshOntology
+    vocabulary: List[str]
+    topic_vocabularies: Dict[str, List[str]]
+    aliases: Dict[str, List[str]]
+    annotations: List[Tuple[str, ...]]  # per-doc leaf annotations
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def primary_concept(self, doc_number: int) -> str:
+        """The concept document ``doc_number`` is *about* (first annotation).
+
+        The generator concentrates ``primary_share`` of a document's
+        topical vocabulary on this concept; TREC-style relevance
+        judgements in :mod:`repro.data.trec` key on it.
+        """
+        return self.annotations[doc_number][0]
+
+    def build_index(self, **index_kwargs) -> InvertedIndex:
+        """Index the corpus with default analyzers."""
+        return build_index(self.documents, **index_kwargs)
+
+
+def _generate_vocabulary(config: CorpusConfig, rng) -> List[str]:
+    """Pseudo-medical word list, seed words interleaved at spread ranks."""
+    words: List[str] = []
+    seen = set()
+    while len(words) < config.vocabulary_size - len(SEED_WORDS):
+        syllables = rng.randint(2, 4)
+        word = "".join(
+            rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS)
+            for _ in range(syllables)
+        )
+        if len(word) >= 4 and word not in seen and word not in DEFAULT_STOPWORDS:
+            seen.add(word)
+            words.append(word)
+    # Interleave seed words across the rank spectrum so that some are
+    # globally common and some rare.  Start past the Zipf head: rank-0
+    # words appear in nearly every document, which would make the seed
+    # words useless as query keywords.
+    stride = max(1, len(words) // len(SEED_WORDS))
+    for position, seed_word in enumerate(SEED_WORDS):
+        words.insert(min(25 + position * stride, len(words)), seed_word)
+    return words
+
+
+def _assign_topic_vocabularies(
+    config: CorpusConfig,
+    vocabulary: Sequence[str],
+    ontology: MeshOntology,
+    rng,
+) -> Dict[str, List[str]]:
+    """Give *every* ontology term (leaf and internal) a characteristic word list.
+
+    Each concept's strongest words (the first ``exclusive_words`` of its
+    vocabulary, which get most of the Zipf mass and become its ATM entry
+    terms) are *exclusive* to it — "leukemia" chiefly signals
+    leukemia-related documents, as in real text; without exclusivity,
+    high term frequency would not indicate aboutness and no ranking could
+    exploit it.  The tail of each vocabulary is shared freely.
+
+    Two bands recreate the paper's Section 1.1 phenomenon:
+
+    * **leaf** concepts take their exclusive words from the globally
+      *common* band (low Zipf ranks): words frequent over D yet
+      extra-concentrated in the concept's documents — weak global idf,
+      discriminative inside a context;
+    * **internal** concepts (which become the large contexts) take theirs
+      from the globally *rare* band: rare over D but, because every
+      document under the subtree uses them, *common inside the context*
+      — the "leukemia is rare over the Web but extremely common among
+      cancer articles" inversion that flips idf orderings.
+    """
+    common_pool = list(vocabulary[: max(10, (3 * len(vocabulary)) // 10)])
+    rare_pool = list(vocabulary[len(vocabulary) // 3 :])
+    rng.shuffle(common_pool)
+    rng.shuffle(rare_pool)
+
+    exclusive = max(2, min(config.aliases_per_term + 4, config.topic_vocab_size // 4))
+    topic_vocabs: Dict[str, List[str]] = {}
+    for name in ontology.all_terms:
+        pool = common_pool if ontology.term(name).is_leaf else rare_pool
+        head: List[str] = []
+        while pool and len(head) < exclusive:
+            head.append(pool.pop())
+        # Pool exhausted (tiny vocabularies): fall back to shared sampling.
+        if len(head) < exclusive:
+            head += rng.sample(vocabulary, exclusive - len(head))
+        tail = rng.sample(vocabulary, config.topic_vocab_size - len(head))
+        # Deduplicate, preserving order (strongest aliases come first).
+        topic_vocabs[name] = list(dict.fromkeys(head + tail))
+    return topic_vocabs
+
+
+def generate_corpus(config: Optional[CorpusConfig] = None) -> SyntheticCorpus:
+    """Generate the full synthetic corpus for ``config`` (deterministic)."""
+    config = config if config is not None else CorpusConfig()
+    master = make_rng(config.seed)
+    rng_vocab = derive_rng(master, "vocabulary")
+    rng_ontology = derive_rng(master, "ontology")
+    rng_topics = derive_rng(master, "topics")
+    rng_docs = derive_rng(master, "documents")
+    rng_years = derive_rng(master, "years")
+
+    vocabulary = _generate_vocabulary(config, rng_vocab)
+    # Cumulative weights make each draw O(log V) instead of O(V).
+    word_cum_weights = list(
+        itertools.accumulate(zipf_weights(len(vocabulary), config.zipf_skew))
+    )
+
+    ontology = MeshOntology.generate(
+        num_roots=config.num_roots,
+        branching=config.branching,
+        depth=config.depth,
+        seed=rng_ontology,
+    )
+    leaves = list(ontology.leaves)
+    leaf_weights = ontology.popularity_weights(config.term_popularity_skew)
+    leaf_weight_list = [leaf_weights[leaf] for leaf in leaves]
+
+    topic_vocabs = _assign_topic_vocabularies(
+        config, vocabulary, ontology, rng_topics
+    )
+    topic_cum_weight_cache = {
+        term: list(
+            itertools.accumulate(
+                zipf_weights(len(words), config.topic_word_skew)
+            )
+        )
+        for term, words in topic_vocabs.items()
+    }
+
+    # Entry terms for the ATM simulation: each concept's strongest topic
+    # words map back to it (internal concepts included — PubMed's ATM maps
+    # to headings at every level of the hierarchy).
+    aliases: Dict[str, List[str]] = {}
+    for name in ontology.all_terms:
+        for word in topic_vocabs[name][: config.aliases_per_term]:
+            aliases.setdefault(word, []).append(name)
+
+    documents: List[Document] = []
+    annotations: List[Tuple[str, ...]] = []
+    for doc_number in range(config.num_docs):
+        n_annotations = rng_docs.randint(
+            config.annotations_min, config.annotations_max
+        )
+        doc_leaves = tuple(
+            weighted_sample(rng_docs, leaves, leaf_weight_list, n_annotations)
+        )
+        mesh_terms = sorted(ontology.expand_with_ancestors(doc_leaves))
+        # Topical tokens may come from any annotated concept, ancestors
+        # included: that is what makes internal-concept words common
+        # *within* their subtree's context and rare outside it.
+        topical_terms = [t for t in mesh_terms if ontology.term(t).parent is not None]
+        primary_leaf = doc_leaves[0]
+
+        def emit_tokens(length: int) -> str:
+            tokens: List[str] = []
+            for _ in range(length):
+                roll = rng_docs.random()
+                if roll < config.stopword_rate:
+                    tokens.append(rng_docs.choice(_STOPWORD_POOL))
+                elif roll < config.stopword_rate + (
+                    1.0 - config.stopword_rate
+                ) * config.topic_mixture:
+                    if rng_docs.random() < config.primary_share:
+                        term = primary_leaf
+                    else:
+                        term = rng_docs.choice(topical_terms)
+                    words = topic_vocabs[term]
+                    (token,) = rng_docs.choices(
+                        words, cum_weights=topic_cum_weight_cache[term], k=1
+                    )
+                    tokens.append(token)
+                else:
+                    (token,) = rng_docs.choices(
+                        vocabulary, cum_weights=word_cum_weights, k=1
+                    )
+                    tokens.append(token)
+            return " ".join(tokens)
+
+        title_len = max(3, rng_docs.randint(
+            config.title_length_mean - 3, config.title_length_mean + 3
+        ))
+        abstract_len = max(10, rng_docs.randint(
+            int(config.abstract_length_mean * 0.7),
+            int(config.abstract_length_mean * 1.3),
+        ))
+        # Years come from their own stream so adding the attribute does
+        # not perturb the text of corpora generated by older versions.
+        years = range(config.year_min, config.year_max + 1)
+        (year,) = rng_years.choices(
+            years, weights=range(1, len(years) + 1), k=1
+        )
+        documents.append(
+            Document(
+                doc_id=f"PMID{doc_number:07d}",
+                fields={
+                    "title": emit_tokens(title_len),
+                    "abstract": emit_tokens(abstract_len),
+                    "mesh": " ".join(mesh_terms),
+                    "year": str(year),
+                },
+            )
+        )
+        annotations.append(doc_leaves)
+
+    return SyntheticCorpus(
+        config=config,
+        documents=documents,
+        ontology=ontology,
+        vocabulary=vocabulary,
+        topic_vocabularies=topic_vocabs,
+        aliases=aliases,
+        annotations=annotations,
+    )

@@ -1,0 +1,219 @@
+"""Corpus diagnostics: does the synthetic substrate have the right shape?
+
+DESIGN.md's substitution argument says the paper's claims rest on
+distributional properties, not on real text.  This module *measures*
+those properties so the claim is checkable rather than asserted:
+
+* term rank–frequency follows a power law (Zipf fit in log–log space);
+* context sizes span orders of magnitude with ancestor inheritance
+  (the heavy-tail that motivates the ``T_C`` threshold);
+* per-context keyword statistics diverge from the global ones
+  (Jensen–Shannon divergence of df distributions — the premise of
+  context-sensitive ranking);
+* idf *inversions* exist: keyword pairs whose discriminativeness
+  ordering flips between the collection and some context (the
+  Section 1.1 phenomenon the quality benchmark is built on).
+
+Used by ``examples/corpus_diagnostics.py`` and the data tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..index.inverted_index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares power-law fit of the rank–frequency curve."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    @property
+    def is_heavy_tailed(self) -> bool:
+        """Negative slope with a strong linear log–log fit."""
+        return self.slope < -0.5 and self.r_squared > 0.8
+
+
+def fit_zipf(frequencies: Sequence[int], top_n: Optional[int] = 1000) -> ZipfFit:
+    """Fit ``log f = slope · log rank + intercept`` over the top ranks."""
+    ordered = sorted((f for f in frequencies if f > 0), reverse=True)
+    if top_n is not None:
+        ordered = ordered[:top_n]
+    if len(ordered) < 3:
+        raise ValueError("need at least 3 nonzero frequencies to fit")
+    xs = [math.log(rank) for rank in range(1, len(ordered) + 1)]
+    ys = [math.log(f) for f in ordered]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ZipfFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+@dataclass
+class ContextSizeProfile:
+    """Distribution of predicate-list sizes (context sizes)."""
+
+    sizes: List[int]
+
+    @property
+    def min(self) -> int:
+        return min(self.sizes)
+
+    @property
+    def max(self) -> int:
+        return max(self.sizes)
+
+    @property
+    def median(self) -> int:
+        ordered = sorted(self.sizes)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def dynamic_range(self) -> float:
+        """max/min ratio — how many orders of magnitude contexts span."""
+        return self.max / max(self.min, 1)
+
+    def above(self, threshold: int) -> int:
+        """How many predicates exceed a ``T_C``-style threshold."""
+        return sum(1 for s in self.sizes if s >= threshold)
+
+
+def context_size_profile(index: InvertedIndex) -> ContextSizeProfile:
+    """Sizes of every single-predicate context."""
+    return ContextSizeProfile(
+        sizes=[
+            index.predicate_frequency(m)
+            for m in index.predicate_vocabulary
+        ]
+    )
+
+
+def _js_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """Jensen–Shannon divergence (base-2, symmetric, bounded by 1)."""
+
+    def kl(a: Sequence[float], b: Sequence[float]) -> float:
+        total = 0.0
+        for x, y in zip(a, b):
+            if x > 0 and y > 0:
+                total += x * math.log2(x / y)
+        return total
+
+    m = [(x + y) / 2 for x, y in zip(p, q)]
+    return 0.5 * kl(p, m) + 0.5 * kl(q, m)
+
+
+def context_divergence(
+    index: InvertedIndex,
+    predicate: str,
+    sample_terms: Optional[Sequence[str]] = None,
+) -> float:
+    """JS divergence between global and in-context df distributions.
+
+    High divergence means the context's keyword statistics genuinely
+    differ from the collection's — the working premise of
+    context-sensitive ranking (Section 1).
+    """
+    context = set(index.predicate_postings(predicate).doc_ids)
+    if not context:
+        raise ValueError(f"predicate {predicate!r} has an empty context")
+    if sample_terms is None:
+        sample_terms = sorted(
+            index.vocabulary, key=index.document_frequency, reverse=True
+        )[:300]
+    global_df: List[float] = []
+    context_df: List[float] = []
+    for term in sample_terms:
+        plist = index.postings(term)
+        global_df.append(float(len(plist)))
+        context_df.append(
+            float(sum(1 for d in plist.doc_ids if d in context))
+        )
+    g_total = sum(global_df) or 1.0
+    c_total = sum(context_df) or 1.0
+    return _js_divergence(
+        [x / g_total for x in global_df],
+        [x / c_total for x in context_df],
+    )
+
+
+@dataclass(frozen=True)
+class InversionExample:
+    """One Section-1.1-style idf inversion."""
+
+    predicate: str
+    context_common_term: str
+    focus_term: str
+    global_ratio: float  # fg(focus) / fg(common): > 1
+    context_ratio: float  # fc(common) / fc(focus): > 1
+
+
+def find_idf_inversions(
+    index: InvertedIndex,
+    max_predicates: int = 10,
+    max_terms: int = 150,
+    margin: float = 1.3,
+) -> List[InversionExample]:
+    """Search for keyword pairs whose idf ordering flips inside a context.
+
+    Returns at most one example per inspected predicate; an empty list
+    means the corpus cannot support the paper's quality experiment.
+    """
+    inversions: List[InversionExample] = []
+    num_docs = index.num_docs
+    predicates = sorted(
+        index.predicate_vocabulary,
+        key=index.predicate_frequency,
+        reverse=True,
+    )[:max_predicates]
+    terms = sorted(
+        index.vocabulary, key=index.document_frequency, reverse=True
+    )[:max_terms]
+
+    for predicate in predicates:
+        context = set(index.predicate_postings(predicate).doc_ids)
+        context_size = len(context)
+        if context_size < 20 or context_size > 0.7 * num_docs:
+            continue
+        fractions: List[Tuple[str, float, float]] = []
+        for term in terms:
+            plist = index.postings(term)
+            fg = len(plist) / num_docs
+            fc = sum(1 for d in plist.doc_ids if d in context) / context_size
+            if fg > 0:
+                fractions.append((term, fg, fc))
+        found = None
+        for aw, fg_aw, fc_aw in fractions:
+            if found:
+                break
+            if fc_aw < 0.05:
+                continue
+            for hw, fg_hw, fc_hw in fractions:
+                if hw == aw or fc_hw <= 0:
+                    continue
+                if fg_hw >= margin * fg_aw and fc_aw >= margin * fc_hw:
+                    found = InversionExample(
+                        predicate=predicate,
+                        context_common_term=aw,
+                        focus_term=hw,
+                        global_ratio=fg_hw / fg_aw,
+                        context_ratio=fc_aw / fc_hw,
+                    )
+                    break
+        if found:
+            inversions.append(found)
+    return inversions

@@ -1,0 +1,203 @@
+"""A MeSH-like ontology: hierarchical controlled vocabulary with inheritance.
+
+PubMed annotates every citation with MeSH terms drawn from a hierarchy
+(Figure 1); annotating with ``t`` implicitly annotates with every
+ancestor of ``t`` (Section 6: "if a citation is annotated with the term
+t, all the ancestors of t in the hierarchy are attached").  This module
+generates a deterministic synthetic ontology with the same structure:
+a forest of categories, Zipf-skewed term popularity (so context sizes
+span orders of magnitude, like real MeSH), and pronounceable term names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from .._rng import SeedLike, make_rng, zipf_weights
+from ..errors import DataGenerationError
+
+# Category roots mirror MeSH's top-level trees.
+ROOT_CATEGORIES = (
+    "Diseases",
+    "Anatomy",
+    "ChemicalsAndDrugs",
+    "Organisms",
+    "TechniquesAndEquipment",
+    "PsychiatryAndPsychology",
+    "BiologicalSciences",
+    "HealthCare",
+)
+
+_STEMS = (
+    "Cardio", "Neuro", "Gastro", "Hepato", "Nephro", "Dermato", "Hemato",
+    "Onco", "Osteo", "Myo", "Angio", "Broncho", "Entero", "Cephalo",
+    "Cyto", "Litho", "Adeno", "Arthro", "Chondro", "Encephalo", "Thoraco",
+    "Pneumo", "Spleno", "Thyro", "Veno", "Gluco", "Immuno", "Lympho",
+)
+
+_SUFFIXES = (
+    "pathy", "itis", "oma", "osis", "ectomy", "plasty", "graphy",
+    "logy", "genesis", "trophy", "sclerosis", "stenosis", "megaly",
+    "plasia", "rrhea", "centesis",
+)
+
+
+@dataclass
+class MeshTerm:
+    """One node of the ontology tree."""
+
+    name: str
+    parent: Optional[str]
+    depth: int
+    children: List[str] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class MeshOntology:
+    """A forest of :class:`MeshTerm` with ancestor-expansion utilities."""
+
+    def __init__(self, terms: Dict[str, MeshTerm]):
+        if not terms:
+            raise DataGenerationError("ontology must contain at least one term")
+        self._terms = terms
+        self._roots = sorted(t.name for t in terms.values() if t.is_root)
+        self._leaves = sorted(t.name for t in terms.values() if t.is_leaf)
+
+    # -- generation -----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        num_roots: int = 6,
+        branching: int = 4,
+        depth: int = 3,
+        seed: SeedLike = None,
+    ) -> "MeshOntology":
+        """Generate a deterministic ontology.
+
+        ``num_roots`` top-level categories each grow a tree of the given
+        ``depth`` where every internal node has between 2 and
+        ``branching`` children (rng-chosen).  Term names combine
+        medical-sounding stems and suffixes, deduplicated with a counter
+        when the combination space is exhausted.
+        """
+        if num_roots < 1 or num_roots > len(ROOT_CATEGORIES):
+            raise DataGenerationError(
+                f"num_roots must be in [1, {len(ROOT_CATEGORIES)}], got {num_roots}"
+            )
+        if branching < 2:
+            raise DataGenerationError(f"branching must be >= 2, got {branching}")
+        if depth < 1:
+            raise DataGenerationError(f"depth must be >= 1, got {depth}")
+        rng = make_rng(seed)
+        terms: Dict[str, MeshTerm] = {}
+        used_names: Set[str] = set()
+
+        def fresh_name() -> str:
+            for _ in range(64):
+                name = rng.choice(_STEMS) + rng.choice(_SUFFIXES)
+                if name not in used_names:
+                    used_names.add(name)
+                    return name
+            # Combination space exhausted: disambiguate with a counter.
+            base = rng.choice(_STEMS) + rng.choice(_SUFFIXES)
+            suffix = 2
+            while f"{base}{suffix}" in used_names:
+                suffix += 1
+            name = f"{base}{suffix}"
+            used_names.add(name)
+            return name
+
+        for root_name in ROOT_CATEGORIES[:num_roots]:
+            used_names.add(root_name)
+            terms[root_name] = MeshTerm(name=root_name, parent=None, depth=0)
+            frontier = [root_name]
+            for level in range(1, depth + 1):
+                next_frontier: List[str] = []
+                for parent in frontier:
+                    for _ in range(rng.randint(2, branching)):
+                        child_name = fresh_name()
+                        terms[child_name] = MeshTerm(
+                            name=child_name, parent=parent, depth=level
+                        )
+                        terms[parent].children.append(child_name)
+                        next_frontier.append(child_name)
+                frontier = next_frontier
+        return cls(terms)
+
+    # -- reads ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._terms
+
+    def term(self, name: str) -> MeshTerm:
+        try:
+            return self._terms[name]
+        except KeyError:
+            raise DataGenerationError(f"unknown ontology term: {name!r}") from None
+
+    @property
+    def roots(self) -> Sequence[str]:
+        return tuple(self._roots)
+
+    @property
+    def leaves(self) -> Sequence[str]:
+        return tuple(self._leaves)
+
+    @property
+    def all_terms(self) -> Sequence[str]:
+        return tuple(sorted(self._terms))
+
+    def ancestors(self, name: str) -> List[str]:
+        """Ancestors of ``name`` from parent up to the root (exclusive of self)."""
+        out: List[str] = []
+        parent = self.term(name).parent
+        while parent is not None:
+            out.append(parent)
+            parent = self.term(parent).parent
+        return out
+
+    def descendants(self, name: str) -> List[str]:
+        """All terms below ``name`` (exclusive of self), depth-first order."""
+        out: List[str] = []
+        stack = list(self.term(name).children)
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self.term(current).children)
+        return out
+
+    def expand_with_ancestors(self, names: Iterable[str]) -> FrozenSet[str]:
+        """Inheritance closure: the given terms plus all their ancestors.
+
+        This is the annotation rule that gives PubMed citations an average
+        of 44 attached terms; it also makes predicate lists hierarchically
+        correlated, which is what creates the large-context regime the
+        materialized views target.
+        """
+        closed: Set[str] = set()
+        for name in names:
+            closed.add(name)
+            closed.update(self.ancestors(name))
+        return frozenset(closed)
+
+    def popularity_weights(self, skew: float = 1.05) -> Dict[str, float]:
+        """Zipf-skewed sampling weight per *leaf* term.
+
+        Leaf order is deterministic (sorted), so weights are reproducible;
+        the skew makes a few concepts dominate annotation frequency, as
+        in real MeSH usage.
+        """
+        weights = zipf_weights(len(self._leaves), skew)
+        return dict(zip(self._leaves, weights))

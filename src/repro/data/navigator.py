@@ -1,0 +1,156 @@
+"""Ontology navigation for context construction (Figure 2).
+
+The paper's users build contexts by navigating the MeSH hierarchy in a
+visual tool and selecting terms — "the use of such tools … removes the
+risk of mistyping the context terms".  This module is that tool's
+engine: browse the hierarchy with live document counts, accumulate a
+selection, preview the resulting context size, and get refinement
+suggestions (narrower/broader terms) when the context is too large or
+too small to be useful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.query import ContextSpecification
+from ..errors import DataGenerationError, QueryError
+from ..index.inverted_index import InvertedIndex
+from ..index.searcher import BooleanSearcher
+from .mesh import MeshOntology
+
+
+@dataclass(frozen=True)
+class TermEntry:
+    """One hierarchy entry as shown by the navigator."""
+
+    name: str
+    depth: int
+    document_count: int
+    num_children: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.num_children == 0
+
+
+class OntologyNavigator:
+    """Stateful hierarchy browser with a running term selection."""
+
+    def __init__(self, ontology: MeshOntology, index: InvertedIndex):
+        self.ontology = ontology
+        self.index = index
+        self._searcher = BooleanSearcher(index)
+        self._selection: List[str] = []
+
+    # -- browsing ----------------------------------------------------------
+
+    def _entry(self, name: str) -> TermEntry:
+        term = self.ontology.term(name)
+        return TermEntry(
+            name=name,
+            depth=term.depth,
+            document_count=self.index.predicate_frequency(name),
+            num_children=len(term.children),
+        )
+
+    def roots(self) -> List[TermEntry]:
+        """Top-level categories, most-populated first."""
+        entries = [self._entry(name) for name in self.ontology.roots]
+        return sorted(entries, key=lambda e: (-e.document_count, e.name))
+
+    def children(self, name: str) -> List[TermEntry]:
+        """One term's children with document counts, most-populated first."""
+        entries = [
+            self._entry(child) for child in self.ontology.term(name).children
+        ]
+        return sorted(entries, key=lambda e: (-e.document_count, e.name))
+
+    def path_to_root(self, name: str) -> List[TermEntry]:
+        """Breadcrumbs: the term and its ancestors up to the root."""
+        return [self._entry(name)] + [
+            self._entry(ancestor) for ancestor in self.ontology.ancestors(name)
+        ]
+
+    # -- selection ---------------------------------------------------------
+
+    @property
+    def selection(self) -> Tuple[str, ...]:
+        return tuple(self._selection)
+
+    def select(self, name: str) -> "OntologyNavigator":
+        """Add a term to the selection (names are validated against the
+        ontology — the navigator cannot produce a mistyped context)."""
+        if name not in self.ontology:
+            raise DataGenerationError(f"unknown ontology term: {name!r}")
+        if name not in self._selection:
+            self._selection.append(name)
+        return self
+
+    def deselect(self, name: str) -> "OntologyNavigator":
+        if name in self._selection:
+            self._selection.remove(name)
+        return self
+
+    def clear(self) -> "OntologyNavigator":
+        self._selection.clear()
+        return self
+
+    def context_size(self) -> int:
+        """Live preview of the selected context's size."""
+        if not self._selection:
+            return self.index.num_docs
+        return self._searcher.context_size(self._selection)
+
+    def build(self) -> ContextSpecification:
+        """Finalise the selection into a context specification."""
+        if not self._selection:
+            raise QueryError("select at least one term before building")
+        if self.context_size() == 0:
+            raise QueryError(
+                f"selected terms {self._selection} match no documents together"
+            )
+        return ContextSpecification(self._selection)
+
+    # -- refinement suggestions -----------------------------------------------
+
+    def suggest_narrower(self, max_suggestions: int = 5) -> List[TermEntry]:
+        """Child terms that would shrink the current context the least.
+
+        For a specialist whose context is too broad: replacing a selected
+        term with one of its children keeps the topic while narrowing the
+        scope.  Suggestions are children of selected terms, ranked by how
+        many of the *current context's* documents they retain.
+        """
+        if not self._selection:
+            return []
+        current = set(self._searcher.search_context(self._selection))
+        candidates = []
+        for name in self._selection:
+            for child in self.ontology.term(name).children:
+                plist = self.index.predicate_postings(child)
+                retained = sum(1 for d in plist.doc_ids if d in current)
+                if 0 < retained < len(current):
+                    candidates.append((retained, self._entry(child)))
+        candidates.sort(key=lambda pair: (-pair[0], pair[1].name))
+        return [entry for _, entry in candidates[:max_suggestions]]
+
+    def suggest_broader(self, max_suggestions: int = 5) -> List[TermEntry]:
+        """Parent terms that would grow the context (too-small selections).
+
+        The paper notes statistics over tiny contexts are unreliable
+        (Section 6.3); broadening to a parent heading is the standard
+        remedy.
+        """
+        if not self._selection:
+            return []
+        seen = set(self._selection)
+        suggestions = []
+        for name in self._selection:
+            parent = self.ontology.term(name).parent
+            if parent is not None and parent not in seen:
+                seen.add(parent)
+                suggestions.append(self._entry(parent))
+        suggestions.sort(key=lambda e: (-e.document_count, e.name))
+        return suggestions[:max_suggestions]

@@ -1,0 +1,144 @@
+"""TREC-format I/O: topics, qrels, and run files.
+
+The quality benchmark mirrors TREC Genomics 2007; this module writes and
+reads the standard interchange formats so results can be scored with
+external tools (``trec_eval``) and external judgements can be imported:
+
+* **topics** — a minimal tab-separated format:
+  ``topic_id<TAB>question<TAB>keywords…<TAB>|<TAB>predicates…``;
+* **qrels**  — the canonical ``topic_id 0 doc_id relevance`` lines;
+* **runs**   — the canonical six-column
+  ``topic_id Q0 doc_id rank score run_tag`` lines.
+
+Round-trips are exact for the fields each format carries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from ..core.engine import SearchResults
+from ..core.query import ContextQuery, ContextSpecification, KeywordQuery
+from ..errors import DataGenerationError
+from .trec import QualityBenchmark
+
+PathLike = Union[str, Path]
+
+
+# -- qrels ---------------------------------------------------------------------
+
+
+def write_qrels(benchmark: QualityBenchmark, path: PathLike) -> None:
+    """Write binary relevance judgements in qrels format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for topic in benchmark.topics:
+            for doc_id in sorted(topic.relevant):
+                handle.write(f"{topic.topic_id} 0 {doc_id} 1\n")
+
+
+def read_qrels(path: PathLike) -> Dict[int, frozenset]:
+    """Read qrels; returns topic_id → frozenset of relevant doc ids.
+
+    Documents judged non-relevant (relevance 0) are dropped, matching
+    how the evaluation metrics consume judgements.
+    """
+    path = Path(path)
+    judgements: Dict[int, set] = {}
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise DataGenerationError(
+                f"{path}:{line_number}: expected 4 qrels columns, got {len(parts)}"
+            )
+        topic_id, _, doc_id, relevance = parts
+        if int(relevance) > 0:
+            judgements.setdefault(int(topic_id), set()).add(doc_id)
+    return {topic: frozenset(docs) for topic, docs in judgements.items()}
+
+
+# -- topics ---------------------------------------------------------------------
+
+
+def write_topics(benchmark: QualityBenchmark, path: PathLike) -> None:
+    """Write the topic set (id, question, keywords, context predicates)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for topic in benchmark.topics:
+            keywords = " ".join(topic.keywords)
+            predicates = " ".join(topic.query.predicates)
+            handle.write(
+                f"{topic.topic_id}\t{topic.question}\t{keywords} | {predicates}\n"
+            )
+
+
+def read_topics(path: PathLike) -> List[Tuple[int, str, ContextQuery]]:
+    """Read topics; returns ``(topic_id, question, query)`` triples."""
+    path = Path(path)
+    out: List[Tuple[int, str, ContextQuery]] = []
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise DataGenerationError(
+                f"{path}:{line_number}: expected 3 tab-separated columns"
+            )
+        topic_id, question, query_text = parts
+        keyword_part, _, predicate_part = query_text.partition("|")
+        query = ContextQuery(
+            KeywordQuery(keyword_part.split()),
+            ContextSpecification(predicate_part.split()),
+        )
+        out.append((int(topic_id), question, query))
+    return out
+
+
+# -- runs -----------------------------------------------------------------------
+
+
+def write_run(
+    results_by_topic: Mapping[int, SearchResults],
+    path: PathLike,
+    run_tag: str = "repro",
+) -> None:
+    """Write ranked results in the six-column TREC run format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for topic_id in sorted(results_by_topic):
+            for rank, hit in enumerate(results_by_topic[topic_id].hits, start=1):
+                handle.write(
+                    f"{topic_id} Q0 {hit.external_id} {rank} "
+                    f"{hit.score:.6f} {run_tag}\n"
+                )
+
+
+def read_run(path: PathLike) -> Dict[int, List[Tuple[str, float]]]:
+    """Read a run file; returns topic_id → ranked ``(doc_id, score)``."""
+    path = Path(path)
+    runs: Dict[int, List[Tuple[int, str, float]]] = {}
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise DataGenerationError(
+                f"{path}:{line_number}: expected 6 run columns, got {len(parts)}"
+            )
+        topic_id, _, doc_id, rank, score, _ = parts
+        runs.setdefault(int(topic_id), []).append(
+            (int(rank), doc_id, float(score))
+        )
+    return {
+        topic: [(doc, score) for _, doc, score in sorted(entries)]
+        for topic, entries in runs.items()
+    }

@@ -1,0 +1,139 @@
+"""Query workload generators for the performance experiments (Section 6.3).
+
+The paper generates queries by sampling keywords from citation titles,
+mapping them through ATM to MeSH terms, and bucketing the resulting
+context-sensitive queries by context size relative to ``T_C``:
+
+* **large-context** queries (``ContextSize ≥ T_C``) — served by views
+  (Figure 7);
+* **small-context** queries (``ContextSize < T_C``) — straightforward
+  evaluation only (Figure 8).
+
+Keyword counts sweep 2–5 with fifty queries per point, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .._rng import SeedLike, derive_rng, make_rng
+from ..core.query import ContextQuery, KeywordQuery
+from ..errors import DataGenerationError
+from ..index.analysis import DEFAULT_STOPWORDS
+from ..index.inverted_index import InvertedIndex
+from ..index.searcher import BooleanSearcher
+from .atm import AutomaticTermMapper
+from .corpus import SyntheticCorpus
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One performance-workload query with its measured context size."""
+
+    query: ContextQuery
+    context_size: int
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self.query.keywords)
+
+
+@dataclass
+class PerformanceWorkload:
+    """Queries bucketed by keyword count: ``queries[k]`` for k keywords."""
+
+    kind: str  # "large" or "small"
+    t_c: int
+    queries: Dict[int, List[WorkloadQuery]]
+
+    def all_queries(self) -> List[WorkloadQuery]:
+        return [q for bucket in self.queries.values() for q in bucket]
+
+
+def generate_performance_workload(
+    corpus: SyntheticCorpus,
+    index: InvertedIndex,
+    t_c: int,
+    kind: str,
+    keyword_counts: Sequence[int] = (2, 3, 4, 5),
+    queries_per_count: int = 50,
+    max_context_terms: int = 2,
+    max_attempts_per_query: int = 400,
+    seed: SeedLike = None,
+) -> PerformanceWorkload:
+    """Generate the Figure 7 ("large") or Figure 8 ("small") workload.
+
+    Follows the paper's recipe: sample ``n`` keywords from random
+    citation titles, map them through ATM to context terms, keep the
+    query if its context size lands in the requested bucket.  Contexts
+    must also be non-empty, since context-sensitive ranking is undefined
+    over an empty context.
+    """
+    if kind not in ("large", "small"):
+        raise DataGenerationError(f"kind must be 'large' or 'small', got {kind!r}")
+    rng = make_rng(seed)
+    searcher = BooleanSearcher(index)
+    # "Small" queries use precise (leaf-level) ATM mappings; "large" ones
+    # generalise to parent headings, which is how ATM produces the broad
+    # contexts the paper's large bucket contains.
+    atm = AutomaticTermMapper.from_corpus(
+        corpus, generalise_to_parent=(kind == "large")
+    )
+
+    titles = [doc.text("title") for doc in corpus.documents]
+    buckets: Dict[int, List[WorkloadQuery]] = {}
+    for n_keywords in keyword_counts:
+        bucket_rng = derive_rng(rng, f"{kind}-{n_keywords}")
+        bucket: List[WorkloadQuery] = []
+        attempts = 0
+        budget = max_attempts_per_query * queries_per_count
+        while len(bucket) < queries_per_count and attempts < budget:
+            attempts += 1
+            candidate = _sample_query(
+                titles, atm, bucket_rng, n_keywords, max_context_terms
+            )
+            if candidate is None:
+                continue
+            size = searcher.context_size(candidate.predicates)
+            if size == 0:
+                continue
+            if kind == "large" and size < t_c:
+                continue
+            if kind == "small" and (size >= t_c or size < 2):
+                continue
+            bucket.append(WorkloadQuery(query=candidate, context_size=size))
+        if len(bucket) < queries_per_count:
+            raise DataGenerationError(
+                f"could not generate {queries_per_count} {kind}-context "
+                f"queries with {n_keywords} keywords "
+                f"(got {len(bucket)} after {attempts} attempts); "
+                "adjust T_C or corpus size"
+            )
+        buckets[n_keywords] = bucket
+    return PerformanceWorkload(kind=kind, t_c=t_c, queries=buckets)
+
+
+def _sample_query(
+    titles: Sequence[str],
+    atm: AutomaticTermMapper,
+    rng,
+    n_keywords: int,
+    max_context_terms: int,
+) -> Optional[ContextQuery]:
+    """One attempt at the paper's query-construction recipe."""
+    title_words = [
+        w
+        for w in rng.choice(titles).lower().split()
+        if w not in DEFAULT_STOPWORDS
+    ]
+    if len(title_words) < n_keywords:
+        return None
+    keywords = rng.sample(title_words, n_keywords)
+    context = atm.build_context(keywords, max_terms=max_context_terms)
+    if context is None:
+        return None
+    try:
+        return ContextQuery(KeywordQuery(keywords), context)
+    except Exception:
+        return None

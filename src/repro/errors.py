@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by library code derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IndexError_(ReproError):
+    """Raised for malformed index operations (duplicate docids, bad fields).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``IndexingError`` from the package root.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query is syntactically or semantically invalid."""
+
+
+class EmptyContextError(QueryError):
+    """Raised when a context specification matches no documents.
+
+    Context-sensitive statistics are undefined over an empty context
+    (``|D_P| = 0`` would divide by zero in ``avgdl_P``), so the engine
+    rejects such queries explicitly instead of returning NaN scores.
+    """
+
+
+class ViewError(ReproError):
+    """Raised for invalid materialized-view definitions or lookups."""
+
+
+class ViewNotUsableError(ViewError):
+    """Raised when a view is asked to answer a statistic it cannot cover.
+
+    Mirrors the usability conditions of Theorem 4.1: the view must carry the
+    statistic's parameter column and the context must satisfy ``P ⊆ K``.
+    """
+
+
+class SelectionError(ReproError):
+    """Raised when view selection cannot satisfy its constraints.
+
+    The common cause is a single predicate ``m`` with
+    ``ContextSize({m}) ≥ T_C`` but ``ViewSize(V_{m}) > T_V`` — no view of
+    bounded size can cover it, so Problem 5.1 is infeasible as stated.
+    """
+
+
+class MiningError(ReproError):
+    """Raised by association-rule miners on invalid inputs or budgets."""
+
+
+class BudgetExceededError(MiningError):
+    """Raised when a miner exceeds its configured work budget.
+
+    Section 6.2 reports that Apriori/FP-growth are infeasible at PubMed
+    scale ("it would take weeks"); the budget mechanism lets benches
+    demonstrate this without actually waiting weeks.
+    """
+
+    def __init__(self, algorithm: str, work_done: int, budget: int):
+        self.algorithm = algorithm
+        self.work_done = work_done
+        self.budget = budget
+        super().__init__(
+            f"{algorithm} exceeded its work budget: {work_done} > {budget} work units"
+        )
+
+
+class DataGenerationError(ReproError):
+    """Raised when synthetic-data generators receive inconsistent settings."""

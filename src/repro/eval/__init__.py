@@ -1,0 +1,21 @@
+"""IR evaluation: metrics and the quality-comparison harness (Section 6.1)."""
+
+from .metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    precision_fraction_at_k,
+    reciprocal_rank,
+)
+from .harness import QualityComparison, TopicOutcome, run_quality_comparison
+
+__all__ = [
+    "average_precision",
+    "ndcg_at_k",
+    "precision_at_k",
+    "precision_fraction_at_k",
+    "reciprocal_rank",
+    "QualityComparison",
+    "TopicOutcome",
+    "run_quality_comparison",
+]

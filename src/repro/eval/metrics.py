@@ -1,0 +1,70 @@
+"""IR evaluation metrics (Section 6.1's measures and standard companions).
+
+The paper reports precision among the top K = 20 results and the
+reciprocal rank of the first relevant result; MAP and nDCG are included
+because any credible release of this system would ship them.
+All functions take a ranked list of document ids and a set of relevant
+ids — no library types, so they are reusable standalone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Sequence
+
+
+def precision_at_k(ranked: Sequence[str], relevant: AbstractSet[str], k: int) -> int:
+    """Number of relevant documents among the top ``k``.
+
+    The paper's Figure 6a/6b metric is the *count* (0–20), not the
+    fraction; use :func:`precision_fraction_at_k` for the fraction.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return sum(1 for doc_id in ranked[:k] if doc_id in relevant)
+
+
+def precision_fraction_at_k(
+    ranked: Sequence[str], relevant: AbstractSet[str], k: int
+) -> float:
+    """Fraction of the top ``k`` that is relevant."""
+    return precision_at_k(ranked, relevant, k) / k
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: AbstractSet[str]) -> float:
+    """Inverse rank of the first relevant result (0.0 when none appears)."""
+    for position, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def average_precision(
+    ranked: Sequence[str], relevant: AbstractSet[str]
+) -> float:
+    """Average precision over the full ranking (0.0 for empty relevant set)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            hits += 1
+            total += hits / position
+    return total / len(relevant)
+
+
+def ndcg_at_k(ranked: Sequence[str], relevant: AbstractSet[str], k: int) -> float:
+    """Normalised discounted cumulative gain with binary relevance."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    dcg = sum(
+        1.0 / math.log2(position + 1)
+        for position, doc_id in enumerate(ranked[:k], start=1)
+        if doc_id in relevant
+    )
+    ideal_hits = min(len(relevant), k)
+    if ideal_hits == 0:
+        return 0.0
+    idcg = sum(1.0 / math.log2(position + 1) for position in range(1, ideal_hits + 1))
+    return dcg / idcg

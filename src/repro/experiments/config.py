@@ -1,0 +1,60 @@
+"""Configuration for full paper-reproduction runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import DataGenerationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and thresholds for one end-to-end reproduction run.
+
+    Defaults reproduce the benchmark harness's setup: a 12 k-document
+    corpus with the paper's relative thresholds (``T_C`` = 1 % of the
+    collection, ``T_V`` = 4096 tuples).  ``quick()`` gives a laptop-
+    friendly configuration for the example script.
+    """
+
+    num_docs: int = 12_000
+    seed: int = 2011
+    t_c_percent: float = 1.0
+    t_v: int = 4096
+    # Figure 6.
+    num_topics: int = 30
+    min_result_size: int = 40
+    min_relevant: int = 5
+    k: int = 20
+    # Figures 7/8.
+    keyword_counts: Tuple[int, ...] = (2, 3, 4, 5)
+    queries_per_point: int = 50
+    # Section 6.2 infeasibility budgets (scaled; see the bench docstring).
+    apriori_budget: int = 3_000_000
+    fpgrowth_node_budget: int = 50_000
+
+    def __post_init__(self):
+        if self.num_docs < 100:
+            raise DataGenerationError("num_docs must be >= 100")
+        if not 0 < self.t_c_percent <= 100:
+            raise DataGenerationError("t_c_percent must be in (0, 100]")
+        if self.t_v < 2:
+            raise DataGenerationError("t_v must be >= 2")
+
+    @property
+    def t_c(self) -> int:
+        return max(int(self.num_docs * self.t_c_percent / 100.0), 1)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A few-minutes configuration for demonstration runs."""
+        return cls(
+            num_docs=4_000,
+            num_topics=15,
+            min_result_size=20,
+            queries_per_point=15,
+            t_v=1024,
+            apriori_budget=600_000,
+            fpgrowth_node_budget=18_000,
+        )

@@ -1,0 +1,138 @@
+"""Experiments E6/E7: the Figure 7 and Figure 8 performance sweeps."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.engine import ContextSearchEngine
+from ..data.workloads import WorkloadQuery
+from .stack import ExperimentStack
+
+
+@dataclass(frozen=True)
+class ArmMeasurement:
+    """One (system, keyword-count) cell: mean latency and model cost."""
+
+    mean_ms: float
+    mean_model_cost: float
+
+
+@dataclass
+class PerformanceResult:
+    """One figure's sweep: measurements[(arm, n_keywords)]."""
+
+    figure: str
+    arms: Tuple[str, ...]
+    keyword_counts: Tuple[int, ...]
+    measurements: Dict[Tuple[str, int], ArmMeasurement] = field(
+        default_factory=dict
+    )
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for n in self.keyword_counts:
+            row = [n]
+            for arm in self.arms:
+                cell = self.measurements[(arm, n)]
+                row.append(f"{cell.mean_ms:.2f}")
+            for arm in self.arms:
+                cell = self.measurements[(arm, n)]
+                row.append(f"{cell.mean_model_cost:.0f}")
+            out.append(tuple(row))
+        return out
+
+    def headers(self) -> Tuple[str, ...]:
+        return (
+            ("#kw",)
+            + tuple(f"{arm} ms" for arm in self.arms)
+            + tuple(f"{arm} cost" for arm in self.arms)
+        )
+
+    def arm_total_ms(self, arm: str) -> float:
+        return sum(
+            self.measurements[(arm, n)].mean_ms for n in self.keyword_counts
+        )
+
+    @property
+    def shape_holds(self) -> bool:
+        """Figure 7: straightforward slower than views.  Figure 8: the
+        context-sensitive arm stays within a bounded factor."""
+        if self.figure == "figure7":
+            return self.arm_total_ms("Qc no views") > self.arm_total_ms(
+                "Qc views"
+            )
+        return self.arm_total_ms("Qc") < 50 * max(
+            self.arm_total_ms("conventional"), 1e-9
+        )
+
+
+def _measure(
+    engine: ContextSearchEngine,
+    bucket: Sequence[WorkloadQuery],
+    conventional: bool,
+    repeats: int = 3,
+) -> ArmMeasurement:
+    """Mean per-query latency/model-cost over a bucket (best of repeats)."""
+    best_ms = float("inf")
+    cost = 0.0
+    for _ in range(repeats):
+        total_cost = 0
+        started = time.perf_counter()
+        for wq in bucket:
+            if conventional:
+                result = engine.search_conventional(wq.query, top_k=20)
+            else:
+                result = engine.search(wq.query, top_k=20)
+            total_cost += result.report.counter.model_cost
+        elapsed_ms = (time.perf_counter() - started) * 1000 / len(bucket)
+        if elapsed_ms < best_ms:
+            best_ms = elapsed_ms
+        cost = total_cost / len(bucket)
+    return ArmMeasurement(mean_ms=best_ms, mean_model_cost=cost)
+
+
+def run_figure7(stack: ExperimentStack) -> PerformanceResult:
+    """Large-context queries: conventional vs Q_c±views (three arms)."""
+    workload = stack.workload("large")
+    result = PerformanceResult(
+        figure="figure7",
+        arms=("conventional", "Qc views", "Qc no views"),
+        keyword_counts=tuple(stack.config.keyword_counts),
+    )
+    with_views = stack.engine_with_views
+    plain = stack.engine_plain
+    for n, bucket in workload.queries.items():
+        result.measurements[("conventional", n)] = _measure(
+            plain, bucket, conventional=True
+        )
+        result.measurements[("Qc views", n)] = _measure(
+            with_views, bucket, conventional=False
+        )
+        result.measurements[("Qc no views", n)] = _measure(
+            plain, bucket, conventional=False
+        )
+    return result
+
+
+def run_figure8(stack: ExperimentStack) -> PerformanceResult:
+    """Small-context queries: conventional vs Q_c (no usable views)."""
+    workload = stack.workload("small")
+    result = PerformanceResult(
+        figure="figure8",
+        arms=("conventional", "Qc"),
+        keyword_counts=tuple(stack.config.keyword_counts),
+    )
+    with_views = stack.engine_with_views
+    plain = stack.engine_plain
+    for n, bucket in workload.queries.items():
+        result.measurements[("conventional", n)] = _measure(
+            plain, bucket, conventional=True
+        )
+        # Views are present but unusable below T_C: exercises the real
+        # fallback path.
+        result.measurements[("Qc", n)] = _measure(
+            with_views, bucket, conventional=False
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Experiment E1–E3: the Figure 6 ranking-quality comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..eval.harness import QualityComparison, run_quality_comparison
+from .stack import ExperimentStack
+
+# What the paper reports at PubMed scale (for the side-by-side table).
+PAPER_FIGURE6 = {
+    "mean_precision_conventional": 7.9,
+    "mean_precision_context": 10.2,
+    "mrr_conventional": 0.62,
+    "mrr_context": 0.78,
+    "context_wins": 21,
+    "topics": 30,
+}
+
+
+@dataclass
+class Figure6Result:
+    """Per-topic series plus summary, with the paper's numbers attached."""
+
+    comparison: QualityComparison
+    paper: Dict[str, float] = field(default_factory=lambda: dict(PAPER_FIGURE6))
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        return self.comparison.summary()
+
+    @property
+    def shape_holds(self) -> bool:
+        """The reproduction target: context wins the majority and the
+        means do not regress."""
+        summary = self.summary
+        return (
+            self.comparison.wins > self.comparison.losses
+            and summary["mean_precision_context"]
+            >= summary["mean_precision_conventional"]
+            and summary["mrr_context"] >= summary["mrr_conventional"] - 1e-9
+        )
+
+    def topic_rows(self) -> List[Tuple]:
+        return [
+            (
+                f"Q{o.topic_id}",
+                o.precision_conventional,
+                o.precision_context,
+                f"{o.rr_conventional:.2f}",
+                f"{o.rr_context:.2f}",
+            )
+            for o in self.comparison.outcomes
+        ]
+
+    def summary_rows(self) -> List[Tuple]:
+        summary = self.summary
+        paper = self.paper
+        return [
+            (
+                "mean precision@20",
+                f"{paper['mean_precision_conventional']} → {paper['mean_precision_context']}",
+                f"{summary['mean_precision_conventional']:.2f} → "
+                f"{summary['mean_precision_context']:.2f}",
+            ),
+            (
+                "mean reciprocal rank",
+                f"{paper['mrr_conventional']} → {paper['mrr_context']}",
+                f"{summary['mrr_conventional']:.2f} → {summary['mrr_context']:.2f}",
+            ),
+            (
+                "topics won by context",
+                f"{paper['context_wins']}/{paper['topics']}",
+                f"{summary['context_wins']}/{summary['topics']} "
+                f"(lost {summary['conventional_wins']}, tied {summary['ties']})",
+            ),
+        ]
+
+
+def run_figure6(stack: ExperimentStack) -> Figure6Result:
+    """Evaluate all topics under both rankings (Formula 3 vs Formula 4)."""
+    comparison = run_quality_comparison(
+        stack.engine_plain, stack.topics, k=stack.config.k
+    )
+    return Figure6Result(comparison=comparison)

@@ -1,0 +1,71 @@
+"""One-call reproduction runner: build the stack, run E1–E7, render."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .config import ExperimentConfig
+from .performance import run_figure7, run_figure8
+from .quality import run_figure6
+from .report import ExperimentReport
+from .selection_study import run_selection_study
+from .stack import ExperimentStack
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    progress: bool = False,
+) -> ExperimentReport:
+    """Run every paper experiment and return the assembled report.
+
+    With ``progress`` each stage prints a one-line status (useful for the
+    20-minute full-scale run).
+    """
+    config = config if config is not None else ExperimentConfig()
+    stack = ExperimentStack(config)
+
+    def say(message: str) -> None:
+        if progress:
+            print(message, flush=True)
+
+    say(f"building stack: {config.num_docs:,} docs, T_C={config.t_c}, T_V={config.t_v}")
+    _ = stack.catalog  # force corpus/index/selection builds
+    say(
+        "stack ready: "
+        + ", ".join(f"{k} {v:.1f}s" for k, v in stack.timings.items())
+    )
+
+    say("running E1–E3 (Figure 6: ranking quality)...")
+    figure6 = run_figure6(stack)
+    say(f"  shape {'HOLDS' if figure6.shape_holds else 'FAILS'}")
+
+    say("running E4/E5 (Section 6.2: selection + storage)...")
+    selection = run_selection_study(stack)
+    say(f"  shape {'HOLDS' if selection.shape_holds else 'FAILS'}")
+
+    say("running E6 (Figure 7: large contexts)...")
+    figure7 = run_figure7(stack)
+    say(f"  shape {'HOLDS' if figure7.shape_holds else 'FAILS'}")
+
+    say("running E7 (Figure 8: small contexts)...")
+    figure8 = run_figure8(stack)
+    say(f"  shape {'HOLDS' if figure8.shape_holds else 'FAILS'}")
+
+    return ExperimentReport(
+        config=config,
+        figure6=figure6,
+        figure7=figure7,
+        figure8=figure8,
+        selection=selection,
+        timings=dict(stack.timings),
+    )
+
+
+def write_report(
+    report: ExperimentReport, path: Union[str, Path]
+) -> Path:
+    """Render the report to Markdown at ``path``."""
+    path = Path(path)
+    path.write_text(report.to_markdown(), encoding="utf-8")
+    return path

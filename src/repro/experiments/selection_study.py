@@ -1,0 +1,178 @@
+"""Experiments E4/E5: view-selection feasibility, statistics, and storage."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import BudgetExceededError
+from ..index.compression import index_compressed_bytes
+from ..selection.hybrid import max_combination_size
+from ..selection.mining.apriori import apriori
+from ..selection.mining.fpgrowth import fpgrowth
+from ..selection.verify import VerificationResult, verify_selection
+from .stack import ExperimentStack
+
+
+@dataclass
+class MinerFeasibility:
+    """Did a corpus-scale miner finish within its scaled budget?"""
+
+    algorithm: str
+    budget: int
+    work_done: int
+    exceeded: bool
+    elapsed_seconds: float
+
+
+@dataclass
+class SelectionStudyResult:
+    """Everything Section 6.2 reports, measured here."""
+
+    t_c: int
+    t_v: int
+    miner_feasibility: List[MinerFeasibility] = field(default_factory=list)
+    num_views: int = 0
+    views_from_decomposition: int = 0
+    views_from_mining: int = 0
+    dense_residues: int = 0
+    separators_computed: int = 0
+    selection_seconds: float = 0.0
+    audit: Optional[VerificationResult] = None
+    # Storage accounting.
+    max_tuples: int = 0
+    mean_tuples: float = 0.0
+    parameter_columns: int = 0
+    frequent_keywords: int = 0
+    view_storage_bytes: int = 0
+    index_raw_bytes: int = 0
+    index_compressed_bytes: int = 0
+
+    @property
+    def shape_holds(self) -> bool:
+        """Paper shape: plain miners infeasible, hybrid succeeds, every
+        view within T_V, guarantee audited clean."""
+        miners_blow_up = all(m.exceeded for m in self.miner_feasibility)
+        return (
+            miners_blow_up
+            and self.num_views > 0
+            and self.max_tuples <= self.t_v
+            and self.audit is not None
+            and self.audit.ok
+        )
+
+    def feasibility_rows(self) -> List[Tuple]:
+        rows = [
+            (
+                m.algorithm,
+                f"{m.budget:,}",
+                f"{m.work_done:,}",
+                "exceeded (infeasible)" if m.exceeded else "completed",
+                f"{m.elapsed_seconds:.1f}s",
+            )
+            for m in self.miner_feasibility
+        ]
+        rows.append(
+            (
+                "hybrid (ours)",
+                "-",
+                "-",
+                f"completed: {self.num_views} views",
+                f"{self.selection_seconds:.1f}s",
+            )
+        )
+        return rows
+
+    def storage_rows(self) -> List[Tuple]:
+        return [
+            ("views materialized", self.num_views),
+            ("max tuples per view", self.max_tuples),
+            ("mean tuples per view", f"{self.mean_tuples:.1f}"),
+            ("parameter columns per view", self.parameter_columns),
+            ("frequent keywords (|L_w| ≥ T_C)", self.frequent_keywords),
+            ("total view storage", f"{self.view_storage_bytes / 1e6:.2f} MB"),
+            ("index, raw 8B postings", f"{self.index_raw_bytes / 1e6:.2f} MB"),
+            (
+                "index, varint-compressed",
+                f"{self.index_compressed_bytes / 1e6:.2f} MB",
+            ),
+        ]
+
+
+def _try_miner(miner, name: str, db, t_c: int, budget_kwargs) -> MinerFeasibility:
+    started = time.perf_counter()
+    try:
+        result = miner(db, min_support=t_c, max_size=8, **budget_kwargs)
+        work, exceeded = result.work_units, False
+        budget = next(iter(budget_kwargs.values()))
+    except BudgetExceededError as exc:
+        work, exceeded, budget = exc.work_done, True, exc.budget
+    return MinerFeasibility(
+        algorithm=name,
+        budget=budget,
+        work_done=work,
+        exceeded=exceeded,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_selection_study(stack: ExperimentStack) -> SelectionStudyResult:
+    """Reproduce the Section 6.2 findings end to end."""
+    config = stack.config
+    result = SelectionStudyResult(t_c=config.t_c, t_v=config.t_v)
+
+    # 1. Corpus-scale mining under scaled budgets (paper: weeks / OOM).
+    result.miner_feasibility.append(
+        _try_miner(
+            apriori, "apriori", stack.db, config.t_c,
+            {"budget": config.apriori_budget},
+        )
+    )
+    result.miner_feasibility.append(
+        _try_miner(
+            fpgrowth, "fpgrowth", stack.db, config.t_c,
+            {"max_nodes": config.fpgrowth_node_budget},
+        )
+    )
+
+    # 2. The hybrid selection (memoised on the stack) and its audit.
+    report = stack.selection_report
+    result.num_views = report.num_views
+    result.views_from_decomposition = report.views_from_decomposition
+    result.views_from_mining = report.views_from_mining
+    result.dense_residues = report.dense_residues
+    result.separators_computed = report.separators_computed
+    result.selection_seconds = stack.timings.get(
+        "view selection + materialisation", 0.0
+    )
+    result.audit = verify_selection(
+        stack.db,
+        report.keyword_sets,
+        stack.estimator,
+        config.t_c,
+        config.t_v,
+        max_combination_size=max_combination_size(config.t_v),
+    )
+
+    # 3. Storage accounting.
+    stats = stack.catalog.stats()
+    sample_view = next(iter(stack.catalog))
+    index = stack.index
+    result.max_tuples = stats.max_tuples
+    result.mean_tuples = stats.mean_tuples
+    result.parameter_columns = sample_view.num_parameter_columns
+    result.frequent_keywords = sum(
+        1
+        for w in index.vocabulary
+        if index.document_frequency(w) >= config.t_c
+    )
+    result.view_storage_bytes = stats.total_storage_bytes
+    postings = sum(
+        index.document_frequency(w) for w in index.vocabulary
+    ) + sum(
+        index.predicate_frequency(m) for m in index.predicate_vocabulary
+    )
+    result.index_raw_bytes = postings * 8
+    result.index_compressed_bytes = index_compressed_bytes(index)
+    return result

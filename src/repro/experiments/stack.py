@@ -1,0 +1,153 @@
+"""The shared experiment stack: everything built once, lazily, with timings."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.engine import ContextSearchEngine
+from ..data.corpus import CorpusConfig, SyntheticCorpus, generate_corpus
+from ..data.trec import QualityBenchmark, generate_benchmark
+from ..data.workloads import PerformanceWorkload, generate_performance_workload
+from ..index.inverted_index import InvertedIndex
+from ..selection.hybrid import select_views
+from ..selection.mining.itemsets import TransactionDatabase
+from ..views.catalog import ViewCatalog
+from ..views.estimator import ViewSizeEstimator
+from ..views.wide_table import WideSparseTable
+from .config import ExperimentConfig
+
+
+@dataclass
+class ExperimentStack:
+    """Lazily built corpus/index/views/workloads shared by all experiments.
+
+    Every expensive build step records its wall-clock seconds in
+    ``timings`` so the final report can show where reproduction time
+    goes (the paper's Section 6.2 reports selection time explicitly).
+    """
+
+    config: ExperimentConfig
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    _corpus: Optional[SyntheticCorpus] = None
+    _index: Optional[InvertedIndex] = None
+    _table: Optional[WideSparseTable] = None
+    _db: Optional[TransactionDatabase] = None
+    _estimator: Optional[ViewSizeEstimator] = None
+    _catalog: Optional[ViewCatalog] = None
+    _selection_report = None
+    _topics: Optional[QualityBenchmark] = None
+    _workloads: Dict[str, PerformanceWorkload] = field(default_factory=dict)
+
+    def _timed(self, label: str, builder):
+        started = time.perf_counter()
+        value = builder()
+        self.timings[label] = time.perf_counter() - started
+        return value
+
+    @property
+    def corpus(self) -> SyntheticCorpus:
+        if self._corpus is None:
+            self._corpus = self._timed(
+                "corpus generation",
+                lambda: generate_corpus(
+                    CorpusConfig(
+                        num_docs=self.config.num_docs, seed=self.config.seed
+                    )
+                ),
+            )
+        return self._corpus
+
+    @property
+    def index(self) -> InvertedIndex:
+        if self._index is None:
+            corpus = self.corpus
+            self._index = self._timed("indexing", corpus.build_index)
+        return self._index
+
+    @property
+    def table(self) -> WideSparseTable:
+        if self._table is None:
+            self._table = WideSparseTable.from_index(self.index)
+        return self._table
+
+    @property
+    def db(self) -> TransactionDatabase:
+        if self._db is None:
+            self._db = TransactionDatabase(self.table.predicate_sets())
+        return self._db
+
+    @property
+    def estimator(self) -> ViewSizeEstimator:
+        if self._estimator is None:
+            self._estimator = ViewSizeEstimator(
+                self.table, seed=self.config.seed
+            )
+        return self._estimator
+
+    def _ensure_selection(self):
+        if self._catalog is None:
+            def build():
+                return select_views(
+                    self.index,
+                    t_c=self.config.t_c,
+                    t_v=self.config.t_v,
+                    strategy="hybrid",
+                    estimator=self.estimator,
+                )
+
+            self._catalog, self._selection_report = self._timed(
+                "view selection + materialisation", build
+            )
+
+    @property
+    def catalog(self) -> ViewCatalog:
+        self._ensure_selection()
+        return self._catalog
+
+    @property
+    def selection_report(self):
+        self._ensure_selection()
+        return self._selection_report
+
+    @property
+    def engine_with_views(self) -> ContextSearchEngine:
+        return ContextSearchEngine(self.index, catalog=self.catalog)
+
+    @property
+    def engine_plain(self) -> ContextSearchEngine:
+        return ContextSearchEngine(self.index)
+
+    @property
+    def topics(self) -> QualityBenchmark:
+        if self._topics is None:
+            self._topics = self._timed(
+                "topic generation",
+                lambda: generate_benchmark(
+                    self.corpus,
+                    self.index,
+                    num_topics=self.config.num_topics,
+                    min_result_size=self.config.min_result_size,
+                    min_relevant=self.config.min_relevant,
+                    seed=self.config.seed,
+                ),
+            )
+        return self._topics
+
+    def workload(self, kind: str) -> PerformanceWorkload:
+        if kind not in self._workloads:
+            self._workloads[kind] = self._timed(
+                f"{kind}-context workload generation",
+                lambda: generate_performance_workload(
+                    self.corpus,
+                    self.index,
+                    t_c=self.config.t_c,
+                    kind=kind,
+                    keyword_counts=self.config.keyword_counts,
+                    queries_per_count=self.config.queries_per_point,
+                    seed=self.config.seed,
+                ),
+            )
+        return self._workloads[kind]

@@ -1,0 +1,68 @@
+"""Text-search substrate: analysis, postings, inverted index, boolean search.
+
+This package is the reproduction's stand-in for Apache Lucene (Section 6
+uses Lucene as "the standard text search system").  It implements the
+structures the paper's cost model is written against: ``<docid, tf>``
+posting lists ordered by docid, segmented with skip pointers, merge-join
+intersection, and full-scan aggregation.
+"""
+
+from .analysis import Analyzer, KeywordAnalyzer, Stemmer, tokenize, DEFAULT_STOPWORDS
+from .documents import Document, DocumentStore, StoredDocument
+from .postings import CostCounter, PostingList, DEFAULT_SEGMENT_SIZE
+from .intersection import (
+    intersect,
+    intersect_ids,
+    intersect_many,
+    model_intersection_cost,
+    union_many,
+)
+from .aggregation import aggregate_count, aggregate_generic, aggregate_sum
+from .inverted_index import (
+    DEFAULT_PREDICATE_FIELD,
+    DEFAULT_SEARCHABLE_FIELDS,
+    InvertedIndex,
+    build_index,
+)
+from .searcher import BooleanSearcher
+from .compression import (
+    compressed_size,
+    decode_postings,
+    decode_varint,
+    encode_postings,
+    encode_varint,
+    index_compressed_bytes,
+)
+
+__all__ = [
+    "compressed_size",
+    "decode_postings",
+    "decode_varint",
+    "encode_postings",
+    "encode_varint",
+    "index_compressed_bytes",
+    "Analyzer",
+    "KeywordAnalyzer",
+    "Stemmer",
+    "tokenize",
+    "DEFAULT_STOPWORDS",
+    "Document",
+    "DocumentStore",
+    "StoredDocument",
+    "CostCounter",
+    "PostingList",
+    "DEFAULT_SEGMENT_SIZE",
+    "intersect",
+    "intersect_ids",
+    "intersect_many",
+    "model_intersection_cost",
+    "union_many",
+    "aggregate_count",
+    "aggregate_generic",
+    "aggregate_sum",
+    "InvertedIndex",
+    "build_index",
+    "DEFAULT_PREDICATE_FIELD",
+    "DEFAULT_SEARCHABLE_FIELDS",
+    "BooleanSearcher",
+]

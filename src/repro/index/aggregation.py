@@ -1,0 +1,59 @@
+"""Aggregation operators over materialised docid lists (``∩_γ`` in Figure 3).
+
+The straightforward plan computes collection-specific statistics by
+aggregating the documents of the materialised context: ``γ_count`` for
+``|D_P|``, ``γ_sum(len)`` for ``len(D_P)``.  An aggregation requires a
+full scan of its input, so its cost model is the input length
+(Section 3.2.1) — charged to the :class:`CostCounter` here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .postings import CostCounter
+
+
+def aggregate_count(ids: Sequence[int], counter: Optional[CostCounter] = None) -> int:
+    """``γ_count``: the context cardinality ``|D_P|``.
+
+    The count is knowable in O(1) from the materialised list, but the cost
+    model charges a scan because a streaming implementation (which never
+    materialises the whole list) must see every element; we charge the
+    model cost while taking the O(1) answer.
+    """
+    if counter is not None:
+        counter.model_cost += len(ids)
+    return len(ids)
+
+
+def aggregate_sum(
+    ids: Sequence[int],
+    values: Sequence[int],
+    counter: Optional[CostCounter] = None,
+) -> int:
+    """``γ_sum``: sum ``values[docid]`` over the context (e.g. ``len(D_P)``).
+
+    ``values`` is a dense per-docid parameter column (document lengths from
+    the :class:`~repro.index.documents.DocumentStore`).
+    """
+    if counter is not None:
+        counter.entries_scanned += len(ids)
+        counter.model_cost += len(ids)
+    return sum(values[doc_id] for doc_id in ids)
+
+
+def aggregate_generic(
+    ids: Sequence[int],
+    value_fn: Callable[[int], float],
+    counter: Optional[CostCounter] = None,
+) -> float:
+    """Sum an arbitrary per-document parameter over the context.
+
+    Escape hatch for statistics outside Table 1 (e.g. extension ranking
+    models); same full-scan cost as :func:`aggregate_sum`.
+    """
+    if counter is not None:
+        counter.entries_scanned += len(ids)
+        counter.model_cost += len(ids)
+    return sum(value_fn(doc_id) for doc_id in ids)

@@ -1,0 +1,140 @@
+"""Text analysis: tokenisation, stopping, and light stemming.
+
+The paper uses Lucene's standard analysis chain; this module provides the
+equivalent pieces.  The design is a small pipeline object
+(:class:`Analyzer`) so tests can swap components (e.g. disable stemming)
+without monkey-patching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence
+
+# English function words.  A compact list is enough: the synthetic corpus
+# injects these with realistic frequencies and the analyzer must drop them,
+# mirroring Lucene's StandardAnalyzer defaults.
+DEFAULT_STOPWORDS = frozenset(
+    """a an and are as at be but by for if in into is it no not of on or such
+    that the their then there these they this to was will with from have has
+    we our were been which who what when where how""".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase ``text`` and split it into word tokens.
+
+    Hyphenated and apostrophised words are kept whole ("parvovirus-b19",
+    "crohn's") since biomedical text is full of them.
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Stemmer:
+    """A light suffix stemmer (an "s-stemmer" with a few extra rules).
+
+    Deliberately weaker than full Porter: it only conflates plural and
+    simple derivational variants, which keeps the synthetic vocabulary's
+    collision behaviour predictable in tests.
+    """
+
+    _RULES: Sequence = (
+        ("sses", "ss"),
+        ("ies", "y"),
+        ("ations", "ation"),
+        ("s", ""),
+    )
+
+    def stem(self, token: str) -> str:
+        """Return the stem of ``token``.
+
+        Tokens of length <= 3 are returned unchanged: stripping suffixes
+        from very short tokens ("is", "as") creates more collisions than it
+        resolves.
+        """
+        if len(token) <= 3:
+            return token
+        for suffix, replacement in self._RULES:
+            if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+                return token[: len(token) - len(suffix)] + replacement
+        return token
+
+
+_DEFAULT_STEMMER = object()  # sentinel: "use the standard stemmer"
+
+
+class Analyzer:
+    """Tokenise → stop → stem pipeline, applied to every indexed field.
+
+    Parameters
+    ----------
+    stopwords:
+        Set of tokens to drop.  Pass an empty set to keep everything.
+    stemmer:
+        A :class:`Stemmer`, or ``None`` to disable stemming entirely
+        (defaults to the standard light stemmer).
+    min_token_length:
+        Tokens shorter than this are discarded after stemming.
+    """
+
+    def __init__(
+        self,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+        stemmer=_DEFAULT_STEMMER,
+        min_token_length: int = 1,
+    ):
+        self.stopwords = frozenset(stopwords)
+        self.stemmer = Stemmer() if stemmer is _DEFAULT_STEMMER else stemmer
+        self.min_token_length = min_token_length
+
+    def analyze(self, text: str) -> List[str]:
+        """Return the analysed token stream for ``text``."""
+        out: List[str] = []
+        for token in tokenize(text):
+            if token in self.stopwords:
+                continue
+            if self.stemmer is not None:
+                token = self.stemmer.stem(token)
+            if len(token) >= self.min_token_length:
+                out.append(token)
+        return out
+
+    def analyze_query_term(self, term: str) -> str | None:
+        """Analyse a single query keyword; ``None`` if it is stopped out.
+
+        Query terms must pass through the same pipeline as indexed text so
+        that query-time vocabulary matches index-time vocabulary.
+        """
+        tokens = self.analyze(term)
+        if not tokens:
+            return None
+        if len(tokens) > 1:
+            # A "keyword" that analyses to multiple tokens (e.g. contains
+            # whitespace) is a caller bug; be explicit rather than guessing.
+            raise ValueError(
+                f"query term {term!r} analysed to multiple tokens {tokens}; "
+                "pass single keywords"
+            )
+        return tokens[0]
+
+
+class KeywordAnalyzer(Analyzer):
+    """Pass-through analyzer for controlled-vocabulary fields.
+
+    MeSH-style predicate fields hold opaque identifiers ("D012.345",
+    "Neoplasms"); they must not be stemmed or stopped.  Matches Lucene's
+    ``KeywordAnalyzer`` semantics except that the field may contain many
+    whitespace-separated identifiers.
+    """
+
+    def __init__(self):
+        super().__init__(stopwords=(), stemmer=None)
+
+    def analyze(self, text: str) -> List[str]:
+        return text.split()
+
+    def analyze_query_term(self, term: str) -> str | None:
+        term = term.strip()
+        return term or None

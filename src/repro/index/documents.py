@@ -1,0 +1,125 @@
+"""Document model and in-memory document store.
+
+A document is a tuple of named *fields*, each a bag of words (Section 2.1).
+For the PubMed reproduction the conventional fields are ``title`` and
+``abstract`` and the predicate field is ``mesh`` (context predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+from ..errors import IndexError_
+
+
+@dataclass(frozen=True)
+class Document:
+    """An input document: an external id plus raw field text.
+
+    ``fields`` maps field name → raw text.  Analysis happens at indexing
+    time, not here, so a ``Document`` is cheap to construct and compare.
+    """
+
+    doc_id: str
+    fields: Mapping[str, str]
+
+    def text(self, field_name: str) -> str:
+        """Return the raw text of ``field_name`` (empty string if absent)."""
+        return self.fields.get(field_name, "")
+
+    def combined_text(self, field_names: Iterable[str]) -> str:
+        """Concatenate several fields' raw text (used for searchable body)."""
+        return " ".join(self.fields.get(f, "") for f in field_names)
+
+
+@dataclass
+class StoredDocument:
+    """A document as held by the store: internal docid + analysed fields.
+
+    ``length`` is the searchable-token count ``len(d)`` of Table 1 and
+    ``unique_terms`` is ``utc(d)``; both are document-specific statistics
+    consumed directly by ranking functions.
+    """
+
+    internal_id: int
+    external_id: str
+    field_tokens: Dict[str, List[str]]
+    length: int
+    unique_terms: int
+
+    def term_frequency(self, term: str, field_names: Iterable[str]) -> int:
+        """Count occurrences of ``term`` across ``field_names`` (``tf(w,d)``)."""
+        count = 0
+        for name in field_names:
+            for token in self.field_tokens.get(name, ()):
+                if token == term:
+                    count += 1
+        return count
+
+
+class DocumentStore:
+    """Assigns dense internal docids and retains analysed documents.
+
+    Internal ids are assigned in insertion order starting from 0, which is
+    what keeps posting lists naturally sorted as documents stream in.
+    """
+
+    def __init__(self):
+        self._docs: List[StoredDocument] = []
+        self._by_external: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[StoredDocument]:
+        return iter(self._docs)
+
+    def add(
+        self,
+        document: Document,
+        field_tokens: Dict[str, List[str]],
+        searchable_fields: Iterable[str],
+    ) -> StoredDocument:
+        """Register an analysed document and return its stored form.
+
+        Raises :class:`IndexError_` on duplicate external ids — silently
+        overwriting a citation would corrupt collection statistics.
+        """
+        if document.doc_id in self._by_external:
+            raise IndexError_(f"duplicate document id: {document.doc_id!r}")
+        searchable = [
+            token
+            for name in searchable_fields
+            for token in field_tokens.get(name, ())
+        ]
+        stored = StoredDocument(
+            internal_id=len(self._docs),
+            external_id=document.doc_id,
+            field_tokens=field_tokens,
+            length=len(searchable),
+            unique_terms=len(set(searchable)),
+        )
+        self._docs.append(stored)
+        self._by_external[document.doc_id] = stored.internal_id
+        return stored
+
+    def get(self, internal_id: int) -> StoredDocument:
+        """Look up a document by internal id."""
+        try:
+            return self._docs[internal_id]
+        except IndexError:
+            raise IndexError_(f"unknown internal docid: {internal_id}") from None
+
+    def by_external_id(self, external_id: str) -> Optional[StoredDocument]:
+        """Look up a document by its external id, or ``None``."""
+        internal = self._by_external.get(external_id)
+        return None if internal is None else self._docs[internal]
+
+    def lengths(self) -> List[int]:
+        """Return ``len(d)`` for every document, indexed by internal id.
+
+        The wide sparse table (Section 4.1) uses this as its ``len(d)``
+        parameter column.
+        """
+        return [doc.length for doc in self._docs]

@@ -1,0 +1,269 @@
+"""The inverted index: the Lucene stand-in the whole system builds on.
+
+Two posting spaces are kept, mirroring the paper's setup over PubMed:
+
+* the **content** space indexes the searchable fields (title, abstract) —
+  keyword queries ``Q_k`` run here;
+* the **predicate** space indexes the predicate field (MeSH annotations) —
+  context specifications ``P`` run here (Definition 1).
+
+Both are `<docid, tf>` posting lists with skip pointers.  Collection-wide
+statistics over the *whole* collection (``df(w, D)``, ``len(D)``, ``|D|``)
+are maintained at index time, exactly as conventional engines do; only the
+per-context versions need query-time work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import IndexError_
+from .analysis import Analyzer, KeywordAnalyzer
+from .documents import Document, DocumentStore, StoredDocument
+from .postings import DEFAULT_SEGMENT_SIZE, PostingList
+
+DEFAULT_SEARCHABLE_FIELDS = ("title", "abstract")
+DEFAULT_PREDICATE_FIELD = "mesh"
+
+
+class InvertedIndex:
+    """In-memory inverted index over a document collection.
+
+    Usage::
+
+        index = InvertedIndex()
+        for doc in docs:
+            index.add(doc)
+        index.commit()
+
+    Reads (postings, statistics) are only valid after :meth:`commit`.
+    """
+
+    def __init__(
+        self,
+        analyzer: Optional[Analyzer] = None,
+        predicate_analyzer: Optional[Analyzer] = None,
+        searchable_fields: Sequence[str] = DEFAULT_SEARCHABLE_FIELDS,
+        predicate_field: str = DEFAULT_PREDICATE_FIELD,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ):
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.predicate_analyzer = (
+            predicate_analyzer if predicate_analyzer is not None else KeywordAnalyzer()
+        )
+        self.searchable_fields = tuple(searchable_fields)
+        self.predicate_field = predicate_field
+        self.segment_size = segment_size
+
+        self.store = DocumentStore()
+        self._content_acc: Dict[str, List[Tuple[int, int]]] = {}
+        self._predicate_acc: Dict[str, List[Tuple[int, int]]] = {}
+        self._content: Dict[str, PostingList] = {}
+        self._predicates: Dict[str, PostingList] = {}
+        self._total_length = 0
+        self._committed = False
+        self._empty = PostingList.from_pairs("", (), segment_size=segment_size)
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, document: Document) -> StoredDocument:
+        """Analyse and index one document."""
+        if self._committed:
+            raise IndexError_("index is committed; create a new index to add documents")
+        field_tokens = self._analyze_fields(document)
+        stored = self.store.add(document, field_tokens, self.searchable_fields)
+        self._total_length += stored.length
+
+        tf_counts: Dict[str, int] = {}
+        for name in self.searchable_fields:
+            for token in field_tokens[name]:
+                tf_counts[token] = tf_counts.get(token, 0) + 1
+        for term, tf in tf_counts.items():
+            self._content_acc.setdefault(term, []).append((stored.internal_id, tf))
+
+        # Predicate occurrences are set-valued: a MeSH term either annotates
+        # a citation or it does not, so tf is clamped to 1.
+        for term in set(field_tokens[self.predicate_field]):
+            self._predicate_acc.setdefault(term, []).append((stored.internal_id, 1))
+        return stored
+
+    def _analyze_fields(self, document: Document) -> Dict[str, List[str]]:
+        """Analyse searchable/predicate fields; keep other fields raw.
+
+        Extra fields (e.g. a ``year`` attribute) are whitespace-split and
+        stored unanalysed so attribute indexes
+        (:mod:`repro.temporal.attributes`) can be rebuilt from the index.
+        """
+        field_tokens: Dict[str, List[str]] = {}
+        for name in self.searchable_fields:
+            field_tokens[name] = self.analyzer.analyze(document.text(name))
+        field_tokens[self.predicate_field] = self.predicate_analyzer.analyze(
+            document.text(self.predicate_field)
+        )
+        for name, text in document.fields.items():
+            if name not in field_tokens:
+                field_tokens[name] = text.split()
+        return field_tokens
+
+    def add_all(self, documents: Iterable[Document]) -> None:
+        """Index a stream of documents."""
+        for document in documents:
+            self.add(document)
+
+    def commit(self) -> "InvertedIndex":
+        """Freeze all posting lists; the index becomes readable.
+
+        Idempotent; returns self for chaining.
+        """
+        if self._committed:
+            return self
+        self._content = {
+            term: PostingList.from_pairs(term, pairs, segment_size=self.segment_size)
+            for term, pairs in self._content_acc.items()
+        }
+        self._predicates = {
+            term: PostingList.from_pairs(term, pairs, segment_size=self.segment_size)
+            for term, pairs in self._predicate_acc.items()
+        }
+        self._content_acc.clear()
+        self._predicate_acc.clear()
+        self._committed = True
+        return self
+
+    def append_documents(
+        self, documents: Iterable[Document]
+    ) -> List[StoredDocument]:
+        """Incrementally add documents to a *committed* index.
+
+        New internal docids are larger than all existing ones, so every
+        affected posting list extends at its tail — no existing entry is
+        rewritten and the paper's docid-ordering invariant is preserved.
+        Returns the stored forms of the new documents so callers (e.g.
+        :func:`repro.views.maintenance.maintain_catalog`) can propagate
+        the same delta to materialized views.
+        """
+        if not self._committed:
+            raise IndexError_(
+                "append_documents requires a committed index; "
+                "use add()/commit() during initial construction"
+            )
+        new_stored: List[StoredDocument] = []
+        content_delta: Dict[str, List[Tuple[int, int]]] = {}
+        predicate_delta: Dict[str, List[Tuple[int, int]]] = {}
+        for document in documents:
+            field_tokens = self._analyze_fields(document)
+            stored = self.store.add(document, field_tokens, self.searchable_fields)
+            self._total_length += stored.length
+            new_stored.append(stored)
+
+            tf_counts: Dict[str, int] = {}
+            for name in self.searchable_fields:
+                for token in field_tokens[name]:
+                    tf_counts[token] = tf_counts.get(token, 0) + 1
+            for term, tf in tf_counts.items():
+                content_delta.setdefault(term, []).append(
+                    (stored.internal_id, tf)
+                )
+            for term in set(field_tokens[self.predicate_field]):
+                predicate_delta.setdefault(term, []).append(
+                    (stored.internal_id, 1)
+                )
+
+        for term, pairs in content_delta.items():
+            plist = self._content.get(term)
+            if plist is None:
+                self._content[term] = PostingList.from_pairs(
+                    term, pairs, segment_size=self.segment_size
+                )
+            else:
+                plist.extend(pairs)
+        for term, pairs in predicate_delta.items():
+            plist = self._predicates.get(term)
+            if plist is None:
+                self._predicates[term] = PostingList.from_pairs(
+                    term, pairs, segment_size=self.segment_size
+                )
+            else:
+                plist.extend(pairs)
+        return new_stored
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def committed(self) -> bool:
+        return self._committed
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    @property
+    def num_docs(self) -> int:
+        """Collection cardinality ``|D|``."""
+        return len(self.store)
+
+    @property
+    def total_length(self) -> int:
+        """Collection length ``len(D)``: total searchable tokens."""
+        return self._total_length
+
+    @property
+    def vocabulary(self) -> Sequence[str]:
+        """All indexed content terms (``utc(D)`` is its length)."""
+        self._require_committed()
+        return tuple(self._content)
+
+    @property
+    def predicate_vocabulary(self) -> Sequence[str]:
+        """All indexed predicate (context-keyword) terms."""
+        self._require_committed()
+        return tuple(self._predicates)
+
+    def postings(self, term: str) -> PostingList:
+        """Content posting list ``L_w`` (empty list for unknown terms)."""
+        self._require_committed()
+        return self._content.get(term, self._empty)
+
+    def predicate_postings(self, term: str) -> PostingList:
+        """Predicate posting list ``L_m`` (empty list for unknown terms)."""
+        self._require_committed()
+        return self._predicates.get(term, self._empty)
+
+    def document_frequency(self, term: str) -> int:
+        """``df(w, D)`` over the whole collection."""
+        return len(self.postings(term))
+
+    def predicate_frequency(self, term: str) -> int:
+        """Number of documents annotated with predicate ``m`` (``|L_m|``)."""
+        return len(self.predicate_postings(term))
+
+    def document_lengths(self) -> List[int]:
+        """Dense ``len(d)`` column indexed by internal docid."""
+        return self.store.lengths()
+
+    def average_document_length(self) -> float:
+        """``avgdl = len(D) / |D|`` over the whole collection."""
+        if not self.store:
+            return 0.0
+        return self._total_length / len(self.store)
+
+    def _require_committed(self) -> None:
+        if not self._committed:
+            raise IndexError_("index must be committed before reads")
+
+
+def build_index(
+    documents: Iterable[Document],
+    analyzer: Optional[Analyzer] = None,
+    searchable_fields: Sequence[str] = DEFAULT_SEARCHABLE_FIELDS,
+    predicate_field: str = DEFAULT_PREDICATE_FIELD,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+) -> InvertedIndex:
+    """Convenience: build and commit an index over ``documents``."""
+    index = InvertedIndex(
+        analyzer=analyzer,
+        searchable_fields=searchable_fields,
+        predicate_field=predicate_field,
+        segment_size=segment_size,
+    )
+    index.add_all(documents)
+    return index.commit()

@@ -1,0 +1,89 @@
+"""Boolean retrieval over the inverted index.
+
+This is the "standard text search system" layer: conjunctive keyword
+retrieval with selective-first ordering and skip pointers.  Ranked search
+lives one level up (:mod:`repro.core.engine`) because ranking needs the
+statistics framework; keeping this layer boolean-only avoids a circular
+dependency and mirrors how the paper drives Lucene ("we simulate the
+execution plan ... by issuing multiple conventional keyword queries").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import QueryError
+from .intersection import intersect_many
+from .inverted_index import InvertedIndex
+from .postings import CostCounter, PostingList
+
+
+class BooleanSearcher:
+    """Conjunctive boolean retrieval over content and predicate terms.
+
+    Every method accepts an optional :class:`CostCounter` so the engine can
+    attribute work to the plan operator that requested it.
+    """
+
+    def __init__(self, index: InvertedIndex, use_skips: bool = True):
+        self.index = index
+        self.use_skips = use_skips
+
+    def _content_lists(self, keywords: Sequence[str]) -> List[PostingList]:
+        if not keywords:
+            raise QueryError("at least one keyword is required")
+        return [self.index.postings(w) for w in keywords]
+
+    def _predicate_lists(self, predicates: Sequence[str]) -> List[PostingList]:
+        if not predicates:
+            raise QueryError("at least one context predicate is required")
+        return [self.index.predicate_postings(m) for m in predicates]
+
+    def search_keywords(
+        self,
+        keywords: Sequence[str],
+        counter: Optional[CostCounter] = None,
+    ) -> List[int]:
+        """Docids containing all ``keywords``: ``σ_w1(D) ∩ … ∩ σ_wn(D)``."""
+        return intersect_many(
+            self._content_lists(keywords), counter, use_skips=self.use_skips
+        )
+
+    def search_context(
+        self,
+        predicates: Sequence[str],
+        counter: Optional[CostCounter] = None,
+    ) -> List[int]:
+        """Materialise a context: ``σ_P(D) = L_m1 ∩ … ∩ L_mc``.
+
+        This is the bottom of the Figure 3 plan and the expensive step the
+        materialized-view technique exists to avoid.
+        """
+        return intersect_many(
+            self._predicate_lists(predicates), counter, use_skips=self.use_skips
+        )
+
+    def search_conjunction(
+        self,
+        keywords: Sequence[str],
+        predicates: Sequence[str],
+        counter: Optional[CostCounter] = None,
+    ) -> List[int]:
+        """Unranked result of ``Q_c``: documents matching all keywords *and*
+        all context predicates (equivalently, the conventional query
+        ``Q_t = Q_k ∪ P`` with predicates as boolean filters).
+
+        Free to start from the most selective list across both spaces —
+        the optimisation conventional queries enjoy but pure context
+        materialisation cannot.
+        """
+        lists = self._content_lists(keywords) + self._predicate_lists(predicates)
+        return intersect_many(lists, counter, use_skips=self.use_skips)
+
+    def context_size(self, predicates: Sequence[str]) -> int:
+        """``ContextSize(P)`` computed by materialisation (no cost charged).
+
+        Used by workload generators and tests; the engine itself never
+        calls this on the query path.
+        """
+        return len(self.search_context(predicates))

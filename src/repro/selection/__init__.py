@@ -1,0 +1,82 @@
+"""View selection (Section 5): which views to materialise.
+
+Bottom-up (association-rule mining + greedy cover, Section 5.1),
+top-down (KAG decomposition with balanced vertex separators,
+Section 5.2), and the hybrid of both that the paper ships (Section 5.3),
+plus an exhaustive auditor for the Problem 5.1 guarantee.
+"""
+
+from .mining import (
+    ALL_MINERS,
+    Itemset,
+    MiningResult,
+    TransactionDatabase,
+    apriori,
+    declat,
+    eclat,
+    fpgrowth,
+)
+from .greedy import (
+    coverage_gaps,
+    greedy_view_selection,
+    remove_subsumed,
+)
+from .kag import Edge, KeywordAssociationGraph
+from .separator import Separator, find_balanced_separator
+from .decomposition import (
+    DecompositionResult,
+    DecompositionStats,
+    apply_separator,
+    decomposition_select,
+)
+from .hybrid import (
+    SelectionReport,
+    decomposition_only_selection,
+    hybrid_selection,
+    max_combination_size,
+    mining_based_selection,
+    select_views,
+)
+from .verify import VerificationResult, verify_selection
+from .workload_driven import (
+    WorkloadEntry,
+    WorkloadSelectionReport,
+    evaluate_coverage,
+    workload_driven_selection,
+    workload_from_queries,
+)
+
+__all__ = [
+    "WorkloadEntry",
+    "WorkloadSelectionReport",
+    "evaluate_coverage",
+    "workload_driven_selection",
+    "workload_from_queries",
+    "ALL_MINERS",
+    "Itemset",
+    "MiningResult",
+    "TransactionDatabase",
+    "apriori",
+    "eclat",
+    "declat",
+    "fpgrowth",
+    "coverage_gaps",
+    "greedy_view_selection",
+    "remove_subsumed",
+    "Edge",
+    "KeywordAssociationGraph",
+    "Separator",
+    "find_balanced_separator",
+    "DecompositionResult",
+    "DecompositionStats",
+    "apply_separator",
+    "decomposition_select",
+    "SelectionReport",
+    "decomposition_only_selection",
+    "hybrid_selection",
+    "max_combination_size",
+    "mining_based_selection",
+    "select_views",
+    "VerificationResult",
+    "verify_selection",
+]

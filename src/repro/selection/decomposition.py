@@ -1,0 +1,180 @@
+"""Graph-decomposition-based view selection (Section 5.2).
+
+Recursively splits the KAG with balanced vertex separators until every
+piece either fits under one view (``ViewSize ≤ T_V``) or is a dense
+residue (clique) for the data-mining selector (Section 5.3 hand-off).
+
+The two decomposition schemes of Section 5.2.1 govern S0–S0 edge
+replication into ``G2``:
+
+* **scheme 1** (``replicate="always"``): every S0–S0 edge is replicated —
+  always correct, never loses a high-support clique, but yields denser
+  subgraphs;
+* **scheme 2** (``replicate="support"``): an S0–S0 edge ``(m_i, m_j)`` is
+  replicated only if some clique containing ``m_i``, ``m_j`` and an S2
+  vertex has support ≥ ``T_C``.  Because support is anti-monotone, such a
+  clique exists iff some *triangle* ``{m_i, m_j, v}``, ``v ∈ S2`` a
+  common neighbour, has support ≥ ``T_C`` — so the check needs only
+  3-way supports, the "compute support only when necessary" economy the
+  paper claims for the top-down approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import SelectionError
+from .greedy import ViewSizeFn
+from .kag import KeywordAssociationGraph
+from .separator import Separator, find_balanced_separator
+
+SupportFn = Callable[[Iterable[str]], int]
+
+
+@dataclass
+class DecompositionStats:
+    """Work accounting for the Section 6.2 efficiency comparison."""
+
+    separators_computed: int = 0
+    supports_computed: int = 0
+    edges_replicated: int = 0
+    edges_dropped: int = 0
+    max_depth: int = 0
+
+
+@dataclass
+class DecompositionResult:
+    """Output of the decomposition pass.
+
+    ``covered`` are keyword sets small enough for single views;
+    ``dense_residues`` are clique-like pieces still over ``T_V`` that the
+    hybrid selector forwards to mining + Algorithm 1.
+    """
+
+    covered: List[FrozenSet[str]] = field(default_factory=list)
+    dense_residues: List[FrozenSet[str]] = field(default_factory=list)
+    stats: DecompositionStats = field(default_factory=DecompositionStats)
+
+
+def apply_separator(
+    graph: KeywordAssociationGraph,
+    separator: Separator,
+    t_c: int,
+    replicate: str = "always",
+    support_fn: Optional[SupportFn] = None,
+    stats: Optional[DecompositionStats] = None,
+) -> Tuple[KeywordAssociationGraph, KeywordAssociationGraph]:
+    """Split ``graph`` into ``(G1, G2)`` per Definition 4's edge rules."""
+    if replicate not in ("always", "support"):
+        raise SelectionError(f"unknown replication scheme: {replicate!r}")
+    if replicate == "support" and support_fn is None:
+        raise SelectionError("scheme 'support' requires a support oracle")
+
+    s1, s2, s0 = separator.s1, separator.s2, separator.s0
+    v1 = s1 | s0
+    v2 = s2 | s0
+
+    adj1: dict = {v: {} for v in v1}
+    adj2: dict = {v: {} for v in v2}
+
+    def _add(adj: dict, u: str, v: str, w: int) -> None:
+        adj[u][v] = w
+        adj[v][u] = w
+
+    for edge in graph.edges():
+        u, v, w = edge.a, edge.b, edge.weight
+        u_in_s0, v_in_s0 = u in s0, v in s0
+        if u_in_s0 and v_in_s0:
+            # S0-S0 edges always stay in G1 (Definition 4); replication
+            # into G2 depends on the scheme.
+            _add(adj1, u, v, w)
+            if _should_replicate(
+                graph, u, v, s2, t_c, replicate, support_fn, stats
+            ):
+                _add(adj2, u, v, w)
+                if stats is not None:
+                    stats.edges_replicated += 1
+            elif stats is not None:
+                stats.edges_dropped += 1
+        elif u in v1 and v in v1 and not (u in s2 or v in s2):
+            _add(adj1, u, v, w)
+        elif u in v2 and v in v2 and not (u in s1 or v in s1):
+            _add(adj2, u, v, w)
+        # S1-S2 edges cannot exist: the separator guarantees it.
+    return KeywordAssociationGraph(adj1), KeywordAssociationGraph(adj2)
+
+
+def _should_replicate(
+    graph: KeywordAssociationGraph,
+    u: str,
+    v: str,
+    s2: FrozenSet[str],
+    t_c: int,
+    replicate: str,
+    support_fn: Optional[SupportFn],
+    stats: Optional[DecompositionStats],
+) -> bool:
+    """Decide S0–S0 edge replication into G2."""
+    if replicate == "always":
+        return True
+    # Scheme 2: replicate iff some triangle {u, v, x}, x ∈ S2 a common
+    # neighbour, has support ≥ T_C (sound & complete by anti-monotonicity).
+    common = set(graph.neighbors(u)) & set(graph.neighbors(v)) & s2
+    for x in sorted(common):
+        if stats is not None:
+            stats.supports_computed += 1
+        if support_fn((u, v, x)) >= t_c:
+            return True
+    return False
+
+
+def decomposition_select(
+    graph: KeywordAssociationGraph,
+    view_size: ViewSizeFn,
+    t_v: int,
+    t_c: int,
+    replicate: str = "always",
+    support_fn: Optional[SupportFn] = None,
+    max_trials: Optional[int] = None,
+) -> DecompositionResult:
+    """Top-down selection: decompose until coverable or irreducibly dense.
+
+    Pieces whose full vertex set fits a single view (``ViewSize ≤ T_V``)
+    are emitted as view keyword sets; cliques (and pieces a separator
+    cannot shrink) still above ``T_V`` are emitted as dense residues.
+    """
+    result = DecompositionResult()
+    stack: List[Tuple[KeywordAssociationGraph, int]] = [
+        (graph.subgraph(c), 0) for c in graph.connected_components()
+    ]
+    while stack:
+        sub, depth = stack.pop()
+        result.stats.max_depth = max(result.stats.max_depth, depth)
+        vertices = frozenset(sub.vertices)
+        if not vertices:
+            continue
+        if view_size(vertices) <= t_v:
+            result.covered.append(vertices)
+            continue
+        if len(vertices) < 3 or sub.is_clique():
+            result.dense_residues.append(vertices)
+            continue
+        try:
+            separator = find_balanced_separator(sub, max_trials=max_trials)
+        except SelectionError:
+            result.dense_residues.append(vertices)
+            continue
+        result.stats.separators_computed += 1
+        g1, g2 = apply_separator(
+            sub, separator, t_c, replicate, support_fn, result.stats
+        )
+        if len(g1) >= len(vertices) or len(g2) >= len(vertices):
+            # The separator failed to shrink both sides (heavy
+            # replication); further recursion would not terminate.
+            result.dense_residues.append(vertices)
+            continue
+        for piece in (g1, g2):
+            for component in piece.connected_components():
+                stack.append((piece.subgraph(component), depth + 1))
+    return result

@@ -1,0 +1,99 @@
+"""Data-mining-based view selection — Algorithm 1 (Section 5.1).
+
+Given keyword combinations with support ≥ ``T_C`` (from a miner), choose
+view keyword sets so that every combination is covered by some view of
+size ≤ ``T_V``.  Minimising the number of views is NP-hard (Theorem 5.1 —
+it embeds set cover), so Algorithm 1 is a greedy heuristic built on two
+observations: a view covering ``P2`` also covers every ``P1 ⊂ P2``, and
+packing overlapping combinations into one view amortises keyword columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, List, Sequence
+
+from ..errors import SelectionError
+
+ViewSizeFn = Callable[[Iterable[str]], int]
+
+
+def remove_subsumed(
+    combinations: Iterable[FrozenSet[str]],
+) -> List[FrozenSet[str]]:
+    """Line 1 of Algorithm 1: drop ``P_i`` when some ``P_j ⊃ P_i`` exists.
+
+    Deterministic output order: descending size, then lexicographic.
+    """
+    ordered = sorted(set(combinations), key=lambda p: (-len(p), sorted(p)))
+    kept: List[FrozenSet[str]] = []
+    for candidate in ordered:
+        if not any(candidate < other for other in kept):
+            kept.append(candidate)
+    return kept
+
+
+def greedy_view_selection(
+    combinations: Iterable[FrozenSet[str]],
+    view_size: ViewSizeFn,
+    t_v: int,
+) -> List[FrozenSet[str]]:
+    """Algorithm 1: greedily pack combinations into views of size ≤ ``T_V``.
+
+    Parameters
+    ----------
+    combinations:
+        High-support keyword combinations ``P`` (miner output).  The
+        algorithm assumes ``ViewSize(V_P) ≤ T_V`` for each — guaranteed
+        upstream by capping the combination size during mining; violations
+        raise :class:`SelectionError`.
+    view_size:
+        The ``ViewSize`` oracle (exact or sampled; see
+        :class:`~repro.views.estimator.ViewSizeEstimator`).
+    t_v:
+        The view-size threshold ``T_V``.
+
+    Returns the selected view keyword sets, each covering one or more of
+    the input combinations; their union covers all of them.
+    """
+    if t_v < 2:
+        raise SelectionError(f"T_V must allow at least 2 tuples, got {t_v}")
+    pending = remove_subsumed(combinations)
+    for combo in pending:
+        if view_size(combo) > t_v:
+            raise SelectionError(
+                f"combination {sorted(combo)} alone exceeds T_V="
+                f"{t_v} (ViewSize={view_size(combo)}); cap the combination "
+                "size during mining"
+            )
+
+    selected: List[FrozenSet[str]] = []
+    while pending:
+        # Seed the new view with the largest remaining combination.
+        current: FrozenSet[str] = pending.pop(0)
+        # Grow: repeatedly add the pending combination with maximal
+        # keyword overlap whose inclusion keeps the view within T_V.
+        while True:
+            best_idx = -1
+            best_overlap = -1
+            for idx, combo in enumerate(pending):
+                overlap = len(current & combo)
+                if overlap > best_overlap and view_size(current | combo) <= t_v:
+                    best_overlap = overlap
+                    best_idx = idx
+            if best_idx < 0:
+                break
+            current = current | pending.pop(best_idx)
+        selected.append(current)
+    return selected
+
+
+def coverage_gaps(
+    combinations: Iterable[FrozenSet[str]],
+    views: Sequence[FrozenSet[str]],
+) -> List[FrozenSet[str]]:
+    """Combinations not covered by any view (empty list == Problem 5.1.2 holds)."""
+    return [
+        combo
+        for combo in combinations
+        if not any(combo <= view for view in views)
+    ]

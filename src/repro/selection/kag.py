@@ -1,0 +1,162 @@
+"""Keyword Association Graph (Definition 3, Section 5.2.1).
+
+Vertices are context keywords; the weight of edge ``(m_i, m_j)`` is the
+number of documents in which the two co-occur.  Edges below ``T_C`` are
+dropped at construction: no high-support clique can contain them, so they
+are irrelevant to view selection.  The KAG over-approximates k-ary
+co-occurrence — keywords can only co-occur if they form a clique — which
+is exactly the property the decomposition schemes exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .mining.itemsets import TransactionDatabase
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge, canonically ordered."""
+
+    a: str
+    b: str
+    weight: int
+
+    @staticmethod
+    def make(u: str, v: str, weight: int) -> "Edge":
+        return Edge(min(u, v), max(u, v), weight)
+
+    def key(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+
+class KeywordAssociationGraph:
+    """Undirected weighted co-occurrence graph with subgraph utilities."""
+
+    def __init__(self, adjacency: Dict[str, Dict[str, int]]):
+        self._adj = adjacency
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_transactions(
+        cls,
+        db: TransactionDatabase,
+        t_c: int,
+        min_vertex_support: int | None = None,
+    ) -> "KeywordAssociationGraph":
+        """Build the KAG from documents' predicate sets.
+
+        Only keywords with individual frequency ≥ ``min_vertex_support``
+        (default ``t_c``, the paper's "684 MeSH terms whose frequencies
+        are greater than T_C") become vertices, and only pairs co-occurring
+        in ≥ ``t_c`` documents become edges.
+        """
+        min_vertex_support = t_c if min_vertex_support is None else min_vertex_support
+        vertices = set(db.frequent_items(min_vertex_support))
+        pair_counts: Dict[Tuple[str, str], int] = {}
+        for transaction in db:
+            present = sorted(transaction & vertices)
+            for i, u in enumerate(present):
+                for v in present[i + 1 :]:
+                    pair_counts[(u, v)] = pair_counts.get((u, v), 0) + 1
+        adjacency: Dict[str, Dict[str, int]] = {v: {} for v in vertices}
+        for (u, v), weight in pair_counts.items():
+            if weight >= t_c:
+                adjacency[u][v] = weight
+                adjacency[v][u] = weight
+        return cls(adjacency)
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[str, str, int]], vertices: Iterable[str] = ()
+    ) -> "KeywordAssociationGraph":
+        """Build directly from an edge list (tests and examples)."""
+        adjacency: Dict[str, Dict[str, int]] = {v: {} for v in vertices}
+        for u, v, weight in edges:
+            adjacency.setdefault(u, {})[v] = weight
+            adjacency.setdefault(v, {})[u] = weight
+        return cls(adjacency)
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def vertices(self) -> List[str]:
+        return sorted(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, vertex: str) -> bool:
+        return vertex in self._adj
+
+    def neighbors(self, vertex: str) -> Dict[str, int]:
+        return self._adj[vertex]
+
+    def has_edge(self, u: str, v: str) -> bool:
+        return v in self._adj.get(u, ())
+
+    def edge_weight(self, u: str, v: str) -> int:
+        return self._adj.get(u, {}).get(v, 0)
+
+    def edges(self) -> List[Edge]:
+        out = []
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u < v:
+                    out.append(Edge(u, v, w))
+        return sorted(out, key=Edge.key)
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    # -- structure ----------------------------------------------------------
+
+    def connected_components(self) -> List[FrozenSet[str]]:
+        """Connected components, largest first (ties: lexicographic)."""
+        seen: Set[str] = set()
+        components: List[FrozenSet[str]] = []
+        for start in sorted(self._adj):
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[str] = set()
+            while stack:
+                vertex = stack.pop()
+                if vertex in component:
+                    continue
+                component.add(vertex)
+                stack.extend(
+                    v for v in self._adj[vertex] if v not in component
+                )
+            seen |= component
+            components.append(frozenset(component))
+        return sorted(components, key=lambda c: (-len(c), sorted(c)))
+
+    def subgraph(self, vertices: Iterable[str]) -> "KeywordAssociationGraph":
+        """Induced subgraph on ``vertices``."""
+        keep = set(vertices)
+        adjacency = {
+            u: {v: w for v, w in nbrs.items() if v in keep}
+            for u, nbrs in self._adj.items()
+            if u in keep
+        }
+        return KeywordAssociationGraph(adjacency)
+
+    def is_clique(self) -> bool:
+        """Whether every vertex pair is connected (Section 5.3's residue test)."""
+        n = len(self._adj)
+        return self.num_edges() == n * (n - 1) // 2
+
+    def remove_light_edges(self, t_c: int) -> "KeywordAssociationGraph":
+        """Drop edges with weight < ``T_C`` (initial KAG pruning)."""
+        adjacency = {
+            u: {v: w for v, w in nbrs.items() if w >= t_c}
+            for u, nbrs in self._adj.items()
+        }
+        return KeywordAssociationGraph(adjacency)
+
+    def __repr__(self) -> str:
+        return f"KAG(|V|={len(self)}, |E|={self.num_edges()})"

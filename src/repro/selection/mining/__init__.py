@@ -1,0 +1,38 @@
+"""Association-rule (frequent-itemset) mining, from scratch (Section 5.1).
+
+Three classic miners over a shared transaction-database abstraction:
+Apriori (level-wise, candidate generation), FP-growth (pattern tree), and
+Eclat (vertical tidsets).  All three return identical itemset→support
+maps on the same inputs — property-tested — and all three accept work or
+memory budgets so the Section 6.2 infeasibility findings can be
+demonstrated without week-long runs.
+"""
+
+from .itemsets import (
+    Itemset,
+    MiningResult,
+    TransactionDatabase,
+    validate_mining_args,
+)
+from .apriori import apriori
+from .eclat import declat, eclat
+from .fpgrowth import fpgrowth
+
+ALL_MINERS = {
+    "apriori": apriori,
+    "fpgrowth": fpgrowth,
+    "eclat": eclat,
+    "declat": declat,
+}
+
+__all__ = [
+    "Itemset",
+    "MiningResult",
+    "TransactionDatabase",
+    "validate_mining_args",
+    "apriori",
+    "fpgrowth",
+    "eclat",
+    "declat",
+    "ALL_MINERS",
+]

@@ -1,0 +1,102 @@
+"""Apriori (Agrawal & Srikant, VLDB 1994) — level-wise itemset mining.
+
+Generates size-``k`` candidates from size-``k-1`` frequent itemsets
+(prefix join + downward-closure prune), then counts supports with one
+scan of the transaction database per level.  The per-level full scans are
+what makes Apriori infeasible at PubMed scale (Section 6.2: "it would
+take weeks"); the ``budget`` argument lets callers bound that work and
+observe the blow-up without incurring it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import BudgetExceededError
+from .itemsets import (
+    Itemset,
+    MiningResult,
+    TransactionDatabase,
+    validate_mining_args,
+)
+
+
+def _generate_candidates(
+    frequent_prev: List[Tuple[str, ...]],
+) -> List[Tuple[str, ...]]:
+    """Join step: combine itemsets sharing a ``k-2`` prefix, then prune.
+
+    Itemsets are kept as sorted tuples so the classic prefix join applies
+    directly.
+    """
+    prev_set = set(frequent_prev)
+    candidates: List[Tuple[str, ...]] = []
+    n = len(frequent_prev)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = frequent_prev[i], frequent_prev[j]
+            if a[:-1] != b[:-1]:
+                # Sorted order means once prefixes diverge for j, they
+                # diverge for all later j as well.
+                break
+            candidate = a + (b[-1],) if a[-1] < b[-1] else b + (a[-1],)
+            # Prune: every (k-1)-subset must be frequent.
+            if all(
+                candidate[:k] + candidate[k + 1 :] in prev_set
+                for k in range(len(candidate))
+            ):
+                candidates.append(candidate)
+    return candidates
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: int,
+    max_size: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> MiningResult:
+    """Mine all itemsets with support ≥ ``min_support``.
+
+    Parameters
+    ----------
+    max_size:
+        Stop after this itemset size (the paper caps combinations at ~5–8
+        keywords since real context specifications are short).
+    budget:
+        Maximum work units (candidate-in-transaction subset tests).
+        Exceeding it raises :class:`BudgetExceededError` carrying the work
+        done so far — how the Section 6.2 infeasibility result is
+        demonstrated.
+    """
+    validate_mining_args(db, min_support, max_size)
+    result = MiningResult(algorithm="apriori", min_support=min_support)
+
+    frequent_items = db.frequent_items(min_support)
+    for item in frequent_items:
+        result.itemsets[frozenset((item,))] = db.item_support(item)
+    result.work_units += len(db)  # the L1 counting scan
+
+    level: List[Tuple[str, ...]] = sorted((i,) for i in frequent_items)
+    size = 1
+    while level and (max_size is None or size < max_size):
+        size += 1
+        candidates = _generate_candidates(level)
+        if not candidates:
+            break
+        counts: Dict[Tuple[str, ...], int] = {c: 0 for c in candidates}
+        candidate_sets = {c: frozenset(c) for c in candidates}
+        for transaction in db:
+            for candidate in candidates:
+                result.work_units += 1
+                if budget is not None and result.work_units > budget:
+                    raise BudgetExceededError(
+                        "apriori", result.work_units, budget
+                    )
+                if candidate_sets[candidate] <= transaction:
+                    counts[candidate] += 1
+        level = sorted(
+            c for c, count in counts.items() if count >= min_support
+        )
+        for candidate in level:
+            result.itemsets[candidate_sets[candidate]] = counts[candidate]
+    return result

@@ -1,0 +1,158 @@
+"""Eclat (Zaki, TKDE 2000) — vertical itemset mining by tidset intersection.
+
+Each item carries its *tidset* (the set of transactions containing it);
+the support of ``X ∪ {y}`` is ``|tidset(X) ∩ tidset(y)|``, computed by a
+depth-first walk over an equivalence-class prefix tree.  Work units count
+tidset-intersection element touches, the vertical analogue of Apriori's
+scan cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ...errors import BudgetExceededError
+from .itemsets import (
+    Itemset,
+    MiningResult,
+    TransactionDatabase,
+    validate_mining_args,
+)
+
+
+def eclat(
+    db: TransactionDatabase,
+    min_support: int,
+    max_size: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> MiningResult:
+    """Mine all itemsets with support ≥ ``min_support`` via Eclat."""
+    validate_mining_args(db, min_support, max_size)
+    result = MiningResult(algorithm="eclat", min_support=min_support)
+
+    vertical = db.tidsets(min_support)
+    # Ascending-support order keeps intermediate tidsets small — the
+    # standard Eclat heuristic.
+    items = sorted(vertical, key=lambda i: (len(vertical[i]), i))
+    prefix_items: List[Tuple[str, Set[int]]] = [
+        (item, vertical[item]) for item in items
+    ]
+    for item, tids in prefix_items:
+        result.itemsets[frozenset((item,))] = len(tids)
+    _extend(
+        frozenset(), prefix_items, min_support, max_size, budget, result
+    )
+    return result
+
+
+def _extend(
+    prefix: Itemset,
+    candidates: List[Tuple[str, Set[int]]],
+    min_support: int,
+    max_size: Optional[int],
+    budget: Optional[int],
+    result: MiningResult,
+) -> None:
+    """DFS over the equivalence class of ``prefix``."""
+    if max_size is not None and len(prefix) + 1 >= max_size:
+        return
+    for idx, (item, tids) in enumerate(candidates):
+        new_prefix = prefix | {item}
+        extensions: List[Tuple[str, Set[int]]] = []
+        for other, other_tids in candidates[idx + 1 :]:
+            result.work_units += min(len(tids), len(other_tids))
+            if budget is not None and result.work_units > budget:
+                raise BudgetExceededError("eclat", result.work_units, budget)
+            joined = tids & other_tids
+            if len(joined) >= min_support:
+                extensions.append((other, joined))
+                result.itemsets[frozenset(new_prefix | {other})] = len(joined)
+        if extensions:
+            _extend(
+                frozenset(new_prefix),
+                extensions,
+                min_support,
+                max_size,
+                budget,
+                result,
+            )
+
+
+def declat(
+    db: TransactionDatabase,
+    min_support: int,
+    max_size: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> MiningResult:
+    """dEclat: Eclat over *diffsets* (Zaki's optimisation).
+
+    Instead of carrying each candidate's tidset down the DFS, carry the
+    *difference* from its parent: ``d(PX) = t(P) \\ t(X)`` at the first
+    level and ``d(PXY) = d(PY) \\ d(PX)`` below, with
+    ``sup(PXY) = sup(PX) − |d(PXY)|``.  On the dense transaction sets
+    view selection mines (documents share most frequent predicates via
+    ancestor inheritance), diffsets are far smaller than tidsets, so
+    intersections shrink — the ablation bench measures by how much.
+    """
+    validate_mining_args(db, min_support, max_size)
+    result = MiningResult(algorithm="declat", min_support=min_support)
+
+    vertical = db.tidsets(min_support)
+    items = sorted(vertical, key=lambda i: (len(vertical[i]), i))
+    for item in items:
+        result.itemsets[frozenset((item,))] = len(vertical[item])
+
+    # First level: convert sibling tidsets to diffsets relative to each
+    # prefix item.
+    first_level: List[Tuple[str, Set[int], int]] = [
+        (item, vertical[item], len(vertical[item])) for item in items
+    ]
+    _extend_diffsets(
+        frozenset(), first_level, True, min_support, max_size, budget, result
+    )
+    return result
+
+
+def _extend_diffsets(
+    prefix: Itemset,
+    candidates: List[Tuple[str, Set[int], int]],
+    first_level: bool,
+    min_support: int,
+    max_size: Optional[int],
+    budget: Optional[int],
+    result: MiningResult,
+) -> None:
+    """DFS carrying (item, diffset-or-tidset, support) triples.
+
+    At the first level ``candidates`` hold tidsets; below, diffsets
+    relative to their shared prefix.
+    """
+    if max_size is not None and len(prefix) + 1 >= max_size:
+        return
+    for idx, (item, item_set, item_support) in enumerate(candidates):
+        new_prefix = prefix | {item}
+        extensions: List[Tuple[str, Set[int], int]] = []
+        for other, other_set, other_support in candidates[idx + 1 :]:
+            result.work_units += min(len(item_set), len(other_set))
+            if budget is not None and result.work_units > budget:
+                raise BudgetExceededError("declat", result.work_units, budget)
+            if first_level:
+                # d(item, other) = t(item) \ t(other)
+                diff = item_set - other_set
+            else:
+                # d(P, item, other) = d(P, other) \ d(P, item)
+                diff = other_set - item_set
+            support = item_support - len(diff)
+            if support >= min_support:
+                extensions.append((other, diff, support))
+                result.itemsets[frozenset(new_prefix | {other})] = support
+        if extensions:
+            _extend_diffsets(
+                frozenset(new_prefix),
+                extensions,
+                False,
+                min_support,
+                max_size,
+                budget,
+                result,
+            )

@@ -1,0 +1,161 @@
+"""FP-growth (Han et al., DMKD 2004) — mining without candidate generation.
+
+Builds an FP-tree (prefix tree of transactions with items in descending
+global frequency) and recursively mines conditional trees.  The FP-tree's
+memory footprint is its weakness at PubMed density — Section 6.2 reports
+FP-growth "runs out of memory when building the FP-tree".  The
+``max_nodes`` budget reproduces that failure mode deterministically:
+exceeding it raises :class:`BudgetExceededError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import BudgetExceededError
+from .itemsets import (
+    Itemset,
+    MiningResult,
+    TransactionDatabase,
+    validate_mining_args,
+)
+
+
+@dataclass
+class _Node:
+    """One FP-tree node: an item with a count on a prefix path."""
+
+    item: Optional[str]
+    count: int = 0
+    parent: Optional["_Node"] = None
+    children: Dict[str, "_Node"] = field(default_factory=dict)
+
+
+class _FPTree:
+    """An FP-tree plus its header table of per-item node chains."""
+
+    def __init__(self, max_nodes: Optional[int], node_budget_owner: "MiningResult"):
+        self.root = _Node(item=None)
+        self.header: Dict[str, List[_Node]] = {}
+        self.item_counts: Dict[str, int] = {}
+        self.num_nodes = 0
+        self._max_nodes = max_nodes
+        self._result = node_budget_owner
+
+    def insert(self, items: Tuple[str, ...], count: int) -> None:
+        """Insert one (ordered) transaction path with multiplicity ``count``."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item=item, parent=node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+                self.num_nodes += 1
+                self._result.work_units += 1
+                if (
+                    self._max_nodes is not None
+                    and self._result.work_units > self._max_nodes
+                ):
+                    # work_units counts nodes across the initial tree and
+                    # every conditional tree: the total memory footprint.
+                    raise BudgetExceededError(
+                        "fpgrowth", self._result.work_units, self._max_nodes
+                    )
+            child.count += count
+            self.item_counts[item] = self.item_counts.get(item, 0) + count
+            node = child
+
+    def prefix_paths(self, item: str) -> List[Tuple[Tuple[str, ...], int]]:
+        """Conditional pattern base of ``item``: (path-to-root, count) pairs."""
+        paths: List[Tuple[Tuple[str, ...], int]] = []
+        for node in self.header.get(item, ()):
+            path: List[str] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                paths.append((tuple(reversed(path)), node.count))
+        return paths
+
+
+def _build_tree(
+    transactions: List[Tuple[Tuple[str, ...], int]],
+    min_support: int,
+    order: Dict[str, int],
+    max_nodes: Optional[int],
+    result: MiningResult,
+) -> _FPTree:
+    """Filter infrequent items, sort by global order, build the tree."""
+    counts: Dict[str, int] = {}
+    for items, count in transactions:
+        for item in items:
+            counts[item] = counts.get(item, 0) + count
+    keep = {item for item, c in counts.items() if c >= min_support}
+    tree = _FPTree(max_nodes, result)
+    for items, count in transactions:
+        filtered = sorted(
+            (i for i in items if i in keep), key=lambda i: order[i]
+        )
+        if filtered:
+            tree.insert(tuple(filtered), count)
+    return tree
+
+
+def _mine_tree(
+    tree: _FPTree,
+    suffix: Itemset,
+    min_support: int,
+    max_size: Optional[int],
+    order: Dict[str, int],
+    max_nodes: Optional[int],
+    result: MiningResult,
+) -> None:
+    """Recursive FP-growth over a (conditional) tree."""
+    # Visit items least-frequent-first: standard FP-growth order.
+    items = sorted(
+        tree.item_counts, key=lambda i: order[i], reverse=True
+    )
+    for item in items:
+        support = tree.item_counts[item]
+        if support < min_support:
+            continue
+        itemset = suffix | {item}
+        result.itemsets[frozenset(itemset)] = support
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        conditional = tree.prefix_paths(item)
+        if not conditional:
+            continue
+        subtree = _build_tree(conditional, min_support, order, max_nodes, result)
+        if subtree.item_counts:
+            _mine_tree(
+                subtree, itemset, min_support, max_size, order, max_nodes, result
+            )
+
+
+def fpgrowth(
+    db: TransactionDatabase,
+    min_support: int,
+    max_size: Optional[int] = None,
+    max_nodes: Optional[int] = None,
+) -> MiningResult:
+    """Mine all itemsets with support ≥ ``min_support`` via FP-growth.
+
+    ``max_nodes`` bounds the *total* nodes created across the initial and
+    all conditional trees — the memory budget whose exhaustion reproduces
+    the paper's out-of-memory failure.
+    """
+    validate_mining_args(db, min_support, max_size)
+    result = MiningResult(algorithm="fpgrowth", min_support=min_support)
+    frequent = db.frequent_items(min_support)
+    order = {item: rank for rank, item in enumerate(frequent)}
+
+    transactions = [
+        (tuple(i for i in t if i in order), 1) for t in db
+    ]
+    tree = _build_tree(transactions, min_support, order, max_nodes, result)
+    _mine_tree(tree, frozenset(), min_support, max_size, order, max_nodes, result)
+    return result

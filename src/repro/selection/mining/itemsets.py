@@ -1,0 +1,130 @@
+"""Transaction database abstraction for association-rule mining (Section 5.1).
+
+"An item is mapped to a keyword, and a transaction is mapped to a
+document."  The database wraps the documents' predicate sets and provides
+the support primitives all three miners share, plus the common result
+type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from ...errors import MiningError
+
+Itemset = FrozenSet[str]
+
+
+class TransactionDatabase:
+    """An immutable multiset of transactions (sets of items)."""
+
+    def __init__(self, transactions: Iterable[Iterable[str]]):
+        self._transactions: List[FrozenSet[str]] = [
+            frozenset(t) for t in transactions
+        ]
+        self._item_counts: Dict[str, int] = {}
+        for transaction in self._transactions:
+            for item in transaction:
+                self._item_counts[item] = self._item_counts.get(item, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    @property
+    def items(self) -> Sequence[str]:
+        """All distinct items, in deterministic (sorted) order."""
+        return tuple(sorted(self._item_counts))
+
+    def item_support(self, item: str) -> int:
+        """Support of a single item (its document frequency)."""
+        return self._item_counts.get(item, 0)
+
+    def support(self, itemset: Iterable[str]) -> int:
+        """Exact support of ``itemset`` by a full scan (the slow oracle)."""
+        wanted = frozenset(itemset)
+        if not wanted:
+            return len(self._transactions)
+        return sum(1 for t in self._transactions if wanted <= t)
+
+    def frequent_items(self, min_support: int) -> List[str]:
+        """Items with support ≥ ``min_support``, most frequent first.
+
+        The descending-frequency order is the canonical FP-tree insertion
+        order; Apriori/Eclat use it too so all miners enumerate the same
+        search space in the same order.
+        """
+        return sorted(
+            (i for i, c in self._item_counts.items() if c >= min_support),
+            key=lambda i: (-self._item_counts[i], i),
+        )
+
+    def project(self, items: Iterable[str]) -> "TransactionDatabase":
+        """Restrict every transaction to ``items`` (drops empty ones).
+
+        The hybrid selector mines only the dense residue subgraphs; the
+        projection is how "much smaller than the original graph" turns
+        into actual mining speed.
+        """
+        keep = frozenset(items)
+        return TransactionDatabase(
+            t & keep for t in self._transactions if t & keep
+        )
+
+    def tidsets(self, min_support: int) -> Dict[str, Set[int]]:
+        """Vertical layout: item → set of transaction ids (Eclat's input)."""
+        vertical: Dict[str, Set[int]] = {}
+        frequent = set(self.frequent_items(min_support))
+        for tid, transaction in enumerate(self._transactions):
+            for item in transaction:
+                if item in frequent:
+                    vertical.setdefault(item, set()).add(tid)
+        return vertical
+
+
+@dataclass
+class MiningResult:
+    """Output of one mining run.
+
+    ``itemsets`` maps each frequent itemset to its exact support.
+    ``work_units`` is the algorithm's own notion of work (candidate
+    membership tests for Apriori, tree nodes for FP-growth, tidset
+    intersections for Eclat) — the currency the Section 6.2 feasibility
+    comparison is expressed in.
+    """
+
+    algorithm: str
+    min_support: int
+    itemsets: Dict[Itemset, int] = field(default_factory=dict)
+    work_units: int = 0
+
+    def maximal_itemsets(self) -> List[Itemset]:
+        """Frequent itemsets not contained in any other frequent itemset.
+
+        Algorithm 1's first step ("remove P_i such that ∃P_j, P_i ⊂ P_j")
+        reduces its input to exactly these.
+        """
+        by_size = sorted(self.itemsets, key=len, reverse=True)
+        maximal: List[Itemset] = []
+        for candidate in by_size:
+            if not any(candidate < kept for kept in maximal):
+                maximal.append(candidate)
+        return maximal
+
+    def itemsets_of_size(self, k: int) -> List[Itemset]:
+        return [s for s in self.itemsets if len(s) == k]
+
+
+def validate_mining_args(
+    db: TransactionDatabase, min_support: int, max_size: Optional[int]
+) -> None:
+    """Shared argument validation for the three miners."""
+    if min_support < 1:
+        raise MiningError(f"min_support must be >= 1, got {min_support}")
+    if max_size is not None and max_size < 1:
+        raise MiningError(f"max_size must be >= 1, got {max_size}")
+    if len(db) == 0:
+        raise MiningError("transaction database is empty")

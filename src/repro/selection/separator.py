@@ -1,0 +1,213 @@
+"""Balanced vertex separators via s–t min-cut sweeps — Algorithm 2.
+
+A *vertex separator* is a vertex set whose removal disconnects the graph
+(Definition 4).  Algorithm 2 finds a balanced one by sweeping a split
+point ``i`` over a vertex ordering: source ``s`` is attached to
+``v_1..v_i``, sink ``t`` to ``v_{i+1}..v_n``, and the minimum-capacity
+s–t *vertex* cut is extracted via max-flow on the node-split graph
+(each vertex becomes ``v_in → v_out`` with capacity 1; original edges get
+infinite capacity).  Among the ``n-1`` candidate separators the one
+optimising Formula 5,
+
+    min  |S0| / (min(|S1|, |S2|) + |S0|),
+
+is returned.  Max-flow is an in-repo Dinic's implementation — no external
+graph library on the library path (networkx serves only as a test
+oracle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..errors import SelectionError
+from .kag import KeywordAssociationGraph
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Separator:
+    """A decomposition ``V = S1 ∪ S2 ∪ S0`` with no S1–S2 edges."""
+
+    s1: FrozenSet[str]
+    s2: FrozenSet[str]
+    s0: FrozenSet[str]
+
+    @property
+    def objective(self) -> float:
+        """Formula 5's value (lower is better; 0 for a free split).
+
+        A separator with an empty side does not split anything, so it is
+        scored infinitely bad regardless of the literal formula value.
+        """
+        if not self.s1 or not self.s2:
+            return _INF
+        smaller = min(len(self.s1), len(self.s2))
+        denom = smaller + len(self.s0)
+        if denom == 0:
+            return _INF
+        return len(self.s0) / denom
+
+
+class _Dinic:
+    """Dinic's max-flow over an integer-indexed residual graph."""
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.graph: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.to: List[int] = []
+        self.cap: List[float] = []
+
+    def add_edge(self, u: int, v: int, capacity: float) -> None:
+        self.graph[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.graph[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0.0)
+
+    def max_flow(self, source: int, sink: int) -> float:
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return flow
+            iters = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs(source, sink, _INF, level, iters)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        level = [-1] * self.num_nodes
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge_id in self.graph[u]:
+                v = self.to[edge_id]
+                if self.cap[edge_id] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs(
+        self,
+        u: int,
+        sink: int,
+        pushed: float,
+        level: List[int],
+        iters: List[int],
+    ) -> float:
+        if u == sink:
+            return pushed
+        while iters[u] < len(self.graph[u]):
+            edge_id = self.graph[u][iters[u]]
+            v = self.to[edge_id]
+            if self.cap[edge_id] > 0 and level[v] == level[u] + 1:
+                result = self._dfs(
+                    v, sink, min(pushed, self.cap[edge_id]), level, iters
+                )
+                if result > 0:
+                    self.cap[edge_id] -= result
+                    self.cap[edge_id ^ 1] += result
+                    return result
+            iters[u] += 1
+        return 0.0
+
+    def reachable_from(self, source: int) -> List[bool]:
+        """Residual reachability after max-flow (the min-cut frontier)."""
+        seen = [False] * self.num_nodes
+        seen[source] = True
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for edge_id in self.graph[u]:
+                v = self.to[edge_id]
+                if self.cap[edge_id] > 0 and not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return seen
+
+
+def _min_vertex_cut(
+    graph: KeywordAssociationGraph,
+    source_seeds: Sequence[str],
+    sink_seeds: Sequence[str],
+) -> Separator:
+    """Minimum vertex separator between two seed sets (node-split max-flow)."""
+    vertices = graph.vertices
+    idx = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    dinic = _Dinic(2 * n + 2)
+    s_node, t_node = 2 * n, 2 * n + 1
+
+    for v, i in idx.items():
+        dinic.add_edge(2 * i, 2 * i + 1, 1.0)  # v_in -> v_out, cap 1
+    for edge in graph.edges():
+        u, v = idx[edge.a], idx[edge.b]
+        dinic.add_edge(2 * u + 1, 2 * v, _INF)
+        dinic.add_edge(2 * v + 1, 2 * u, _INF)
+    for v in source_seeds:
+        dinic.add_edge(s_node, 2 * idx[v], _INF)
+    for v in sink_seeds:
+        dinic.add_edge(2 * idx[v] + 1, t_node, _INF)
+
+    dinic.max_flow(s_node, t_node)
+    reachable = dinic.reachable_from(s_node)
+
+    s0, s1, s2 = set(), set(), set()
+    for v, i in idx.items():
+        in_reach = reachable[2 * i]
+        out_reach = reachable[2 * i + 1]
+        if in_reach and not out_reach:
+            s0.add(v)
+        elif out_reach:
+            s1.add(v)
+        else:
+            s2.add(v)
+    return Separator(frozenset(s1), frozenset(s2), frozenset(s0))
+
+
+def find_balanced_separator(
+    graph: KeywordAssociationGraph,
+    max_trials: Optional[int] = None,
+) -> Separator:
+    """Algorithm 2: sweep split points, return the Formula 5 optimum.
+
+    ``max_trials`` caps the number of sweep positions (evenly spaced over
+    the ordering) — the paper runs all ``n``, which is quadratic in
+    max-flow calls; the cap trades separator quality for selection speed
+    and is reported by the hybrid selector when used.
+
+    Raises :class:`SelectionError` for graphs with fewer than 3 vertices
+    (nothing to separate) or when no candidate yields two non-empty
+    sides (the graph is a clique — the caller should hand it to the
+    data-mining selector instead, Section 5.3).
+    """
+    vertices = graph.vertices
+    n = len(vertices)
+    if n < 3:
+        raise SelectionError(f"cannot separate a graph with {n} vertices")
+
+    positions = list(range(1, n))
+    if max_trials is not None and max_trials < len(positions):
+        step = len(positions) / max_trials
+        positions = [positions[int(k * step)] for k in range(max_trials)]
+
+    best: Optional[Separator] = None
+    for i in positions:
+        candidate = _min_vertex_cut(graph, vertices[:i], vertices[i:])
+        if not candidate.s1 or not candidate.s2:
+            continue
+        if best is None or candidate.objective < best.objective:
+            best = candidate
+    if best is None:
+        raise SelectionError(
+            "no balanced separator exists (graph is a clique or near-clique)"
+        )
+    return best

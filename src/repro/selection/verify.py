@@ -1,0 +1,61 @@
+"""Exhaustive verification of the view-selection guarantee (Problem 5.1).
+
+At test scale we can afford ground truth: enumerate *every* predicate
+combination whose context size is ≥ ``T_C`` (via Eclat, which is exact)
+and check each is covered by a selected view, and that every selected
+view's exact size is ≤ ``T_V``.  The property tests and the selection
+benches both call this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence
+
+from ..views.estimator import ViewSizeEstimator
+from .greedy import coverage_gaps
+from .mining.eclat import eclat
+from .mining.itemsets import TransactionDatabase
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a selection audit."""
+
+    checked_combinations: int
+    uncovered: List[FrozenSet[str]] = field(default_factory=list)
+    oversized_views: List[FrozenSet[str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.uncovered and not self.oversized_views
+
+
+def verify_selection(
+    db: TransactionDatabase,
+    keyword_sets: Sequence[FrozenSet[str]],
+    estimator: ViewSizeEstimator,
+    t_c: int,
+    t_v: int,
+    max_combination_size: Optional[int] = None,
+) -> VerificationResult:
+    """Audit Problem 5.1's two conditions against exact ground truth.
+
+    ``max_combination_size`` restricts the audit to context specifications
+    of at most that many predicates — matching the cap the selection
+    itself was run with (coverage beyond the cap is explicitly out of
+    scope, per the paper's bounded-|P| assumption).
+    """
+    mined = eclat(db, min_support=t_c, max_size=max_combination_size)
+    combos = list(mined.itemsets)
+    uncovered = coverage_gaps(combos, keyword_sets)
+    oversized = [
+        keyword_set
+        for keyword_set in keyword_sets
+        if estimator.exact(keyword_set) > t_v
+    ]
+    return VerificationResult(
+        checked_combinations=len(combos),
+        uncovered=uncovered,
+        oversized_views=oversized,
+    )

@@ -1,0 +1,171 @@
+"""Workload-driven view selection — the RDBMS-style baseline (Section 7).
+
+The paper deliberately rejects classic RDBMS view selection ("given a
+query workload and a space constraint, find views maximising the
+workload's improvement") in favour of a worst-case guarantee, arguing
+that keyword-search workloads are unpredictable and drift over time.
+This module implements the rejected alternative faithfully so the claim
+can be tested: a greedy benefit-per-storage selector over an observed
+workload of context specifications.
+
+The ablation bench pairs it with the hybrid selector and evaluates both
+under (a) the training workload and (b) a drifted workload — the
+workload-driven catalog wins slightly on (a) and degrades on (b), while
+the guarantee-based catalog's worst case is flat.  That is exactly the
+trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SelectionError
+from .greedy import ViewSizeFn
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One observed context specification with its frequency."""
+
+    predicates: FrozenSet[str]
+    frequency: int = 1
+    context_size: int = 0
+
+
+@dataclass
+class WorkloadSelectionReport:
+    """What the workload-driven selector chose and why."""
+
+    keyword_sets: List[FrozenSet[str]] = field(default_factory=list)
+    storage_used: int = 0
+    storage_budget: int = 0
+    covered_frequency: int = 0
+    total_frequency: int = 0
+
+    @property
+    def workload_coverage(self) -> float:
+        if self.total_frequency == 0:
+            return 0.0
+        return self.covered_frequency / self.total_frequency
+
+
+def _candidate_sets(
+    workload: Sequence[WorkloadEntry], max_merge: int = 2
+) -> List[FrozenSet[str]]:
+    """Candidate view keyword sets: each observed context, plus pairwise
+    unions of frequently co-observed contexts (a view covering both)."""
+    singles = sorted(
+        {entry.predicates for entry in workload}, key=sorted
+    )
+    candidates = list(singles)
+    by_frequency = sorted(
+        workload, key=lambda entry: -entry.frequency
+    )[: 16 * max_merge]
+    for i, a in enumerate(by_frequency):
+        for b in by_frequency[i + 1 : i + 1 + max_merge]:
+            union = a.predicates | b.predicates
+            if union not in candidates:
+                candidates.append(union)
+    return candidates
+
+
+def workload_driven_selection(
+    workload: Sequence[WorkloadEntry],
+    view_size: ViewSizeFn,
+    storage_budget: int,
+    benefit_fn: Optional[Callable[[WorkloadEntry], float]] = None,
+) -> WorkloadSelectionReport:
+    """Greedy benefit-per-storage selection under a storage budget.
+
+    ``benefit_fn`` scores one workload entry's saving when covered; the
+    default is ``frequency × context_size`` — the classic "work avoided"
+    estimate (each covered query saves a context materialisation).
+
+    The storage unit is view tuples (consistent with ``ViewSize``); the
+    budget plays the role of the RDBMS space constraint.
+    """
+    if storage_budget < 1:
+        raise SelectionError(f"storage budget must be >= 1, got {storage_budget}")
+    if benefit_fn is None:
+        benefit_fn = lambda entry: entry.frequency * max(entry.context_size, 1)
+
+    report = WorkloadSelectionReport(storage_budget=storage_budget)
+    report.total_frequency = sum(entry.frequency for entry in workload)
+
+    uncovered: List[WorkloadEntry] = list(workload)
+    candidates = _candidate_sets(workload)
+    chosen: List[FrozenSet[str]] = []
+    storage = 0
+
+    while uncovered and candidates:
+        best: Optional[Tuple[float, FrozenSet[str], List[WorkloadEntry]]] = None
+        for candidate in candidates:
+            size = view_size(candidate)
+            if storage + size > storage_budget:
+                continue
+            covered = [
+                entry for entry in uncovered if entry.predicates <= candidate
+            ]
+            if not covered:
+                continue
+            benefit = sum(benefit_fn(entry) for entry in covered) / max(size, 1)
+            if best is None or benefit > best[0]:
+                best = (benefit, candidate, covered)
+        if best is None:
+            break
+        _, winner, covered = best
+        chosen.append(winner)
+        storage += view_size(winner)
+        report.covered_frequency += sum(e.frequency for e in covered)
+        covered_set = {id(e) for e in covered}
+        uncovered = [e for e in uncovered if id(e) not in covered_set]
+        candidates = [c for c in candidates if c != winner]
+
+    report.keyword_sets = chosen
+    report.storage_used = storage
+    return report
+
+
+def evaluate_coverage(
+    keyword_sets: Iterable[FrozenSet[str]],
+    workload: Sequence[WorkloadEntry],
+) -> float:
+    """Fraction of workload frequency whose context some view covers.
+
+    Used to compare selections under drifted workloads.
+    """
+    keyword_sets = list(keyword_sets)
+    total = sum(entry.frequency for entry in workload)
+    if total == 0:
+        return 0.0
+    covered = sum(
+        entry.frequency
+        for entry in workload
+        if any(entry.predicates <= ks for ks in keyword_sets)
+    )
+    return covered / total
+
+
+def workload_from_queries(
+    queries: Iterable, context_sizes: Optional[Dict[FrozenSet[str], int]] = None
+) -> List[WorkloadEntry]:
+    """Aggregate context-sensitive queries into a workload.
+
+    Accepts anything with a ``predicates`` attribute (``ContextQuery``,
+    ``WorkloadQuery.query``...); duplicate contexts merge with summed
+    frequency.
+    """
+    counts: Dict[FrozenSet[str], int] = {}
+    for query in queries:
+        key = frozenset(query.predicates)
+        counts[key] = counts.get(key, 0) + 1
+    context_sizes = context_sizes or {}
+    return [
+        WorkloadEntry(
+            predicates=key,
+            frequency=freq,
+            context_size=context_sizes.get(key, 0),
+        )
+        for key, freq in sorted(counts.items(), key=lambda kv: sorted(kv[0]))
+    ]

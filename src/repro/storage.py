@@ -1,0 +1,224 @@
+"""Persistence: save and load indexes and view catalogs.
+
+A production deployment cannot re-ingest 18 M citations or re-run a
+40-hour view selection on every restart (Section 6.2's selection cost is
+the whole motivation for persisting its output).  This module serialises
+both artefacts to versioned JSON (gzip-compressed when the path ends in
+``.gz``):
+
+* **indexes** persist their configuration and the *analysed* documents;
+  posting lists are rebuilt deterministically from the stored tokens on
+  load, which keeps the format independent of posting-list internals;
+* **catalogs** persist each view's keyword set, parameter-column terms,
+  and non-empty group tuples — loading is O(total tuples), no corpus
+  access required.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Union
+
+from .errors import ReproError
+from .index.documents import Document
+from .index.inverted_index import InvertedIndex
+from .views.catalog import ViewCatalog
+from .views.view import GroupTuple, MaterializedView
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class StorageError(ReproError):
+    """Raised on malformed or incompatible persisted artefacts."""
+
+
+def _open_write(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: Path):
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def _check_header(payload: dict, expected_kind: str) -> None:
+    kind = payload.get("kind")
+    version = payload.get("version")
+    if kind != expected_kind:
+        raise StorageError(
+            f"expected a persisted {expected_kind!r}, found {kind!r}"
+        )
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+
+# -- raw documents -------------------------------------------------------------
+
+
+def save_documents(documents, path: PathLike) -> None:
+    """Persist raw (un-analysed) documents, e.g. a generated corpus."""
+    path = Path(path)
+    payload = {
+        "kind": "documents",
+        "version": FORMAT_VERSION,
+        "documents": [
+            {"doc_id": doc.doc_id, "fields": dict(doc.fields)}
+            for doc in documents
+        ],
+    }
+    with _open_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def load_documents(path: PathLike) -> List[Document]:
+    """Load documents saved by :func:`save_documents`."""
+    path = Path(path)
+    with _open_read(path) as handle:
+        payload = json.load(handle)
+    _check_header(payload, "documents")
+    return [
+        Document(entry["doc_id"], entry["fields"])
+        for entry in payload["documents"]
+    ]
+
+
+# -- indexes -----------------------------------------------------------------
+
+
+def save_index(index: InvertedIndex, path: PathLike) -> None:
+    """Persist a committed index (configuration + analysed documents)."""
+    if not index.committed:
+        raise StorageError("only committed indexes can be saved")
+    path = Path(path)
+    payload = {
+        "kind": "index",
+        "version": FORMAT_VERSION,
+        "searchable_fields": list(index.searchable_fields),
+        "predicate_field": index.predicate_field,
+        "segment_size": index.segment_size,
+        "documents": [
+            {
+                "external_id": doc.external_id,
+                "field_tokens": {
+                    name: tokens for name, tokens in doc.field_tokens.items()
+                },
+            }
+            for doc in index.store
+        ],
+    }
+    with _open_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def load_index(path: PathLike) -> InvertedIndex:
+    """Load an index saved by :func:`save_index`.
+
+    Posting lists and collection statistics are rebuilt from the stored
+    token streams, bypassing text analysis (the tokens were analysed at
+    save time), so the loaded index is bit-identical in behaviour to the
+    original.
+    """
+    path = Path(path)
+    with _open_read(path) as handle:
+        payload = json.load(handle)
+    _check_header(payload, "index")
+
+    index = InvertedIndex(
+        searchable_fields=tuple(payload["searchable_fields"]),
+        predicate_field=payload["predicate_field"],
+        segment_size=payload["segment_size"],
+    )
+    # Re-ingest pre-analysed tokens directly: mirror InvertedIndex.add
+    # without re-running the analyzers.
+    for entry in payload["documents"]:
+        field_tokens: Dict[str, List[str]] = {
+            name: list(tokens)
+            for name, tokens in entry["field_tokens"].items()
+        }
+        document = Document(entry["external_id"], fields={})
+        stored = index.store.add(
+            document, field_tokens, index.searchable_fields
+        )
+        index._total_length += stored.length
+        tf_counts: Dict[str, int] = {}
+        for name in index.searchable_fields:
+            for token in field_tokens.get(name, ()):
+                tf_counts[token] = tf_counts.get(token, 0) + 1
+        for term, tf in tf_counts.items():
+            index._content_acc.setdefault(term, []).append(
+                (stored.internal_id, tf)
+            )
+        for term in set(field_tokens.get(index.predicate_field, ())):
+            index._predicate_acc.setdefault(term, []).append(
+                (stored.internal_id, 1)
+            )
+    return index.commit()
+
+
+# -- view catalogs -------------------------------------------------------------
+
+
+def _encode_view(view: MaterializedView) -> dict:
+    return {
+        "keywords": sorted(view.keyword_set),
+        "df_terms": sorted(view.df_terms),
+        "tc_terms": sorted(view.tc_terms),
+        "groups": [
+            {
+                "pattern": sorted(pattern),
+                "count": group.count,
+                "sum_len": group.sum_len,
+                "df": group.df,
+                "tc": group.tc,
+            }
+            for pattern, group in view.groups.items()
+        ],
+    }
+
+
+def _decode_view(entry: dict) -> MaterializedView:
+    groups: Dict[FrozenSet[str], GroupTuple] = {}
+    for item in entry["groups"]:
+        groups[frozenset(item["pattern"])] = GroupTuple(
+            count=item["count"],
+            sum_len=item["sum_len"],
+            df=dict(item["df"]),
+            tc=dict(item["tc"]),
+        )
+    return MaterializedView(
+        keyword_set=entry["keywords"],
+        groups=groups,
+        df_terms=entry["df_terms"],
+        tc_terms=entry["tc_terms"],
+    )
+
+
+def save_catalog(catalog: ViewCatalog, path: PathLike) -> None:
+    """Persist every materialized view in the catalog."""
+    path = Path(path)
+    payload = {
+        "kind": "catalog",
+        "version": FORMAT_VERSION,
+        "views": [_encode_view(view) for view in catalog],
+    }
+    with _open_write(path) as handle:
+        json.dump(payload, handle)
+
+
+def load_catalog(path: PathLike) -> ViewCatalog:
+    """Load a catalog saved by :func:`save_catalog`."""
+    path = Path(path)
+    with _open_read(path) as handle:
+        payload = json.load(handle)
+    _check_header(payload, "catalog")
+    return ViewCatalog(_decode_view(entry) for entry in payload["views"])

@@ -1,0 +1,22 @@
+"""Time/range-extended context specifications (the Section 7 extension).
+
+"Context specifications can be extended with other variables.  For
+example, with *time* variable, users are able to specify the context as
+a set of documents published after 1998.  Existing work on range
+aggregation queries can be used for such queries."  This package
+implements that sketch: numeric document attributes, range-partitioned
+materialized views (exact for any range at bucket width 1), and a search
+engine over ``Q_k | P ∧ attribute ∈ [low, high]`` contexts.
+"""
+
+from .attributes import NumericAttributeIndex
+from .views import TemporalView, materialize_temporal_view
+from .engine import TemporalContextQuery, TemporalSearchEngine
+
+__all__ = [
+    "NumericAttributeIndex",
+    "TemporalView",
+    "materialize_temporal_view",
+    "TemporalContextQuery",
+    "TemporalSearchEngine",
+]

@@ -1,0 +1,111 @@
+"""Numeric document attributes for range-extended context specifications.
+
+Section 7 sketches the extension this package implements: "with a *time*
+variable, users are able to specify the context as a set of documents
+published after 1998.  Existing work on range aggregation queries can be
+used for such queries."  The attribute index stores one numeric value
+per document (e.g. publication year) and answers range probes and range
+scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..index.inverted_index import InvertedIndex
+
+
+class NumericAttributeIndex:
+    """Per-document numeric attribute with sorted-range access."""
+
+    def __init__(self, name: str, values: Sequence[Optional[int]]):
+        self.name = name
+        self._values: List[Optional[int]] = list(values)
+        self._sorted: List[Tuple[int, int]] = sorted(
+            (value, doc_id)
+            for doc_id, value in enumerate(self._values)
+            if value is not None
+        )
+        self._sorted_keys = [value for value, _ in self._sorted]
+
+    @classmethod
+    def from_index(
+        cls, index: InvertedIndex, field: str = "year"
+    ) -> "NumericAttributeIndex":
+        """Parse a stored field into the attribute (missing/bad → None).
+
+        Reads the raw field text of each stored document; the field is
+        expected to hold a single integer literal.
+        """
+        values: List[Optional[int]] = []
+        for doc in index.store:
+            tokens = doc.field_tokens.get(field)
+            raw: Optional[str]
+            if tokens:
+                raw = tokens[0]
+            else:
+                # Numeric fields are usually not analysed; fall back to
+                # the original document text via the store.
+                raw = None
+            if raw is None:
+                values.append(None)
+                continue
+            try:
+                values.append(int(raw))
+            except ValueError:
+                values.append(None)
+        return cls(field, values)
+
+    @classmethod
+    def from_values(
+        cls, name: str, values: Sequence[Optional[int]]
+    ) -> "NumericAttributeIndex":
+        return cls(name, values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def value(self, doc_id: int) -> Optional[int]:
+        """The attribute value of one document (``None`` when absent)."""
+        try:
+            return self._values[doc_id]
+        except IndexError:
+            raise QueryError(f"unknown docid {doc_id}") from None
+
+    def in_range(
+        self, doc_id: int, low: Optional[int], high: Optional[int]
+    ) -> bool:
+        """Whether the document's value lies in ``[low, high]`` (inclusive;
+        ``None`` bounds are open).  Documents without a value never match."""
+        value = self.value(doc_id)
+        if value is None:
+            return False
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+        return True
+
+    def range_doc_ids(
+        self, low: Optional[int], high: Optional[int]
+    ) -> List[int]:
+        """Sorted docids with values in ``[low, high]``."""
+        lo_idx = (
+            0 if low is None else bisect.bisect_left(self._sorted_keys, low)
+        )
+        hi_idx = (
+            len(self._sorted)
+            if high is None
+            else bisect.bisect_right(self._sorted_keys, high)
+        )
+        return sorted(doc_id for _, doc_id in self._sorted[lo_idx:hi_idx])
+
+    @property
+    def min_value(self) -> Optional[int]:
+        return self._sorted_keys[0] if self._sorted_keys else None
+
+    @property
+    def max_value(self) -> Optional[int]:
+        return self._sorted_keys[-1] if self._sorted_keys else None

@@ -1,0 +1,210 @@
+"""Range-partitioned materialized views for time-extended contexts.
+
+A :class:`TemporalView` extends ``V_K`` with one extra GROUP BY
+dimension: the document's numeric attribute value (e.g. publication
+year).  Group tuples are keyed by ``(keyword pattern, attribute value)``,
+so a range-extended statistic
+
+    SELECT Agg(para) FROM T
+    WHERE m_j1 = 1 AND … AND low <= year <= high
+
+rewrites to a scan summing tuples whose pattern covers ``P`` *and* whose
+attribute bucket falls inside the range — exact for any range because
+buckets are single attribute values (the natural granularity for years;
+coarser bucketing would trade exactness for size, which the class also
+supports via ``bucket_width``; partial buckets then fall back to the
+straightforward path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..core.query import ContextSpecification
+from ..core.statistics import (
+    CARDINALITY,
+    DOC_FREQUENCY,
+    TERM_COUNT,
+    TOTAL_LENGTH,
+    StatisticSpec,
+)
+from ..errors import ViewError, ViewNotUsableError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter
+from ..views.view import GroupTuple
+from ..views.wide_table import WideSparseTable
+from .attributes import NumericAttributeIndex
+
+GroupKey = Tuple[FrozenSet[str], Optional[int]]
+
+
+class TemporalView:
+    """``V_K`` with an extra bucketed attribute dimension."""
+
+    def __init__(
+        self,
+        keyword_set: Iterable[str],
+        attribute_name: str,
+        groups: Dict[GroupKey, GroupTuple],
+        df_terms: Iterable[str] = (),
+        tc_terms: Iterable[str] = (),
+        bucket_width: int = 1,
+    ):
+        self.keyword_set: FrozenSet[str] = frozenset(keyword_set)
+        if not self.keyword_set:
+            raise ViewError("a view must group by at least one keyword")
+        if bucket_width < 1:
+            raise ViewError(f"bucket_width must be >= 1, got {bucket_width}")
+        self.attribute_name = attribute_name
+        self.groups = dict(groups)
+        self.df_terms = frozenset(df_terms)
+        self.tc_terms = frozenset(tc_terms)
+        self.bucket_width = bucket_width
+
+    @property
+    def size(self) -> int:
+        """Non-empty ``(pattern, bucket)`` tuples."""
+        return len(self.groups)
+
+    # -- usability ----------------------------------------------------------
+
+    def covers_context(self, context: ContextSpecification) -> bool:
+        return context.is_covered_by(self.keyword_set)
+
+    def has_column_for(self, spec: StatisticSpec) -> bool:
+        if spec.kind in (CARDINALITY, TOTAL_LENGTH):
+            return True
+        if spec.kind == DOC_FREQUENCY:
+            return spec.term in self.df_terms
+        if spec.kind == TERM_COUNT:
+            return spec.term in self.tc_terms
+        return False
+
+    def covers_range_exactly(
+        self, low: Optional[int], high: Optional[int]
+    ) -> bool:
+        """Whether ``[low, high]`` aligns with bucket boundaries.
+
+        With ``bucket_width == 1`` every range is exact.  Wider buckets
+        answer only ranges aligned to bucket edges; misaligned ranges
+        must use the straightforward path (partial buckets would
+        over-count).
+        """
+        if self.bucket_width == 1:
+            return True
+        if low is not None and low % self.bucket_width != 0:
+            return False
+        if high is not None and (high + 1) % self.bucket_width != 0:
+            return False
+        return True
+
+    def is_usable_for(
+        self,
+        spec: StatisticSpec,
+        context: ContextSpecification,
+        low: Optional[int],
+        high: Optional[int],
+    ) -> bool:
+        return (
+            self.has_column_for(spec)
+            and self.covers_context(context)
+            and self.covers_range_exactly(low, high)
+        )
+
+    # -- answering -----------------------------------------------------------
+
+    def answer_many(
+        self,
+        specs: Sequence[StatisticSpec],
+        context: ContextSpecification,
+        low: Optional[int] = None,
+        high: Optional[int] = None,
+        counter: Optional[CostCounter] = None,
+    ) -> Dict[StatisticSpec, int]:
+        """Answer statistics for context ∧ range in one scan of the view."""
+        for spec in specs:
+            if not self.is_usable_for(spec, context, low, high):
+                raise ViewNotUsableError(
+                    f"temporal view over {sorted(self.keyword_set)} cannot "
+                    f"answer {spec.column_name()} for {context} "
+                    f"range [{low}, {high}]"
+                )
+        wanted = context.as_set()
+        totals: Dict[StatisticSpec, int] = {spec: 0 for spec in specs}
+        for (pattern, bucket), group in self.groups.items():
+            if bucket is None or not wanted <= pattern:
+                continue
+            bucket_low = bucket
+            bucket_high = bucket + self.bucket_width - 1
+            if low is not None and bucket_high < low:
+                continue
+            if high is not None and bucket_low > high:
+                continue
+            for spec in specs:
+                if spec.kind == CARDINALITY:
+                    totals[spec] += group.count
+                elif spec.kind == TOTAL_LENGTH:
+                    totals[spec] += group.sum_len
+                elif spec.kind == DOC_FREQUENCY:
+                    totals[spec] += group.df.get(spec.term, 0)
+                elif spec.kind == TERM_COUNT:
+                    totals[spec] += group.tc.get(spec.term, 0)
+        if counter is not None:
+            counter.entries_scanned += self.size
+            counter.model_cost += self.size
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalView(|K|={len(self.keyword_set)}, size={self.size}, "
+            f"attr={self.attribute_name!r}, width={self.bucket_width})"
+        )
+
+
+def materialize_temporal_view(
+    table: WideSparseTable,
+    attributes: NumericAttributeIndex,
+    keyword_set: Iterable[str],
+    df_terms: Iterable[str] = (),
+    tc_terms: Iterable[str] = (),
+    bucket_width: int = 1,
+) -> TemporalView:
+    """Build a temporal view: one table scan + one posting scan per term."""
+    keyword_set = frozenset(keyword_set)
+    df_terms = frozenset(df_terms)
+    tc_terms = frozenset(tc_terms)
+    groups: Dict[GroupKey, GroupTuple] = {}
+
+    def bucket_of(doc_id: int) -> Optional[int]:
+        value = attributes.value(doc_id)
+        if value is None:
+            return None
+        return (value // bucket_width) * bucket_width
+
+    keys: Dict[int, GroupKey] = {}
+    for row in table:
+        key = (row.predicates & keyword_set, bucket_of(row.doc_id))
+        keys[row.doc_id] = key
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = GroupTuple()
+        group.count += 1
+        group.sum_len += row.length
+
+    index: InvertedIndex = table.index
+    for term in df_terms | tc_terms:
+        for doc_id, tf in index.postings(term):
+            group = groups[keys[doc_id]]
+            if term in df_terms:
+                group.df[term] = group.df.get(term, 0) + 1
+            if term in tc_terms:
+                group.tc[term] = group.tc.get(term, 0) + tf
+
+    return TemporalView(
+        keyword_set,
+        attributes.name,
+        groups,
+        df_terms,
+        tc_terms,
+        bucket_width=bucket_width,
+    )

@@ -1,0 +1,111 @@
+"""The view catalog: matching queries to usable views (Sections 4.2, 6.3).
+
+At query time each collection-specific statistic is matched against the
+catalog first; when several views are usable, the smallest is picked
+("the view with the minimal size is picked", Section 6.3).  Statistics no
+view can answer are reported back so the engine can fall back to the
+straightforward plan for just those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.query import ContextSpecification
+from ..core.statistics import StatisticSpec
+from ..index.postings import CostCounter
+from .view import MaterializedView
+
+
+@dataclass(frozen=True)
+class CatalogStats:
+    """Aggregate storage accounting for benches (Section 6.2's table)."""
+
+    num_views: int
+    total_tuples: int
+    max_tuples: int
+    mean_tuples: float
+    total_storage_bytes: int
+    mean_storage_bytes: float
+
+
+class ViewCatalog:
+    """An ordered collection of materialized views with usability search."""
+
+    def __init__(self, views: Iterable[MaterializedView] = ()):
+        self._views: List[MaterializedView] = list(views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __iter__(self):
+        return iter(self._views)
+
+    def add(self, view: MaterializedView) -> None:
+        self._views.append(view)
+
+    def find_usable(
+        self, spec: StatisticSpec, context: ContextSpecification
+    ) -> Optional[MaterializedView]:
+        """Smallest view usable for ``spec`` in ``context`` (Theorem 4.1)."""
+        best: Optional[MaterializedView] = None
+        for view in self._views:
+            if view.is_usable_for(spec, context):
+                if best is None or view.size < best.size:
+                    best = view
+        return best
+
+    def find_covering(
+        self, context: ContextSpecification
+    ) -> Optional[MaterializedView]:
+        """Smallest view with ``P ⊆ K`` regardless of columns."""
+        best: Optional[MaterializedView] = None
+        for view in self._views:
+            if view.covers_context(context):
+                if best is None or view.size < best.size:
+                    best = view
+        return best
+
+    def resolve(
+        self,
+        specs: Sequence[StatisticSpec],
+        context: ContextSpecification,
+        counter: Optional[CostCounter] = None,
+    ) -> Tuple[Dict[StatisticSpec, int], List[StatisticSpec], List[MaterializedView]]:
+        """Answer as many of ``specs`` as possible from the catalog.
+
+        Returns ``(values, unresolved, views_used)``.  Specs answerable by
+        the same view are batched into one scan; distinct views each cost
+        one scan (charged to ``counter``).
+        """
+        by_view: Dict[int, Tuple[MaterializedView, List[StatisticSpec]]] = {}
+        unresolved: List[StatisticSpec] = []
+        for spec in specs:
+            view = self.find_usable(spec, context)
+            if view is None:
+                unresolved.append(spec)
+            else:
+                entry = by_view.setdefault(id(view), (view, []))
+                entry[1].append(spec)
+        values: Dict[StatisticSpec, int] = {}
+        views_used: List[MaterializedView] = []
+        for view, view_specs in by_view.values():
+            values.update(view.answer_many(view_specs, context, counter))
+            views_used.append(view)
+        return values, unresolved, views_used
+
+    def stats(self) -> CatalogStats:
+        """Storage accounting across the catalog."""
+        if not self._views:
+            return CatalogStats(0, 0, 0, 0.0, 0, 0.0)
+        tuples = [v.size for v in self._views]
+        storage = [v.storage_bytes() for v in self._views]
+        return CatalogStats(
+            num_views=len(self._views),
+            total_tuples=sum(tuples),
+            max_tuples=max(tuples),
+            mean_tuples=sum(tuples) / len(tuples),
+            total_storage_bytes=sum(storage),
+            mean_storage_bytes=sum(storage) / len(storage),
+        )

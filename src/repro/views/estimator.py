@@ -1,0 +1,87 @@
+"""``ViewSize`` computation — exact and sampled (Section 4.3).
+
+``ViewSize(V_K)`` is the number of non-empty group tuples.  Computing it
+exactly scans the whole collection; the paper's alternative is to sample
+documents, map them to ``V_K``'s groups, and count the distinct non-empty
+tuples hit.  View selection calls ``ViewSize`` constantly (every greedy
+growth step re-checks the constraint), so the estimator caches results
+per keyword set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+from .._rng import SeedLike, make_rng
+from .wide_table import WideSparseTable
+
+DEFAULT_SAMPLE_SIZE = 2048
+
+
+class ViewSizeEstimator:
+    """Cached exact/sampled view-size oracle over one wide table.
+
+    Parameters
+    ----------
+    table:
+        The wide sparse table whose rows define the groups.
+    sample_size:
+        Documents drawn per sampled estimate; estimates are monotone
+        under-counts of the exact size (a sample can only hit a subset of
+        the non-empty tuples), which keeps the selection constraint
+        conservative in the safe direction only if callers leave slack —
+        selection tests therefore verify with :meth:`exact`.
+    seed:
+        RNG seed for sampling determinism.
+    """
+
+    def __init__(
+        self,
+        table: WideSparseTable,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: SeedLike = None,
+    ):
+        self.table = table
+        self.sample_size = sample_size
+        self._rng = make_rng(seed)
+        self._predicate_sets = table.predicate_sets()
+        if sample_size >= len(self._predicate_sets):
+            self._sample = list(range(len(self._predicate_sets)))
+        else:
+            self._sample = sorted(
+                self._rng.sample(range(len(self._predicate_sets)), sample_size)
+            )
+        self._exact_cache: Dict[FrozenSet[str], int] = {}
+        self._sampled_cache: Dict[FrozenSet[str], int] = {}
+
+    def exact(self, keyword_set: Iterable[str]) -> int:
+        """Exact ``ViewSize``: distinct group keys over all rows."""
+        key = frozenset(keyword_set)
+        cached = self._exact_cache.get(key)
+        if cached is None:
+            cached = len({preds & key for preds in self._predicate_sets})
+            self._exact_cache[key] = cached
+        return cached
+
+    def sampled(self, keyword_set: Iterable[str]) -> int:
+        """Sampled ``ViewSize``: distinct group keys over the fixed sample.
+
+        Uses one fixed sample for all keyword sets so that estimates are
+        comparable across candidate views during selection.
+        """
+        key = frozenset(keyword_set)
+        cached = self._sampled_cache.get(key)
+        if cached is None:
+            sets = self._predicate_sets
+            cached = len({sets[i] & key for i in self._sample})
+            self._sampled_cache[key] = cached
+        return cached
+
+    def __call__(self, keyword_set: Iterable[str]) -> int:
+        """Default oracle used by selection: the exact size.
+
+        Selection correctness (Problem 5.1's ``ViewSize ≤ T_V``) is stated
+        against true sizes; the sampled mode exists for scale experiments
+        and is opted into explicitly.
+        """
+        return self.exact(keyword_set)

@@ -1,0 +1,106 @@
+"""Query-time statistic resolution helpers (Sections 4.1, 6.2).
+
+The catalog handles the view-rewriting half (``P ⊆ K`` → scan ``V_K``).
+This module implements the other half of Section 6.2's storage rule: a
+view only stores ``df(w, ·)`` columns for keywords with ``|L_w| ≥ T_C``,
+so statistics for *rare* keywords are computed at query time with a
+selective-first intersection — cheap precisely because the keyword list
+is short (``|L_w| < T_C`` bounds the work; skip pointers do the rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import ContextQuery
+from ..core.statistics import DOC_FREQUENCY, TERM_COUNT, StatisticSpec
+from ..errors import QueryError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter, PostingList
+
+
+@dataclass
+class ResolutionReport:
+    """How one query's collection statistics were obtained.
+
+    ``path`` is ``"views"`` (some view covered the context),
+    ``"straightforward"`` (full Figure 3 plan), or ``"mixed"`` is never
+    needed — rare-keyword fallbacks still count as the views path, which
+    is exactly the configuration Figure 7 measures.
+    """
+
+    path: str = "straightforward"
+    views_used: int = 0
+    view_tuples_scanned: int = 0
+    rare_term_fallbacks: int = 0
+    specs_from_views: int = 0
+    specs_from_fallback: int = 0
+
+
+def compute_rare_term_statistics(
+    index: InvertedIndex,
+    query: ContextQuery,
+    specs: Sequence[StatisticSpec],
+    counter: Optional[CostCounter] = None,
+) -> Dict[StatisticSpec, int]:
+    """Compute ``df``/``tc`` specs by intersecting ``L_w`` with the context lists.
+
+    Evaluates ``L_w ∩ L_m1 ∩ … ∩ L_mc`` starting from ``L_w`` (the most
+    selective list by assumption) — the paper's example of why the
+    ``L_m1 ∩ L_m2`` intersection need not be enforced in the plan when a
+    view already supplies the context-level statistics.
+
+    Only ``df``/``tc`` specs are accepted: other kinds have no
+    selective-first shortcut and must go through views or the full plan.
+    """
+    values: Dict[StatisticSpec, int] = {}
+    by_term: Dict[str, List[StatisticSpec]] = {}
+    for spec in specs:
+        if spec.kind not in (DOC_FREQUENCY, TERM_COUNT):
+            raise QueryError(
+                f"rare-term fallback cannot compute {spec.column_name()!r}"
+            )
+        by_term.setdefault(spec.term, []).append(spec)
+
+    predicate_lists = [index.predicate_postings(m) for m in query.predicates]
+    for term, term_specs in by_term.items():
+        keyword_list = index.postings(term)
+        matched = _selective_intersection(keyword_list, predicate_lists, counter)
+        df = len(matched)
+        tc = sum(tf for _, tf in matched)
+        for spec in term_specs:
+            values[spec] = df if spec.kind == DOC_FREQUENCY else tc
+    return values
+
+
+def _selective_intersection(
+    keyword_list: PostingList,
+    predicate_lists: Sequence[PostingList],
+    counter: Optional[CostCounter],
+) -> List[Tuple[int, int]]:
+    """Walk the keyword list, skipping through each predicate list.
+
+    Returns matched ``(docid, tf)`` pairs.  Work is bounded by
+    ``|L_w| · (1 + #predicates)`` entry touches plus skipped segments —
+    the ``|L_i| + |L_i| · M0`` regime of Section 3.2.2.
+    """
+    positions = [0] * len(predicate_lists)
+    matched: List[Tuple[int, int]] = []
+    for doc_id, tf in keyword_list:
+        if counter is not None:
+            counter.entries_scanned += 1
+        in_all = True
+        for idx, plist in enumerate(predicate_lists):
+            positions[idx] = plist.skip_to(positions[idx], doc_id, counter)
+            if (
+                positions[idx] >= len(plist.doc_ids)
+                or plist.doc_ids[positions[idx]] != doc_id
+            ):
+                in_all = False
+                break
+        if in_all:
+            matched.append((doc_id, tf))
+    if counter is not None:
+        counter.model_cost += len(keyword_list) * (1 + len(predicate_lists))
+    return matched

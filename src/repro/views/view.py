@@ -1,0 +1,205 @@
+"""Materialized views ``V_K`` (Section 4.1–4.3).
+
+A view groups the wide sparse table by a keyword subset ``K`` and stores,
+per non-empty group, the aggregated parameter columns:
+
+* ``count``   — COUNT(*)            (answers ``|D_P|``)
+* ``sum_len`` — SUM(len(d))         (answers ``len(D_P)``)
+* ``df[w]``   — COUNT(docs with w)  (answers ``df(w, D_P)``)
+* ``tc[w]``   — SUM(tf(w, d))       (answers ``tc(w, D_P)``)
+
+``df``/``tc`` columns exist only for the *frequent* content keywords the
+builder was given (Section 6.2's storage rule: only ``|L_w| ≥ T_C``).
+Groups are keyed by the subset of ``K`` present in the group's documents —
+the sparse encoding of the 0/1 tuple — so ``ViewSize`` (the number of
+non-empty tuples) is simply the number of stored groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+
+from ..errors import ViewError, ViewNotUsableError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter
+from ..core.query import ContextSpecification
+from ..core.statistics import (
+    CARDINALITY,
+    DOC_FREQUENCY,
+    TERM_COUNT,
+    TOTAL_LENGTH,
+    StatisticSpec,
+)
+from .wide_table import WideSparseTable
+
+
+@dataclass
+class GroupTuple:
+    """One non-empty tuple of ``V_K``: the aggregates of one partition."""
+
+    count: int = 0
+    sum_len: int = 0
+    df: Dict[str, int] = field(default_factory=dict)
+    tc: Dict[str, int] = field(default_factory=dict)
+
+
+class MaterializedView:
+    """An immutable view ``V_K`` answering statistics for any ``P ⊆ K``."""
+
+    def __init__(
+        self,
+        keyword_set: Iterable[str],
+        groups: Mapping[FrozenSet[str], GroupTuple],
+        df_terms: Iterable[str] = (),
+        tc_terms: Iterable[str] = (),
+    ):
+        self.keyword_set: FrozenSet[str] = frozenset(keyword_set)
+        if not self.keyword_set:
+            raise ViewError("a view must group by at least one keyword")
+        self.groups: Dict[FrozenSet[str], GroupTuple] = dict(groups)
+        self.df_terms: FrozenSet[str] = frozenset(df_terms)
+        self.tc_terms: FrozenSet[str] = frozenset(tc_terms)
+
+    # -- size & storage ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``ViewSize(V_K)``: the number of non-empty tuples."""
+        return len(self.groups)
+
+    @property
+    def num_parameter_columns(self) -> int:
+        """count + sum_len + one df column per frequent term + tc columns."""
+        return 2 + len(self.df_terms) + len(self.tc_terms)
+
+    def storage_bytes(self, bytes_per_cell: int = 8) -> int:
+        """Estimated storage: tuples × (keyword bitmap + parameter cells).
+
+        Keyword columns are charged one bit each (rounded up to bytes);
+        parameter cells ``bytes_per_cell`` each, matching the paper's
+        back-of-envelope 14.3 MB-per-view style of accounting.
+        """
+        bitmap_bytes = (len(self.keyword_set) + 7) // 8
+        row_bytes = bitmap_bytes + self.num_parameter_columns * bytes_per_cell
+        return self.size * row_bytes
+
+    # -- usability (Theorem 4.1) -------------------------------------------
+
+    def covers_context(self, context: ContextSpecification) -> bool:
+        """Condition 2 of Theorem 4.1: ``P ⊆ K``."""
+        return context.is_covered_by(self.keyword_set)
+
+    def has_column_for(self, spec: StatisticSpec) -> bool:
+        """Condition 1 of Theorem 4.1: the parameter column exists."""
+        if spec.kind in (CARDINALITY, TOTAL_LENGTH):
+            return True
+        if spec.kind == DOC_FREQUENCY:
+            return spec.term in self.df_terms
+        if spec.kind == TERM_COUNT:
+            return spec.term in self.tc_terms
+        return False
+
+    def is_usable_for(
+        self, spec: StatisticSpec, context: ContextSpecification
+    ) -> bool:
+        """Full usability test of Theorem 4.1."""
+        return self.has_column_for(spec) and self.covers_context(context)
+
+    # -- answering (the rewritten aggregation of Section 4.1) ---------------
+
+    def answer(
+        self,
+        spec: StatisticSpec,
+        context: ContextSpecification,
+        counter: Optional[CostCounter] = None,
+    ) -> int:
+        """Answer one statistic by scanning the view's tuples.
+
+        Sums the spec's parameter column over every group whose keyword
+        pattern has all of ``P`` set — the rewritten query
+        ``SELECT Agg(ContxPara) FROM V_K WHERE m_j1 = 1 AND …``.
+        """
+        return self.answer_many([spec], context, counter)[spec]
+
+    def answer_many(
+        self,
+        specs: Sequence[StatisticSpec],
+        context: ContextSpecification,
+        counter: Optional[CostCounter] = None,
+    ) -> Dict[StatisticSpec, int]:
+        """Answer a batch of statistics in a single scan of the view.
+
+        Complexity is ``O(ViewSize)`` regardless of the context size —
+        Theorem 4.2's guarantee, and the reason large contexts are cheap
+        once covered.
+        """
+        for spec in specs:
+            if not self.is_usable_for(spec, context):
+                raise ViewNotUsableError(
+                    f"view over {sorted(self.keyword_set)} cannot answer "
+                    f"{spec.column_name()} for context {context}"
+                )
+        wanted = context.as_set()
+        totals: Dict[StatisticSpec, int] = {spec: 0 for spec in specs}
+        for pattern, group in self.groups.items():
+            if not wanted <= pattern:
+                continue
+            for spec in specs:
+                if spec.kind == CARDINALITY:
+                    totals[spec] += group.count
+                elif spec.kind == TOTAL_LENGTH:
+                    totals[spec] += group.sum_len
+                elif spec.kind == DOC_FREQUENCY:
+                    totals[spec] += group.df.get(spec.term, 0)
+                elif spec.kind == TERM_COUNT:
+                    totals[spec] += group.tc.get(spec.term, 0)
+        if counter is not None:
+            counter.entries_scanned += self.size
+            counter.model_cost += self.size
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedView(|K|={len(self.keyword_set)}, size={self.size}, "
+            f"df_cols={len(self.df_terms)})"
+        )
+
+
+def materialize_view(
+    table: WideSparseTable,
+    keyword_set: Iterable[str],
+    df_terms: Iterable[str] = (),
+    tc_terms: Iterable[str] = (),
+) -> MaterializedView:
+    """Build ``V_K`` from the wide sparse table.
+
+    One table scan assigns every document to its group and accumulates
+    COUNT/SUM(len); then one posting-list scan per ``df``/``tc`` term
+    fills the term parameter columns (the posting list *is* the sparse
+    ``tf(d, w)`` column of ``T``).
+    """
+    keyword_set = frozenset(keyword_set)
+    df_terms = frozenset(df_terms)
+    tc_terms = frozenset(tc_terms)
+    groups: Dict[FrozenSet[str], GroupTuple] = {}
+
+    keys = table.group_keys(keyword_set)
+    for row, key in zip(table, keys):
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = GroupTuple()
+        group.count += 1
+        group.sum_len += row.length
+
+    index: InvertedIndex = table.index
+    for term in df_terms | tc_terms:
+        plist = index.postings(term)
+        for doc_id, tf in plist:
+            group = groups[keys[doc_id]]
+            if term in df_terms:
+                group.df[term] = group.df.get(term, 0) + 1
+            if term in tc_terms:
+                group.tc[term] = group.tc.get(term, 0) + tf
+
+    return MaterializedView(keyword_set, groups, df_terms, tc_terms)

@@ -1,0 +1,135 @@
+"""Unit tests for the analysis pipeline (tokeniser, stemmer, analyzers)."""
+
+import pytest
+
+from repro.index.analysis import (
+    DEFAULT_STOPWORDS,
+    Analyzer,
+    KeywordAnalyzer,
+    Stemmer,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Pancreas Transplant") == ["pancreas", "transplant"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("failure, (acute) leukemia!") == [
+            "failure",
+            "acute",
+            "leukemia",
+        ]
+
+    def test_keeps_hyphenated_and_apostrophised(self):
+        assert tokenize("parvovirus-b19 and Crohn's") == [
+            "parvovirus-b19",
+            "and",
+            "crohn's",
+        ]
+
+    def test_numbers_survive(self):
+        assert tokenize("trial 2007 results") == ["trial", "2007", "results"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+
+class TestStemmer:
+    @pytest.fixture
+    def stemmer(self):
+        return Stemmer()
+
+    def test_plural_s(self, stemmer):
+        assert stemmer.stem("transplants") == "transplant"
+
+    def test_ies(self, stemmer):
+        assert stemmer.stem("studies") == "study"
+
+    def test_sses(self, stemmer):
+        assert stemmer.stem("processes") == "process"
+        assert stemmer.stem("classes") == "class"
+
+    def test_short_tokens_untouched(self, stemmer):
+        assert stemmer.stem("as") == "as"
+        assert stemmer.stem("gas") == "gas"
+
+    def test_stem_would_be_too_short(self, stemmer):
+        # Stripping "ies" would leave fewer than 3 characters.
+        assert stemmer.stem("ties") == "tie"  # falls through to -s rule
+        assert stemmer.stem("is") == "is"
+
+    def test_idempotent_on_stems(self, stemmer):
+        once = stemmer.stem("outcomes")
+        assert stemmer.stem(once) == once
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        tokens = analyzer.analyze("The complications of pancreas transplants")
+        assert tokens == ["complication", "pancrea", "transplant"]
+
+    def test_stopwords_removed(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("the and of with") == []
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stopwords={"pancreas"})
+        assert "pancreas" not in analyzer.analyze("pancreas failure")
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(stemmer=None)
+        assert analyzer.analyze("pancreas transplants") == [
+            "pancreas",
+            "transplants",
+        ]
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(stopwords=(), min_token_length=4)
+        assert analyzer.analyze("gene expression rna") == ["gene", "expression"]
+
+    def test_query_term_single(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_query_term("Leukemia") == "leukemia"
+
+    def test_query_term_stopword_returns_none(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_query_term("the") is None
+
+    def test_query_term_multiword_raises(self):
+        analyzer = Analyzer()
+        with pytest.raises(ValueError):
+            analyzer.analyze_query_term("acute leukemia")
+
+    def test_query_and_index_agree(self):
+        """A keyword analysed at query time matches its indexed form."""
+        analyzer = Analyzer()
+        for word in ("pancreas", "studies", "complications", "leukemia"):
+            indexed = analyzer.analyze(word)
+            assert analyzer.analyze_query_term(word) == indexed[0]
+
+
+class TestKeywordAnalyzer:
+    def test_passthrough_identifiers(self):
+        analyzer = KeywordAnalyzer()
+        assert analyzer.analyze("DigestiveSystem Neoplasms") == [
+            "DigestiveSystem",
+            "Neoplasms",
+        ]
+
+    def test_no_stemming_no_stopping(self):
+        analyzer = KeywordAnalyzer()
+        assert analyzer.analyze("The Diseases") == ["The", "Diseases"]
+
+    def test_query_term_strips_whitespace(self):
+        analyzer = KeywordAnalyzer()
+        assert analyzer.analyze_query_term("  Neoplasms ") == "Neoplasms"
+
+    def test_query_term_empty_is_none(self):
+        analyzer = KeywordAnalyzer()
+        assert analyzer.analyze_query_term("   ") is None

@@ -1,0 +1,71 @@
+"""Tests for the Automatic Term Mapping simulation."""
+
+import pytest
+
+from repro.data.atm import AutomaticTermMapper
+
+
+@pytest.fixture(scope="module")
+def atm(corpus):
+    return AutomaticTermMapper.from_corpus(corpus)
+
+
+@pytest.fixture(scope="module")
+def atm_general(corpus):
+    return AutomaticTermMapper.from_corpus(corpus, generalise_to_parent=True)
+
+
+class TestMapping:
+    def test_alias_word_maps_to_owner(self, corpus, atm):
+        # Pick any known alias word.
+        word, terms = next(iter(corpus.aliases.items()))
+        assert atm.map_keyword(word) == terms
+
+    def test_case_insensitive(self, corpus, atm):
+        word = next(iter(corpus.aliases))
+        assert atm.map_keyword(word.upper()) == atm.map_keyword(word)
+
+    def test_unmapped_keyword_empty(self, atm):
+        assert atm.map_keyword("notawordatall") == []
+
+    def test_map_keywords_union_dedup(self, corpus, atm):
+        words = list(corpus.aliases)[:3]
+        union = atm.map_keywords(words)
+        assert len(union) == len(set(union))
+        for word in words:
+            for term in atm.map_keyword(word):
+                assert term in union
+
+
+class TestGeneralisation:
+    def test_leaf_hits_lift_to_parent(self, corpus, atm, atm_general):
+        ontology = corpus.ontology
+        # Find an alias word owned by a leaf term.
+        for word, terms in corpus.aliases.items():
+            leaf_terms = [t for t in terms if ontology.term(t).is_leaf]
+            if leaf_terms:
+                lifted = atm_general.map_keyword(word)
+                assert ontology.term(leaf_terms[0]).parent in lifted
+                return
+        pytest.skip("no leaf-owned alias in this corpus")
+
+    def test_generalise_requires_ontology(self, corpus):
+        with pytest.raises(ValueError):
+            AutomaticTermMapper(corpus.aliases, None, generalise_to_parent=True)
+
+
+class TestBuildContext:
+    def test_context_from_mapped_keywords(self, corpus, atm):
+        word = next(iter(corpus.aliases))
+        context = atm.build_context([word])
+        assert context is not None
+        assert set(context.predicates) == set(atm.map_keyword(word))
+
+    def test_unmappable_returns_none(self, atm):
+        assert atm.build_context(["qqqqqq"]) is None
+
+    def test_max_terms_truncation(self, corpus, atm):
+        words = list(corpus.aliases)[:5]
+        context = atm.build_context(words, max_terms=2)
+        assert context is not None
+        assert len(context.predicates) <= 2

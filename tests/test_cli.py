@@ -1,0 +1,87 @@
+"""End-to-end CLI tests: generate → index → select → search → stats."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    """Run the full CLI pipeline once into a temp directory."""
+    root = tmp_path_factory.mktemp("cli")
+    corpus = str(root / "corpus.json.gz")
+    index = str(root / "index.json.gz")
+    catalog = str(root / "catalog.json.gz")
+    assert main([
+        "generate", "--docs", "800", "--seed", "9", "--out", corpus
+    ]) == 0
+    assert main(["index", "--corpus", corpus, "--out", index]) == 0
+    assert main([
+        "select", "--index", index, "--t-c-percent", "5",
+        "--t-v", "128", "--out", catalog,
+    ]) == 0
+    return {"corpus": corpus, "index": index, "catalog": catalog}
+
+
+class TestPipeline:
+    def test_artefacts_exist(self, artefacts):
+        from pathlib import Path
+
+        for path in artefacts.values():
+            assert Path(path).exists()
+
+    def test_search_with_catalog(self, artefacts, capsys):
+        from repro.storage import load_catalog, load_index
+
+        index = load_index(artefacts["index"])
+        catalog = load_catalog(artefacts["catalog"])
+        covered = next(iter(catalog)).keyword_set
+        predicate = max(sorted(covered), key=index.predicate_frequency)
+        term = max(
+            list(index.vocabulary)[:100], key=index.document_frequency
+        )
+        code = main([
+            "search", f"{term} | {predicate}",
+            "--index", artefacts["index"],
+            "--catalog", artefacts["catalog"],
+            "--top-k", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "context-sensitive results" in out
+        assert "path=views" in out
+
+    def test_search_conventional_and_disjunctive(self, artefacts, capsys):
+        from repro.storage import load_index
+
+        index = load_index(artefacts["index"])
+        predicate = max(
+            index.predicate_vocabulary, key=index.predicate_frequency
+        )
+        term = max(
+            list(index.vocabulary)[:100], key=index.document_frequency
+        )
+        query = f"{term} | {predicate}"
+        assert main([
+            "search", query, "--index", artefacts["index"], "--conventional",
+        ]) == 0
+        assert "conventional results" in capsys.readouterr().out
+        assert main([
+            "search", query, "--index", artefacts["index"],
+            "--disjunctive", "--model", "bm25",
+        ]) == 0
+        assert "disjunctive results" in capsys.readouterr().out
+
+    def test_stats(self, artefacts, capsys):
+        assert main([
+            "stats", "--index", artefacts["index"],
+            "--catalog", artefacts["catalog"],
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "documents: 800" in out
+        assert "views:" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,142 @@
+"""Tests for the synthetic corpus generator (the Section 6 substrate)."""
+
+import pytest
+
+from repro.data.corpus import CorpusConfig, SEED_WORDS, generate_corpus
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(CorpusConfig(num_docs=400, seed=21, num_roots=4, depth=2))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(DataGenerationError):
+            CorpusConfig(num_docs=0)
+        with pytest.raises(DataGenerationError):
+            CorpusConfig(vocabulary_size=10)
+        with pytest.raises(DataGenerationError):
+            CorpusConfig(topic_mixture=1.5)
+        with pytest.raises(DataGenerationError):
+            CorpusConfig(primary_share=-0.1)
+        with pytest.raises(DataGenerationError):
+            CorpusConfig(annotations_min=3, annotations_max=2)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        config = CorpusConfig(num_docs=50, seed=77, num_roots=3, depth=2)
+        a = generate_corpus(config)
+        b = generate_corpus(config)
+        assert [d.fields for d in a.documents] == [d.fields for d in b.documents]
+        assert a.annotations == b.annotations
+
+    def test_different_seed_differs(self):
+        a = generate_corpus(CorpusConfig(num_docs=50, seed=1, num_roots=3, depth=2))
+        b = generate_corpus(CorpusConfig(num_docs=50, seed=2, num_roots=3, depth=2))
+        assert [d.fields for d in a.documents] != [d.fields for d in b.documents]
+
+
+class TestStructure:
+    def test_corpus_size(self, small_corpus):
+        assert len(small_corpus) == 400
+        assert len(small_corpus.documents) == len(small_corpus.annotations)
+
+    def test_every_doc_has_fields(self, small_corpus):
+        for doc in small_corpus.documents:
+            assert doc.text("title")
+            assert doc.text("abstract")
+            assert doc.text("mesh")
+
+    def test_mesh_field_is_inheritance_closure(self, small_corpus):
+        ontology = small_corpus.ontology
+        for doc, leaves in zip(small_corpus.documents, small_corpus.annotations):
+            mesh = set(doc.text("mesh").split())
+            assert mesh == set(ontology.expand_with_ancestors(leaves))
+
+    def test_annotation_counts_respect_config(self, small_corpus):
+        config = small_corpus.config
+        for leaves in small_corpus.annotations:
+            assert config.annotations_min <= len(leaves) <= config.annotations_max
+
+    def test_primary_concept(self, small_corpus):
+        assert small_corpus.primary_concept(0) == small_corpus.annotations[0][0]
+
+    def test_seed_words_in_vocabulary(self, small_corpus):
+        for word in SEED_WORDS[:10]:
+            assert word in small_corpus.vocabulary
+
+
+class TestTopicStructure:
+    def test_every_term_has_vocabulary(self, small_corpus):
+        ontology = small_corpus.ontology
+        for name in ontology.all_terms:
+            assert small_corpus.topic_vocabularies[name]
+
+    def test_exclusive_head_words(self, small_corpus):
+        """The strongest words of distinct concepts do not collide (until
+        the pools run out, which this corpus is too small to hit)."""
+        heads = {}
+        exclusive = 2  # at least the alias words are exclusive
+        for name, vocab in small_corpus.topic_vocabularies.items():
+            for word in vocab[:exclusive]:
+                assert word not in heads, (
+                    f"{word} shared by {name} and {heads[word]}"
+                )
+                heads[word] = name
+
+    def test_aliases_point_to_owning_terms(self, small_corpus):
+        for word, terms in small_corpus.aliases.items():
+            for term in terms:
+                assert word in small_corpus.topic_vocabularies[term][
+                    : small_corpus.config.aliases_per_term
+                ]
+
+    def test_primary_concept_words_concentrated(self, small_corpus):
+        """Documents use their primary concept's top word more than other
+        documents do — the aboutness signal (averaged over the corpus)."""
+        index = small_corpus.build_index()
+        analyzer = index.analyzer
+        from collections import defaultdict
+
+        focus_tf, other_tf = defaultdict(list), defaultdict(list)
+        for doc_number, doc in enumerate(small_corpus.documents):
+            primary = small_corpus.primary_concept(doc_number)
+            top_word = small_corpus.topic_vocabularies[primary][0]
+            term = analyzer.analyze_query_term(top_word)
+            stored = index.store.by_external_id(doc.doc_id)
+            tf = stored.term_frequency(term, ("title", "abstract"))
+            focus_tf[primary].append(tf)
+        overall = [tf for tfs in focus_tf.values() for tf in tfs]
+        assert sum(overall) / len(overall) > 0.5
+
+
+class TestContextDependentStatistics:
+    def test_internal_term_words_concentrated_in_context(self, corpus, corpus_index):
+        """The Section 1.1 inversion exists: some internal concept's top
+        word has most of its document frequency inside that concept's
+        context."""
+        searcher_vocab = corpus_index.predicate_vocabulary
+        ontology = corpus.ontology
+        internal = [
+            t
+            for t in ontology.all_terms
+            if not ontology.term(t).is_leaf
+            and ontology.term(t).parent is not None
+            and t in searcher_vocab
+        ]
+        found_concentrated = False
+        for term_name in internal:
+            top_word = corpus.topic_vocabularies[term_name][0]
+            analyzed = corpus_index.analyzer.analyze_query_term(top_word)
+            plist = corpus_index.postings(analyzed)
+            if len(plist) < 10:
+                continue
+            context = set(corpus_index.predicate_postings(term_name).doc_ids)
+            inside = sum(1 for d in plist.doc_ids if d in context)
+            if inside / len(plist) > 0.6:
+                found_concentrated = True
+                break
+        assert found_concentrated

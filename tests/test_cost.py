@@ -1,0 +1,73 @@
+"""Tests for the analytic cost model (Section 3.2) against observed work."""
+
+import pytest
+
+from repro.core.cost import (
+    context_materialization_bound,
+    estimate_straightforward_cost,
+    estimate_view_cost,
+    pairwise_intersection_cost,
+)
+from repro.core.plan import StraightforwardPlan
+from repro.core.query import ContextQuery, ContextSpecification, KeywordQuery
+from repro.core.statistics import cardinality_spec, df_spec, total_length_spec
+
+
+def query(keywords, predicates):
+    return ContextQuery(KeywordQuery(keywords), ContextSpecification(predicates))
+
+
+class TestProposition31:
+    def test_bound_is_sum_of_list_lengths(self, handmade_index):
+        bound = context_materialization_bound(
+            handmade_index, ["DigestiveSystem", "Neoplasms"]
+        )
+        assert bound == 4 + 3
+
+    def test_bound_dominates_observed_context_work(self, corpus_index):
+        """Observed plan work never exceeds the Proposition 3.1 bound
+        (plus the per-keyword statistic scans the bound formula covers
+        separately)."""
+        predicates = sorted(
+            corpus_index.predicate_vocabulary,
+            key=corpus_index.predicate_frequency,
+            reverse=True,
+        )[:2]
+        q = query(["therapy"], predicates)
+        plan = StraightforwardPlan(corpus_index)
+        execution = plan.execute(
+            q, [cardinality_spec(), total_length_spec(), df_spec("therapy")]
+        )
+        estimate = estimate_straightforward_cost(corpus_index, q)
+        assert execution.counter.entries_scanned <= estimate.total + estimate.context_bound
+
+
+class TestEstimates:
+    def test_components_positive(self, handmade_index):
+        q = query(["leukemia", "cancer"], ["Diseases"])
+        estimate = estimate_straightforward_cost(handmade_index, q)
+        assert estimate.context_bound == 6
+        assert estimate.aggregation_bound == 12
+        assert estimate.keyword_stats_bound > 0
+        assert estimate.total == (
+            estimate.context_bound
+            + estimate.aggregation_bound
+            + estimate.keyword_stats_bound
+        )
+
+    def test_view_cost_scales_with_view_size(self):
+        assert estimate_view_cost(100, 4) == 104
+        assert estimate_view_cost(4096, 2) == 4098
+
+    def test_pairwise_cost_nonnegative(self, handmade_index):
+        cost = pairwise_intersection_cost(
+            handmade_index, "DigestiveSystem", "Neoplasms"
+        )
+        assert cost >= 0
+
+    def test_view_cost_independent_of_context_size(self):
+        """Theorem 4.2: the view answer cost depends only on view size."""
+        assert estimate_view_cost(256, 3) == estimate_view_cost(256, 3)
+        small_context_cost = estimate_view_cost(256, 3)
+        huge_context_cost = estimate_view_cost(256, 3)
+        assert small_context_cost == huge_context_cost

@@ -1,0 +1,94 @@
+"""Tests for corpus diagnostics — the substitution argument, measured."""
+
+import math
+
+import pytest
+
+from repro.data.diagnostics import (
+    context_divergence,
+    context_size_profile,
+    find_idf_inversions,
+    fit_zipf,
+)
+
+
+class TestZipfFit:
+    def test_perfect_power_law(self):
+        frequencies = [int(10_000 / rank) for rank in range(1, 200)]
+        fit = fit_zipf(frequencies)
+        assert fit.slope == pytest.approx(-1.0, abs=0.05)
+        assert fit.r_squared > 0.99
+        assert fit.is_heavy_tailed
+
+    def test_uniform_not_heavy_tailed(self):
+        fit = fit_zipf([100] * 50)
+        assert fit.slope == pytest.approx(0.0, abs=1e-9)
+        assert not fit.is_heavy_tailed
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_zipf([5, 3])
+
+    def test_corpus_term_frequencies_are_zipfian(self, corpus_index):
+        frequencies = [
+            corpus_index.document_frequency(w) for w in corpus_index.vocabulary
+        ]
+        fit = fit_zipf(frequencies)
+        assert fit.is_heavy_tailed, (fit.slope, fit.r_squared)
+
+
+class TestContextSizeProfile:
+    def test_profile_statistics(self, corpus_index):
+        profile = context_size_profile(corpus_index)
+        assert profile.min >= 1
+        assert profile.max <= corpus_index.num_docs
+        assert profile.min <= profile.median <= profile.max
+
+    def test_inheritance_creates_dynamic_range(self, corpus_index):
+        """Ancestor inheritance makes internal-term contexts much larger
+        than leaf contexts — the heavy tail the thresholds rely on."""
+        profile = context_size_profile(corpus_index)
+        assert profile.dynamic_range > 10
+
+    def test_above_threshold(self, corpus_index):
+        profile = context_size_profile(corpus_index)
+        t_c = corpus_index.num_docs // 20
+        assert 0 < profile.above(t_c) < len(profile.sizes)
+
+
+class TestContextDivergence:
+    def test_contexts_diverge_from_collection(self, corpus_index):
+        """The premise of the whole paper: per-context df distributions
+        differ measurably from the global one."""
+        predicate = max(
+            corpus_index.predicate_vocabulary,
+            key=corpus_index.predicate_frequency,
+        )
+        divergence = context_divergence(corpus_index, predicate)
+        assert 0.0 < divergence <= 1.0
+
+    def test_whole_collection_context_has_low_divergence(self, handmade_index):
+        # "Diseases" annotates every handmade doc: zero divergence.
+        assert context_divergence(
+            handmade_index, "Diseases",
+            sample_terms=list(handmade_index.vocabulary),
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_context_rejected(self, corpus_index):
+        with pytest.raises(ValueError):
+            context_divergence(corpus_index, "NotAPredicate")
+
+
+class TestInversions:
+    def test_corpus_contains_inversions(self, corpus_index):
+        """The generator must produce Section 1.1's phenomenon."""
+        inversions = find_idf_inversions(corpus_index)
+        assert inversions, "no idf inversions found — quality benchmark unsound"
+        for example in inversions:
+            assert example.global_ratio >= 1.3
+            assert example.context_ratio >= 1.3
+
+    def test_inversion_fields_consistent(self, corpus_index):
+        example = find_idf_inversions(corpus_index, max_predicates=3)[0]
+        assert example.context_common_term != example.focus_term
+        assert example.predicate in corpus_index.predicate_vocabulary

@@ -1,0 +1,77 @@
+"""Unit tests for the document model and store."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.index.analysis import Analyzer
+from repro.index.documents import Document, DocumentStore
+
+
+@pytest.fixture
+def store_with_docs():
+    store = DocumentStore()
+    analyzer = Analyzer()
+    docs = [
+        Document("A", {"title": "pancreas transplant", "abstract": "graft outcomes"}),
+        Document("B", {"title": "leukemia", "abstract": "blood cancer cells"}),
+    ]
+    for doc in docs:
+        tokens = {
+            name: analyzer.analyze(doc.text(name)) for name in ("title", "abstract")
+        }
+        store.add(doc, tokens, ("title", "abstract"))
+    return store
+
+
+class TestDocument:
+    def test_text_access(self):
+        doc = Document("X", {"title": "hello"})
+        assert doc.text("title") == "hello"
+        assert doc.text("missing") == ""
+
+    def test_combined_text(self):
+        doc = Document("X", {"title": "a b", "abstract": "c"})
+        assert doc.combined_text(("title", "abstract")) == "a b c"
+
+    def test_frozen(self):
+        doc = Document("X", {"title": "t"})
+        with pytest.raises(AttributeError):
+            doc.doc_id = "Y"
+
+
+class TestDocumentStore:
+    def test_sequential_internal_ids(self, store_with_docs):
+        ids = [doc.internal_id for doc in store_with_docs]
+        assert ids == [0, 1]
+
+    def test_length_and_unique_terms(self, store_with_docs):
+        doc = store_with_docs.get(0)
+        # "pancreas transplant graft outcomes" -> 4 tokens after analysis
+        assert doc.length == 4
+        assert doc.unique_terms == 4
+
+    def test_duplicate_external_id_rejected(self, store_with_docs):
+        with pytest.raises(ReproError):
+            store_with_docs.add(
+                Document("A", {"title": "again"}), {"title": ["again"]}, ("title",)
+            )
+
+    def test_lookup_by_external_id(self, store_with_docs):
+        doc = store_with_docs.by_external_id("B")
+        assert doc is not None and doc.internal_id == 1
+        assert store_with_docs.by_external_id("nope") is None
+
+    def test_get_unknown_raises(self, store_with_docs):
+        with pytest.raises(ReproError):
+            store_with_docs.get(99)
+
+    def test_lengths_column(self, store_with_docs):
+        assert store_with_docs.lengths() == [
+            store_with_docs.get(0).length,
+            store_with_docs.get(1).length,
+        ]
+
+    def test_term_frequency(self, store_with_docs):
+        doc = store_with_docs.get(0)
+        assert doc.term_frequency("pancrea", ("title", "abstract")) == 1
+        assert doc.term_frequency("missing", ("title", "abstract")) == 0

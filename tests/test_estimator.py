@@ -1,0 +1,83 @@
+"""Tests for exact and sampled ViewSize estimation (Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.views import ViewSizeEstimator, WideSparseTable
+
+
+@pytest.fixture(scope="module")
+def estimator(corpus_table):
+    return ViewSizeEstimator(corpus_table, sample_size=200, seed=3)
+
+
+class TestExact:
+    def test_matches_brute_force(self, corpus_table, estimator):
+        predicates = sorted(
+            {p for row in corpus_table for p in row.predicates}
+        )[:4]
+        key = frozenset(predicates)
+        expected = len({row.predicates & key for row in corpus_table})
+        assert estimator.exact(key) == expected
+
+    def test_single_keyword_size_at_most_two(self, corpus_table, estimator):
+        """V_{m} has at most two tuples: m present / m absent."""
+        some_predicate = next(iter(corpus_table)).predicates
+        for predicate in list(some_predicate)[:3]:
+            assert estimator.exact({predicate}) <= 2
+
+    def test_monotone_in_keyword_set(self, corpus_table, estimator):
+        """Adding keyword columns can only refine the partition."""
+        predicates = sorted(
+            {p for row in corpus_table for p in row.predicates}
+        )[:5]
+        small = estimator.exact(predicates[:2])
+        large = estimator.exact(predicates)
+        assert large >= small
+
+    def test_cache_consistency(self, estimator):
+        key = frozenset({"whatever"})
+        assert estimator.exact(key) == estimator.exact(key)
+
+
+class TestSampled:
+    def test_never_exceeds_exact(self, corpus_table, estimator):
+        predicates = sorted(
+            {p for row in corpus_table for p in row.predicates}
+        )[:6]
+        assert estimator.sampled(predicates) <= estimator.exact(predicates)
+
+    def test_deterministic_per_seed(self, corpus_table):
+        a = ViewSizeEstimator(corpus_table, sample_size=100, seed=5)
+        b = ViewSizeEstimator(corpus_table, sample_size=100, seed=5)
+        predicates = sorted({p for row in corpus_table for p in row.predicates})[:4]
+        assert a.sampled(predicates) == b.sampled(predicates)
+
+    def test_full_sample_equals_exact(self, corpus_table):
+        estimator = ViewSizeEstimator(
+            corpus_table, sample_size=len(corpus_table) + 1, seed=1
+        )
+        predicates = sorted({p for row in corpus_table for p in row.predicates})[:4]
+        assert estimator.sampled(predicates) == estimator.exact(predicates)
+
+    def test_call_uses_exact(self, corpus_table, estimator):
+        predicates = sorted({p for row in corpus_table for p in row.predicates})[:3]
+        assert estimator(predicates) == estimator.exact(predicates)
+
+
+class TestBoundProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_size_bounded_by_2_pow_k_and_n(self, data, corpus_table, estimator):
+        """Theorem 4.2's bound: ViewSize ≤ min(2^|K|, |D|+?) — non-empty
+        tuples cannot exceed either the pattern space or the row count."""
+        all_predicates = sorted({p for row in corpus_table for p in row.predicates})
+        subset = data.draw(
+            st.lists(
+                st.sampled_from(all_predicates), min_size=1, max_size=8, unique=True
+            )
+        )
+        size = estimator.exact(subset)
+        assert size <= 2 ** len(subset)
+        assert size <= len(corpus_table)

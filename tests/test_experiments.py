@@ -1,0 +1,116 @@
+"""Tests for the programmatic experiment runner (repro.experiments)."""
+
+import pytest
+
+from repro.errors import DataGenerationError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentStack,
+    markdown_table,
+    run_all,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_selection_study,
+    write_report,
+)
+
+TINY = ExperimentConfig(
+    num_docs=1200,
+    seed=77,
+    t_c_percent=3.0,
+    t_v=256,
+    num_topics=6,
+    min_result_size=10,
+    min_relevant=3,
+    keyword_counts=(2, 3),
+    queries_per_point=4,
+    apriori_budget=150_000,
+    fpgrowth_node_budget=4_000,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_all(TINY)
+
+
+class TestConfig:
+    def test_t_c_derivation(self):
+        assert ExperimentConfig(num_docs=10_000, t_c_percent=1.0).t_c == 100
+        assert ExperimentConfig(num_docs=500, t_c_percent=0.01).t_c == 1
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            ExperimentConfig(num_docs=10)
+        with pytest.raises(DataGenerationError):
+            ExperimentConfig(t_c_percent=0)
+        with pytest.raises(DataGenerationError):
+            ExperimentConfig(t_v=1)
+
+    def test_quick_preset(self):
+        assert ExperimentConfig.quick().num_docs < ExperimentConfig().num_docs
+
+
+class TestStack:
+    def test_lazy_builds_record_timings(self):
+        stack = ExperimentStack(TINY)
+        assert stack.timings == {}
+        _ = stack.index
+        assert "corpus generation" in stack.timings
+        assert "indexing" in stack.timings
+        _ = stack.catalog
+        assert "view selection + materialisation" in stack.timings
+
+    def test_memoisation(self):
+        stack = ExperimentStack(TINY)
+        assert stack.index is stack.index
+        assert stack.catalog is stack.catalog
+
+
+class TestRunAll:
+    def test_all_experiments_present(self, tiny_report):
+        assert tiny_report.figure6.comparison.num_topics == TINY.num_topics
+        assert tiny_report.figure7.measurements
+        assert tiny_report.figure8.measurements
+        assert tiny_report.selection.num_views > 0
+
+    def test_selection_audit_clean(self, tiny_report):
+        assert tiny_report.selection.audit.ok
+
+    def test_miners_exceed_scaled_budgets(self, tiny_report):
+        assert all(m.exceeded for m in tiny_report.selection.miner_feasibility)
+
+    def test_verdicts_structure(self, tiny_report):
+        verdicts = tiny_report.verdicts()
+        assert len(verdicts) == 4
+        assert all(isinstance(ok, bool) for _, ok in verdicts)
+
+    def test_performance_measurements_positive(self, tiny_report):
+        for measurement in tiny_report.figure7.measurements.values():
+            assert measurement.mean_ms > 0
+            assert measurement.mean_model_cost > 0
+
+
+class TestReportRendering:
+    def test_markdown_table_escapes_pipes(self):
+        table = markdown_table(("a",), [("x|y",)])
+        assert "x\\|y" in table
+
+    def test_to_markdown_contains_all_sections(self, tiny_report):
+        text = tiny_report.to_markdown()
+        for heading in (
+            "## Setup",
+            "Figure 6",
+            "## E4",
+            "## E5",
+            "Figure 7",
+            "Figure 8",
+            "## Verdict",
+        ):
+            assert heading in text
+
+    def test_write_report(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,113 @@
+"""Tests for Algorithm 1 (greedy data-mining-based view selection)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SelectionError
+from repro.selection.greedy import (
+    coverage_gaps,
+    greedy_view_selection,
+    remove_subsumed,
+)
+
+
+def pow2_view_size(keyword_set):
+    """Worst-case oracle: every keyword pattern non-empty."""
+    return 2 ** len(frozenset(keyword_set))
+
+
+class TestRemoveSubsumed:
+    def test_drops_strict_subsets(self):
+        combos = [frozenset("ab"), frozenset("abc"), frozenset("c"), frozenset("d")]
+        kept = remove_subsumed(combos)
+        assert set(kept) == {frozenset("abc"), frozenset("d")}
+
+    def test_keeps_duplicates_once(self):
+        combos = [frozenset("ab"), frozenset("ab")]
+        assert remove_subsumed(combos) == [frozenset("ab")]
+
+    def test_deterministic_order(self):
+        combos = [frozenset("xy"), frozenset("ab"), frozenset("abc")]
+        assert remove_subsumed(combos) == [
+            frozenset("abc"),
+            frozenset("xy"),
+        ]
+
+    def test_empty_input(self):
+        assert remove_subsumed([]) == []
+
+
+class TestGreedySelection:
+    def test_single_combination(self):
+        views = greedy_view_selection([frozenset("abc")], pow2_view_size, t_v=16)
+        assert views == [frozenset("abc")]
+
+    def test_merges_overlapping_combinations(self):
+        combos = [frozenset("abc"), frozenset("abd")]
+        views = greedy_view_selection(combos, pow2_view_size, t_v=16)
+        # 4 keywords -> 2^4 = 16 <= T_V: one merged view suffices.
+        assert views == [frozenset("abcd")]
+
+    def test_splits_when_tv_too_small(self):
+        combos = [frozenset("abc"), frozenset("xyz")]
+        views = greedy_view_selection(combos, pow2_view_size, t_v=8)
+        # Merging would need 2^6 = 64 > 8, so two separate views.
+        assert len(views) == 2
+
+    def test_oversized_combination_raises(self):
+        with pytest.raises(SelectionError):
+            greedy_view_selection([frozenset("abcdefgh")], pow2_view_size, t_v=16)
+
+    def test_invalid_tv(self):
+        with pytest.raises(SelectionError):
+            greedy_view_selection([frozenset("a")], pow2_view_size, t_v=1)
+
+    def test_coverage_invariant(self):
+        """Problem 5.2 condition 2: every input combination covered."""
+        combos = [
+            frozenset("abc"),
+            frozenset("cd"),
+            frozenset("de"),
+            frozenset("fg"),
+            frozenset("a"),
+        ]
+        views = greedy_view_selection(combos, pow2_view_size, t_v=32)
+        assert coverage_gaps(combos, views) == []
+
+    def test_view_size_invariant(self):
+        combos = [frozenset("abc"), frozenset("bcd"), frozenset("cde")]
+        views = greedy_view_selection(combos, pow2_view_size, t_v=32)
+        assert all(pow2_view_size(v) <= 32 for v in views)
+
+    def test_prefers_high_overlap_merges(self):
+        """The second heuristic: combinations sharing keywords pack together."""
+        combos = [frozenset("abcd"), frozenset("abce"), frozenset("vwxy")]
+        views = greedy_view_selection(combos, pow2_view_size, t_v=32)
+        merged = next(v for v in views if "a" in v)
+        assert merged == frozenset("abcde")
+
+
+class TestGreedyProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        t_v_exp=st.integers(min_value=3, max_value=7),
+    )
+    def test_invariants_on_random_inputs(self, data, t_v_exp):
+        t_v = 2 ** t_v_exp
+        alphabet = list("abcdefghij")
+        combos = data.draw(
+            st.lists(
+                st.frozensets(
+                    st.sampled_from(alphabet), min_size=1, max_size=t_v_exp
+                ),
+                min_size=1,
+                max_size=12,
+            )
+        )
+        views = greedy_view_selection(combos, pow2_view_size, t_v)
+        assert coverage_gaps(combos, views) == []
+        assert all(pow2_view_size(v) <= t_v for v in views)
+        # No more views than (deduplicated, maximal) inputs.
+        assert len(views) <= len(remove_subsumed(combos))

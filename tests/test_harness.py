@@ -1,0 +1,68 @@
+"""Tests for the quality-comparison harness and the Figure 6 experiment shape."""
+
+import pytest
+
+from repro.data.trec import generate_benchmark
+from repro.eval.harness import QualityComparison, TopicOutcome, run_quality_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison(corpus, corpus_index, corpus_engine):
+    benchmark = generate_benchmark(
+        corpus,
+        corpus_index,
+        num_topics=10,
+        min_result_size=10,
+        min_relevant=3,
+        seed=29,
+    )
+    return run_quality_comparison(corpus_engine, benchmark, k=20)
+
+
+class TestComparisonMechanics:
+    def test_one_outcome_per_topic(self, comparison):
+        assert comparison.num_topics == 10
+
+    def test_wins_losses_ties_partition(self, comparison):
+        assert (
+            comparison.wins + comparison.losses + comparison.ties
+            == comparison.num_topics
+        )
+
+    def test_summary_keys(self, comparison):
+        summary = comparison.summary()
+        assert summary["topics"] == 10
+        assert summary["mean_precision_context"] == pytest.approx(
+            comparison.mean("precision_context")
+        )
+
+    def test_metrics_within_bounds(self, comparison):
+        for outcome in comparison.outcomes:
+            assert 0 <= outcome.precision_context <= 20
+            assert 0 <= outcome.precision_conventional <= 20
+            assert 0.0 <= outcome.rr_context <= 1.0
+            assert 0.0 <= outcome.ndcg_context <= 1.0
+
+
+class TestFigure6Shape:
+    """The paper's headline finding, at test scale: context-sensitive
+    ranking wins more topics than it loses, and the means do not regress."""
+
+    def test_context_wins_at_least_as_many(self, comparison):
+        assert comparison.wins >= comparison.losses
+
+    def test_mean_metrics_do_not_regress(self, comparison):
+        summary = comparison.summary()
+        assert summary["mrr_context"] >= summary["mrr_conventional"] - 0.05
+        assert (
+            summary["mean_precision_context"]
+            >= summary["mean_precision_conventional"] - 0.5
+        )
+
+
+class TestEmptyComparison:
+    def test_empty_aggregates(self):
+        comparison = QualityComparison(k=20)
+        assert comparison.num_topics == 0
+        assert comparison.wins == comparison.losses == comparison.ties == 0
+        assert comparison.mean("rr_context") == 0.0

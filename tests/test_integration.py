@@ -1,0 +1,127 @@
+"""Full-pipeline integration tests: corpus → index → selection → search → eval.
+
+These exercise the complete system the way the benchmarks do, at a
+smaller scale, and assert the cross-module invariants that no unit test
+can see.
+"""
+
+import pytest
+
+from repro import (
+    ContextSearchEngine,
+    CorpusConfig,
+    generate_corpus,
+    select_views,
+)
+from repro.data import generate_benchmark, generate_performance_workload
+from repro.eval import run_quality_comparison
+
+T_V = 128
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A complete system: corpus, index, views, two engines."""
+    corpus = generate_corpus(CorpusConfig(num_docs=2000, seed=555))
+    index = corpus.build_index()
+    t_c = max(index.num_docs // 50, 10)
+    catalog, report = select_views(index, t_c=t_c, t_v=T_V)
+    return {
+        "corpus": corpus,
+        "index": index,
+        "t_c": t_c,
+        "catalog": catalog,
+        "report": report,
+        "with_views": ContextSearchEngine(index, catalog=catalog),
+        "plain": ContextSearchEngine(index),
+    }
+
+
+class TestViewsNeverChangeAnswers:
+    """The reproduction's central invariant, at pipeline scale."""
+
+    def test_large_context_queries_identical(self, stack):
+        workload = generate_performance_workload(
+            stack["corpus"],
+            stack["index"],
+            t_c=stack["t_c"],
+            kind="large",
+            keyword_counts=(2, 3),
+            queries_per_count=6,
+            seed=1,
+        )
+        for wq in workload.all_queries():
+            a = stack["with_views"].search(wq.query)
+            b = stack["plain"].search(wq.query)
+            assert a.report.resolution.path == "views"
+            assert b.report.resolution.path == "straightforward"
+            assert [h.doc_id for h in a.hits] == [h.doc_id for h in b.hits]
+            for ha, hb in zip(a.hits, b.hits):
+                assert ha.score == pytest.approx(hb.score, abs=1e-10)
+
+    def test_views_cost_less_on_large_contexts(self, stack):
+        workload = generate_performance_workload(
+            stack["corpus"],
+            stack["index"],
+            t_c=stack["t_c"],
+            kind="large",
+            keyword_counts=(2,),
+            queries_per_count=6,
+            seed=2,
+        )
+        view_cost = plain_cost = 0
+        for wq in workload.all_queries():
+            view_cost += stack["with_views"].search(wq.query).report.counter.model_cost
+            plain_cost += stack["plain"].search(wq.query).report.counter.model_cost
+        assert view_cost < plain_cost
+
+    def test_small_contexts_fall_back(self, stack):
+        workload = generate_performance_workload(
+            stack["corpus"],
+            stack["index"],
+            t_c=stack["t_c"],
+            kind="small",
+            keyword_counts=(2,),
+            queries_per_count=6,
+            seed=3,
+        )
+        for wq in workload.all_queries():
+            result = stack["with_views"].search(wq.query)
+            assert result.report.resolution.path == "straightforward"
+
+
+class TestQualityShape:
+    def test_context_sensitive_wins_overall(self, stack):
+        benchmark = generate_benchmark(
+            stack["corpus"],
+            stack["index"],
+            num_topics=10,
+            min_result_size=10,
+            min_relevant=3,
+            seed=4,
+        )
+        comparison = run_quality_comparison(stack["with_views"], benchmark)
+        assert comparison.wins >= comparison.losses
+        summary = comparison.summary()
+        assert summary["mrr_context"] >= summary["mrr_conventional"] - 0.05
+
+
+class TestSelectionScalesWithThresholds:
+    def test_views_cover_every_large_workload_context(self, stack):
+        """Every generated large-context specification is covered by a
+        catalog view — the operational consequence of Problem 5.1."""
+        workload = generate_performance_workload(
+            stack["corpus"],
+            stack["index"],
+            t_c=stack["t_c"],
+            kind="large",
+            keyword_counts=(2, 3),
+            queries_per_count=6,
+            seed=5,
+        )
+        for wq in workload.all_queries():
+            assert stack["catalog"].find_covering(wq.query.context) is not None
+
+    def test_all_views_within_tv(self, stack):
+        for view in stack["catalog"]:
+            assert view.size <= T_V

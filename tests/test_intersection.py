@@ -1,0 +1,134 @@
+"""Unit and property tests for inverted-list intersection operators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.intersection import (
+    intersect,
+    intersect_ids,
+    intersect_many,
+    model_intersection_cost,
+    union_many,
+)
+from repro.index.postings import CostCounter, PostingList
+
+
+def make_list(ids, segment_size=4):
+    return PostingList.from_pairs("t", [(i, 1) for i in ids], segment_size=segment_size)
+
+
+sorted_ids = st.lists(
+    st.integers(min_value=0, max_value=2_000), unique=True, max_size=200
+).map(sorted)
+
+
+class TestPairwise:
+    def test_basic(self):
+        a = make_list([1, 3, 5, 7, 9])
+        b = make_list([3, 4, 5, 6, 9, 11])
+        assert intersect(a, b) == [3, 5, 9]
+
+    def test_empty_sides(self):
+        a, empty = make_list([1, 2]), make_list([])
+        assert intersect(a, empty) == []
+        assert intersect(empty, a) == []
+
+    @given(sorted_ids, sorted_ids)
+    def test_matches_set_intersection(self, ids_a, ids_b):
+        a, b = make_list(ids_a), make_list(ids_b)
+        expected = sorted(set(ids_a) & set(ids_b))
+        assert intersect(a, b) == expected
+
+    @given(sorted_ids, sorted_ids)
+    def test_skips_and_no_skips_agree(self, ids_a, ids_b):
+        a, b = make_list(ids_a), make_list(ids_b)
+        assert intersect(a, b, use_skips=True) == intersect(a, b, use_skips=False)
+
+    def test_skips_touch_fewer_entries_on_sparse_join(self):
+        long = make_list(list(range(1000)), segment_size=16)
+        short = make_list([0, 999], segment_size=16)
+        with_skips, without = CostCounter(), CostCounter()
+        intersect(short, long, with_skips, use_skips=True)
+        intersect(short, long, without, use_skips=False)
+        assert with_skips.entries_scanned < without.entries_scanned
+        assert with_skips.segments_skipped > 0
+
+    def test_model_cost_charged(self):
+        a = make_list(list(range(50)))
+        b = make_list(list(range(25, 75)))
+        counter = CostCounter()
+        intersect(a, b, counter)
+        assert counter.model_cost == model_intersection_cost(a, b)
+
+
+class TestModelCost:
+    def test_disjoint_lists_cost_zero(self):
+        a = make_list(list(range(10)))
+        b = make_list(list(range(100, 110)))
+        assert model_intersection_cost(a, b) == 0
+
+    def test_cost_bounded_by_sum_of_lengths_plus_padding(self):
+        # M0·(N_i^o + N_j^o) <= |L_i| + |L_j| rounded up to segments.
+        a = make_list(list(range(0, 200, 2)), segment_size=8)
+        b = make_list(list(range(1, 200, 2)), segment_size=8)
+        cost = model_intersection_cost(a, b)
+        padded = (a.num_segments + b.num_segments) * 8
+        assert cost <= padded
+
+    def test_selective_list_cheap(self):
+        """Section 3.2.2: tiny lists intersect long ones cheaply."""
+        long = make_list(list(range(10_000)), segment_size=64)
+        short = make_list([5_000], segment_size=64)
+        cost = model_intersection_cost(short, long)
+        # One short segment overlaps; at most one long segment overlaps it.
+        assert cost <= 2 * 64
+
+
+class TestIntersectIds:
+    @given(sorted_ids, sorted_ids)
+    def test_matches_set_semantics(self, ids, plist_ids):
+        plist = make_list(plist_ids)
+        expected = sorted(set(ids) & set(plist_ids))
+        assert intersect_ids(sorted(ids), plist) == expected
+
+    def test_empty_ids(self):
+        assert intersect_ids([], make_list([1, 2])) == []
+
+
+class TestIntersectMany:
+    def test_three_way(self):
+        lists = [
+            make_list([1, 2, 3, 4, 5, 6]),
+            make_list([2, 4, 6, 8]),
+            make_list([4, 6, 10]),
+        ]
+        assert intersect_many(lists) == [4, 6]
+
+    def test_single_list(self):
+        assert intersect_many([make_list([3, 1 + 4])]) == [3, 5]
+
+    def test_empty_input(self):
+        assert intersect_many([]) == []
+
+    def test_short_circuit_on_empty_intersection(self):
+        lists = [make_list([1]), make_list([2]), make_list(list(range(1000)))]
+        assert intersect_many(lists) == []
+
+    @given(st.lists(sorted_ids, min_size=1, max_size=4))
+    def test_matches_set_fold(self, id_lists):
+        lists = [make_list(ids) for ids in id_lists]
+        expected = set(id_lists[0])
+        for ids in id_lists[1:]:
+            expected &= set(ids)
+        assert intersect_many(lists) == sorted(expected)
+
+
+class TestUnionMany:
+    @given(st.lists(sorted_ids, max_size=4))
+    def test_matches_set_union(self, id_lists):
+        lists = [make_list(ids) for ids in id_lists]
+        expected = set()
+        for ids in id_lists:
+            expected |= set(ids)
+        assert union_many(lists) == sorted(expected)

@@ -1,0 +1,111 @@
+"""Unit tests for the inverted index (construction, statistics, postings)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.index import Document, InvertedIndex, build_index
+
+from .conftest import HANDMADE_DOCS
+
+
+class TestLifecycle:
+    def test_reads_require_commit(self):
+        index = InvertedIndex()
+        index.add(HANDMADE_DOCS[0])
+        with pytest.raises(ReproError):
+            index.postings("pancrea")
+
+    def test_add_after_commit_rejected(self, handmade_index):
+        with pytest.raises(ReproError):
+            handmade_index.add(Document("new", {"title": "x"}))
+
+    def test_commit_idempotent(self, handmade_index):
+        assert handmade_index.commit() is handmade_index
+
+    def test_duplicate_doc_rejected(self):
+        index = InvertedIndex()
+        index.add(HANDMADE_DOCS[0])
+        with pytest.raises(ReproError):
+            index.add(HANDMADE_DOCS[0])
+
+
+class TestCollectionStatistics:
+    def test_num_docs(self, handmade_index):
+        assert handmade_index.num_docs == len(HANDMADE_DOCS)
+
+    def test_total_length_is_sum_of_doc_lengths(self, handmade_index):
+        assert handmade_index.total_length == sum(
+            doc.length for doc in handmade_index.store
+        )
+
+    def test_average_document_length(self, handmade_index):
+        expected = handmade_index.total_length / handmade_index.num_docs
+        assert handmade_index.average_document_length() == pytest.approx(expected)
+
+    def test_empty_index_avgdl(self):
+        index = InvertedIndex().commit()
+        assert index.average_document_length() == 0.0
+
+
+class TestPostings:
+    def test_df_matches_brute_force(self, handmade_index):
+        """df(w, D) from postings equals a scan over stored documents."""
+        for term in ("pancrea", "leukemia", "cancer", "outcome"):
+            expected = sum(
+                1
+                for doc in handmade_index.store
+                if term
+                in doc.field_tokens["title"] + doc.field_tokens["abstract"]
+            )
+            assert handmade_index.document_frequency(term) == expected
+
+    def test_tf_accumulates_across_fields(self, handmade_index):
+        # C3 has "leukemia" twice in the title and twice in the abstract.
+        plist = handmade_index.postings("leukemia")
+        doc = handmade_index.store.by_external_id("C3")
+        assert plist.tf_for(doc.internal_id) == 4
+
+    def test_unknown_term_empty_postings(self, handmade_index):
+        assert len(handmade_index.postings("zzzzz")) == 0
+
+    def test_postings_sorted_by_docid(self, handmade_index):
+        for term in handmade_index.vocabulary:
+            ids = handmade_index.postings(term).doc_ids
+            assert ids == sorted(ids)
+
+    def test_stopwords_not_indexed(self, handmade_index):
+        assert "the" not in handmade_index.vocabulary
+        assert "and" not in handmade_index.vocabulary
+
+
+class TestPredicatePostings:
+    def test_predicate_lists(self, handmade_index):
+        assert handmade_index.predicate_frequency("DigestiveSystem") == 4
+        assert handmade_index.predicate_frequency("Neoplasms") == 3
+        assert handmade_index.predicate_frequency("Diseases") == 6
+
+    def test_predicate_tf_clamped_to_one(self, handmade_index):
+        plist = handmade_index.predicate_postings("Diseases")
+        assert all(tf == 1 for _, tf in plist)
+
+    def test_predicates_not_stemmed(self, handmade_index):
+        # "Diseases" would stem to "disease" in the content space.
+        assert "Diseases" in handmade_index.predicate_vocabulary
+
+    def test_unknown_predicate_empty(self, handmade_index):
+        assert handmade_index.predicate_frequency("Nope") == 0
+
+
+class TestBuildIndex:
+    def test_build_index_commits(self):
+        index = build_index(HANDMADE_DOCS[:2])
+        assert index.committed
+        assert index.num_docs == 2
+
+    def test_custom_fields(self):
+        docs = [Document("1", {"body": "alpha beta", "tags": "T1 T2"})]
+        index = build_index(
+            docs, searchable_fields=("body",), predicate_field="tags"
+        )
+        assert index.document_frequency("alpha") == 1
+        assert index.predicate_frequency("T1") == 1

@@ -1,0 +1,117 @@
+"""Tests for the Keyword Association Graph (Definition 3)."""
+
+import pytest
+
+from repro.selection.kag import Edge, KeywordAssociationGraph
+from repro.selection.mining import TransactionDatabase
+
+
+@pytest.fixture
+def db():
+    return TransactionDatabase(
+        [
+            {"a", "b", "c"},
+            {"a", "b"},
+            {"a", "b"},
+            {"b", "c"},
+            {"c", "d"},
+            {"d"},
+            {"d", "e"},
+        ]
+    )
+
+
+class TestConstruction:
+    def test_edge_weights_are_cooccurrence_counts(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=1)
+        assert kag.edge_weight("a", "b") == 3
+        assert kag.edge_weight("b", "c") == 2
+        assert kag.edge_weight("c", "d") == 1
+        assert kag.edge_weight("a", "d") == 0
+
+    def test_light_edges_dropped(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=2)
+        assert kag.has_edge("a", "b")
+        assert not kag.has_edge("c", "d")  # weight 1 < T_C
+
+    def test_low_frequency_vertices_excluded(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=2)
+        assert "e" not in kag  # frequency 1 < T_C
+
+    def test_weights_match_brute_force(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=1)
+        for edge in kag.edges():
+            assert edge.weight == db.support({edge.a, edge.b})
+
+    def test_from_edges(self):
+        kag = KeywordAssociationGraph.from_edges(
+            [("x", "y", 5)], vertices=["z"]
+        )
+        assert set(kag.vertices) == {"x", "y", "z"}
+        assert kag.edge_weight("x", "y") == 5
+
+
+class TestStructure:
+    def test_connected_components(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=2)
+        components = kag.connected_components()
+        assert frozenset({"a", "b", "c"}) in components
+        assert frozenset({"d"}) in components
+
+    def test_components_largest_first(self):
+        kag = KeywordAssociationGraph.from_edges(
+            [("a", "b", 1)], vertices=["c", "d", "e"]
+        )
+        components = kag.connected_components()
+        assert components[0] == frozenset({"a", "b"})
+
+    def test_subgraph(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=1)
+        sub = kag.subgraph({"a", "b", "d"})
+        assert set(sub.vertices) == {"a", "b", "d"}
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("c", "d")
+
+    def test_is_clique(self):
+        triangle = KeywordAssociationGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 1), ("a", "c", 1)]
+        )
+        path = KeywordAssociationGraph.from_edges([("a", "b", 1), ("b", "c", 1)])
+        assert triangle.is_clique()
+        assert not path.is_clique()
+
+    def test_single_vertex_is_clique(self):
+        kag = KeywordAssociationGraph.from_edges([], vertices=["a"])
+        assert kag.is_clique()
+
+    def test_remove_light_edges(self):
+        kag = KeywordAssociationGraph.from_edges(
+            [("a", "b", 10), ("b", "c", 1)]
+        )
+        pruned = kag.remove_light_edges(5)
+        assert pruned.has_edge("a", "b")
+        assert not pruned.has_edge("b", "c")
+
+    def test_edges_sorted_and_canonical(self):
+        kag = KeywordAssociationGraph.from_edges(
+            [("z", "a", 1), ("m", "b", 2)]
+        )
+        edges = kag.edges()
+        assert edges == [Edge("a", "z", 1), Edge("b", "m", 2)]
+
+    def test_num_edges(self, db):
+        kag = KeywordAssociationGraph.from_transactions(db, t_c=1)
+        assert kag.num_edges() == len(kag.edges())
+
+
+class TestOnCorpus:
+    def test_kag_from_corpus_predicates(self, corpus_db):
+        t_c = len(corpus_db) // 10
+        kag = KeywordAssociationGraph.from_transactions(corpus_db, t_c)
+        # Vertices are exactly the frequent predicates.
+        expected = set(corpus_db.frequent_items(t_c))
+        assert set(kag.vertices) == expected
+        # Spot-check edge weights against scans.
+        for edge in kag.edges()[:10]:
+            assert edge.weight == corpus_db.support({edge.a, edge.b})
+            assert edge.weight >= t_c

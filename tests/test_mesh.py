@@ -1,0 +1,92 @@
+"""Tests for the MeSH-like ontology generator."""
+
+import pytest
+
+from repro.data.mesh import ROOT_CATEGORIES, MeshOntology
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return MeshOntology.generate(num_roots=4, branching=3, depth=3, seed=9)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = MeshOntology.generate(num_roots=3, branching=3, depth=2, seed=5)
+        b = MeshOntology.generate(num_roots=3, branching=3, depth=2, seed=5)
+        assert a.all_terms == b.all_terms
+
+    def test_different_seeds_differ(self):
+        a = MeshOntology.generate(num_roots=3, branching=4, depth=3, seed=5)
+        b = MeshOntology.generate(num_roots=3, branching=4, depth=3, seed=6)
+        assert a.all_terms != b.all_terms
+
+    def test_roots_are_categories(self, ontology):
+        assert set(ontology.roots) == set(ROOT_CATEGORIES[:4])
+
+    def test_every_nonroot_has_parent(self, ontology):
+        for name in ontology.all_terms:
+            term = ontology.term(name)
+            if not term.is_root:
+                assert term.name in ontology.term(term.parent).children
+
+    def test_depths_consistent(self, ontology):
+        for name in ontology.all_terms:
+            term = ontology.term(name)
+            assert term.depth == len(ontology.ancestors(name))
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataGenerationError):
+            MeshOntology.generate(num_roots=0)
+        with pytest.raises(DataGenerationError):
+            MeshOntology.generate(branching=1)
+        with pytest.raises(DataGenerationError):
+            MeshOntology.generate(depth=0)
+
+    def test_names_unique_and_token_safe(self, ontology):
+        names = ontology.all_terms
+        assert len(set(names)) == len(names)
+        for name in names:
+            assert " " not in name  # must survive the keyword analyzer
+
+
+class TestNavigation:
+    def test_ancestors_to_root(self, ontology):
+        leaf = ontology.leaves[0]
+        chain = ontology.ancestors(leaf)
+        assert chain, "a leaf at depth 3 has ancestors"
+        assert ontology.term(chain[-1]).is_root
+
+    def test_descendants_inverse_of_ancestors(self, ontology):
+        root = ontology.roots[0]
+        for descendant in ontology.descendants(root):
+            assert root in ontology.ancestors(descendant)
+
+    def test_expand_with_ancestors(self, ontology):
+        leaf = ontology.leaves[0]
+        expanded = ontology.expand_with_ancestors([leaf])
+        assert leaf in expanded
+        assert set(ontology.ancestors(leaf)) <= expanded
+        assert len(expanded) == 1 + len(ontology.ancestors(leaf))
+
+    def test_expand_multiple_terms_unions(self, ontology):
+        leaves = list(ontology.leaves[:2])
+        expanded = ontology.expand_with_ancestors(leaves)
+        singles = set()
+        for leaf in leaves:
+            singles |= ontology.expand_with_ancestors([leaf])
+        assert expanded == singles
+
+    def test_unknown_term_raises(self, ontology):
+        with pytest.raises(DataGenerationError):
+            ontology.term("NotATerm")
+
+    def test_popularity_weights(self, ontology):
+        weights = ontology.popularity_weights()
+        assert set(weights) == set(ontology.leaves)
+        values = [weights[leaf] for leaf in sorted(weights)]
+        assert all(v > 0 for v in values)
+        # Zipf: sorted leaf order gets decreasing weight.
+        ordered = [weights[leaf] for leaf in ontology.leaves]
+        assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,83 @@
+"""Unit tests for IR metrics (hand-computed values)."""
+
+import pytest
+
+from repro.eval.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    precision_fraction_at_k,
+    reciprocal_rank,
+)
+
+RANKED = ["d1", "d2", "d3", "d4", "d5"]
+
+
+class TestPrecisionAtK:
+    def test_counts_relevant_in_top_k(self):
+        assert precision_at_k(RANKED, {"d1", "d3", "d9"}, 3) == 2
+        assert precision_at_k(RANKED, {"d5"}, 3) == 0
+        assert precision_at_k(RANKED, {"d5"}, 5) == 1
+
+    def test_k_beyond_ranking_length(self):
+        assert precision_at_k(RANKED, {"d1"}, 100) == 1
+
+    def test_fraction(self):
+        assert precision_fraction_at_k(RANKED, {"d1", "d2"}, 4) == 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKED, set(), 0)
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {"d1"}, 5) == 0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(RANKED, {"d1"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(RANKED, {"d3", "d5"}) == pytest.approx(1 / 3)
+
+    def test_no_relevant(self):
+        assert reciprocal_rank(RANKED, {"x"}) == 0.0
+
+    def test_empty_ranking(self):
+        assert reciprocal_rank([], {"d1"}) == 0.0
+
+
+class TestAveragePrecision:
+    def test_hand_computed(self):
+        # Relevant at ranks 1 and 3, |relevant| = 2:
+        # AP = (1/1 + 2/3) / 2 = 5/6.
+        assert average_precision(RANKED, {"d1", "d3"}) == pytest.approx(5 / 6)
+
+    def test_unretrieved_relevant_penalised(self):
+        # Relevant: d1 (rank 1) and dX (never retrieved): AP = (1/1)/2.
+        assert average_precision(RANKED, {"d1", "dX"}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(RANKED, set()) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        assert ndcg_at_k(["r1", "r2", "n1"], {"r1", "r2"}, 3) == pytest.approx(1.0)
+
+    def test_worst_nonzero_ranking(self):
+        import math
+
+        # One relevant doc at rank 3 of 3; ideal puts it at rank 1.
+        got = ndcg_at_k(["n1", "n2", "r1"], {"r1"}, 3)
+        assert got == pytest.approx((1 / math.log2(4)) / (1 / math.log2(2)))
+
+    def test_no_relevant(self):
+        assert ndcg_at_k(RANKED, set(), 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(RANKED, {"d1"}, 0)
+
+    def test_bounded_by_one(self):
+        assert 0.0 <= ndcg_at_k(RANKED, {"d2", "d4"}, 5) <= 1.0

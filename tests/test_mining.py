@@ -1,0 +1,192 @@
+"""Tests for the three frequent-itemset miners (Section 5.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError, MiningError
+from repro.selection.mining import (
+    TransactionDatabase,
+    apriori,
+    declat,
+    eclat,
+    fpgrowth,
+)
+
+TINY_TRANSACTIONS = [
+    {"a", "b", "c"},
+    {"a", "b"},
+    {"a", "c"},
+    {"b", "c"},
+    {"a", "b", "c", "d"},
+    {"d"},
+]
+
+
+@pytest.fixture
+def tiny_db():
+    return TransactionDatabase(TINY_TRANSACTIONS)
+
+
+def brute_force_frequent(transactions, min_support, max_size=None):
+    """Ground truth by full enumeration over observed items."""
+    from itertools import combinations
+
+    items = sorted({i for t in transactions for i in t})
+    out = {}
+    upper = max_size if max_size is not None else len(items)
+    for size in range(1, upper + 1):
+        for combo in combinations(items, size):
+            support = sum(1 for t in transactions if set(combo) <= t)
+            if support >= min_support:
+                out[frozenset(combo)] = support
+    return out
+
+
+class TestTransactionDatabase:
+    def test_item_support(self, tiny_db):
+        assert tiny_db.item_support("a") == 4
+        assert tiny_db.item_support("d") == 2
+        assert tiny_db.item_support("zz") == 0
+
+    def test_support_scan(self, tiny_db):
+        assert tiny_db.support({"a", "b"}) == 3
+        assert tiny_db.support({"a", "d"}) == 1
+        assert tiny_db.support(set()) == len(TINY_TRANSACTIONS)
+
+    def test_frequent_items_order(self, tiny_db):
+        items = tiny_db.frequent_items(2)
+        # a(4), b(4), c(4), d(2): ties break lexicographically.
+        assert items == ["a", "b", "c", "d"]
+
+    def test_project(self, tiny_db):
+        projected = tiny_db.project({"a", "d"})
+        assert len(projected) == 5  # {b,c} drops out entirely
+        assert projected.support({"a"}) == 4
+
+    def test_tidsets(self, tiny_db):
+        vertical = tiny_db.tidsets(min_support=4)
+        assert set(vertical) == {"a", "b", "c"}
+        assert vertical["a"] == {0, 1, 2, 4}
+
+
+class TestMinersOnTiny:
+    @pytest.mark.parametrize("miner", [apriori, fpgrowth, eclat, declat])
+    def test_matches_brute_force(self, tiny_db, miner):
+        result = miner(tiny_db, min_support=2)
+        assert result.itemsets == brute_force_frequent(TINY_TRANSACTIONS, 2)
+
+    @pytest.mark.parametrize("miner", [apriori, fpgrowth, eclat, declat])
+    def test_max_size_cap(self, tiny_db, miner):
+        result = miner(tiny_db, min_support=1, max_size=2)
+        assert all(len(s) <= 2 for s in result.itemsets)
+        expected = brute_force_frequent(TINY_TRANSACTIONS, 1, max_size=2)
+        assert result.itemsets == expected
+
+    @pytest.mark.parametrize("miner", [apriori, fpgrowth, eclat, declat])
+    def test_validation(self, tiny_db, miner):
+        with pytest.raises(MiningError):
+            miner(tiny_db, min_support=0)
+        with pytest.raises(MiningError):
+            miner(TransactionDatabase([]), min_support=1)
+
+    def test_maximal_itemsets(self, tiny_db):
+        result = eclat(tiny_db, min_support=2)
+        maximal = result.maximal_itemsets()
+        assert frozenset({"a", "b", "c"}) in maximal
+        assert frozenset({"a"}) not in maximal
+        # Every frequent itemset is a subset of some maximal one.
+        for itemset in result.itemsets:
+            assert any(itemset <= m for m in maximal)
+
+
+class TestBudgets:
+    """Section 6.2's infeasibility findings, in miniature."""
+
+    def test_apriori_work_budget(self, tiny_db):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            apriori(tiny_db, min_support=1, budget=3)
+        assert excinfo.value.algorithm == "apriori"
+        assert excinfo.value.work_done > excinfo.value.budget
+
+    def test_fpgrowth_memory_budget(self, tiny_db):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fpgrowth(tiny_db, min_support=1, max_nodes=2)
+        assert excinfo.value.algorithm == "fpgrowth"
+
+    def test_eclat_budget(self, tiny_db):
+        with pytest.raises(BudgetExceededError):
+            eclat(tiny_db, min_support=1, budget=1)
+
+    def test_generous_budget_passes(self, tiny_db):
+        result = apriori(tiny_db, min_support=2, budget=10_000)
+        assert result.itemsets
+
+
+class TestMinersAgreeProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_items=st.integers(min_value=2, max_value=10),
+        num_transactions=st.integers(min_value=1, max_value=60),
+        min_support=st.integers(min_value=1, max_value=8),
+    )
+    def test_all_three_identical(
+        self, seed, num_items, num_transactions, min_support
+    ):
+        rng = random.Random(seed)
+        items = [f"i{k}" for k in range(num_items)]
+        transactions = [
+            set(rng.sample(items, rng.randint(1, num_items)))
+            for _ in range(num_transactions)
+        ]
+        db = TransactionDatabase(transactions)
+        a = apriori(db, min_support)
+        f = fpgrowth(db, min_support)
+        e = eclat(db, min_support)
+        d = declat(db, min_support)
+        assert a.itemsets == f.itemsets == e.itemsets == d.itemsets
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_supports_are_exact(self, seed):
+        rng = random.Random(seed)
+        items = [f"i{k}" for k in range(6)]
+        transactions = [
+            set(rng.sample(items, rng.randint(1, 6))) for _ in range(40)
+        ]
+        db = TransactionDatabase(transactions)
+        result = eclat(db, min_support=3)
+        for itemset, support in result.itemsets.items():
+            assert support == db.support(itemset)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_antimonotone_support(self, seed):
+        """Support is anti-monotone: subsets have >= support."""
+        rng = random.Random(seed)
+        items = [f"i{k}" for k in range(6)]
+        transactions = [
+            set(rng.sample(items, rng.randint(1, 6))) for _ in range(30)
+        ]
+        db = TransactionDatabase(transactions)
+        result = fpgrowth(db, min_support=2)
+        for itemset, support in result.itemsets.items():
+            for item in itemset:
+                smaller = itemset - {item}
+                if smaller:
+                    assert result.itemsets[smaller] >= support
+
+
+class TestMiningOnCorpus:
+    def test_real_predicate_transactions(self, corpus_db):
+        """Eclat over the synthetic corpus's predicate sets: every mined
+        support verified against a database scan."""
+        t_c = len(corpus_db) // 20
+        result = eclat(corpus_db, min_support=t_c, max_size=3)
+        assert result.itemsets, "expected some frequent predicate combinations"
+        sample = list(result.itemsets.items())[:25]
+        for itemset, support in sample:
+            assert support == corpus_db.support(itemset)

@@ -1,0 +1,131 @@
+"""Fixture-free micro-tests for small API corners across the library."""
+
+import pytest
+
+from repro.core.engine import ExecutionReport, SearchHit, SearchResults
+from repro.core.query import ContextSpecification, KeywordQuery, parse_query
+from repro.errors import (
+    BudgetExceededError,
+    EmptyContextError,
+    QueryError,
+    ReproError,
+)
+from repro.index.postings import PostingList
+from repro.views.rewrite import ResolutionReport
+
+
+class TestErrorMessages:
+    def test_budget_error_carries_fields(self):
+        error = BudgetExceededError("apriori", 150, 100)
+        assert error.algorithm == "apriori"
+        assert error.work_done == 150
+        assert error.budget == 100
+        assert "150 > 100" in str(error)
+
+    def test_hierarchy_catchability(self):
+        with pytest.raises(ReproError):
+            raise EmptyContextError("empty")
+        with pytest.raises(QueryError):
+            raise EmptyContextError("empty")  # subclass of QueryError
+
+
+class TestExecutionReportDefaults:
+    def test_fresh_report(self):
+        report = ExecutionReport()
+        assert report.elapsed_seconds == 0.0
+        assert report.counter.model_cost == 0
+        assert report.resolution.path == "straightforward"
+        assert report.context_size is None
+        assert report.result_size == 0
+
+    def test_resolution_report_defaults(self):
+        resolution = ResolutionReport()
+        assert resolution.views_used == 0
+        assert resolution.rare_term_fallbacks == 0
+
+
+class TestSearchResults:
+    def test_len_and_external_ids(self):
+        hits = [
+            SearchHit(doc_id=1, external_id="A", score=2.0),
+            SearchHit(doc_id=0, external_id="B", score=1.0),
+        ]
+        results = SearchResults(hits=hits, report=ExecutionReport())
+        assert len(results) == 2
+        assert results.external_ids() == ["A", "B"]
+
+    def test_empty_results(self):
+        results = SearchResults(hits=[], report=ExecutionReport())
+        assert len(results) == 0
+        assert results.external_ids() == []
+
+
+class TestQueryStrings:
+    def test_parse_query_strips_whitespace(self):
+        query = parse_query("  a   b |  M1   M2  ")
+        assert query.keywords == ("a", "b")
+        assert query.predicates == ("M1", "M2")
+
+    def test_str_roundtrip_semantics(self):
+        query = parse_query("w1 w2 | m2 m1")
+        reparsed = parse_query(str(query).replace("∧", " "))
+        assert reparsed.keywords == query.keywords
+        assert reparsed.predicates == query.predicates
+
+    def test_keyword_query_repetition_counts(self):
+        assert len(KeywordQuery(["x", "x", "y"])) == 3
+
+    def test_context_specification_frozen(self):
+        spec = ContextSpecification(["m"])
+        with pytest.raises(AttributeError):
+            spec.predicates = ("other",)
+
+
+class TestPostingListRepr:
+    def test_repr_mentions_term_and_length(self):
+        plist = PostingList.from_pairs("leukemia", [(1, 1), (2, 3)])
+        text = repr(plist)
+        assert "leukemia" in text
+        assert "2" in text
+
+    def test_empty_constant_is_frozen(self):
+        from repro.index.postings import EMPTY_POSTING_LIST
+
+        assert len(EMPTY_POSTING_LIST) == 0
+        assert not EMPTY_POSTING_LIST.contains(0)
+
+
+class TestRankingReprs:
+    def test_reprs_are_informative(self):
+        from repro import BM25, DirichletLanguageModel, PivotedNormalizationTFIDF
+
+        assert "PivotedNormalizationTFIDF" in repr(PivotedNormalizationTFIDF())
+        assert "BM25" in repr(BM25())
+        assert "DirichletLanguageModel" in repr(DirichletLanguageModel())
+
+    def test_model_names_unique(self):
+        from repro.core.ranking import ALL_RANKING_FUNCTIONS
+
+        names = [cls().name for cls in ALL_RANKING_FUNCTIONS.values()]
+        assert len(set(names)) == len(names)
+
+
+class TestViewReprs:
+    def test_materialized_view_repr(self):
+        from repro.views.view import GroupTuple, MaterializedView
+
+        view = MaterializedView(
+            {"m1", "m2"},
+            {frozenset({"m1"}): GroupTuple(count=3, sum_len=30)},
+            df_terms=["w"],
+        )
+        text = repr(view)
+        assert "|K|=2" in text
+        assert "size=1" in text
+
+    def test_group_tuple_defaults(self):
+        from repro.views.view import GroupTuple
+
+        group = GroupTuple()
+        assert group.count == 0
+        assert group.df == {} and group.tc == {}

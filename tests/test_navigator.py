@@ -1,0 +1,114 @@
+"""Tests for the ontology navigator (Figure 2's context-building tool)."""
+
+import pytest
+
+from repro.data.navigator import OntologyNavigator
+from repro.errors import DataGenerationError, QueryError
+
+
+@pytest.fixture
+def navigator(corpus, corpus_index):
+    return OntologyNavigator(corpus.ontology, corpus_index)
+
+
+class TestBrowsing:
+    def test_roots_sorted_by_count(self, navigator):
+        roots = navigator.roots()
+        assert roots
+        counts = [entry.document_count for entry in roots]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_children_counts_match_index(self, navigator, corpus_index):
+        root = navigator.roots()[0]
+        for child in navigator.children(root.name):
+            assert child.document_count == corpus_index.predicate_frequency(
+                child.name
+            )
+            assert child.depth == root.depth + 1
+
+    def test_path_to_root(self, navigator, corpus):
+        leaf = corpus.ontology.leaves[0]
+        path = navigator.path_to_root(leaf)
+        assert path[0].name == leaf
+        assert path[-1].depth == 0
+        depths = [entry.depth for entry in path]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_leaf_detection(self, navigator, corpus):
+        leaf = corpus.ontology.leaves[0]
+        entry = navigator.path_to_root(leaf)[0]
+        assert entry.is_leaf
+
+
+class TestSelection:
+    def test_select_build_roundtrip(self, navigator):
+        root = navigator.roots()[0]
+        context = navigator.select(root.name).build()
+        assert context.predicates == (root.name,)
+
+    def test_unknown_term_rejected(self, navigator):
+        with pytest.raises(DataGenerationError):
+            navigator.select("Mistyped")
+
+    def test_duplicate_select_idempotent(self, navigator):
+        root = navigator.roots()[0]
+        navigator.select(root.name).select(root.name)
+        assert navigator.selection == (root.name,)
+
+    def test_deselect_and_clear(self, navigator):
+        root = navigator.roots()[0]
+        navigator.select(root.name).deselect(root.name)
+        assert navigator.selection == ()
+        navigator.select(root.name).clear()
+        assert navigator.selection == ()
+
+    def test_empty_build_rejected(self, navigator):
+        with pytest.raises(QueryError):
+            navigator.build()
+
+    def test_context_size_preview(self, navigator, corpus_index):
+        assert navigator.context_size() == corpus_index.num_docs
+        root = navigator.roots()[0]
+        navigator.select(root.name)
+        assert navigator.context_size() == root.document_count
+
+    def test_disjoint_selection_rejected_at_build(self, navigator, corpus):
+        """Two roots whose contexts never intersect produce an empty
+        context; build() must refuse rather than hand the engine a query
+        that cannot be ranked."""
+        ontology = corpus.ontology
+        roots = list(ontology.roots)
+        navigator.select(roots[0])
+        # Find a second root with zero co-occurrence, if one exists.
+        for other in roots[1:]:
+            navigator.clear()
+            navigator.select(roots[0]).select(other)
+            if navigator.context_size() == 0:
+                with pytest.raises(QueryError):
+                    navigator.build()
+                return
+        pytest.skip("all root pairs co-occur in this corpus")
+
+
+class TestSuggestions:
+    def test_narrower_suggestions_shrink_context(self, navigator):
+        root = navigator.roots()[0]
+        navigator.select(root.name)
+        before = navigator.context_size()
+        suggestions = navigator.suggest_narrower()
+        assert suggestions
+        for entry in suggestions:
+            narrowed = OntologyNavigator(navigator.ontology, navigator.index)
+            narrowed.select(root.name).select(entry.name)
+            assert 0 < narrowed.context_size() < before
+
+    def test_broader_suggestions_are_parents(self, navigator, corpus):
+        leaf = corpus.ontology.leaves[0]
+        navigator.select(leaf)
+        suggestions = navigator.suggest_broader()
+        assert suggestions
+        assert suggestions[0].name == corpus.ontology.term(leaf).parent
+
+    def test_no_selection_no_suggestions(self, navigator):
+        assert navigator.suggest_narrower() == []
+        assert navigator.suggest_broader() == []

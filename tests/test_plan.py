@@ -1,0 +1,148 @@
+"""Tests for the straightforward execution plan (Figure 3) against ground truth."""
+
+import pytest
+
+from repro.core.plan import StraightforwardPlan
+from repro.core.query import ContextQuery, ContextSpecification, KeywordQuery
+from repro.core.statistics import (
+    StatisticSpec,
+    UNIQUE_TERMS,
+    cardinality_spec,
+    df_spec,
+    tc_spec,
+    total_length_spec,
+)
+from repro.errors import EmptyContextError
+
+
+def brute_force_context(index, predicates):
+    """Ground truth: scan every stored document."""
+    out = []
+    for doc in index.store:
+        mesh = set(doc.field_tokens[index.predicate_field])
+        if all(m in mesh for m in predicates):
+            out.append(doc)
+    return out
+
+
+def query(keywords, predicates):
+    return ContextQuery(
+        KeywordQuery(keywords), ContextSpecification(predicates)
+    )
+
+
+ALL_SPECS = lambda w: [
+    cardinality_spec(),
+    total_length_spec(),
+    df_spec(w),
+    tc_spec(w),
+]
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "keywords,predicates",
+        [
+            (["leukemia"], ["DigestiveSystem"]),
+            (["pancrea"], ["Diseases"]),
+            (["cancer"], ["Neoplasms"]),
+            (["outcome"], ["Diseases", "DigestiveSystem"]),
+        ],
+    )
+    def test_statistics_match_scan(self, handmade_index, keywords, predicates):
+        plan = StraightforwardPlan(handmade_index)
+        term = keywords[0]
+        execution = plan.execute(query(keywords, predicates), ALL_SPECS(term))
+
+        docs = brute_force_context(handmade_index, predicates)
+        values = execution.statistic_values
+        assert values[cardinality_spec()] == len(docs)
+        assert values[total_length_spec()] == sum(d.length for d in docs)
+        assert values[df_spec(term)] == sum(
+            1
+            for d in docs
+            if term in d.field_tokens["title"] + d.field_tokens["abstract"]
+        )
+        assert values[tc_spec(term)] == sum(
+            (d.field_tokens["title"] + d.field_tokens["abstract"]).count(term)
+            for d in docs
+        )
+
+    def test_result_set_matches_semantics(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        execution = plan.execute(
+            query(["leukemia"], ["DigestiveSystem"]), [cardinality_spec()]
+        )
+        externals = [
+            handmade_index.store.get(i).external_id for i in execution.result_ids
+        ]
+        assert externals == ["C2"]
+
+    def test_multi_keyword_conjunction(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        execution = plan.execute(
+            query(["pancrea", "transplant"], ["Diseases"]),
+            [cardinality_spec(), df_spec("pancrea"), df_spec("transplant")],
+        )
+        externals = [
+            handmade_index.store.get(i).external_id for i in execution.result_ids
+        ]
+        assert externals == ["C1"]
+
+    def test_unique_terms_statistic(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        spec = StatisticSpec(UNIQUE_TERMS)
+        execution = plan.execute(query(["leukemia"], ["Neoplasms"]), [spec])
+        docs = brute_force_context(handmade_index, ["Neoplasms"])
+        expected = len(
+            {
+                t
+                for d in docs
+                for t in d.field_tokens["title"] + d.field_tokens["abstract"]
+            }
+        )
+        assert execution.statistic_values[spec] == expected
+
+
+class TestEdgeCases:
+    def test_empty_context_raises(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        with pytest.raises(EmptyContextError):
+            plan.execute(query(["leukemia"], ["NoSuchTerm"]), [cardinality_spec()])
+
+    def test_keyword_absent_from_context(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        execution = plan.execute(
+            query(["fiber"], ["Neoplasms"]), [df_spec("fiber"), cardinality_spec()]
+        )
+        assert execution.statistic_values[df_spec("fiber")] == 0
+        assert execution.result_ids == []
+
+    def test_counter_reports_work(self, handmade_index):
+        plan = StraightforwardPlan(handmade_index)
+        execution = plan.execute(
+            query(["leukemia"], ["Diseases"]), [cardinality_spec()]
+        )
+        assert execution.counter.model_cost > 0
+        assert execution.context_size == 6
+
+
+class TestOnSyntheticCorpus:
+    def test_statistics_match_scan_at_scale(self, corpus_index):
+        plan = StraightforwardPlan(corpus_index)
+        predicates = [
+            max(
+                corpus_index.predicate_vocabulary,
+                key=corpus_index.predicate_frequency,
+            )
+        ]
+        term = max(
+            list(corpus_index.vocabulary)[:200],
+            key=corpus_index.document_frequency,
+        )
+        execution = plan.execute(query([term], predicates), ALL_SPECS(term))
+        docs = brute_force_context(corpus_index, predicates)
+        assert execution.statistic_values[cardinality_spec()] == len(docs)
+        assert execution.statistic_values[total_length_spec()] == sum(
+            d.length for d in docs
+        )

@@ -1,0 +1,115 @@
+"""The public API surface: everything in ``__all__`` imports and works."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing name {name}"
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_exceptions_form_hierarchy(self):
+        for name in (
+            "IndexingError",
+            "QueryError",
+            "EmptyContextError",
+            "ViewError",
+            "ViewNotUsableError",
+            "SelectionError",
+            "MiningError",
+            "BudgetExceededError",
+            "DataGenerationError",
+        ):
+            exc = getattr(repro, name)
+            assert issubclass(exc, repro.ReproError), name
+
+    def test_storage_error_in_hierarchy(self):
+        from repro.storage import StorageError
+
+        assert issubclass(StorageError, repro.ReproError)
+
+    def test_public_callables_have_docstrings(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_subpackages_have_docstrings(self):
+        import repro.core
+        import repro.data
+        import repro.eval
+        import repro.index
+        import repro.selection
+        import repro.selection.mining
+        import repro.temporal
+        import repro.views
+
+        for module in (
+            repro,
+            repro.core,
+            repro.data,
+            repro.eval,
+            repro.index,
+            repro.selection,
+            repro.selection.mining,
+            repro.temporal,
+            repro.views,
+        ):
+            assert (module.__doc__ or "").strip(), module.__name__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart code, executed verbatim in spirit."""
+        from repro import ContextSearchEngine, Document, build_index, parse_query
+
+        docs = [
+            Document(
+                "C1",
+                {
+                    "title": "Complications following pancreas transplant",
+                    "abstract": "pancreas grafts",
+                    "mesh": "Diseases DigestiveSystem",
+                },
+            ),
+            Document(
+                "C2",
+                {
+                    "title": "Organ failure in patients with acute leukemia",
+                    "abstract": "leukemia outcomes",
+                    "mesh": "Diseases DigestiveSystem",
+                },
+            ),
+        ]
+        index = build_index(docs)
+        engine = ContextSearchEngine(index)
+        results = engine.search(parse_query("leukemia | DigestiveSystem"))
+        assert results.hits
+        baseline = engine.search_conventional("leukemia | DigestiveSystem")
+        assert len(baseline.hits) == len(results.hits)
+
+    def test_readme_views_snippet_runs(self, corpus_index):
+        from repro import ContextSearchEngine, select_views
+
+        t_c = corpus_index.num_docs // 100
+        catalog, report = select_views(corpus_index, t_c=max(t_c, 5), t_v=4096)
+        engine = ContextSearchEngine(corpus_index, catalog=catalog)
+        covered = next(iter(catalog)).keyword_set
+        predicate = sorted(covered)[0]
+        term = max(
+            list(corpus_index.vocabulary)[:100],
+            key=corpus_index.document_frequency,
+        )
+        results = engine.search(f"{term} | {predicate}")
+        assert results.report.resolution.path == "views"

@@ -1,0 +1,84 @@
+"""Unit tests for the query model (Section 2.1)."""
+
+import pytest
+
+from repro.core.query import (
+    ContextQuery,
+    ContextSpecification,
+    KeywordQuery,
+    parse_query,
+)
+from repro.errors import QueryError
+
+
+class TestKeywordQuery:
+    def test_basic(self):
+        q = KeywordQuery(["pancreas", "leukemia"])
+        assert q.keywords == ("pancreas", "leukemia")
+        assert len(q) == 2
+        assert str(q) == "pancreas leukemia"
+
+    def test_duplicates_preserved(self):
+        # tq(w, Q) counts repetitions, so the keyword list keeps them.
+        q = KeywordQuery(["a", "a", "b"])
+        assert q.keywords == ("a", "a", "b")
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            KeywordQuery([])
+        with pytest.raises(QueryError):
+            KeywordQuery(["  ", ""])
+
+
+class TestContextSpecification:
+    def test_sorted_and_deduplicated(self):
+        p = ContextSpecification(["Neoplasms", "Anatomy", "Neoplasms"])
+        assert p.predicates == ("Anatomy", "Neoplasms")
+
+    def test_is_covered_by(self):
+        p = ContextSpecification(["a", "b"])
+        assert p.is_covered_by({"a", "b", "c"})
+        assert not p.is_covered_by({"a", "c"})
+
+    def test_as_set(self):
+        assert ContextSpecification(["x"]).as_set() == frozenset({"x"})
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            ContextSpecification([])
+
+
+class TestContextQuery:
+    def test_accessors(self):
+        q = ContextQuery(
+            KeywordQuery(["w1", "w2"]), ContextSpecification(["m2", "m1"])
+        )
+        assert q.keywords == ("w1", "w2")
+        assert q.predicates == ("m1", "m2")
+        assert str(q) == "w1 w2 | m1 ∧ m2"
+
+    def test_conventional_equivalent(self):
+        q = ContextQuery(KeywordQuery(["w"]), ContextSpecification(["m"]))
+        qt = q.conventional_equivalent()
+        assert set(qt.keywords) == {"w", "m"}
+
+
+class TestParseQuery:
+    def test_roundtrip(self):
+        q = parse_query("pancreas leukemia | DigestiveSystem Neoplasms")
+        assert q.keywords == ("pancreas", "leukemia")
+        assert q.predicates == ("DigestiveSystem", "Neoplasms")
+
+    def test_missing_pipe_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("no context here")
+
+    def test_double_pipe_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("a | b | c")
+
+    def test_empty_side_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("keywords | ")
+        with pytest.raises(QueryError):
+            parse_query(" | context")

@@ -1,0 +1,171 @@
+"""Unit tests for ranking functions, including hand-computed Formula 3 values."""
+
+import math
+
+import pytest
+
+from repro.core.ranking import (
+    BM25,
+    ALL_RANKING_FUNCTIONS,
+    DirichletLanguageModel,
+    PivotedNormalizationTFIDF,
+)
+from repro.core.statistics import (
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+)
+
+QS = QueryStatistics.from_keywords(["w1", "w2"])
+DS = DocumentStatistics(
+    length=100, unique_terms=60, term_frequencies={"w1": 3, "w2": 1}
+)
+CS = CollectionStatistics(
+    cardinality=1000,
+    total_length=100_000,  # avgdl = 100
+    df={"w1": 50, "w2": 400},
+    tc={"w1": 120, "w2": 900},
+)
+
+
+class TestPivotedTFIDF:
+    def test_hand_computed_score(self):
+        """Formula 3 computed by hand for the fixture statistics.
+
+        len(d) == avgdl, so the pivot norm is exactly 1 regardless of s.
+        """
+        fn = PivotedNormalizationTFIDF(slope=0.2)
+        expected = (1 + math.log(1 + math.log(3))) * math.log(1001 / 50) + (
+            1 + math.log(1 + math.log(1))
+        ) * math.log(1001 / 400)
+        assert fn.score(QS, DS, CS) == pytest.approx(expected)
+
+    def test_rare_term_scores_higher(self):
+        """Lower df ⇒ higher idf ⇒ higher score, all else equal."""
+        fn = PivotedNormalizationTFIDF()
+        ds = DocumentStatistics(100, 60, {"w1": 1})
+        qs = QueryStatistics.from_keywords(["w1"])
+        rare = CollectionStatistics(1000, 100_000, {"w1": 10})
+        common = CollectionStatistics(1000, 100_000, {"w1": 500})
+        assert fn.score(qs, ds, rare) > fn.score(qs, ds, common)
+
+    def test_length_normalisation_penalises_long_docs(self):
+        fn = PivotedNormalizationTFIDF(slope=0.5)
+        short = DocumentStatistics(50, 40, {"w1": 1})
+        long_ = DocumentStatistics(200, 120, {"w1": 1})
+        qs = QueryStatistics.from_keywords(["w1"])
+        assert fn.score(qs, short, CS) > fn.score(qs, long_, CS)
+
+    def test_unmatched_terms_contribute_zero(self):
+        fn = PivotedNormalizationTFIDF()
+        ds = DocumentStatistics(100, 60, {})
+        assert fn.score(QS, ds, CS) == 0.0
+
+    def test_repeated_query_terms_scale_by_tq(self):
+        fn = PivotedNormalizationTFIDF()
+        qs1 = QueryStatistics.from_keywords(["w1"])
+        qs2 = QueryStatistics.from_keywords(["w1", "w1"])
+        ds = DocumentStatistics(100, 60, {"w1": 2})
+        assert fn.score(qs2, ds, CS) == pytest.approx(2 * fn.score(qs1, ds, CS))
+
+    def test_slope_validation(self):
+        with pytest.raises(ValueError):
+            PivotedNormalizationTFIDF(slope=1.5)
+
+    def test_context_sensitivity_is_statistics_only(self):
+        """Formula 4 == Formula 3 with S_c(D_P) substituted: same object,
+        different statistics argument."""
+        fn = PivotedNormalizationTFIDF()
+        ctx_stats = CollectionStatistics(
+            cardinality=100, total_length=10_000, df={"w1": 40, "w2": 5}
+        )
+        s_global = fn.score(QS, DS, CS)
+        s_context = fn.score(QS, DS, ctx_stats)
+        assert s_global != s_context  # same doc, different collections
+
+    def test_required_specs(self):
+        fn = PivotedNormalizationTFIDF()
+        specs = fn.required_collection_specs(["w1", "w2", "w1"])
+        names = [s.column_name() for s in specs]
+        assert names == ["cardinality", "total_length", "df:w1", "df:w2"]
+
+
+class TestBM25:
+    def test_score_positive_for_matches(self):
+        assert BM25().score(QS, DS, CS) > 0
+
+    def test_idf_never_negative(self):
+        """Even df close to N keeps contributions non-negative."""
+        fn = BM25()
+        qs = QueryStatistics.from_keywords(["w1"])
+        ds = DocumentStatistics(100, 60, {"w1": 2})
+        cs = CollectionStatistics(1000, 100_000, {"w1": 999})
+        assert fn.score(qs, ds, cs) >= 0
+
+    def test_tf_saturation(self):
+        """BM25's tf component saturates: the 10→20 gain is smaller than 1→2."""
+        fn = BM25()
+        qs = QueryStatistics.from_keywords(["w1"])
+
+        def score(tf):
+            return fn.score(
+                qs, DocumentStatistics(100, 60, {"w1": tf}), CS
+            )
+
+        assert score(2) - score(1) > score(20) - score(10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25(k1=-1)
+        with pytest.raises(ValueError):
+            BM25(b=1.5)
+
+    def test_required_specs_are_df_based(self):
+        specs = BM25().required_collection_specs(["a"])
+        assert [s.column_name() for s in specs] == [
+            "cardinality",
+            "total_length",
+            "df:a",
+        ]
+
+
+class TestDirichletLM:
+    def test_matching_doc_beats_nonmatching(self):
+        fn = DirichletLanguageModel(mu=100)
+        qs = QueryStatistics.from_keywords(["w1"])
+        match = DocumentStatistics(100, 60, {"w1": 5})
+        nomatch = DocumentStatistics(100, 60, {})
+        assert fn.score(qs, match, CS) > fn.score(qs, nomatch, CS)
+
+    def test_uses_tc_specs(self):
+        specs = DirichletLanguageModel().required_collection_specs(["a", "b"])
+        assert [s.column_name() for s in specs] == [
+            "cardinality",
+            "total_length",
+            "tc:a",
+            "tc:b",
+        ]
+
+    def test_unseen_background_term_does_not_crash(self):
+        fn = DirichletLanguageModel()
+        qs = QueryStatistics.from_keywords(["unknown"])
+        ds = DocumentStatistics(100, 60, {"unknown": 1})
+        cs = CollectionStatistics(10, 1000, {}, tc={})
+        assert math.isfinite(fn.score(qs, ds, cs))
+
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            DirichletLanguageModel(mu=0)
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        assert set(ALL_RANKING_FUNCTIONS) == {
+            "pivoted-tfidf",
+            "bm25",
+            "dirichlet-lm",
+        }
+
+    def test_registry_constructs(self):
+        for cls in ALL_RANKING_FUNCTIONS.values():
+            assert cls().score(QS, DS, CS) is not None

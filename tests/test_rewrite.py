@@ -1,0 +1,70 @@
+"""Tests for query-time statistic resolution helpers (rare-term fallback)."""
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.core.statistics import cardinality_spec, df_spec, tc_spec
+from repro.errors import QueryError
+from repro.index.postings import CostCounter
+from repro.views.rewrite import compute_rare_term_statistics
+
+
+class TestRareTermFallback:
+    def test_df_matches_plan_ground_truth(self, handmade_index, handmade_engine):
+        query = parse_query("leukemia | DigestiveSystem")
+        truth = handmade_engine.context_statistics(
+            query.context, ["leukemia"]
+        )
+        values = compute_rare_term_statistics(
+            handmade_index, query, [df_spec("leukemia")]
+        )
+        assert values[df_spec("leukemia")] == truth.df_for("leukemia")
+
+    def test_tc_sums_term_frequencies(self, handmade_index):
+        query = parse_query("leukemia | Neoplasms")
+        values = compute_rare_term_statistics(
+            handmade_index, query, [tc_spec("leukemia")]
+        )
+        # C3 (tf 4) and C5 (tf 1) are the Neoplasms docs with leukemia.
+        assert values[tc_spec("leukemia")] == 5
+
+    def test_df_and_tc_in_one_walk(self, handmade_index):
+        query = parse_query("leukemia | Diseases")
+        counter = CostCounter()
+        values = compute_rare_term_statistics(
+            handmade_index,
+            query,
+            [df_spec("leukemia"), tc_spec("leukemia")],
+            counter,
+        )
+        assert values[df_spec("leukemia")] == 3
+        assert values[tc_spec("leukemia")] == 7
+        assert counter.entries_scanned > 0
+
+    def test_unknown_term_zero(self, handmade_index):
+        query = parse_query("zzz | Diseases")
+        values = compute_rare_term_statistics(
+            handmade_index, query, [df_spec("zzz")]
+        )
+        assert values[df_spec("zzz")] == 0
+
+    def test_rejects_non_term_specs(self, handmade_index):
+        query = parse_query("leukemia | Diseases")
+        with pytest.raises(QueryError):
+            compute_rare_term_statistics(
+                handmade_index, query, [cardinality_spec()]
+            )
+
+    def test_work_bounded_by_keyword_list(self, handmade_index):
+        """The point of the fallback: work scales with |L_w|, not the
+        context size (Section 6.2's storage-rule rationale)."""
+        query = parse_query("pancreas | Diseases")  # Diseases = whole collection
+        counter = CostCounter()
+        compute_rare_term_statistics(
+            handmade_index, query, [df_spec("pancrea")], counter
+        )
+        keyword_len = handmade_index.document_frequency("pancrea")
+        context_len = handmade_index.predicate_frequency("Diseases")
+        # Entries touched is O(|L_w|) per predicate list, far below a
+        # full context scan for rare keywords.
+        assert counter.entries_scanned <= keyword_len * 4 + context_len

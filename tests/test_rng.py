@@ -1,0 +1,86 @@
+"""Tests for the deterministic RNG helpers."""
+
+import random
+
+import pytest
+
+from repro._rng import derive_rng, make_rng, weighted_sample, zipf_weights
+
+
+class TestMakeRng:
+    def test_none_gives_fixed_default(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_int_seed_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+        assert make_rng(5).random() != make_rng(6).random()
+
+    def test_existing_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+
+class TestDeriveRng:
+    def test_labels_decorrelate(self):
+        parent = make_rng(7)
+        a = derive_rng(parent, "a")
+        parent2 = make_rng(7)
+        b = derive_rng(parent2, "b")
+        assert a.random() != b.random()
+
+    def test_same_label_same_stream(self):
+        a = derive_rng(make_rng(7), "x")
+        b = derive_rng(make_rng(7), "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_consuming_one_stream_does_not_shift_sibling(self):
+        parent_a, parent_b = make_rng(3), make_rng(3)
+        first_a = derive_rng(parent_a, "one")
+        first_b = derive_rng(parent_b, "one")
+        # Consume lots from the first stream on side a only.
+        for _ in range(100):
+            first_a.random()
+        # The sibling derivation must be unaffected.
+        assert derive_rng(parent_a, "two").random() == derive_rng(
+            parent_b, "two"
+        ).random()
+
+
+class TestZipfWeights:
+    def test_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert list(weights) == sorted(weights, reverse=True)
+
+    def test_skew_zero_uniform(self):
+        assert set(zipf_weights(5, 0.0)) == {1.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestWeightedSample:
+    def test_distinct_results(self):
+        rng = make_rng(2)
+        population = list(range(50))
+        weights = zipf_weights(50)
+        sample = weighted_sample(rng, population, weights, 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_k_exceeding_population(self):
+        rng = make_rng(2)
+        sample = weighted_sample(rng, [1, 2, 3], [1, 1, 1], 10)
+        assert sample == [1, 2, 3]
+
+    def test_weighting_bias(self):
+        """Heavily weighted items are sampled far more often."""
+        rng = make_rng(4)
+        population = ["heavy", "light"]
+        counts = {"heavy": 0, "light": 0}
+        for _ in range(300):
+            (first,) = weighted_sample(rng, population, [100.0, 1.0], 1)
+            counts[first] += 1
+        assert counts["heavy"] > 250

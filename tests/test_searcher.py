@@ -1,0 +1,76 @@
+"""Unit tests for boolean retrieval over the handmade collection."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index import BooleanSearcher, CostCounter
+
+
+@pytest.fixture
+def searcher(handmade_index):
+    return BooleanSearcher(handmade_index)
+
+
+def externals(index, ids):
+    return [index.store.get(i).external_id for i in ids]
+
+
+class TestKeywordSearch:
+    def test_single_keyword(self, searcher, handmade_index):
+        ids = searcher.search_keywords(["leukemia"])
+        assert externals(handmade_index, ids) == ["C2", "C3", "C5"]
+
+    def test_conjunction(self, searcher, handmade_index):
+        ids = searcher.search_keywords(["leukemia", "cancer"])
+        assert externals(handmade_index, ids) == ["C3"]
+
+    def test_no_match(self, searcher):
+        assert searcher.search_keywords(["leukemia", "pancrea"]) == []
+
+    def test_empty_keywords_raises(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.search_keywords([])
+
+
+class TestContextSearch:
+    def test_single_predicate(self, searcher, handmade_index):
+        ids = searcher.search_context(["DigestiveSystem"])
+        assert externals(handmade_index, ids) == ["C1", "C2", "C4", "C6"]
+
+    def test_predicate_conjunction(self, searcher, handmade_index):
+        ids = searcher.search_context(["DigestiveSystem", "Neoplasms"])
+        assert externals(handmade_index, ids) == ["C1"]
+
+    def test_context_size(self, searcher):
+        assert searcher.context_size(["DigestiveSystem"]) == 4
+        assert searcher.context_size(["Nope"]) == 0
+
+    def test_empty_predicates_raises(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.search_context([])
+
+
+class TestConjunction:
+    def test_keywords_and_predicates(self, searcher, handmade_index):
+        ids = searcher.search_conjunction(["leukemia"], ["DigestiveSystem"])
+        assert externals(handmade_index, ids) == ["C2"]
+
+    def test_matches_manual_composition(self, searcher):
+        """Q_c's unranked result equals context ∩ keyword results."""
+        combined = searcher.search_conjunction(["pancrea"], ["Diseases"])
+        manual = set(searcher.search_keywords(["pancrea"])) & set(
+            searcher.search_context(["Diseases"])
+        )
+        assert combined == sorted(manual)
+
+    def test_counter_accumulates(self, searcher):
+        counter = CostCounter()
+        searcher.search_conjunction(["leukemia"], ["Diseases"], counter)
+        assert counter.entries_scanned > 0
+
+    def test_no_skips_variant_agrees(self, handmade_index):
+        plain = BooleanSearcher(handmade_index, use_skips=False)
+        skippy = BooleanSearcher(handmade_index, use_skips=True)
+        assert plain.search_conjunction(
+            ["leukemia"], ["Diseases"]
+        ) == skippy.search_conjunction(["leukemia"], ["Diseases"])

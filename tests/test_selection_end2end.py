@@ -1,0 +1,135 @@
+"""End-to-end view-selection tests: the Problem 5.1 guarantee, audited exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CorpusConfig, generate_corpus, select_views
+from repro.errors import SelectionError
+from repro.selection import (
+    TransactionDatabase,
+    hybrid_selection,
+    max_combination_size,
+    mining_based_selection,
+    verify_selection,
+)
+from repro.views import ViewSizeEstimator, WideSparseTable
+
+T_V = 128
+
+
+@pytest.fixture(scope="module")
+def setup(corpus_db, corpus_estimator):
+    t_c = len(corpus_db) // 20
+    return corpus_db, corpus_estimator, t_c
+
+
+class TestMiningStrategy:
+    def test_guarantee_holds(self, setup):
+        db, estimator, t_c = setup
+        report = mining_based_selection(db, estimator, t_c, T_V)
+        audit = verify_selection(
+            db,
+            report.keyword_sets,
+            estimator,
+            t_c,
+            T_V,
+            max_combination_size=max_combination_size(T_V),
+        )
+        assert audit.ok, (audit.uncovered[:3], audit.oversized_views[:3])
+        assert report.num_views == len(report.keyword_sets)
+        assert report.mining_work_units > 0
+
+
+class TestHybridStrategy:
+    @pytest.mark.parametrize("replicate", ["always", "support"])
+    def test_guarantee_holds(self, setup, replicate):
+        db, estimator, t_c = setup
+        report = hybrid_selection(db, estimator, t_c, T_V, replicate=replicate)
+        audit = verify_selection(
+            db,
+            report.keyword_sets,
+            estimator,
+            t_c,
+            T_V,
+            max_combination_size=max_combination_size(T_V),
+        )
+        assert audit.ok, (audit.uncovered[:3], audit.oversized_views[:3])
+
+    def test_report_accounting(self, setup):
+        db, estimator, t_c = setup
+        report = hybrid_selection(db, estimator, t_c, T_V)
+        assert report.strategy == "hybrid"
+        assert report.num_views == len(report.keyword_sets)
+        assert report.num_views <= (
+            report.views_from_decomposition + report.views_from_mining
+        )
+
+    def test_hybrid_on_multiple_seeds(self):
+        """Property over corpora: the guarantee is not seed luck."""
+        for seed in (1, 2, 3):
+            corpus = generate_corpus(
+                CorpusConfig(num_docs=600, seed=seed, num_roots=4, depth=2)
+            )
+            index = corpus.build_index()
+            table = WideSparseTable.from_index(index)
+            db = TransactionDatabase(table.predicate_sets())
+            estimator = ViewSizeEstimator(table)
+            t_c = max(len(db) // 20, 5)
+            report = hybrid_selection(db, estimator, t_c, T_V)
+            audit = verify_selection(
+                db,
+                report.keyword_sets,
+                estimator,
+                t_c,
+                T_V,
+                max_combination_size=max_combination_size(T_V),
+            )
+            assert audit.ok, f"seed {seed}: {audit.uncovered[:3]}"
+
+
+class TestSelectViewsAPI:
+    def test_returns_catalog_and_report(self, corpus_index):
+        t_c = corpus_index.num_docs // 20
+        catalog, report = select_views(corpus_index, t_c=t_c, t_v=T_V)
+        assert len(catalog) == report.num_views
+        for view in catalog:
+            assert view.size <= T_V
+
+    def test_df_columns_follow_storage_rule(self, corpus_index):
+        """Section 6.2: df columns only for keywords with |L_w| >= T_C."""
+        t_c = corpus_index.num_docs // 20
+        catalog, _ = select_views(corpus_index, t_c=t_c, t_v=T_V)
+        view = next(iter(catalog))
+        for term in view.df_terms:
+            assert corpus_index.document_frequency(term) >= t_c
+        # And all frequent terms are present.
+        frequent = {
+            w
+            for w in corpus_index.vocabulary
+            if corpus_index.document_frequency(w) >= t_c
+        }
+        assert view.df_terms == frequent
+
+    def test_tc_columns_optional(self, corpus_index):
+        t_c = corpus_index.num_docs // 20
+        catalog, _ = select_views(
+            corpus_index, t_c=t_c, t_v=T_V, include_tc_columns=True
+        )
+        view = next(iter(catalog))
+        assert view.tc_terms == view.df_terms
+
+    def test_unknown_strategy(self, corpus_index):
+        with pytest.raises(SelectionError):
+            select_views(corpus_index, t_c=10, t_v=T_V, strategy="nope")
+
+
+class TestMaxCombinationSize:
+    def test_log2_bound(self):
+        assert max_combination_size(2) == 1
+        assert max_combination_size(256) == 8
+        assert max_combination_size(4096) == 12
+
+    def test_invalid(self):
+        with pytest.raises(SelectionError):
+            max_combination_size(1)

@@ -1,0 +1,89 @@
+"""Unit tests for the statistics framework (Table 1)."""
+
+import pytest
+
+from repro.core.statistics import (
+    CARDINALITY,
+    DOC_FREQUENCY,
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+    StatisticSpec,
+    cardinality_spec,
+    df_spec,
+    tc_spec,
+    total_length_spec,
+)
+from repro.errors import QueryError
+
+
+class TestStatisticSpec:
+    def test_term_kinds_require_term(self):
+        with pytest.raises(QueryError):
+            StatisticSpec(DOC_FREQUENCY)
+
+    def test_termless_kinds_reject_term(self):
+        with pytest.raises(QueryError):
+            StatisticSpec(CARDINALITY, "w")
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError):
+            StatisticSpec("bogus")
+
+    def test_column_names(self):
+        assert cardinality_spec().column_name() == "cardinality"
+        assert df_spec("w").column_name() == "df:w"
+        assert tc_spec("w").column_name() == "tc:w"
+
+    def test_hashable_and_equal(self):
+        assert df_spec("w") == df_spec("w")
+        assert len({df_spec("w"), df_spec("w"), tc_spec("w")}) == 2
+
+
+class TestQueryStatistics:
+    def test_from_keywords(self):
+        qs = QueryStatistics.from_keywords(["a", "b", "a"])
+        assert qs.tq("a") == 2
+        assert qs.tq("b") == 1
+        assert qs.tq("c") == 0
+        assert qs.length == 3
+        assert qs.unique_terms == 2
+
+
+class TestDocumentStatistics:
+    def test_tf(self):
+        ds = DocumentStatistics(length=10, unique_terms=7, term_frequencies={"a": 3})
+        assert ds.tf("a") == 3
+        assert ds.tf("b") == 0
+
+
+class TestCollectionStatistics:
+    def test_avgdl(self):
+        cs = CollectionStatistics(cardinality=4, total_length=40, df={})
+        assert cs.avgdl == 10.0
+
+    def test_avgdl_empty_collection_raises(self):
+        cs = CollectionStatistics(cardinality=0, total_length=0, df={})
+        with pytest.raises(QueryError):
+            _ = cs.avgdl
+
+    def test_df_tc_defaults(self):
+        cs = CollectionStatistics(cardinality=1, total_length=1, df={"a": 1})
+        assert cs.df_for("a") == 1
+        assert cs.df_for("zzz") == 0
+        assert cs.tc_for("a") == 0
+
+    def test_from_values_roundtrip(self):
+        values = {
+            cardinality_spec(): 12,
+            total_length_spec(): 300,
+            df_spec("w1"): 4,
+            df_spec("w2"): 2,
+            tc_spec("w1"): 9,
+        }
+        cs = CollectionStatistics.from_values(values)
+        assert cs.cardinality == 12
+        assert cs.total_length == 300
+        assert cs.df == {"w1": 4, "w2": 2}
+        assert cs.tc == {"w1": 9}
+        assert cs.unique_terms is None

@@ -1,0 +1,115 @@
+"""Round-trip tests for index and catalog persistence."""
+
+import pytest
+
+from repro import ContextSearchEngine, build_index, select_views
+from repro.storage import (
+    StorageError,
+    load_catalog,
+    load_index,
+    save_catalog,
+    save_index,
+)
+
+from .conftest import HANDMADE_DOCS
+
+
+class TestIndexRoundTrip:
+    @pytest.fixture(params=["idx.json", "idx.json.gz"])
+    def saved_path(self, request, tmp_path, handmade_index):
+        path = tmp_path / request.param
+        save_index(handmade_index, path)
+        return path
+
+    def test_statistics_survive(self, saved_path, handmade_index):
+        loaded = load_index(saved_path)
+        assert loaded.num_docs == handmade_index.num_docs
+        assert loaded.total_length == handmade_index.total_length
+        assert set(loaded.vocabulary) == set(handmade_index.vocabulary)
+        assert set(loaded.predicate_vocabulary) == set(
+            handmade_index.predicate_vocabulary
+        )
+
+    def test_postings_identical(self, saved_path, handmade_index):
+        loaded = load_index(saved_path)
+        for term in handmade_index.vocabulary:
+            original = list(handmade_index.postings(term))
+            assert list(loaded.postings(term)) == original
+
+    def test_search_results_identical(self, saved_path, handmade_index):
+        loaded = load_index(saved_path)
+        a = ContextSearchEngine(handmade_index).search("leukemia | Diseases")
+        b = ContextSearchEngine(loaded).search("leukemia | Diseases")
+        assert a.external_ids() == b.external_ids()
+        for ha, hb in zip(a.hits, b.hits):
+            assert ha.score == pytest.approx(hb.score, abs=1e-12)
+
+    def test_uncommitted_index_rejected(self, tmp_path):
+        from repro.index import InvertedIndex
+
+        with pytest.raises(StorageError):
+            save_index(InvertedIndex(), tmp_path / "x.json")
+
+    def test_wrong_kind_rejected(self, tmp_path, handmade_index):
+        path = tmp_path / "idx.json"
+        save_index(handmade_index, path)
+        with pytest.raises(StorageError):
+            load_catalog(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "index", "version": 999, "documents": []}')
+        with pytest.raises(StorageError):
+            load_index(path)
+
+
+class TestCatalogRoundTrip:
+    @pytest.fixture(scope="class")
+    def selected(self, corpus_index):
+        t_c = corpus_index.num_docs // 20
+        catalog, _ = select_views(corpus_index, t_c=t_c, t_v=128)
+        return catalog
+
+    def test_views_survive(self, tmp_path, selected):
+        path = tmp_path / "catalog.json.gz"
+        save_catalog(selected, path)
+        loaded = load_catalog(path)
+        assert len(loaded) == len(selected)
+        for a, b in zip(selected, loaded):
+            assert a.keyword_set == b.keyword_set
+            assert a.df_terms == b.df_terms
+            assert a.size == b.size
+
+    def test_answers_identical(self, tmp_path, selected, corpus_index):
+        from repro.core.query import ContextSpecification
+        from repro.core.statistics import cardinality_spec, total_length_spec
+
+        path = tmp_path / "catalog.json"
+        save_catalog(selected, path)
+        loaded = load_catalog(path)
+        view_a = next(iter(selected))
+        view_b = next(v for v in loaded if v.keyword_set == view_a.keyword_set)
+        context = ContextSpecification([sorted(view_a.keyword_set)[0]])
+        specs = [cardinality_spec(), total_length_spec()]
+        assert view_a.answer_many(specs, context) == view_b.answer_many(
+            specs, context
+        )
+
+    def test_engine_with_loaded_catalog(self, tmp_path, selected, corpus_index):
+        path = tmp_path / "catalog.json"
+        save_catalog(selected, path)
+        loaded = load_catalog(path)
+        covered = next(iter(loaded)).keyword_set
+        predicate = max(sorted(covered), key=corpus_index.predicate_frequency)
+        term = max(
+            list(corpus_index.vocabulary)[:200],
+            key=corpus_index.document_frequency,
+        )
+        a = ContextSearchEngine(corpus_index, catalog=selected).search(
+            f"{term} | {predicate}"
+        )
+        b = ContextSearchEngine(corpus_index, catalog=loaded).search(
+            f"{term} | {predicate}"
+        )
+        assert b.report.resolution.path == "views"
+        assert a.external_ids() == b.external_ids()

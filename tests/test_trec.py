@@ -1,0 +1,95 @@
+"""Tests for the TREC-Genomics-style quality_benchmark generator."""
+
+import pytest
+
+from repro.data.trec import generate_benchmark
+from repro.errors import DataGenerationError
+from repro.index.searcher import BooleanSearcher
+
+
+@pytest.fixture(scope="module")
+def quality_benchmark(corpus, corpus_index):
+    return generate_benchmark(
+        corpus, corpus_index, num_topics=8, min_result_size=10, min_relevant=3, seed=13
+    )
+
+
+class TestQualification:
+    def test_requested_topic_count(self, quality_benchmark):
+        assert len(quality_benchmark) == 8
+        assert [t.topic_id for t in quality_benchmark.topics] == list(range(1, 9))
+
+    def test_result_sets_meet_threshold(self, quality_benchmark, corpus_index):
+        searcher = BooleanSearcher(corpus_index)
+        analyzer = corpus_index.analyzer
+        for topic in quality_benchmark.topics:
+            keywords = [analyzer.analyze_query_term(w) for w in topic.keywords]
+            result = searcher.search_conjunction(keywords, topic.query.predicates)
+            assert len(result) >= quality_benchmark.min_result_size
+
+    def test_relevant_in_result_meets_threshold(self, quality_benchmark, corpus_index):
+        searcher = BooleanSearcher(corpus_index)
+        analyzer = corpus_index.analyzer
+        for topic in quality_benchmark.topics:
+            keywords = [analyzer.analyze_query_term(w) for w in topic.keywords]
+            result = searcher.search_conjunction(keywords, topic.query.predicates)
+            externals = {corpus_index.store.get(i).external_id for i in result}
+            assert len(externals & topic.relevant) >= quality_benchmark.min_relevant
+
+
+class TestTopicStructure:
+    def test_contexts_are_focus_ancestors(self, quality_benchmark, corpus):
+        ontology = corpus.ontology
+        for topic in quality_benchmark.topics:
+            ancestors = set(ontology.ancestors(topic.focus_concept))
+            assert set(topic.query.predicates) <= ancestors
+
+    def test_questions_mention_keywords(self, quality_benchmark):
+        for topic in quality_benchmark.topics:
+            for keyword in topic.keywords:
+                assert keyword in topic.question
+
+    def test_deterministic(self, corpus, corpus_index):
+        a = generate_benchmark(
+            corpus, corpus_index, num_topics=4, min_result_size=10,
+            min_relevant=3, seed=5,
+        )
+        b = generate_benchmark(
+            corpus, corpus_index, num_topics=4, min_result_size=10,
+            min_relevant=3, seed=5,
+        )
+        assert [t.query.keywords for t in a.topics] == [
+            t.query.keywords for t in b.topics
+        ]
+        assert [t.relevant for t in a.topics] == [t.relevant for t in b.topics]
+
+    def test_idf_inversion_present(self, quality_benchmark, corpus_index, corpus_engine):
+        """The generator's defining property: the context word is rarer
+        globally but more frequent in-context than the focus word."""
+        num_docs = corpus_index.num_docs
+        for topic in quality_benchmark.topics:
+            aw, hw = [
+                corpus_index.analyzer.analyze_query_term(w) for w in topic.keywords
+            ]
+            stats = corpus_engine.context_statistics(
+                topic.query.context, list(topic.keywords)
+            )
+            fg_aw = corpus_index.document_frequency(aw) / num_docs
+            fg_hw = corpus_index.document_frequency(hw) / num_docs
+            fc_aw = stats.df_for(aw) / stats.cardinality
+            fc_hw = stats.df_for(hw) / stats.cardinality
+            assert fg_hw >= 1.3 * fg_aw
+            assert fc_aw >= 1.3 * fc_hw
+
+
+class TestFailureModes:
+    def test_impossible_thresholds_raise(self, corpus, corpus_index):
+        with pytest.raises(DataGenerationError):
+            generate_benchmark(
+                corpus,
+                corpus_index,
+                num_topics=5,
+                min_result_size=10_000,  # larger than the corpus
+                max_attempts=50,
+                seed=1,
+            )

@@ -1,0 +1,128 @@
+"""Round-trip tests for TREC-format topics, qrels, and run files."""
+
+import pytest
+
+from repro.data.trec import generate_benchmark
+from repro.data.trec_io import (
+    read_qrels,
+    read_run,
+    read_topics,
+    write_qrels,
+    write_run,
+    write_topics,
+)
+from repro.errors import DataGenerationError
+
+
+@pytest.fixture(scope="module")
+def small_benchmark(corpus, corpus_index):
+    return generate_benchmark(
+        corpus, corpus_index, num_topics=5,
+        min_result_size=10, min_relevant=3, seed=13,
+    )
+
+
+class TestQrels:
+    def test_roundtrip(self, tmp_path, small_benchmark):
+        path = tmp_path / "gold.qrels"
+        write_qrels(small_benchmark, path)
+        judgements = read_qrels(path)
+        for topic in small_benchmark.topics:
+            assert judgements[topic.topic_id] == topic.relevant
+
+    def test_zero_relevance_dropped(self, tmp_path):
+        path = tmp_path / "mixed.qrels"
+        path.write_text("1 0 docA 1\n1 0 docB 0\n2 0 docC 2\n")
+        judgements = read_qrels(path)
+        assert judgements == {1: frozenset({"docA"}), 2: frozenset({"docC"})}
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.qrels"
+        path.write_text("1 0 docA\n")
+        with pytest.raises(DataGenerationError):
+            read_qrels(path)
+
+
+class TestTopics:
+    def test_roundtrip(self, tmp_path, small_benchmark):
+        path = tmp_path / "topics.tsv"
+        write_topics(small_benchmark, path)
+        loaded = read_topics(path)
+        assert len(loaded) == len(small_benchmark.topics)
+        for (topic_id, question, query), topic in zip(
+            loaded, small_benchmark.topics
+        ):
+            assert topic_id == topic.topic_id
+            assert question == topic.question
+            assert query.keywords == topic.query.keywords
+            assert query.predicates == topic.query.predicates
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tno query column\n")
+        with pytest.raises(DataGenerationError):
+            read_topics(path)
+
+
+class TestRuns:
+    def test_roundtrip(self, tmp_path, small_benchmark, corpus_engine):
+        results = {
+            topic.topic_id: corpus_engine.search(topic.query, top_k=10)
+            for topic in small_benchmark.topics
+        }
+        path = tmp_path / "system.run"
+        write_run(results, path, run_tag="ctx")
+        loaded = read_run(path)
+        for topic_id, search_results in results.items():
+            ranked = loaded[topic_id]
+            assert [doc for doc, _ in ranked] == search_results.external_ids()
+            for (_, score), hit in zip(ranked, search_results.hits):
+                assert score == pytest.approx(hit.score, abs=1e-6)
+
+    def test_run_format_columns(self, tmp_path, small_benchmark, corpus_engine):
+        topic = small_benchmark.topics[0]
+        path = tmp_path / "one.run"
+        write_run(
+            {topic.topic_id: corpus_engine.search(topic.query, top_k=3)},
+            path,
+            run_tag="mytag",
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        parts = lines[0].split()
+        assert parts[1] == "Q0"
+        assert parts[3] == "1"  # rank starts at 1
+        assert parts[5] == "mytag"
+
+    def test_malformed_run(self, tmp_path):
+        path = tmp_path / "bad.run"
+        path.write_text("1 Q0 doc 1 0.5\n")
+        with pytest.raises(DataGenerationError):
+            read_run(path)
+
+    def test_end_to_end_scoring_from_files(
+        self, tmp_path, small_benchmark, corpus_engine
+    ):
+        """Score a run against qrels purely from the written files."""
+        from repro.eval import precision_at_k
+
+        qrels_path = tmp_path / "g.qrels"
+        run_path = tmp_path / "s.run"
+        write_qrels(small_benchmark, qrels_path)
+        results = {
+            t.topic_id: corpus_engine.search(t.query, top_k=20)
+            for t in small_benchmark.topics
+        }
+        write_run(results, run_path)
+
+        judgements = read_qrels(qrels_path)
+        run = read_run(run_path)
+        for topic in small_benchmark.topics:
+            ranked = [doc for doc, _ in run[topic.topic_id]]
+            from_files = precision_at_k(
+                ranked, judgements[topic.topic_id], 20
+            )
+            direct = precision_at_k(
+                results[topic.topic_id].external_ids(), topic.relevant, 20
+            )
+            assert from_files == direct

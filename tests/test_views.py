@@ -1,0 +1,239 @@
+"""Tests for the materialized-view subsystem: table, views, usability, answers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import ContextSpecification
+from repro.core.statistics import (
+    cardinality_spec,
+    df_spec,
+    tc_spec,
+    total_length_spec,
+)
+from repro.errors import ViewError, ViewNotUsableError
+from repro.index.postings import CostCounter
+from repro.views import (
+    MaterializedView,
+    ViewCatalog,
+    WideSparseTable,
+    materialize_view,
+)
+
+
+@pytest.fixture(scope="module")
+def handmade_table(handmade_index):
+    return WideSparseTable.from_index(handmade_index)
+
+
+@pytest.fixture(scope="module")
+def full_view(handmade_table, handmade_index):
+    return materialize_view(
+        handmade_table,
+        {"Diseases", "DigestiveSystem", "Neoplasms", "Blood", "Nutrition"},
+        df_terms=list(handmade_index.vocabulary),
+        tc_terms=["leukemia", "pancrea"],
+    )
+
+
+class TestWideSparseTable:
+    def test_one_row_per_document(self, handmade_table, handmade_index):
+        assert len(handmade_table) == handmade_index.num_docs
+
+    def test_row_contents(self, handmade_table, handmade_index):
+        doc = handmade_index.store.by_external_id("C5")
+        row = handmade_table.row(doc.internal_id)
+        assert row.predicates == frozenset({"Diseases", "Neoplasms", "Blood"})
+        assert row.length == doc.length
+
+    def test_group_key_restricts_to_k(self, handmade_table, handmade_index):
+        doc = handmade_index.store.by_external_id("C5")
+        key = handmade_table.group_key(doc.internal_id, frozenset({"Blood", "Nutrition"}))
+        assert key == frozenset({"Blood"})
+
+    def test_group_keys_column(self, handmade_table):
+        keys = handmade_table.group_keys(frozenset({"Diseases"}))
+        assert len(keys) == len(handmade_table)
+        assert all(k == frozenset({"Diseases"}) for k in keys)
+
+
+class TestMaterializeView:
+    def test_example_41_partition_semantics(self, handmade_table):
+        """Example 4.1: groups partition the collection; COUNT sums to |D|."""
+        view = materialize_view(
+            handmade_table, {"DigestiveSystem", "Neoplasms"}
+        )
+        assert sum(g.count for g in view.groups.values()) == len(handmade_table)
+
+    def test_group_aggregates_match_scan(self, handmade_table, full_view):
+        for pattern, group in full_view.groups.items():
+            rows = [
+                row
+                for row in handmade_table
+                if row.predicates & full_view.keyword_set == pattern
+            ]
+            assert group.count == len(rows)
+            assert group.sum_len == sum(r.length for r in rows)
+
+    def test_view_size_counts_nonempty_tuples(self, handmade_table):
+        view = materialize_view(handmade_table, {"DigestiveSystem", "Neoplasms"})
+        # Patterns present: {DS}, {N}, {DS,N} — every doc has Diseases but
+        # the grouped keys here are only over K.  C5 has N; C6 has DS...
+        assert view.size == len(
+            {
+                row.predicates & frozenset({"DigestiveSystem", "Neoplasms"})
+                for row in handmade_table
+            }
+        )
+
+    def test_empty_keyword_set_rejected(self):
+        with pytest.raises(ViewError):
+            MaterializedView(frozenset(), {})
+
+
+class TestUsability:
+    """Theorem 4.1's two conditions."""
+
+    def test_covered_context_usable(self, full_view):
+        ctx = ContextSpecification(["DigestiveSystem", "Neoplasms"])
+        assert full_view.is_usable_for(cardinality_spec(), ctx)
+
+    def test_uncovered_context_not_usable(self, full_view):
+        ctx = ContextSpecification(["SomethingElse"])
+        assert not full_view.is_usable_for(cardinality_spec(), ctx)
+
+    def test_missing_parameter_column_not_usable(self, handmade_table):
+        view = materialize_view(handmade_table, {"Diseases"}, df_terms=["cancer"])
+        ctx = ContextSpecification(["Diseases"])
+        assert view.is_usable_for(df_spec("cancer"), ctx)
+        assert not view.is_usable_for(df_spec("leukemia"), ctx)
+        assert not view.is_usable_for(tc_spec("cancer"), ctx)
+
+    def test_answer_raises_when_unusable(self, full_view):
+        with pytest.raises(ViewNotUsableError):
+            full_view.answer(
+                cardinality_spec(), ContextSpecification(["Missing"])
+            )
+
+
+class TestAnswers:
+    """View answers must equal ground-truth aggregations (Section 4.1)."""
+
+    @pytest.mark.parametrize(
+        "predicates",
+        [
+            ["Diseases"],
+            ["DigestiveSystem"],
+            ["Neoplasms"],
+            ["DigestiveSystem", "Neoplasms"],
+            ["Diseases", "Blood"],
+        ],
+    )
+    def test_all_statistics_match_plan(
+        self, full_view, handmade_engine, predicates
+    ):
+        ctx = ContextSpecification(predicates)
+        truth = handmade_engine.context_statistics(ctx, ["leukemia", "pancreas"])
+        assert full_view.answer(cardinality_spec(), ctx) == truth.cardinality
+        assert full_view.answer(total_length_spec(), ctx) == truth.total_length
+        assert full_view.answer(df_spec("leukemia"), ctx) == truth.df_for("leukemia")
+        assert full_view.answer(df_spec("pancrea"), ctx) == truth.df_for("pancrea")
+
+    def test_answer_many_single_scan(self, full_view):
+        ctx = ContextSpecification(["DigestiveSystem"])
+        counter = CostCounter()
+        specs = [cardinality_spec(), total_length_spec(), df_spec("leukemia")]
+        values = full_view.answer_many(specs, ctx, counter)
+        assert len(values) == 3
+        # One scan of the view, not one per spec.
+        assert counter.entries_scanned == full_view.size
+
+    def test_tc_column(self, full_view, handmade_engine):
+        ctx = ContextSpecification(["Neoplasms"])
+        # C3 has leukemia x4, C5 has leukemia x1, C1 none => tc = 5.
+        assert full_view.answer(tc_spec("leukemia"), ctx) == 5
+
+
+class TestStorage:
+    def test_parameter_columns_counted(self, handmade_table):
+        view = materialize_view(
+            handmade_table, {"Diseases"}, df_terms=["a", "b"], tc_terms=["a"]
+        )
+        assert view.num_parameter_columns == 2 + 2 + 1
+
+    def test_storage_scales_with_tuples(self, handmade_table):
+        small = materialize_view(handmade_table, {"Diseases"})
+        large = materialize_view(
+            handmade_table, {"Diseases", "DigestiveSystem", "Neoplasms", "Blood"}
+        )
+        assert large.storage_bytes() > small.storage_bytes()
+
+
+class TestCatalog:
+    def test_picks_minimal_usable_view(self, handmade_table):
+        big = materialize_view(
+            handmade_table, {"Diseases", "DigestiveSystem", "Neoplasms"}
+        )
+        small = materialize_view(handmade_table, {"Diseases", "DigestiveSystem"})
+        catalog = ViewCatalog([big, small])
+        ctx = ContextSpecification(["DigestiveSystem"])
+        chosen = catalog.find_usable(cardinality_spec(), ctx)
+        assert chosen is small  # fewer tuples
+
+    def test_resolve_splits_resolved_and_unresolved(self, handmade_table):
+        view = materialize_view(handmade_table, {"Diseases"}, df_terms=["cancer"])
+        catalog = ViewCatalog([view])
+        ctx = ContextSpecification(["Diseases"])
+        values, unresolved, used = catalog.resolve(
+            [cardinality_spec(), df_spec("cancer"), df_spec("leukemia")], ctx
+        )
+        assert cardinality_spec() in values
+        assert df_spec("cancer") in values
+        assert unresolved == [df_spec("leukemia")]
+        assert len(used) == 1
+
+    def test_resolve_empty_catalog(self):
+        catalog = ViewCatalog()
+        ctx = ContextSpecification(["Diseases"])
+        values, unresolved, used = catalog.resolve([cardinality_spec()], ctx)
+        assert not values and not used
+        assert unresolved == [cardinality_spec()]
+
+    def test_stats(self, handmade_table):
+        views = [
+            materialize_view(handmade_table, {"Diseases"}),
+            materialize_view(handmade_table, {"Neoplasms", "Blood"}),
+        ]
+        stats = ViewCatalog(views).stats()
+        assert stats.num_views == 2
+        assert stats.total_tuples == sum(v.size for v in views)
+        assert stats.max_tuples == max(v.size for v in views)
+        assert stats.total_storage_bytes > 0
+
+    def test_empty_stats(self):
+        stats = ViewCatalog().stats()
+        assert stats.num_views == 0
+        assert stats.total_storage_bytes == 0
+
+
+class TestViewAnswerProperty:
+    """Property: for random contexts over the synthetic corpus, a covering
+    view answers exactly what the straightforward plan computes."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_view_equals_plan(self, data, corpus_table, corpus_index, corpus_engine):
+        predicates = sorted(
+            corpus_index.predicate_vocabulary,
+            key=corpus_index.predicate_frequency,
+            reverse=True,
+        )[:6]
+        subset = data.draw(
+            st.lists(st.sampled_from(predicates), min_size=1, max_size=3, unique=True)
+        )
+        view = materialize_view(corpus_table, predicates, df_terms=["therapy"])
+        ctx = ContextSpecification(subset)
+        truth = corpus_engine.context_statistics(ctx, ["therapy"])
+        assert view.answer(cardinality_spec(), ctx) == truth.cardinality
+        assert view.answer(total_length_spec(), ctx) == truth.total_length
+        assert view.answer(df_spec("therapy"), ctx) == truth.df_for("therapy")

@@ -1,0 +1,147 @@
+"""Tests for the workload-driven (RDBMS-style) view-selection baseline."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.selection.workload_driven import (
+    WorkloadEntry,
+    evaluate_coverage,
+    workload_driven_selection,
+    workload_from_queries,
+)
+
+
+def pow2_view_size(keyword_set):
+    return 2 ** len(frozenset(keyword_set))
+
+
+def entry(predicates, frequency=1, context_size=100):
+    return WorkloadEntry(
+        predicates=frozenset(predicates),
+        frequency=frequency,
+        context_size=context_size,
+    )
+
+
+class TestGreedySelection:
+    def test_covers_high_frequency_contexts_first(self):
+        workload = [
+            entry("ab", frequency=100),
+            entry("xyzq", frequency=1),
+        ]
+        report = workload_driven_selection(
+            workload, pow2_view_size, storage_budget=8
+        )
+        # Budget 8 fits only the {a,b} view (4 tuples); xyzq needs 16.
+        assert report.keyword_sets == [frozenset("ab")]
+        assert report.covered_frequency == 100
+        assert report.workload_coverage == pytest.approx(100 / 101)
+
+    def test_merged_candidates_cover_multiple_contexts(self):
+        workload = [
+            entry("ab", frequency=10),
+            entry("ac", frequency=10),
+        ]
+        report = workload_driven_selection(
+            workload, pow2_view_size, storage_budget=8
+        )
+        # Either the merged {a,b,c} view (8 tuples) or the two singles
+        # (4 + 4) fits the budget and covers everything.
+        assert report.workload_coverage == 1.0
+        assert report.storage_used <= 8
+
+    def test_budget_respected(self):
+        workload = [entry("abcd", frequency=5), entry("wxyz", frequency=5)]
+        report = workload_driven_selection(
+            workload, pow2_view_size, storage_budget=20
+        )
+        assert report.storage_used <= 20
+        assert len(report.keyword_sets) == 1  # only one 16-tuple view fits
+
+    def test_benefit_scales_with_context_size(self):
+        workload = [
+            entry("ab", frequency=1, context_size=10_000),
+            entry("cd", frequency=1, context_size=10),
+        ]
+        report = workload_driven_selection(
+            workload, pow2_view_size, storage_budget=4
+        )
+        assert report.keyword_sets == [frozenset("ab")]
+
+    def test_invalid_budget(self):
+        with pytest.raises(SelectionError):
+            workload_driven_selection([], pow2_view_size, storage_budget=0)
+
+    def test_empty_workload(self):
+        report = workload_driven_selection(
+            [], pow2_view_size, storage_budget=100
+        )
+        assert report.keyword_sets == []
+        assert report.workload_coverage == 0.0
+
+
+class TestCoverageEvaluation:
+    def test_drift_degrades_workload_driven_but_not_guarantee(self):
+        """The paper's Section 7 argument in miniature: train on one
+        workload, evaluate on a drifted one."""
+        train = [entry("ab", 50), entry("bc", 50)]
+        drifted = [entry("de", 50), entry("ef", 50)]
+        report = workload_driven_selection(
+            train, pow2_view_size, storage_budget=64
+        )
+        assert evaluate_coverage(report.keyword_sets, train) == 1.0
+        assert evaluate_coverage(report.keyword_sets, drifted) == 0.0
+        # A guarantee-style selection over the whole (tiny) predicate
+        # space covers both workloads.
+        guarantee = [frozenset("abc"), frozenset("def")]
+        assert evaluate_coverage(guarantee, train) == 1.0
+        assert evaluate_coverage(guarantee, drifted) == 1.0
+
+    def test_empty_workload_coverage(self):
+        assert evaluate_coverage([frozenset("ab")], []) == 0.0
+
+
+class TestWorkloadFromQueries:
+    def test_aggregates_duplicate_contexts(self):
+        from repro.core.query import ContextQuery, ContextSpecification, KeywordQuery
+
+        def q(predicates):
+            return ContextQuery(
+                KeywordQuery(["w"]), ContextSpecification(predicates)
+            )
+
+        workload = workload_from_queries(
+            [q(["m1", "m2"]), q(["m2", "m1"]), q(["m3"])],
+            context_sizes={frozenset({"m1", "m2"}): 40},
+        )
+        assert len(workload) == 2
+        by_key = {w.predicates: w for w in workload}
+        assert by_key[frozenset({"m1", "m2"})].frequency == 2
+        assert by_key[frozenset({"m1", "m2"})].context_size == 40
+        assert by_key[frozenset({"m3"})].frequency == 1
+
+
+class TestOnCorpusWorkload:
+    def test_realistic_workload_selection(self, corpus, corpus_index):
+        from repro.data import generate_performance_workload
+        from repro.views import ViewSizeEstimator, WideSparseTable
+
+        t_c = max(corpus_index.num_docs // 30, 10)
+        perf = generate_performance_workload(
+            corpus, corpus_index, t_c=t_c, kind="large",
+            keyword_counts=(2,), queries_per_count=10, seed=8,
+        )
+        estimator = ViewSizeEstimator(WideSparseTable.from_index(corpus_index))
+        workload = workload_from_queries(
+            [wq.query for wq in perf.all_queries()],
+            context_sizes={
+                frozenset(wq.query.predicates): wq.context_size
+                for wq in perf.all_queries()
+            },
+        )
+        report = workload_driven_selection(
+            workload, estimator, storage_budget=4096
+        )
+        assert report.keyword_sets, "expected at least one view"
+        assert report.storage_used <= 4096
+        assert report.workload_coverage > 0.5

@@ -1,0 +1,98 @@
+"""Tests for the Figure 7/8 performance-workload generators."""
+
+import pytest
+
+from repro.data.workloads import generate_performance_workload
+from repro.errors import DataGenerationError
+from repro.index.searcher import BooleanSearcher
+
+
+T_C_DIVISOR = 30
+
+
+@pytest.fixture(scope="module")
+def t_c(corpus_index):
+    return max(corpus_index.num_docs // T_C_DIVISOR, 10)
+
+
+@pytest.fixture(scope="module")
+def large_workload(corpus, corpus_index, t_c):
+    return generate_performance_workload(
+        corpus,
+        corpus_index,
+        t_c=t_c,
+        kind="large",
+        keyword_counts=(2, 3),
+        queries_per_count=8,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_workload(corpus, corpus_index, t_c):
+    return generate_performance_workload(
+        corpus,
+        corpus_index,
+        t_c=t_c,
+        kind="small",
+        keyword_counts=(2, 3),
+        queries_per_count=8,
+        seed=17,
+    )
+
+
+class TestBucketing:
+    def test_large_contexts_meet_threshold(self, large_workload, t_c):
+        for bucket in large_workload.queries.values():
+            for wq in bucket:
+                assert wq.context_size >= t_c
+
+    def test_small_contexts_below_threshold(self, small_workload, t_c):
+        for bucket in small_workload.queries.values():
+            for wq in bucket:
+                assert 2 <= wq.context_size < t_c
+
+    def test_keyword_counts(self, large_workload):
+        for n, bucket in large_workload.queries.items():
+            assert all(wq.num_keywords == n for wq in bucket)
+
+    def test_queries_per_count(self, large_workload):
+        assert all(len(b) == 8 for b in large_workload.queries.values())
+
+    def test_context_sizes_accurate(self, large_workload, corpus_index):
+        searcher = BooleanSearcher(corpus_index)
+        for wq in large_workload.all_queries()[:10]:
+            assert searcher.context_size(wq.query.predicates) == wq.context_size
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self, corpus, corpus_index, t_c):
+        kwargs = dict(
+            t_c=t_c, kind="small", keyword_counts=(2,), queries_per_count=5, seed=9
+        )
+        a = generate_performance_workload(corpus, corpus_index, **kwargs)
+        b = generate_performance_workload(corpus, corpus_index, **kwargs)
+        assert [q.query.keywords for q in a.all_queries()] == [
+            q.query.keywords for q in b.all_queries()
+        ]
+
+
+class TestValidation:
+    def test_bad_kind(self, corpus, corpus_index, t_c):
+        with pytest.raises(DataGenerationError):
+            generate_performance_workload(
+                corpus, corpus_index, t_c=t_c, kind="medium"
+            )
+
+    def test_impossible_budget_raises(self, corpus, corpus_index):
+        with pytest.raises(DataGenerationError):
+            generate_performance_workload(
+                corpus,
+                corpus_index,
+                t_c=2,  # nearly nothing qualifies as "large... wait, small"
+                kind="small",
+                keyword_counts=(2,),
+                queries_per_count=50,
+                max_attempts_per_query=3,
+                seed=1,
+            )
