@@ -1,0 +1,185 @@
+"""Microbenchmark: columnar adaptive kernel vs the seed skip-pointer merge.
+
+Standalone script (not a pytest bench) so CI and operators can run it
+without the benchmark plugin::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_microbench.py           # full
+    PYTHONPATH=src python benchmarks/bench_kernel_microbench.py --smoke   # CI
+
+Arms, per workload:
+
+* ``seed_merge``  — :func:`intersect_skip_merge`, the seed's per-element
+  skip-pointer merge, preserved verbatim as the reference kernel;
+* ``naive_merge`` — the no-skip two-pointer merge (``use_skips=False``);
+* ``adaptive``    — the columnar kernel behind :func:`intersect`
+  (galloping bisect on asymmetric lists, dense C-path otherwise).
+
+Workloads are 2-way intersections of posting lists at several length
+ratios; the headline acceptance row is the symmetric 100k × 100k case,
+where the adaptive kernel must beat the seed merge by >= 3x.  All arms
+are asserted to return identical doc-id sequences before any timing is
+trusted.  Full runs write ``BENCH_intersection.json`` at the repo root
+(before/after medians, speedups, machine-readable); ``--smoke`` shrinks
+the lists and skips the JSON write — it exists to prove in CI that every
+kernel arm still runs and agrees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.index.intersection import intersect, intersect_skip_merge  # noqa: E402
+from repro.index.postings import CostCounter, PostingList  # noqa: E402
+
+FULL_LEN = 100_000
+SMOKE_LEN = 5_000
+RATIOS = (1, 8, 100, 1000)
+HEADLINE_RATIO = 1
+MIN_SPEEDUP = 3.0
+
+
+def make_lists(long_len: int, ratio: int):
+    """A ``long_len``-element list and one ``ratio``x shorter, 100% hits.
+
+    Jittered stride-3 docids on the long list keep the values irregular
+    enough that nothing degenerates into ``range`` arithmetic.
+    """
+    long_list = PostingList.from_pairs(
+        "long", ((3 * i + (i % 2), 1) for i in range(long_len))
+    )
+    short_ids = list(long_list.doc_ids)[::ratio]
+    short_list = PostingList.from_pairs("short", ((i, 1) for i in short_ids))
+    return short_list, long_list
+
+
+ARMS = {
+    "seed_merge": lambda a, b, c: intersect_skip_merge(a, b, c),
+    "naive_merge": lambda a, b, c: intersect(a, b, c, use_skips=False),
+    "adaptive": lambda a, b, c: intersect(a, b, c),
+}
+
+
+def time_arm(fn, a, b, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn(a, b, counter)`` over repeats."""
+    samples = []
+    for _ in range(repeats):
+        counter = CostCounter()
+        started = time.perf_counter()
+        fn(a, b, counter)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def run(long_len: int, repeats: int):
+    rows = []
+    for ratio in RATIOS:
+        short_list, long_list = make_lists(long_len, ratio)
+        results = {
+            name: fn(short_list, long_list, CostCounter())
+            for name, fn in ARMS.items()
+        }
+        reference = results["seed_merge"]
+        for name, result in results.items():
+            if list(result) != list(reference):
+                raise AssertionError(
+                    f"kernel {name} disagrees with seed merge at ratio 1:{ratio}"
+                )
+        timings = {
+            name: time_arm(fn, short_list, long_list, repeats)
+            for name, fn in ARMS.items()
+        }
+        rows.append(
+            {
+                "workload": f"2-way 1:{ratio}",
+                "ratio": ratio,
+                "long_len": len(long_list),
+                "short_len": len(short_list),
+                "result_len": len(reference),
+                "seed_merge_ms": timings["seed_merge"] * 1000,
+                "naive_merge_ms": timings["naive_merge"] * 1000,
+                "adaptive_ms": timings["adaptive"] * 1000,
+                "speedup_vs_seed": timings["seed_merge"] / timings["adaptive"],
+                "speedup_vs_naive": timings["naive_merge"] / timings["adaptive"],
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny lists, 1 repeat, no JSON write (CI agreement check)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per arm"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_intersection.json"),
+        help="JSON output path (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    long_len = SMOKE_LEN if args.smoke else FULL_LEN
+    repeats = 1 if args.smoke else args.repeats
+    rows = run(long_len, repeats)
+
+    header = (
+        f"{'workload':<14} {'n_long':>8} {'n_short':>8} "
+        f"{'seed ms':>9} {'naive ms':>9} {'adaptive ms':>11} {'vs seed':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['workload']:<14} {row['long_len']:>8} {row['short_len']:>8} "
+            f"{row['seed_merge_ms']:>9.2f} {row['naive_merge_ms']:>9.2f} "
+            f"{row['adaptive_ms']:>11.2f} {row['speedup_vs_seed']:>7.1f}x"
+        )
+
+    headline = next(r for r in rows if r["ratio"] == HEADLINE_RATIO)
+    print(
+        f"\nheadline (symmetric {headline['long_len']:,} x "
+        f"{headline['short_len']:,}): "
+        f"{headline['speedup_vs_seed']:.1f}x vs seed merge"
+    )
+
+    if args.smoke:
+        print("smoke mode: all kernels agree; JSON not written")
+        return 0
+
+    payload = {
+        "benchmark": "2-way posting-list intersection, adaptive kernel vs seed",
+        "python": platform.python_version(),
+        "long_len": long_len,
+        "repeats": repeats,
+        "min_required_speedup": MIN_SPEEDUP,
+        "headline_speedup_vs_seed": headline["speedup_vs_seed"],
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if headline["speedup_vs_seed"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: headline speedup {headline['speedup_vs_seed']:.2f}x "
+            f"< required {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,7 @@ from .selection import (
     workload_from_queries,
 )
 from .core import CachingSearchEngine, MaxScoreScorer, exhaustive_disjunctive
+from .core import BatchExecutor, BatchReport
 from .storage import (
     load_catalog,
     load_documents,
@@ -192,6 +193,9 @@ __all__ = [
     "CachingSearchEngine",
     "MaxScoreScorer",
     "exhaustive_disjunctive",
+    # batched execution
+    "BatchExecutor",
+    "BatchReport",
     # persistence
     "save_index",
     "load_index",

@@ -12,7 +12,11 @@ The stages mirror how the paper's system would be deployed::
 
 ``search`` accepts ``--conventional`` for the baseline ranking,
 ``--disjunctive`` for OR-semantics top-k, and ``--model`` to pick the
-ranking function.
+ranking function.  ``batch`` evaluates a whole query file (one query
+per line) through the :class:`~repro.core.engine.BatchExecutor`,
+sharing context materialisations and posting columns across queries::
+
+    python -m repro batch --index index.json.gz --queries workload.txt
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ import sys
 from typing import Optional, Sequence
 
 from . import __version__
-from .core.engine import ContextSearchEngine
+from .core.engine import BatchExecutor, ContextSearchEngine
 from .core.ranking import ALL_RANKING_FUNCTIONS
 from .data.corpus import CorpusConfig, generate_corpus
 from .selection.hybrid import select_views
@@ -116,6 +120,45 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    catalog = load_catalog(args.catalog) if args.catalog else None
+    ranking = ALL_RANKING_FUNCTIONS[args.model]()
+    engine = ContextSearchEngine(index, ranking=ranking, catalog=catalog)
+
+    with open(args.queries, "r", encoding="utf-8") as handle:
+        queries = [line.strip() for line in handle if line.strip()]
+    if not queries:
+        print(f"no queries in {args.queries}", file=sys.stderr)
+        return 1
+
+    executor = BatchExecutor(engine, max_workers=args.workers)
+    report = executor.run(queries, top_k=args.top_k, mode=args.mode)
+
+    for outcome in report.outcomes:
+        if outcome.ok:
+            top = outcome.results.hits[0] if outcome.results.hits else None
+            head = (
+                f"{top.external_id} ({top.score:.4f})" if top else "(no matches)"
+            )
+            print(
+                f"ok    {outcome.query}  "
+                f"hits={len(outcome.results.hits)} top={head}"
+            )
+        else:
+            print(f"error {outcome.query}  {outcome.error}")
+    total = report.aggregate_counter()
+    print(
+        f"batch: {len(report)} queries mode={report.mode} "
+        f"workers={report.workers} "
+        f"contexts={report.distinct_contexts} "
+        f"shared_hits={report.shared_context_hits} "
+        f"elapsed={report.elapsed_seconds * 1000:.1f}ms "
+        f"model_cost={total.model_cost}"
+    )
+    return 1 if report.errors and not any(o.ok for o in report.outcomes) else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     print(f"index: {args.index}")
@@ -178,6 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--disjunctive", action="store_true",
                    help="OR-semantics top-k (MaxScore)")
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("batch", help="evaluate a file of queries as one batch")
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.add_argument("--queries", required=True,
+                   help="text file, one 'keywords | predicates' query per line")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    p.add_argument("--mode", choices=("context", "conventional", "disjunctive"),
+                   default="context")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread-pool size (default: min(8, cpu count))")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("stats", help="print index/catalog statistics")
     p.add_argument("--index", required=True)

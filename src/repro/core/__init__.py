@@ -44,10 +44,14 @@ from .cost import (
     pairwise_intersection_cost,
 )
 from .engine import (
+    BatchExecutor,
+    BatchOutcome,
+    BatchReport,
     ContextSearchEngine,
     ExecutionReport,
     SearchHit,
     SearchResults,
+    SharedContextStore,
 )
 from .stats_cache import CacheMetrics, CachingSearchEngine, StatisticsCache
 from .topk import (
@@ -93,6 +97,10 @@ __all__ = [
     "ExecutionReport",
     "SearchHit",
     "SearchResults",
+    "BatchExecutor",
+    "BatchOutcome",
+    "BatchReport",
+    "SharedContextStore",
     "CacheMetrics",
     "CachingSearchEngine",
     "StatisticsCache",

@@ -18,11 +18,15 @@ filters), which Sections 6.1 and 6.3 compare against.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..errors import EmptyContextError, QueryError
+from ..errors import EmptyContextError, QueryError, ReproError
+from ..index.intersection import intersect_many
 from ..index.inverted_index import InvertedIndex
 from ..index.postings import CostCounter
 from ..index.searcher import BooleanSearcher
@@ -106,13 +110,33 @@ class ContextSearchEngine:
         top_k: Optional[int] = None,
     ) -> SearchResults:
         """Evaluate ``Q_c = Q_k | P`` with context-sensitive ranking."""
+        return self._search_impl(query, top_k, None)
+
+    def _search_impl(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int],
+        shared_contexts: Optional["SharedContextStore"],
+    ) -> SearchResults:
+        """The :meth:`search` body, parameterised over context sharing.
+
+        ``shared_contexts`` (batch execution) replaces the plan's bottom
+        intersection with a per-batch materialisation store; the recorded
+        materialisation cost is replayed into this query's counter so the
+        per-query accounting is identical to standalone execution.
+        """
         query = self._coerce(query)
         started = time.perf_counter()
         report = ExecutionReport()
         analyzed = self._analyze(query)
 
         specs = self.ranking.required_collection_specs(analyzed.keywords)
-        values, result_ids = self._resolve_statistics(analyzed, specs, report)
+        if shared_contexts is None:
+            values, result_ids = self._resolve_statistics(analyzed, specs, report)
+        else:
+            values, result_ids = self._resolve_statistics(
+                analyzed, specs, report, shared_contexts
+            )
         collection_stats = CollectionStatistics.from_values(values)
         if collection_stats.cardinality <= 0:
             raise EmptyContextError(
@@ -290,6 +314,7 @@ class ContextSearchEngine:
         query: ContextQuery,
         specs: Sequence[StatisticSpec],
         report: ExecutionReport,
+        shared_contexts: Optional["SharedContextStore"] = None,
     ) -> Tuple[Dict[StatisticSpec, float], List[int]]:
         """Obtain collection statistics and the unranked result set.
 
@@ -297,6 +322,10 @@ class ContextSearchEngine:
         is a cheap selective-first conjunction, while on the
         straightforward path the plan has already produced the result as
         a by-product of computing per-keyword statistics (Figure 3).
+
+        With ``shared_contexts`` the straightforward branch reuses the
+        batch's materialisation of this context (computing it on first
+        use) and replays its recorded cost into this query's counter.
         """
         resolution = report.resolution
         if self.catalog is not None and len(self.catalog) > 0:
@@ -323,7 +352,16 @@ class ContextSearchEngine:
                 return values, result_ids
 
         resolution.path = "straightforward"
-        execution = self.plan.execute(query, specs, report.counter)
+        if shared_contexts is not None:
+            context_ids, materialisation_cost = shared_contexts.materialise(
+                self, query.predicates
+            )
+            report.counter.merge(materialisation_cost)
+            execution = self.plan.execute(
+                query, specs, report.counter, context_ids=context_ids
+            )
+        else:
+            execution = self.plan.execute(query, specs, report.counter)
         report.context_size = execution.context_size
         return execution.statistic_values, execution.result_ids
 
@@ -390,3 +428,233 @@ class ContextSearchEngine:
         if top_k is not None:
             hits = hits[:top_k]
         return hits
+
+
+# -- batched execution ---------------------------------------------------------
+
+
+class SharedContextStore:
+    """Per-batch store of materialised contexts, keyed canonically.
+
+    Many workload queries share a context (the paper's usage model: a
+    specialist works inside one context for a session), so a batch
+    materialises each distinct context exactly once.  The first query to
+    need a context computes it under a per-key lock and records the
+    :class:`CostCounter` of that intersection; every query (including the
+    first) then has the recorded cost merged into its own counter, so
+    per-query accounting is exactly what standalone execution would have
+    charged while the work happens once.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, ...], Tuple[List[int], CostCounter]] = {}
+        self._locks: Dict[Tuple[str, ...], threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+        self.materialisations = 0
+        self.reuses = 0
+
+    @staticmethod
+    def key_for(predicates: Sequence[str]) -> Tuple[str, ...]:
+        """Canonical key: sorted de-duplicated predicate tuple."""
+        return tuple(sorted(set(predicates)))
+
+    def materialise(
+        self, engine: "ContextSearchEngine", predicates: Sequence[str]
+    ) -> Tuple[List[int], CostCounter]:
+        """The context's docids plus the recorded materialisation cost."""
+        key = self.key_for(predicates)
+        with self._registry_lock:
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                counter = CostCounter()
+                context_ids = intersect_many(
+                    [engine.index.predicate_postings(m) for m in predicates],
+                    counter,
+                    use_skips=engine.plan.use_skips,
+                )
+                entry = (context_ids, counter)
+                self._entries[key] = entry
+                self.materialisations += 1
+            else:
+                self.reuses += 1
+            return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class BatchOutcome:
+    """One query's slot in a batch: results or the error that stopped it."""
+
+    query: str
+    results: Optional[SearchResults] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced results."""
+        return self.results is not None
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, in input order."""
+
+    outcomes: List[BatchOutcome]
+    mode: str
+    workers: int
+    elapsed_seconds: float = 0.0
+    distinct_contexts: int = 0
+    shared_context_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> List[BatchOutcome]:
+        """The outcomes that failed."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def aggregate_counter(self) -> CostCounter:
+        """Summed per-query counters (as-if-sequential work).
+
+        Because shared materialisations replay their recorded cost into
+        every query that uses them, this total equals what running each
+        query standalone would have charged — the batch's actual saving
+        shows up in ``elapsed_seconds`` and ``shared_context_hits``.
+        """
+        total = CostCounter()
+        for outcome in self.outcomes:
+            if outcome.results is not None:
+                total.merge(outcome.results.report.counter)
+        return total
+
+
+class BatchExecutor:
+    """Evaluates a workload of context queries as one batch.
+
+    Three sharing levers, all answer-preserving:
+
+    * **shared context materialisations** — each distinct context is
+      intersected once per batch (:class:`SharedContextStore`), with the
+      recorded cost replayed into every using query's counter;
+    * **shared decoded postings** — all keyword/predicate posting columns
+      the workload touches are prefetched once up front
+      (:meth:`InvertedIndex.prefetch`), so the batch pins each column a
+      single time instead of per query;
+    * **thread fan-out** — queries run concurrently on a
+      :class:`~concurrent.futures.ThreadPoolExecutor`; evaluation is
+      read-only over the index so no locking is needed beyond the
+      materialisation store.
+
+    Context sharing requires a plain :class:`ContextSearchEngine`;
+    wrapped engines (e.g. ``CachingSearchEngine``) still get prefetch and
+    fan-out, with per-query evaluation delegated to their ``search``.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_workers: Optional[int] = None,
+        share_contexts: bool = True,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise QueryError(f"max_workers must be >= 1, got {max_workers}")
+        self.engine = engine
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.share_contexts = share_contexts and isinstance(
+            engine, ContextSearchEngine
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        queries: Iterable[Union[ContextQuery, str]],
+        top_k: Optional[int] = None,
+        mode: str = "context",
+    ) -> BatchReport:
+        """Evaluate every query; outcomes come back in input order.
+
+        ``mode`` selects the evaluation path: ``"context"``
+        (context-sensitive ranking), ``"conventional"`` (the baseline),
+        or ``"disjunctive"`` (OR-semantics top-k).  A failing query
+        (empty context, stopword-only keywords, …) records its error and
+        never aborts the batch.
+        """
+        if mode not in ("context", "conventional", "disjunctive"):
+            raise QueryError(f"unknown batch mode: {mode!r}")
+        queries = list(queries)
+        started = time.perf_counter()
+        shared = SharedContextStore() if (
+            self.share_contexts and mode == "context"
+        ) else None
+        self._prefetch(queries)
+
+        outcomes: List[Optional[BatchOutcome]] = [None] * len(queries)
+        if len(queries) <= 1 or self.max_workers == 1:
+            for i, query in enumerate(queries):
+                outcomes[i] = self._evaluate(query, top_k, mode, shared)
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = {
+                    pool.submit(self._evaluate, query, top_k, mode, shared): i
+                    for i, query in enumerate(queries)
+                }
+                for future, i in futures.items():
+                    outcomes[i] = future.result()
+
+        report = BatchReport(
+            outcomes=[o for o in outcomes if o is not None],
+            mode=mode,
+            workers=self.max_workers,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        if shared is not None:
+            report.distinct_contexts = len(shared)
+            report.shared_context_hits = shared.reuses
+        return report
+
+    # -- internals ----------------------------------------------------------
+
+    def _evaluate(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int],
+        mode: str,
+        shared: Optional[SharedContextStore],
+    ) -> BatchOutcome:
+        text = query if isinstance(query, str) else str(query)
+        try:
+            if mode == "conventional":
+                results = self.engine.search_conventional(query, top_k=top_k)
+            elif mode == "disjunctive":
+                results = self.engine.search_disjunctive(
+                    query, top_k=top_k if top_k is not None else 10
+                )
+            elif shared is not None:
+                results = self.engine._search_impl(query, top_k, shared)
+            else:
+                results = self.engine.search(query, top_k=top_k)
+            return BatchOutcome(query=text, results=results)
+        except ReproError as exc:
+            return BatchOutcome(query=text, error=f"{type(exc).__name__}: {exc}")
+
+    def _prefetch(self, queries: Sequence[Union[ContextQuery, str]]) -> None:
+        """Pin every posting column the workload touches, once."""
+        index = getattr(self.engine, "index", None)
+        if index is None:
+            return
+        keywords: List[str] = []
+        predicates: List[str] = []
+        for query in queries:
+            try:
+                parsed = parse_query(query) if isinstance(query, str) else query
+            except ReproError:
+                continue  # the per-query evaluation will surface the error
+            keywords.extend(parsed.keywords)
+            predicates.extend(parsed.predicates)
+        index.prefetch(dict.fromkeys(keywords), dict.fromkeys(predicates))

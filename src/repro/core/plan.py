@@ -24,6 +24,7 @@ from ..errors import EmptyContextError
 from ..index.aggregation import aggregate_count, aggregate_sum
 from ..index.intersection import intersect_many
 from ..index.inverted_index import InvertedIndex
+from ..index.kernels import intersect_ids_with_tfs
 from ..index.postings import CostCounter, PostingList
 from .query import ContextQuery
 from .statistics import (
@@ -57,23 +58,21 @@ def _intersect_with_context(
     Returns ``(matched_ids, df, tc)`` where ``tc`` is the summed tf of the
     keyword over matched documents (0 when ``want_tc`` is false).  This is
     the ``L_w ∩ L_m1 ∩ L_m2`` operator of Figure 3 with an optional SUM
-    piggybacked on the same scan.
+    piggybacked on the same scan, evaluated by the adaptive array kernel.
     """
-    matched: List[int] = []
-    tc_total = 0
-    pos = 0
-    n = len(plist.doc_ids)
-    for doc_id in context_ids:
-        pos = plist.skip_to(pos, doc_id, counter)
-        if pos >= n:
-            break
-        if plist.doc_ids[pos] == doc_id:
-            matched.append(doc_id)
-            if want_tc:
-                tc_total += plist.tfs[pos]
-        if counter is not None:
-            counter.entries_scanned += 1
+    matched, tc_total = intersect_ids_with_tfs(
+        context_ids,
+        plist.doc_ids,
+        plist.tfs,
+        plist.segment_size,
+        counter=None,
+        want_tc=want_tc,
+    )
     if counter is not None:
+        # Same accounting as the sequential formulation: one touched entry
+        # per context document, plus the analytic scan model.
+        n = len(plist.doc_ids)
+        counter.entries_scanned += len(context_ids)
         counter.model_cost += len(context_ids) + min(len(context_ids), n)
     return matched, len(matched), tc_total
 
@@ -90,20 +89,28 @@ class StraightforwardPlan:
         query: ContextQuery,
         specs: Sequence[StatisticSpec],
         counter: Optional[CostCounter] = None,
+        context_ids: Optional[Sequence[int]] = None,
     ) -> PlanExecution:
         """Run the full plan: context, aggregations, per-keyword stats, result.
+
+        ``context_ids`` may carry an already-materialised context (the
+        batch executor shares one materialisation across queries with the
+        same predicates); the plan then skips the bottom intersection and
+        charges nothing for it — the caller owns replaying the recorded
+        materialisation cost so per-query accounting stays exact.
 
         Raises :class:`EmptyContextError` when the context matches nothing —
         context statistics (and therefore ranking) are undefined there.
         """
         counter = counter if counter is not None else CostCounter()
 
-        predicate_lists = [
-            self.index.predicate_postings(m) for m in query.predicates
-        ]
-        context_ids = intersect_many(
-            predicate_lists, counter, use_skips=self.use_skips
-        )
+        if context_ids is None:
+            predicate_lists = [
+                self.index.predicate_postings(m) for m in query.predicates
+            ]
+            context_ids = intersect_many(
+                predicate_lists, counter, use_skips=self.use_skips
+            )
         if not context_ids:
             raise EmptyContextError(
                 f"context {query.context} matches no documents"

@@ -17,10 +17,24 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.query import ContextQuery
 from ..core.statistics import StatisticSpec
+
+ContextKey = Tuple[str, ...]
+
+
+def canonical_context_key(predicates: Iterable[str]) -> ContextKey:
+    """Canonicalise a context's predicates into a hashable cache key.
+
+    Order and multiplicity are irrelevant to context semantics
+    (Definition 1: a conjunction of predicates), so the key is the sorted
+    de-duplicated predicate tuple.  ``{"b", "a"}``, ``["a", "b", "a"]``
+    and ``("b", "a")`` all canonicalise to ``("a", "b")`` and share one
+    cache entry.
+    """
+    return tuple(sorted(set(predicates)))
 
 
 @dataclass
@@ -39,13 +53,18 @@ class CacheMetrics:
 
 
 class StatisticsCache:
-    """Per-context LRU of resolved spec values."""
+    """Per-context LRU of resolved spec values.
+
+    Keys are canonicalised with :func:`canonical_context_key`, so any
+    iterable of predicates (set, list, tuple, in any order) addresses the
+    same entry.
+    """
 
     def __init__(self, max_contexts: int = 128):
         if max_contexts < 1:
             raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
         self.max_contexts = max_contexts
-        self._entries: "OrderedDict[FrozenSet[str], Dict[StatisticSpec, float]]" = (
+        self._entries: "OrderedDict[ContextKey, Dict[StatisticSpec, float]]" = (
             OrderedDict()
         )
         self.metrics = CacheMetrics()
@@ -54,9 +73,10 @@ class StatisticsCache:
         return len(self._entries)
 
     def lookup(
-        self, context_key: FrozenSet[str], specs: Sequence[StatisticSpec]
+        self, context_key: Iterable[str], specs: Sequence[StatisticSpec]
     ) -> Tuple[Dict[StatisticSpec, float], List[StatisticSpec]]:
         """Return ``(cached values, missing specs)`` for one context."""
+        context_key = canonical_context_key(context_key)
         entry = self._entries.get(context_key)
         if entry is None:
             self.metrics.spec_misses += len(specs)
@@ -75,10 +95,11 @@ class StatisticsCache:
 
     def store(
         self,
-        context_key: FrozenSet[str],
+        context_key: Iterable[str],
         values: Dict[StatisticSpec, float],
     ) -> None:
         """Merge resolved values into the context's entry (LRU-evicting)."""
+        context_key = canonical_context_key(context_key)
         entry = self._entries.get(context_key)
         if entry is None:
             entry = self._entries[context_key] = {}
@@ -111,9 +132,10 @@ class CachingSearchEngine:
 
     def _wrap(self) -> None:
         inner_resolve = self.engine._resolve_statistics
+        inner_resolve_only = self.engine._resolve_statistics_only
 
         def cached_resolve(query: ContextQuery, specs, report):
-            key = query.context.as_set()
+            key = canonical_context_key(query.predicates)
             found, missing = self.cache.lookup(key, specs)
             if not missing:
                 # Still need the unranked result set; the conjunction is
@@ -128,7 +150,19 @@ class CachingSearchEngine:
             values.update(found)
             return values, result_ids
 
+        def cached_resolve_only(query: ContextQuery, specs, report):
+            key = canonical_context_key(query.predicates)
+            found, missing = self.cache.lookup(key, specs)
+            if not missing:
+                report.resolution.path = "cache"
+                return dict(found)
+            values = inner_resolve_only(query, specs, report)
+            self.cache.store(key, values)
+            values.update(found)
+            return values
+
         self.engine._resolve_statistics = cached_resolve
+        self.engine._resolve_statistics_only = cached_resolve_only
 
     # -- delegation -------------------------------------------------------
 
@@ -138,8 +172,13 @@ class CachingSearchEngine:
     def search_conventional(self, query, top_k: Optional[int] = None):
         return self.engine.search_conventional(query, top_k=top_k)
 
+    def search_disjunctive(self, query, top_k: int = 10):
+        return self.engine.search_disjunctive(query, top_k=top_k)
+
     def invalidate(self) -> None:
-        """Forward to the cache; call after ``append_documents``."""
+        """Forward to the cache; call after ``append_documents`` — or let
+        :func:`repro.views.maintenance.maintain_catalog` call it by
+        passing this engine (or its cache) in ``caches=``."""
         self.cache.invalidate()
 
     @property

@@ -7,7 +7,12 @@ from .metrics import (
     precision_fraction_at_k,
     reciprocal_rank,
 )
-from .harness import QualityComparison, TopicOutcome, run_quality_comparison
+from .harness import (
+    QualityComparison,
+    TopicOutcome,
+    run_quality_comparison,
+    run_quality_comparison_batched,
+)
 
 __all__ = [
     "average_precision",
@@ -18,4 +23,5 @@ __all__ = [
     "QualityComparison",
     "TopicOutcome",
     "run_quality_comparison",
+    "run_quality_comparison_batched",
 ]

@@ -10,7 +10,7 @@ precision, 0.62 → 0.78 MRR at PubMed scale).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.engine import ContextSearchEngine
 from ..data.trec import QualityBenchmark, Topic
@@ -113,6 +113,41 @@ def run_quality_comparison(
     for topic in benchmark.topics:
         context_ranked = engine.search(topic.query).external_ids()
         conventional_ranked = engine.search_conventional(topic.query).external_ids()
+        comparison.outcomes.append(
+            _score_topic(topic, context_ranked, conventional_ranked, k)
+        )
+    return comparison
+
+
+def run_quality_comparison_batched(
+    engine: ContextSearchEngine,
+    benchmark: QualityBenchmark,
+    k: int = 20,
+    max_workers: Optional[int] = None,
+) -> QualityComparison:
+    """:func:`run_quality_comparison` through the :class:`BatchExecutor`.
+
+    Both ranking arms run as batches (context-sensitive first, then the
+    conventional baseline), sharing context materialisations and decoded
+    posting columns across topics.  Because batch execution is
+    answer-preserving, the metrics are identical to the sequential
+    harness — only faster on workloads with repeated contexts.  A topic
+    whose query fails under either arm is scored on empty rankings, same
+    as a query returning nothing.
+    """
+    from ..core.engine import BatchExecutor
+
+    executor = BatchExecutor(engine, max_workers=max_workers)
+    queries = [topic.query for topic in benchmark.topics]
+    context_report = executor.run(queries, mode="context")
+    conventional_report = executor.run(queries, mode="conventional")
+
+    comparison = QualityComparison(k=k)
+    for topic, ctx, conv in zip(
+        benchmark.topics, context_report.outcomes, conventional_report.outcomes
+    ):
+        context_ranked = ctx.results.external_ids() if ctx.ok else []
+        conventional_ranked = conv.results.external_ids() if conv.ok else []
         comparison.outcomes.append(
             _score_topic(topic, context_ranked, conventional_ranked, k)
         )

@@ -14,7 +14,8 @@ index), so compression is an at-rest representation.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from array import array
+from typing import Tuple
 
 from ..errors import IndexError_
 from .postings import DEFAULT_SEGMENT_SIZE, PostingList
@@ -75,20 +76,26 @@ def decode_postings(
     term: str = "",
     segment_size: int = DEFAULT_SEGMENT_SIZE,
 ) -> PostingList:
-    """Inverse of :func:`encode_postings`."""
+    """Inverse of :func:`encode_postings`.
+
+    Decodes straight into the columnar ``array('q')`` layout via
+    :meth:`PostingList.from_arrays` — no intermediate list of pairs.
+    """
     count, offset = decode_varint(data, 0)
-    pairs: List[Tuple[int, int]] = []
+    doc_ids = array("q")
+    tfs = array("q")
     doc_id = 0
     for _ in range(count):
         gap, offset = decode_varint(data, offset)
         tf, offset = decode_varint(data, offset)
         doc_id += gap
-        pairs.append((doc_id, tf))
+        doc_ids.append(doc_id)
+        tfs.append(tf)
     if offset != len(data):
         raise IndexError_(
             f"trailing bytes after postings: {len(data) - offset}"
         )
-    return PostingList.from_pairs(term, pairs, segment_size=segment_size)
+    return PostingList.from_arrays(term, doc_ids, tfs, segment_size=segment_size)
 
 
 def compressed_size(plist: PostingList) -> int:

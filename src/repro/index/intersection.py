@@ -1,25 +1,51 @@
 """Inverted-list intersection operators (Section 3).
 
-Implements the merge join with skip pointers that the paper's cost model
-describes, plus the multi-way conjunction used by query plans.  Every
-operator threads an optional :class:`CostCounter` so callers can observe
-both real work (entries scanned, segments skipped) and the analytic cost
+Implements the conjunctions the paper's cost model describes, plus the
+multi-way operator used by query plans.  Every operator threads an
+optional :class:`CostCounter` so callers can observe both real work
+(entries scanned, segments skipped) and the analytic cost
 ``M0 · (N_i^o + N_j^o)``.
+
+Three pairwise kernels coexist:
+
+* :func:`intersect` (``use_skips=True``) — the default hot path; an
+  adaptive array kernel (galloping ``bisect`` probes for asymmetric
+  lists, a C-speed dense merge otherwise) from
+  :mod:`repro.index.kernels`;
+* :func:`intersect_skip_merge` — the skip-pointer merge join the paper
+  analyses, advancing cursors one segment/entry at a time; kept as the
+  reference implementation and the "before" arm of the kernel
+  microbenchmark;
+* :func:`intersect` (``use_skips=False``) — the plain two-pointer merge,
+  kept for the skip-pointer ablation bench.
+
+All three return identical results on identical inputs (property-tested)
+and charge the same analytic model cost.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .kernels import adaptive_intersect
 from .postings import CostCounter, PostingList
 
 
 def model_intersection_cost(a: PostingList, b: PostingList) -> int:
     """The paper's analytic intersection cost ``M0 · (N_a^o + N_b^o)``.
 
-    ``M0`` is the segment size (both lists are built with the same ``M0``
-    in this codebase; if they differ we charge each side its own segment
-    size, which degenerates to the same formula when equal).
+    The paper writes the formula with a single global segment size
+    ``M0``.  When the two lists are built with different segment sizes,
+    each side's scan work is bounded by *its own* segment granularity:
+    a merge visits at most ``M0_a`` entries in each of ``a``'s
+    overlapping segments and at most ``M0_b`` entries in each of ``b``'s,
+    so the cost generalises to
+
+        M0_a · N_a^o  +  M0_b · N_b^o
+
+    which degenerates to the paper's formula when ``M0_a == M0_b``.
+    Each list is always charged at its own segment size — never the
+    other list's (tested in ``tests/test_intersection.py::TestModelCost``).
     """
     return (
         a.segment_size * a.overlapping_segments(b)
@@ -35,12 +61,55 @@ def intersect(
 ) -> List[int]:
     """Return sorted docids present in both lists.
 
-    With ``use_skips`` the merge consults skip tables to leap over
-    segments that cannot contain the other list's current docid — the
-    optimisation whose payoff the paper analyses in Section 3.2.2 (large
-    when one list is orders of magnitude shorter).  With
-    ``use_skips=False`` it is a plain two-pointer merge, kept for the
-    skip-pointer ablation bench.
+    With ``use_skips`` the adaptive array kernel runs: galloping
+    (exponential-probe ``bisect``) through the longer list when one side
+    is much shorter — the optimisation whose payoff the paper analyses in
+    Section 3.2.2 — and a dense C-path merge when the lists are
+    comparable.  With ``use_skips=False`` it is a plain two-pointer
+    merge, kept for the skip-pointer ablation bench.  Both charge the
+    analytic model cost identically.
+    """
+    if counter is not None:
+        counter.model_cost += model_intersection_cost(a, b)
+    if use_skips:
+        return adaptive_intersect(
+            a.doc_ids, b.doc_ids, a.segment_size, b.segment_size, counter
+        )
+    result: List[int] = []
+    i = j = 0
+    na, nb = len(a.doc_ids), len(b.doc_ids)
+    a_ids, b_ids = a.doc_ids, b.doc_ids
+    while i < na and j < nb:
+        da, db = a_ids[i], b_ids[j]
+        if da == db:
+            result.append(da)
+            i += 1
+            j += 1
+            if counter is not None:
+                counter.entries_scanned += 2
+        elif da < db:
+            i += 1
+            if counter is not None:
+                counter.entries_scanned += 1
+        else:
+            j += 1
+            if counter is not None:
+                counter.entries_scanned += 1
+    return result
+
+
+def intersect_skip_merge(
+    a: PostingList,
+    b: PostingList,
+    counter: Optional[CostCounter] = None,
+) -> List[int]:
+    """The skip-pointer merge join of Section 3.2.1 (reference kernel).
+
+    Advances two cursors, leaping whole segments via the skip table when
+    one side falls behind.  This was the default evaluation path before
+    the array kernels; it remains the analytically-faithful reference the
+    property tests compare against and the baseline the kernel
+    microbenchmark times.
     """
     if counter is not None:
         counter.model_cost += model_intersection_cost(a, b)
@@ -57,19 +126,9 @@ def intersect(
             if counter is not None:
                 counter.entries_scanned += 2
         elif da < db:
-            if use_skips:
-                i = a.skip_to(i, db, counter)
-            else:
-                i += 1
-                if counter is not None:
-                    counter.entries_scanned += 1
+            i = a.skip_to(i, db, counter)
         else:
-            if use_skips:
-                j = b.skip_to(j, da, counter)
-            else:
-                j += 1
-                if counter is not None:
-                    counter.entries_scanned += 1
+            j = b.skip_to(j, da, counter)
     return result
 
 
@@ -82,25 +141,18 @@ def intersect_ids(
 
     Used for the upper operators of the Figure 3 plan, where the context
     ``L_m1 ∩ L_m2`` has been materialised and is further intersected with
-    each keyword list.  Walks ``ids`` and skips through ``plist``.
+    each keyword list.  Runs the adaptive array kernel over the
+    materialised column and the list's docid column.
     """
-    result: List[int] = []
-    pos = 0
-    n = len(plist.doc_ids)
-    for doc_id in ids:
-        pos = plist.skip_to(pos, doc_id, counter)
-        if pos >= n:
-            break
-        if plist.doc_ids[pos] == doc_id:
-            result.append(doc_id)
-        if counter is not None:
-            counter.entries_scanned += 1
+    result = adaptive_intersect(
+        ids, plist.doc_ids, plist.segment_size, plist.segment_size, None
+    )
     if counter is not None:
         # Charge the materialised side like a segment-less list: every id
-        # examined is an entry touched; the plist side was charged by
-        # skip_to.  Model cost approximates M0 * overlapping segments of
-        # plist plus the ids scan.
-        counter.model_cost += len(ids) + min(len(ids), n)
+        # examined is an entry touched; model cost approximates M0 *
+        # overlapping segments of plist plus the ids scan.
+        counter.entries_scanned += len(ids)
+        counter.model_cost += len(ids) + min(len(ids), len(plist.doc_ids))
     return result
 
 

@@ -223,6 +223,23 @@ class InvertedIndex:
         self._require_committed()
         return self._content.get(term, self._empty)
 
+    def prefetch(
+        self, terms: Iterable[str], predicates: Iterable[str] = ()
+    ) -> Dict[str, PostingList]:
+        """Resolve many posting lists in one pass (batch-executor helper).
+
+        Returns a term → list mapping covering both spaces (content terms
+        first; predicate terms override on collision, which cannot happen
+        for analysed queries since the spaces use different analyzers).
+        The lists are the index's shared in-memory columns — no copies —
+        so a batch of queries holds each decoded column exactly once.
+        """
+        self._require_committed()
+        fetched = {term: self.postings(term) for term in terms}
+        for term in predicates:
+            fetched[term] = self.predicate_postings(term)
+        return fetched
+
     def predicate_postings(self, term: str) -> PostingList:
         """Predicate posting list ``L_m`` (empty list for unknown terms)."""
         self._require_committed()

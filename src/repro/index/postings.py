@@ -1,4 +1,4 @@
-"""Posting lists with skip pointers (Section 3.2.1).
+"""Posting lists with skip pointers over columnar array storage (Section 3.2.1).
 
 An inverted-list entry is a ``<docid, tf>`` pair; lists are ordered by
 docid so two lists can be merge-joined.  Lists are partitioned into
@@ -8,14 +8,27 @@ exactly the structure the paper's cost model is written against:
     cost(L_i ∩ L_j) = M0 · (N_i^o + N_j^o)
 
 where ``N^o`` counts segments whose docid ranges overlap the other list.
+
+Storage layout: the docid and tf columns are ``array('q')`` (signed
+64-bit, contiguous C buffers), not Python lists.  The skip table is
+likewise three parallel ``array('q')`` columns (segment start index,
+segment min docid, segment max docid).  The columnar layout keeps every
+cursor operation (`skip_to`, `contains`, `tf_for`, `overlapping_segments`)
+a ``bisect`` over a flat buffer instead of a Python-level scan, and it is
+what the galloping intersection kernels in :mod:`repro.index.kernels`
+probe directly.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 DEFAULT_SEGMENT_SIZE = 64
+
+_EMPTY_COLUMN = array("q")
 
 
 @dataclass
@@ -23,9 +36,10 @@ class CostCounter:
     """Accumulates the observable work of list operations.
 
     ``entries_scanned``
-        posting entries actually visited by merges and aggregations.
+        posting entries actually visited (or probed) by merges and
+        aggregations.
     ``segments_skipped``
-        whole segments jumped over via skip pointers.
+        whole segments jumped over via skip pointers or galloping leaps.
     ``model_cost``
         the paper's analytic cost ``M0 · (N_i^o + N_j^o)`` summed over all
         intersections charged to this counter (aggregations charge their
@@ -42,6 +56,14 @@ class CostCounter:
         self.segments_skipped += other.segments_skipped
         self.model_cost += other.model_cost
 
+    def copy(self) -> "CostCounter":
+        """An independent counter with the same totals."""
+        return CostCounter(
+            entries_scanned=self.entries_scanned,
+            segments_skipped=self.segments_skipped,
+            model_cost=self.model_cost,
+        )
+
     def reset(self) -> None:
         """Zero all totals."""
         self.entries_scanned = 0
@@ -54,19 +76,32 @@ class PostingList:
 
     Built incrementally by the indexer via :meth:`append` (docids must
     arrive in strictly increasing order), then :meth:`freeze` computes the
-    skip table.  Reads before ``freeze`` are not supported.
+    skip table.  Reads before ``freeze`` are not supported.  Bulk
+    construction from already-sorted columns goes through
+    :meth:`from_arrays`, which skips per-element Python work.
     """
 
-    __slots__ = ("term", "doc_ids", "tfs", "segment_size", "_skips", "_frozen")
+    __slots__ = (
+        "term",
+        "doc_ids",
+        "tfs",
+        "segment_size",
+        "_skip_starts",
+        "_seg_mins",
+        "_seg_maxes",
+        "_frozen",
+    )
 
     def __init__(self, term: str, segment_size: int = DEFAULT_SEGMENT_SIZE):
         if segment_size < 2:
             raise ValueError(f"segment_size must be >= 2, got {segment_size}")
         self.term = term
-        self.doc_ids: List[int] = []
-        self.tfs: List[int] = []
+        self.doc_ids: array = array("q")
+        self.tfs: array = array("q")
         self.segment_size = segment_size
-        self._skips: List[Tuple[int, int]] = []  # (start index, max docid)
+        self._skip_starts: array = _EMPTY_COLUMN
+        self._seg_mins: array = _EMPTY_COLUMN
+        self._seg_maxes: array = _EMPTY_COLUMN
         self._frozen = False
 
     # -- construction --------------------------------------------------
@@ -87,10 +122,16 @@ class PostingList:
     def freeze(self) -> "PostingList":
         """Finalise the list and build the skip table; returns self."""
         if not self._frozen:
-            self._skips = [
-                (start, self.doc_ids[min(start + self.segment_size, len(self.doc_ids)) - 1])
-                for start in range(0, len(self.doc_ids), self.segment_size)
-            ]
+            n = len(self.doc_ids)
+            seg = self.segment_size
+            self._skip_starts = array("q", range(0, n, seg))
+            self._seg_mins = array(
+                "q", (self.doc_ids[start] for start in self._skip_starts)
+            )
+            self._seg_maxes = array(
+                "q",
+                (self.doc_ids[min(start + seg, n) - 1] for start in self._skip_starts),
+            )
             self._frozen = True
         return self
 
@@ -105,6 +146,42 @@ class PostingList:
         plist = cls(term, segment_size=segment_size)
         for doc_id, tf in pairs:
             plist.append(doc_id, tf)
+        return plist.freeze()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        term: str,
+        doc_ids: Sequence[int],
+        tfs: Sequence[int],
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> "PostingList":
+        """Build and freeze a list from parallel docid/tf columns.
+
+        The columns are adopted wholesale (one C-level copy into
+        ``array('q')``), so this is the fast path for bulk construction —
+        codec decodes and kernel outputs use it instead of per-element
+        :meth:`append`.  The same invariants are enforced: docids strictly
+        increasing, tfs positive.
+        """
+        plist = cls(term, segment_size=segment_size)
+        ids = doc_ids if isinstance(doc_ids, array) else array("q", doc_ids)
+        freqs = tfs if isinstance(tfs, array) else array("q", tfs)
+        if len(ids) != len(freqs):
+            raise ValueError(
+                f"column length mismatch: {len(ids)} docids vs {len(freqs)} tfs"
+            )
+        previous = None
+        for doc_id in ids:
+            if previous is not None and doc_id <= previous:
+                raise ValueError(
+                    f"docids must be strictly increasing: {doc_id} after {previous}"
+                )
+            previous = doc_id
+        if freqs and min(freqs) <= 0:
+            raise ValueError("tf must be positive")
+        plist.doc_ids = ids
+        plist.tfs = freqs
         return plist.freeze()
 
     def extend(self, pairs: Iterable[Tuple[int, int]]) -> "PostingList":
@@ -140,45 +217,38 @@ class PostingList:
     @property
     def num_segments(self) -> int:
         """Number of skip segments (``ceil(len / M0)``)."""
-        return len(self._skips)
+        return len(self._skip_starts)
 
     def segment_bounds(self) -> Sequence[Tuple[int, int]]:
         """Return ``(start index, max docid)`` per segment (frozen lists)."""
         self._require_frozen()
-        return tuple(self._skips)
+        return tuple(zip(self._skip_starts, self._seg_maxes))
 
     def contains(self, doc_id: int) -> bool:
         """Binary-search membership test (no cost accounting)."""
         self._require_frozen()
-        lo, hi = 0, len(self.doc_ids)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.doc_ids[mid] < doc_id:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(self.doc_ids) and self.doc_ids[lo] == doc_id
+        ids = self.doc_ids
+        pos = bisect_left(ids, doc_id)
+        return pos < len(ids) and ids[pos] == doc_id
 
     def tf_for(self, doc_id: int) -> Optional[int]:
         """Return the stored tf for ``doc_id`` or ``None`` if absent."""
         self._require_frozen()
-        lo, hi = 0, len(self.doc_ids)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.doc_ids[mid] < doc_id:
-                lo = mid + 1
-            else:
-                hi = mid
-        if lo < len(self.doc_ids) and self.doc_ids[lo] == doc_id:
-            return self.tfs[lo]
+        ids = self.doc_ids
+        pos = bisect_left(ids, doc_id)
+        if pos < len(ids) and ids[pos] == doc_id:
+            return self.tfs[pos]
         return None
 
     def skip_to(self, position: int, target: int, counter: Optional[CostCounter]) -> int:
         """Advance ``position`` toward the first entry with docid >= target.
 
         Uses the skip table to jump whole segments whose max docid is below
-        ``target``; then scans within the segment.  Returns the new
-        position (may be ``len(self)`` when exhausted).
+        ``target``, then binary-searches within the landing segment.  Cost
+        accounting matches the sequential formulation exactly: one skipped
+        segment per skip-pointer jump, one scanned entry per in-segment
+        entry passed over.  Returns the new position (may be ``len(self)``
+        when exhausted).
         """
         self._require_frozen()
         n = len(self.doc_ids)
@@ -187,37 +257,37 @@ class PostingList:
             # inside the skip table when n is a segment-size multiple).
             return position
         seg = position // self.segment_size
-        # Jump over fully-passed segments.
-        while seg + 1 < len(self._skips) and self._skips[seg][1] < target:
-            seg += 1
-            if counter is not None:
-                counter.segments_skipped += 1
-        position = max(position, self._skips[seg][0]) if self._skips else position
-        while position < n and self.doc_ids[position] < target:
-            position += 1
-            if counter is not None:
-                counter.entries_scanned += 1
-        return position
+        # Jump over fully-passed segments: land on the first segment whose
+        # max docid reaches the target (clamped to the last segment).
+        landing = bisect_left(self._seg_maxes, target, seg)
+        if landing >= len(self._seg_maxes):
+            landing = len(self._seg_maxes) - 1
+        if counter is not None:
+            counter.segments_skipped += landing - seg
+        scan_start = max(position, self._skip_starts[landing]) if self._skip_starts else position
+        new_position = bisect_left(self.doc_ids, target, scan_start, n)
+        if counter is not None:
+            counter.entries_scanned += new_position - scan_start
+        return new_position
 
     def overlapping_segments(self, other: "PostingList") -> int:
         """Count this list's segments whose docid range overlaps ``other``.
 
         This is the ``N_i^o`` quantity of the paper's intersection cost
-        model.  Computed from skip tables only — O(#segments) work.
+        model.  Segments are docid-ordered, so the overlapping ones form a
+        contiguous run found with two binary searches over the skip
+        columns — O(log #segments) work.
         """
         self._require_frozen()
         other._require_frozen()
         if not self.doc_ids or not other.doc_ids:
             return 0
-        count = 0
-        prev_max = -1
         other_min, other_max = other.doc_ids[0], other.doc_ids[-1]
-        for start, seg_max in self._skips:
-            seg_min = self.doc_ids[start]
-            if seg_min <= other_max and seg_max >= other_min:
-                count += 1
-            prev_max = seg_max
-        return count
+        # First segment whose max reaches other's range, and first segment
+        # whose min is already past it.
+        lo = bisect_left(self._seg_maxes, other_min)
+        hi = bisect_right(self._seg_mins, other_max)
+        return max(0, hi - lo)
 
     def _require_frozen(self) -> None:
         if not self._frozen:

@@ -15,6 +15,12 @@ and new group patterns can push a view past ``T_V``.
 :class:`MaintenanceReport` surfaces both so operators know when to
 re-run view selection, and :func:`needs_reselection` encodes the
 re-selection policy.
+
+Maintenance is also the invalidation point for query-time memoisation:
+any :class:`~repro.core.stats_cache.StatisticsCache` (or wrapper with an
+``invalidate()`` method) passed via ``caches=`` is dropped after the
+views absorb a batch, so memoised per-context statistics can never
+outlive the collection state they were computed from.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ class MaintenanceReport:
     new_group_tuples: int = 0
     views_over_tv: List[FrozenSet[str]] = field(default_factory=list)
     growth_since_selection: float = 0.0
+    caches_invalidated: int = 0
 
     def merge(self, other: "MaintenanceReport") -> None:
         self.documents_applied += other.documents_applied
@@ -119,14 +126,28 @@ def maintain_catalog(
     new_documents: Sequence[StoredDocument],
     t_v: Optional[int] = None,
     baseline_num_docs: Optional[int] = None,
+    caches: Iterable = (),
 ) -> MaintenanceReport:
     """Maintain every catalog view; compute collection growth if given a
-    baseline (the document count at selection time)."""
+    baseline (the document count at selection time).
+
+    ``caches`` takes any objects with an ``invalidate()`` method —
+    :class:`~repro.core.stats_cache.StatisticsCache`,
+    :class:`~repro.core.stats_cache.CachingSearchEngine` — and drops them
+    after the views absorb the batch, closing the stale-statistics window
+    between index append and cache reset.  Invalidation runs even for an
+    empty batch (callers may have appended via other paths).
+    """
     report = maintain_views(list(catalog), index, new_documents, t_v=t_v)
     if baseline_num_docs:
         report.growth_since_selection = (
             index.num_docs - baseline_num_docs
         ) / baseline_num_docs
+    invalidated = 0
+    for cache in caches:
+        cache.invalidate()
+        invalidated += 1
+    report.caches_invalidated = invalidated
     return report
 
 

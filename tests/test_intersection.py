@@ -84,6 +84,37 @@ class TestModelCost:
         # One short segment overlaps; at most one long segment overlaps it.
         assert cost <= 2 * 64
 
+    def test_unequal_segment_sizes_charge_each_side_at_its_own_m0(self):
+        """The generalisation M0_a·N_a^o + M0_b·N_b^o, hand-computed.
+
+        Identical fully-overlapping ranges, one list segmented at 4 and
+        the other at 16: every segment of each overlaps the other list,
+        so each side contributes exactly its own segment size times its
+        own segment count — never the other list's granularity.
+        """
+        a = make_list(list(range(32)), segment_size=4)  # 8 segments
+        b = make_list(list(range(32)), segment_size=16)  # 2 segments
+        assert model_intersection_cost(a, b) == 4 * 8 + 16 * 2
+
+    def test_unequal_segment_sizes_selective_join(self):
+        """A singleton joining a long list lands in one segment per side."""
+        short = make_list([50], segment_size=4)
+        long = make_list(list(range(100)), segment_size=16)
+        # One overlapping segment on each side, each at its own M0.
+        assert model_intersection_cost(short, long) == 4 * 1 + 16 * 1
+
+    def test_unequal_segment_sizes_symmetric(self):
+        a = make_list(list(range(0, 300, 3)), segment_size=4)
+        b = make_list(list(range(0, 300, 7)), segment_size=32)
+        assert model_intersection_cost(a, b) == model_intersection_cost(b, a)
+
+    def test_equal_segment_sizes_match_paper_formula(self):
+        """With one global M0 the general form degenerates to the paper's."""
+        a = make_list(list(range(0, 120, 2)), segment_size=8)
+        b = make_list(list(range(60, 180, 3)), segment_size=8)
+        paper = 8 * (a.overlapping_segments(b) + b.overlapping_segments(a))
+        assert model_intersection_cost(a, b) == paper
+
 
 class TestIntersectIds:
     @given(sorted_ids, sorted_ids)

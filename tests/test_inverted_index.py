@@ -70,7 +70,7 @@ class TestPostings:
 
     def test_postings_sorted_by_docid(self, handmade_index):
         for term in handmade_index.vocabulary:
-            ids = handmade_index.postings(term).doc_ids
+            ids = list(handmade_index.postings(term).doc_ids)
             assert ids == sorted(ids)
 
     def test_stopwords_not_indexed(self, handmade_index):
