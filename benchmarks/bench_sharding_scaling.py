@@ -1,0 +1,279 @@
+"""Scaling benchmark: the sharded engine at 1/2/4/8 shards.
+
+Standalone script (not a pytest bench) so CI and operators can run it
+without the benchmark plugin::
+
+    PYTHONPATH=src python benchmarks/bench_sharding_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_sharding_scaling.py --smoke   # CI
+
+The workload is the paper's large-context query mix (2-5 keywords,
+contexts above T_C) over a synthetic corpus, evaluated through
+``ShardedEngine.search_many`` — the batched two-phase scatter-gather a
+sharded deployment serves with.  Before any timing is trusted, every
+shard count's ranked output is asserted bit-identical (docids, external
+ids, float scores) to the single-shard configuration.
+
+Two latency metrics per shard count:
+
+* ``wall_seconds`` — measured wall-clock of the batch on THIS host, for
+  both the instrumented serial backend and the deployment backend
+  (``fork`` where available);
+* ``critical_path_seconds`` — parent time (dispatch, exact statistics
+  merge, heap merge) plus the busiest shard's busy time.  This is the
+  latency of the sharded deployment the engine models — one worker core
+  per shard — and what wall-clock converges to on a host with at least
+  one core per shard.
+
+On a multi-core host (>= 4 cores) the acceptance gate uses the measured
+fork-backend wall-clock speedup; on smaller hosts, where CPU-bound work
+physically cannot overlap, it uses the critical-path speedup and records
+the substitution in the JSON (``gate_metric``).  Both metrics are always
+written, so the numbers stay honest either way.  Full runs write
+``BENCH_sharding.json`` at the repo root and exit 1 if the 4-shard
+speedup falls below 2x; ``--smoke`` shrinks the corpus and checks only
+agreement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    CorpusConfig,
+    ShardedEngine,
+    ShardedInvertedIndex,
+    fork_available,
+    generate_corpus,
+)
+from repro.data import generate_performance_workload  # noqa: E402
+
+SHARD_COUNTS = (1, 2, 4, 8)
+FULL_DOCS = 20_000
+SMOKE_DOCS = 1_500
+HEADLINE_SHARDS = 4
+MIN_SPEEDUP = 2.0
+
+
+class _TimedSerialBackend:
+    """A serial backend that records each shard's busy seconds.
+
+    Drives the runtimes exactly like the engine's own serial backend
+    (results are backend-independent), but splits the batch wall-clock
+    into per-shard busy time and parent (dispatch + merge) time.
+    """
+
+    name = "serial"
+    shares_memory = True
+
+    def __init__(self, runtimes):
+        self.runtimes = runtimes
+        self.busy = [0.0] * len(runtimes)
+
+    def map(self, method, payloads, **kwargs):
+        outputs = []
+        for runtime, payload in zip(self.runtimes, payloads):
+            started = time.perf_counter()
+            outputs.append(getattr(runtime, method)(payload, **kwargs))
+            self.busy[runtime.shard_id] += time.perf_counter() - started
+        return outputs
+
+    def close(self):
+        pass
+
+
+def build_workload(num_docs: int, queries_per_count: int):
+    corpus = generate_corpus(CorpusConfig(num_docs=num_docs, seed=42))
+    index = corpus.build_index()
+    workload = generate_performance_workload(
+        corpus,
+        index,
+        t_c=max(index.num_docs // 50, 10),
+        kind="large",
+        keyword_counts=(2, 3, 4, 5),
+        queries_per_count=queries_per_count,
+        seed=3,
+    )
+    return index, [wq.query for wq in workload.all_queries()]
+
+
+def ranked_output(report):
+    return [
+        [(h.doc_id, h.external_id, h.score) for h in o.results.hits]
+        if o.ok
+        else o.error
+        for o in report.outcomes
+    ]
+
+
+def time_serial(sharded, queries, top_k, repeats):
+    """Median (wall, max shard busy, parent) over repeats, plus the output."""
+    walls, criticals, parents = [], [], []
+    output = None
+    for _ in range(repeats):
+        with ShardedEngine(sharded, executor="serial") as engine:
+            timed = _TimedSerialBackend(engine.runtimes)
+            engine._backend.close()
+            engine._backend = timed
+            started = time.perf_counter()
+            report = engine.search_many(queries, top_k=top_k)
+            wall = time.perf_counter() - started
+        output = ranked_output(report)
+        parent = max(wall - sum(timed.busy), 0.0)
+        walls.append(wall)
+        parents.append(parent)
+        criticals.append(parent + max(timed.busy))
+    return (
+        statistics.median(walls),
+        statistics.median(criticals),
+        statistics.median(parents),
+        output,
+    )
+
+
+def time_deployment(sharded, queries, top_k, repeats, executor):
+    walls = []
+    for _ in range(repeats):
+        with ShardedEngine(sharded, executor=executor) as engine:
+            started = time.perf_counter()
+            engine.search_many(queries, top_k=top_k)
+            walls.append(time.perf_counter() - started)
+    return statistics.median(walls)
+
+
+def run(num_docs, queries_per_count, repeats, deployment_executor):
+    print(f"corpus: {num_docs} docs ...", flush=True)
+    index, queries = build_workload(num_docs, queries_per_count)
+    print(f"workload: {len(queries)} large-context queries", flush=True)
+
+    rows = []
+    reference_output = None
+    for shards in SHARD_COUNTS:
+        sharded = ShardedInvertedIndex.from_index(index, shards)
+        wall, critical, parent, output = time_serial(
+            sharded, queries, 10, repeats
+        )
+        if reference_output is None:
+            reference_output = output
+        elif output != reference_output:
+            raise AssertionError(
+                f"{shards}-shard ranking differs from 1-shard reference"
+            )
+        deploy_wall = time_deployment(
+            sharded, queries, 10, repeats, deployment_executor
+        )
+        rows.append(
+            {
+                "shards": shards,
+                "shard_docs": [s.index.num_docs for s in sharded.shards],
+                "serial_wall_seconds": wall,
+                "deployment_wall_seconds": deploy_wall,
+                "critical_path_seconds": critical,
+                "parent_seconds": parent,
+            }
+        )
+        print(
+            f"{shards} shards: serial wall={wall * 1000:.1f}ms "
+            f"{deployment_executor} wall={deploy_wall * 1000:.1f}ms "
+            f"critical path={critical * 1000:.1f}ms "
+            f"(parent {parent * 1000:.1f}ms)",
+            flush=True,
+        )
+
+    base = rows[0]
+    for row in rows:
+        row["critical_path_speedup_vs_1"] = (
+            base["critical_path_seconds"] / row["critical_path_seconds"]
+        )
+        row["wall_speedup_vs_1"] = (
+            base["deployment_wall_seconds"] / row["deployment_wall_seconds"]
+        )
+    return rows, len(queries)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, 1 repeat, no JSON write (CI agreement check)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="timing repeats per arm"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_sharding.json"),
+        help="JSON output path (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    num_docs = SMOKE_DOCS if args.smoke else FULL_DOCS
+    queries_per_count = 3 if args.smoke else 10
+    repeats = 1 if args.smoke else args.repeats
+    deployment_executor = "fork" if fork_available() else "thread"
+
+    rows, num_queries = run(
+        num_docs, queries_per_count, repeats, deployment_executor
+    )
+
+    if args.smoke:
+        print(
+            "smoke mode: all shard counts rank identically; JSON not written"
+        )
+        return 0
+
+    cores = os.cpu_count() or 1
+    # CPU-bound shards cannot overlap without a core each; on small hosts
+    # the critical path is the deployment latency the engine models.
+    gate_metric = (
+        "wall_speedup_vs_1"
+        if cores >= HEADLINE_SHARDS
+        else "critical_path_speedup_vs_1"
+    )
+    headline = next(r for r in rows if r["shards"] == HEADLINE_SHARDS)
+    speedup = headline[gate_metric]
+    print(
+        f"\nheadline ({HEADLINE_SHARDS} shards vs 1, {num_queries} queries, "
+        f"{num_docs:,} docs): {speedup:.2f}x "
+        f"[{gate_metric}, host has {cores} core(s)]"
+    )
+
+    payload = {
+        "benchmark": "sharded engine scaling, batched large-context mix",
+        "python": platform.python_version(),
+        "host_cpu_cores": cores,
+        "deployment_executor": deployment_executor,
+        "num_docs": num_docs,
+        "num_queries": num_queries,
+        "top_k": 10,
+        "repeats": repeats,
+        "results_bit_identical_across_shard_counts": True,
+        "gate_metric": gate_metric,
+        "min_required_speedup_at_4_shards": MIN_SPEEDUP,
+        "headline_speedup_at_4_shards": speedup,
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: 4-shard speedup {speedup:.2f}x < required {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

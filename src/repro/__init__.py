@@ -99,13 +99,24 @@ from .selection import (
 )
 from .core import CachingSearchEngine, MaxScoreScorer, exhaustive_disjunctive
 from .core import BatchExecutor, BatchReport
+from .index import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedInvertedIndex,
+    make_partitioner,
+)
+from .core import ShardedEngine, fork_available
+from .views import materialize_sharded_catalogs, replicate_catalog
 from .storage import (
+    load_any_index,
     load_catalog,
     load_documents,
     load_index,
+    load_sharded_index,
     save_catalog,
     save_documents,
     save_index,
+    save_sharded_index,
 )
 from .temporal import (
     NumericAttributeIndex,
@@ -196,9 +207,21 @@ __all__ = [
     # batched execution
     "BatchExecutor",
     "BatchReport",
+    # sharding
+    "ShardedInvertedIndex",
+    "ShardedEngine",
+    "HashPartitioner",
+    "RangePartitioner",
+    "make_partitioner",
+    "fork_available",
+    "materialize_sharded_catalogs",
+    "replicate_catalog",
     # persistence
     "save_index",
     "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+    "load_any_index",
     "save_catalog",
     "load_catalog",
     "save_documents",

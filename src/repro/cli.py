@@ -17,6 +17,13 @@ per line) through the :class:`~repro.core.engine.BatchExecutor`,
 sharing context materialisations and posting columns across queries::
 
     python -m repro batch --index index.json.gz --queries workload.txt
+
+``index --shards N`` partitions the collection and writes a sharded
+index (manifest + one file per shard); ``search``/``batch``/``stats``
+auto-detect sharded artefacts and run the parallel
+:class:`~repro.core.sharded_engine.ShardedEngine` (``--executor`` picks
+the backend).  A flat index can also be re-sharded at load time with
+``search --shards N``.
 """
 
 from __future__ import annotations
@@ -28,16 +35,21 @@ from typing import Optional, Sequence
 from . import __version__
 from .core.engine import BatchExecutor, ContextSearchEngine
 from .core.ranking import ALL_RANKING_FUNCTIONS
+from .core.sharded_engine import ShardedEngine
 from .data.corpus import CorpusConfig, generate_corpus
+from .index.sharded import ShardedInvertedIndex
 from .selection.hybrid import select_views
 from .storage import (
+    load_any_index,
     load_catalog,
     load_documents,
     load_index,
     save_catalog,
     save_documents,
     save_index,
+    save_sharded_index,
 )
+from .views.sharding import replicate_catalog
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -59,6 +71,17 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from .index.inverted_index import build_index
 
     documents = load_documents(args.corpus)
+    if args.shards > 1:
+        sharded = ShardedInvertedIndex.build(
+            documents, args.shards, partitioner=args.partitioner
+        )
+        save_sharded_index(sharded, args.out)
+        sizes = [shard.index.num_docs for shard in sharded.shards]
+        print(
+            f"indexed {sharded.num_docs} documents into {args.shards} "
+            f"{args.partitioner}-partitioned shards {sizes} -> {args.out}"
+        )
+        return 0
     index = build_index(documents)
     save_index(index, args.out)
     print(
@@ -87,11 +110,40 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    catalog = load_catalog(args.catalog) if args.catalog else None
+def _load_engine(args: argparse.Namespace):
+    """Build the right engine for ``--index``: flat or sharded.
+
+    A sharded artefact always gets the :class:`ShardedEngine`; a flat one
+    gets it only when ``--shards N`` asks for load-time re-sharding.  A
+    persisted single-collection catalog is re-materialised per shard
+    (definitions replicate; tuples do not).
+    """
+    index = load_any_index(args.index)
+    shards = getattr(args, "shards", 0) or 0
+    if isinstance(index, ShardedInvertedIndex):
+        sharded = index
+    elif shards > 1:
+        sharded = ShardedInvertedIndex.from_index(
+            index, shards, partitioner=args.partitioner
+        )
+    else:
+        sharded = None
     ranking = ALL_RANKING_FUNCTIONS[args.model]()
-    engine = ContextSearchEngine(index, ranking=ranking, catalog=catalog)
+    catalog = load_catalog(args.catalog) if args.catalog else None
+    if sharded is not None:
+        catalogs = replicate_catalog(sharded, catalog) if catalog else None
+        engine = ShardedEngine(
+            sharded,
+            ranking=ranking,
+            catalogs=catalogs,
+            executor=args.executor,
+        )
+        return engine, True
+    return ContextSearchEngine(index, ranking=ranking, catalog=catalog), False
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    engine, sharded = _load_engine(args)
 
     if args.conventional:
         results = engine.search_conventional(args.query, top_k=args.top_k)
@@ -111,20 +163,26 @@ def _cmd_search(args: argparse.Namespace) -> int:
     for rank, hit in enumerate(results.hits, start=1):
         print(f"  {rank:>3}. {hit.external_id}  score={hit.score:.4f}")
     report = results.report
+    extra = (
+        f" shards={engine.sharded_index.num_shards}"
+        f" executor={engine.executor_name}"
+        if sharded
+        else ""
+    )
     print(
         f"path={report.resolution.path} "
         f"context={report.context_size} "
         f"elapsed={report.elapsed_seconds * 1000:.1f}ms "
         f"model_cost={report.counter.model_cost}"
+        f"{extra}"
     )
+    if sharded:
+        engine.close()
     return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
-    catalog = load_catalog(args.catalog) if args.catalog else None
-    ranking = ALL_RANKING_FUNCTIONS[args.model]()
-    engine = ContextSearchEngine(index, ranking=ranking, catalog=catalog)
+    engine, sharded = _load_engine(args)
 
     with open(args.queries, "r", encoding="utf-8") as handle:
         queries = [line.strip() for line in handle if line.strip()]
@@ -132,8 +190,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"no queries in {args.queries}", file=sys.stderr)
         return 1
 
-    executor = BatchExecutor(engine, max_workers=args.workers)
-    report = executor.run(queries, top_k=args.top_k, mode=args.mode)
+    if sharded:
+        # The sharded engine fans a whole batch out in two dispatches per
+        # shard; the thread-pool BatchExecutor is the flat-index path.
+        report = engine.search_many(queries, top_k=args.top_k, mode=args.mode)
+        engine.close()
+    else:
+        executor = BatchExecutor(engine, max_workers=args.workers)
+        report = executor.run(queries, top_k=args.top_k, mode=args.mode)
 
     for outcome in report.outcomes:
         if outcome.ok:
@@ -160,8 +224,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    index = load_index(args.index)
+    index = load_any_index(args.index)
     print(f"index: {args.index}")
+    if isinstance(index, ShardedInvertedIndex):
+        sizes = [shard.index.num_docs for shard in index.shards]
+        print(
+            f"  shards: {index.num_shards} "
+            f"({index.partitioner.name}-partitioned) sizes={sizes}"
+        )
+        print(f"  documents: {index.num_docs}")
+        print(f"  total length: {index.total_length} tokens")
+        print(f"  avg doc length: {index.average_document_length():.1f}")
+        return 0
     print(f"  documents: {index.num_docs}")
     print(f"  total length: {index.total_length} tokens")
     print(f"  avg doc length: {index.average_document_length():.1f}")
@@ -175,6 +249,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"  tuples: total={stats.total_tuples} max={stats.max_tuples}")
         print(f"  storage: {stats.total_storage_bytes / 1e6:.2f} MB")
     return 0
+
+
+def _add_sharding_options(p: argparse.ArgumentParser) -> None:
+    """Options shared by the commands that can run a sharded engine."""
+    p.add_argument("--shards", type=int, default=0,
+                   help="re-shard a flat index into N shards at load time "
+                        "(sharded artefacts are auto-detected)")
+    p.add_argument("--partitioner", choices=("hash", "range"), default="hash")
+    p.add_argument("--executor", choices=("auto", "serial", "thread", "fork"),
+                   default="auto", help="sharded execution backend")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("index", help="build and save an inverted index")
     p.add_argument("--corpus", required=True)
     p.add_argument("--out", required=True)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition into N shards (1 = flat single index)")
+    p.add_argument("--partitioner", choices=("hash", "range"), default="hash")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("select", help="select and materialise views")
@@ -220,6 +307,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline ranking (whole-collection statistics)")
     p.add_argument("--disjunctive", action="store_true",
                    help="OR-semantics top-k (MaxScore)")
+    _add_sharding_options(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("batch", help="evaluate a file of queries as one batch")
@@ -234,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="context")
     p.add_argument("--workers", type=int, default=None,
                    help="thread-pool size (default: min(8, cpu count))")
+    _add_sharding_options(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("stats", help="print index/catalog statistics")

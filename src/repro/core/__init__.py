@@ -58,9 +58,11 @@ from .topk import (
     MaxScoreScorer,
     PredicateMembership,
     ScoredDocument,
+    SharedTopKThreshold,
     TopKDiagnostics,
     exhaustive_disjunctive,
 )
+from .sharded_engine import ShardedEngine, fork_available
 
 __all__ = [
     "ContextQuery",
@@ -107,6 +109,9 @@ __all__ = [
     "MaxScoreScorer",
     "PredicateMembership",
     "ScoredDocument",
+    "SharedTopKThreshold",
     "TopKDiagnostics",
     "exhaustive_disjunctive",
+    "ShardedEngine",
+    "fork_available",
 ]

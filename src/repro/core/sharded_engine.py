@@ -1,0 +1,949 @@
+"""Parallel query execution over a sharded index, bit-identical to serial.
+
+The sharded engine runs every evaluation mode of
+:class:`~repro.core.engine.ContextSearchEngine` as a two-phase
+scatter-gather over the shards of a
+:class:`~repro.index.sharded.ShardedInvertedIndex`:
+
+1. **resolve** — each shard answers the query's collection-statistic
+   specs over *its* sub-collection (views path when a per-shard catalog
+   covers the context, straightforward plan otherwise) and stashes its
+   local unranked result;
+2. **merge** — the parent sums the partial aggregates (every supported
+   statistic of Table 1 is additive over documents; the one non-additive
+   statistic, ``utc``, is rejected up front);
+3. **score** — the merged global statistics are broadcast back and every
+   shard scores its stashed candidates with them.  Scores are pure
+   functions of integer statistics and per-document values, so each
+   document's score is the exact float the single-shard engine computes;
+   the final sort on ``(-score, global docid)`` then reproduces the
+   single-shard ranking including tie-breaks.
+
+Disjunctive top-k additionally shares an adaptive threshold
+(:class:`~repro.core.topk.SharedTopKThreshold`) across shards and hands
+all shards the *global* per-term score bounds, so per-shard MaxScore
+prunes identically to (and merges bit-identically with) the single-shard
+scorer.
+
+Three execution backends: ``serial`` (in-process loop), ``thread``
+(pool; parallel I/O but GIL-bound for pure-python scan work), ``fork``
+(one dedicated forked worker process per shard — true CPU parallelism;
+the default where ``fork`` is available).  Backends never change
+results, only wall-clock.
+
+Known limitation: :class:`~repro.core.stats_cache.CachingSearchEngine`
+wraps ``ContextSearchEngine`` internals and cannot wrap this engine;
+sharded deployments should cache at a layer above ``search_many``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import EmptyContextError, QueryError, ReproError
+from ..index.postings import CostCounter
+from ..index.searcher import BooleanSearcher
+from ..index.sharded import IndexShard, ShardedInvertedIndex
+from ..views.catalog import ViewCatalog
+from ..views.rewrite import compute_rare_term_statistics
+from .engine import (
+    BatchOutcome,
+    BatchReport,
+    ExecutionReport,
+    SearchHit,
+    SearchResults,
+)
+from .plan import StraightforwardPlan
+from .query import ContextQuery, ContextSpecification, KeywordQuery, parse_query
+from .ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
+from .statistics import (
+    CARDINALITY,
+    TERM_COUNT,
+    UNIQUE_TERMS,
+    CollectionStatistics,
+    DocumentStatistics,
+    QueryStatistics,
+    StatisticSpec,
+)
+from .topk import MaxScoreScorer, PredicateMembership, SharedTopKThreshold
+
+# A scored candidate crossing the shard boundary: (score, global docid,
+# external id).  Sorting tuples of this shape on (-score, gid) is the
+# single-shard (-score, doc_id) order because gid IS the single-shard
+# internal docid.
+_Hit = Tuple[float, int, str]
+
+
+class ShardRuntime:
+    """Everything one shard needs to evaluate its slice of a query.
+
+    Lives on both sides of the process boundary: the parent builds the
+    runtimes, and the fork backend's per-shard worker inherits them via
+    the module registry.  Phase-1 calls stash the shard's local result
+    set keyed by query id; the matching phase-2 call pops it — which is
+    why the fork backend dedicates one worker process per shard (both
+    phases of a shard must land in the same address space).
+    """
+
+    def __init__(
+        self,
+        shard: IndexShard,
+        ranking: RankingFunction,
+        catalog: Optional[ViewCatalog],
+        use_skips: bool = True,
+    ):
+        self.shard_id = shard.shard_id
+        self.index = shard.index
+        self.global_ids = shard.global_ids
+        self.ranking = ranking
+        self.catalog = catalog
+        self.searcher = BooleanSearcher(shard.index, use_skips=use_skips)
+        self.plan = StraightforwardPlan(shard.index, use_skips=use_skips)
+        self._stash: Dict[int, Tuple[Tuple[str, ...], List[int]]] = {}
+
+    # -- phase 1: per-shard statistics ----------------------------------
+
+    def resolve_many(self, tasks: Sequence[tuple]) -> List[tuple]:
+        """Resolve statistics and stash the local conjunctive result.
+
+        ``tasks``: ``(qid, keywords, predicates, specs)`` per query.
+        Returns ``(qid, values, num_results, path, counter)``; an empty
+        local context yields all-zero values (the additive identity) and
+        an empty result — the *global* emptiness check happens after the
+        merge, in the parent.
+        """
+        out = []
+        for qid, keywords, predicates, specs in tasks:
+            counter = CostCounter()
+            query = _rebuild_query(keywords, predicates)
+            try:
+                values, result_ids, path = self._resolve(query, specs, counter)
+            except EmptyContextError:
+                values = {spec: 0 for spec in specs}
+                result_ids = []
+                path = "straightforward"
+            self._stash[qid] = (tuple(keywords), result_ids)
+            out.append((qid, values, len(result_ids), path, counter))
+        return out
+
+    def stats_many(self, tasks: Sequence[tuple]) -> List[tuple]:
+        """Statistics only (no result stash) — disjunctive & diagnostics.
+
+        ``tasks``: ``(qid, keywords, predicates, specs, use_views)``.
+        Returns ``(qid, values, path, counter)``.
+        """
+        out = []
+        for qid, keywords, predicates, specs, use_views in tasks:
+            counter = CostCounter()
+            query = _rebuild_query(keywords, predicates)
+            try:
+                if use_views:
+                    values, path = self._resolve_only(query, specs, counter)
+                else:
+                    execution = self.plan.execute(query, specs, counter)
+                    values, path = execution.statistic_values, "straightforward"
+            except EmptyContextError:
+                values = {spec: 0 for spec in specs}
+                path = "straightforward"
+            out.append((qid, values, path, counter))
+        return out
+
+    # -- phase 2: scoring with merged global statistics -----------------
+
+    def score_many(self, tasks: Sequence[tuple]) -> List[tuple]:
+        """Score the stashed results under merged statistics.
+
+        ``tasks``: ``(qid, values, top_k)``; ``values=None`` means the
+        query died in the merge (globally empty context) and the stash
+        entry is just discarded.  Returns ``(qid, hits)`` with hits
+        sorted ``(-score, gid)`` and truncated to ``top_k`` — any global
+        top-k document is necessarily in its shard's local top-k, so
+        truncation loses nothing.
+        """
+        out = []
+        for qid, values, top_k in tasks:
+            keywords, result_ids = self._stash.pop(qid, ((), []))
+            if values is None:
+                continue
+            stats = CollectionStatistics.from_values(values)
+            hits = self._score(keywords, result_ids, stats)
+            if top_k is not None:
+                hits = hits[:top_k]
+            out.append((qid, hits))
+        return out
+
+    def conventional_many(self, tasks: Sequence[tuple]) -> List[tuple]:
+        """Single-phase conventional baseline ``Q_t = Q_k ∪ P``.
+
+        Whole-collection statistics do not depend on per-shard work, so
+        the parent precomputes them and one dispatch both filters and
+        scores.  ``tasks``: ``(qid, keywords, predicates, stats, top_k)``.
+        Returns ``(qid, hits, num_results, counter)``.
+        """
+        out = []
+        for qid, keywords, predicates, stats, top_k in tasks:
+            counter = CostCounter()
+            result_ids = self.searcher.search_conjunction(
+                list(keywords), list(predicates), counter
+            )
+            hits = self._score(keywords, result_ids, stats)
+            if top_k is not None:
+                hits = hits[:top_k]
+            out.append((qid, hits, len(result_ids), counter))
+        return out
+
+    def topk_many(
+        self,
+        tasks: Sequence[tuple],
+        shared_by_qid: Optional[Dict[int, SharedTopKThreshold]] = None,
+    ) -> List[tuple]:
+        """Per-shard disjunctive MaxScore with globally shared bounds.
+
+        ``tasks``: ``(qid, keywords, predicates, values, k, term_bounds)``.
+        ``term_bounds`` are computed by the parent from *global* max tf, so
+        every shard's scorer orders and prunes against the same bounds the
+        single-shard scorer would.  ``shared_by_qid`` carries live
+        :class:`SharedTopKThreshold` objects when shards run in the same
+        address space (serial/thread backends); the fork backend omits it
+        — threshold sharing is a pruning accelerator, never a correctness
+        requirement.  Returns ``(qid, hits, counter)``.
+        """
+        out = []
+        for qid, keywords, predicates, values, k, term_bounds in tasks:
+            counter = CostCounter()
+            if values is None:
+                continue
+            stats = CollectionStatistics.from_values(values)
+            scorer = MaxScoreScorer(
+                self.index,
+                list(keywords),
+                stats,
+                self.ranking,
+                context_filter=PredicateMembership(self.index, list(predicates)),
+                term_bounds=term_bounds,
+            )
+            shared = shared_by_qid.get(qid) if shared_by_qid else None
+            scored = scorer.top_k(k, counter, shared=shared)
+            hits = [
+                (
+                    s.score,
+                    self.global_ids[s.doc_id],
+                    self.index.store.get(s.doc_id).external_id,
+                )
+                for s in scored
+            ]
+            out.append((qid, hits, counter))
+        return out
+
+    # -- internals ------------------------------------------------------
+
+    def _resolve(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        counter: CostCounter,
+    ) -> Tuple[Dict[StatisticSpec, float], List[int], str]:
+        """Mirror of ``ContextSearchEngine._resolve_statistics`` per shard."""
+        if self.catalog is not None and len(self.catalog) > 0:
+            values, unresolved, views_used = self.catalog.resolve(
+                specs, query.context, counter
+            )
+            if views_used:
+                if unresolved:
+                    values.update(
+                        compute_rare_term_statistics(
+                            self.index, query, unresolved, counter
+                        )
+                    )
+                result_ids = self.searcher.search_conjunction(
+                    query.keywords, query.predicates, counter
+                )
+                return values, result_ids, "views"
+        execution = self.plan.execute(query, specs, counter)
+        return execution.statistic_values, execution.result_ids, "straightforward"
+
+    def _resolve_only(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        counter: CostCounter,
+    ) -> Tuple[Dict[StatisticSpec, float], str]:
+        if self.catalog is not None and len(self.catalog) > 0:
+            values, unresolved, views_used = self.catalog.resolve(
+                specs, query.context, counter
+            )
+            if views_used:
+                if unresolved:
+                    values.update(
+                        compute_rare_term_statistics(
+                            self.index, query, unresolved, counter
+                        )
+                    )
+                return values, "views"
+        execution = self.plan.execute(query, specs, counter)
+        return execution.statistic_values, "straightforward"
+
+    def _score(
+        self,
+        keywords: Sequence[str],
+        result_ids: Sequence[int],
+        stats: CollectionStatistics,
+    ) -> List[_Hit]:
+        """``ContextSearchEngine._score`` with global ids in the sort key."""
+        query_stats = QueryStatistics.from_keywords(keywords)
+        unique_keywords = list(dict.fromkeys(keywords))
+        plists = {w: self.index.postings(w) for w in unique_keywords}
+        hits: List[_Hit] = []
+        for doc_id in result_ids:
+            doc = self.index.store.get(doc_id)
+            tfs = {w: (plists[w].tf_for(doc_id) or 0) for w in unique_keywords}
+            doc_stats = DocumentStatistics(
+                length=doc.length,
+                unique_terms=doc.unique_terms,
+                term_frequencies=tfs,
+            )
+            score = self.ranking.score(query_stats, doc_stats, stats)
+            hits.append((score, self.global_ids[doc_id], doc.external_id))
+        hits.sort(key=lambda hit: (-hit[0], hit[1]))
+        return hits
+
+
+def _rebuild_query(
+    keywords: Sequence[str], predicates: Sequence[str]
+) -> ContextQuery:
+    """Reassemble an analysed query shipped across the shard boundary."""
+    return ContextQuery(
+        KeywordQuery(list(keywords)), ContextSpecification(list(predicates))
+    )
+
+
+# -- execution backends --------------------------------------------------------
+
+
+class _SerialBackend:
+    """Run every shard's slice in the calling thread (reference backend)."""
+
+    name = "serial"
+    shares_memory = True
+
+    def __init__(self, runtimes: Sequence[ShardRuntime], max_workers=None):
+        self._runtimes = list(runtimes)
+
+    def map(self, method: str, payloads: Sequence[list], **kwargs) -> List[list]:
+        return [
+            getattr(runtime, method)(payload, **kwargs)
+            for runtime, payload in zip(self._runtimes, payloads)
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadBackend:
+    """One pool thread per shard slice; shards share the parent's memory."""
+
+    name = "thread"
+    shares_memory = True
+
+    def __init__(
+        self, runtimes: Sequence[ShardRuntime], max_workers: Optional[int] = None
+    ):
+        self._runtimes = list(runtimes)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or len(self._runtimes)
+        )
+
+    def map(self, method: str, payloads: Sequence[list], **kwargs) -> List[list]:
+        futures = [
+            self._pool.submit(getattr(runtime, method), payload, **kwargs)
+            for runtime, payload in zip(self._runtimes, payloads)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# Fork-backend plumbing: workers inherit the parent's runtimes through this
+# module-level registry, captured at fork time.  Entries are registered
+# BEFORE any worker process exists and the runtimes' index state is
+# immutable afterwards, so parent and children stay consistent; only the
+# per-query stash diverges, and it lives exclusively in the worker.
+_FORK_REGISTRY: Dict[int, List[ShardRuntime]] = {}
+_FORK_KEYS = itertools.count()
+
+
+def _fork_call(key: int, shard_id: int, method: str, payload: list) -> list:
+    runtime = _FORK_REGISTRY[key][shard_id]
+    return getattr(runtime, method)(payload)
+
+
+def fork_available() -> bool:
+    """Whether the copy-on-write fork backend can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _ForkBackend:
+    """One dedicated forked worker process per shard.
+
+    Dedicated (max_workers=1) executors give each shard task affinity:
+    phase 1 and phase 2 of the same shard always execute in the same
+    process, which the cross-phase stash requires.  Fork (not spawn)
+    start: children get the built indexes by copy-on-write page sharing
+    instead of pickling gigabytes of postings.
+    """
+
+    name = "fork"
+    shares_memory = False
+
+    def __init__(
+        self, runtimes: Sequence[ShardRuntime], max_workers=None
+    ):
+        if not fork_available():
+            raise QueryError("fork start method unavailable on this platform")
+        self._key = next(_FORK_KEYS)
+        _FORK_REGISTRY[self._key] = list(runtimes)
+        context = multiprocessing.get_context("fork")
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1, mp_context=context)
+            for _ in runtimes
+        ]
+
+    def map(self, method: str, payloads: Sequence[list], **kwargs) -> List[list]:
+        # kwargs carry live in-memory objects (shared thresholds) that
+        # cannot cross a process boundary; callers never pass them to this
+        # backend, and dropping them is always result-preserving.
+        futures = [
+            pool.submit(_fork_call, self._key, shard_id, method, payload)
+            for shard_id, (pool, payload) in enumerate(zip(self._pools, payloads))
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        _FORK_REGISTRY.pop(self._key, None)
+
+
+_BACKENDS = {
+    "serial": _SerialBackend,
+    "thread": _ThreadBackend,
+    "fork": _ForkBackend,
+}
+
+
+def _pick_backend(executor: str):
+    if executor == "auto":
+        return _ForkBackend if fork_available() else _ThreadBackend
+    cls = _BACKENDS.get(executor)
+    if cls is None:
+        raise QueryError(
+            f"unknown executor {executor!r} (have auto, {sorted(_BACKENDS)})"
+        )
+    return cls
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Context-sensitive search over a sharded index, results bit-identical
+    to :class:`~repro.core.engine.ContextSearchEngine` on the same corpus.
+
+    ``catalogs`` (optional) is one :class:`ViewCatalog` per shard — see
+    :func:`repro.views.sharding.materialize_sharded_catalogs`.  ``executor``
+    selects the backend (``auto``/``serial``/``thread``/``fork``); call
+    :meth:`close` (or use as a context manager) to release worker pools.
+    """
+
+    def __init__(
+        self,
+        sharded_index: ShardedInvertedIndex,
+        ranking: Optional[RankingFunction] = None,
+        catalogs: Optional[Sequence[Optional[ViewCatalog]]] = None,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
+        use_skips: bool = True,
+    ):
+        if not sharded_index.committed:
+            raise QueryError("all shards must be committed before searching")
+        if catalogs is not None and len(catalogs) != sharded_index.num_shards:
+            raise QueryError(
+                f"{len(catalogs)} catalogs for {sharded_index.num_shards} shards"
+            )
+        self.sharded_index = sharded_index
+        self.ranking = ranking if ranking is not None else DEFAULT_RANKING_FUNCTION
+        self.runtimes = [
+            ShardRuntime(
+                shard,
+                self.ranking,
+                catalogs[i] if catalogs is not None else None,
+                use_skips=use_skips,
+            )
+            for i, shard in enumerate(sharded_index.shards)
+        ]
+        self._backend = _pick_backend(executor)(self.runtimes, max_workers)
+        self._global_tc_cache: Dict[str, int] = {}
+        # Analyzers are configuration, identical across shards; shard 0's
+        # stand in for the collection's.
+        self._analyzer = sharded_index.shards[0].index.analyzer
+        self._predicate_analyzer = sharded_index.shards[0].index.predicate_analyzer
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def executor_name(self) -> str:
+        return self._backend.name
+
+    def close(self) -> None:
+        """Release backend worker pools (idempotent)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- public API -----------------------------------------------------
+
+    def search(
+        self, query: Union[ContextQuery, str], top_k: Optional[int] = None
+    ) -> SearchResults:
+        """Context-sensitive ``Q_c = Q_k | P`` across all shards."""
+        return self._single(query, top_k, "context")
+
+    def search_conventional(
+        self, query: Union[ContextQuery, str], top_k: Optional[int] = None
+    ) -> SearchResults:
+        """The conventional baseline ``Q_t = Q_k ∪ P`` across all shards."""
+        return self._single(query, top_k, "conventional")
+
+    def search_disjunctive(
+        self, query: Union[ContextQuery, str], top_k: int = 10
+    ) -> SearchResults:
+        """OR-semantics context-sensitive top-k across all shards."""
+        return self._single(query, top_k, "disjunctive")
+
+    def search_many(
+        self,
+        queries: Iterable[Union[ContextQuery, str]],
+        top_k: Optional[int] = None,
+        mode: str = "context",
+    ) -> BatchReport:
+        """Evaluate a workload with one scatter-gather round per phase.
+
+        The batch shape is what makes sharding pay at serving time: a
+        batch of B queries costs two dispatches per shard (one per phase),
+        not 2·B, so per-task overhead amortises across the workload.
+        Outcomes come back in input order; per-query failures (empty
+        context, stopword-only keywords, …) are recorded, never raised.
+        """
+        if mode not in ("context", "conventional", "disjunctive"):
+            raise QueryError(f"unknown batch mode: {mode!r}")
+        queries = list(queries)
+        started = time.perf_counter()
+        results = self._execute_batch(queries, top_k, mode)
+        elapsed = time.perf_counter() - started
+        outcomes = []
+        for query, result in zip(queries, results):
+            text = query if isinstance(query, str) else str(query)
+            if isinstance(result, ReproError):
+                outcomes.append(
+                    BatchOutcome(
+                        query=text, error=f"{type(result).__name__}: {result}"
+                    )
+                )
+            else:
+                outcomes.append(BatchOutcome(query=text, results=result))
+        return BatchReport(
+            outcomes=outcomes,
+            mode=mode,
+            workers=self.sharded_index.num_shards,
+            elapsed_seconds=elapsed,
+        )
+
+    def context_statistics(
+        self,
+        context: Union[ContextSpecification, Sequence[str]],
+        keywords: Sequence[str] = (),
+    ) -> CollectionStatistics:
+        """Merged global context statistics (straightforward plan, no views)."""
+        if not isinstance(context, ContextSpecification):
+            context = ContextSpecification(context)
+        keywords = [self._analyze_keyword(w) for w in keywords] or ["__none__"]
+        specs = self.ranking.required_collection_specs(keywords)
+        self._check_additive(specs)
+        tasks = [(0, tuple(keywords), tuple(context.predicates), tuple(specs), False)]
+        shard_outputs = self._backend.map(
+            "stats_many", [list(tasks)] * self.sharded_index.num_shards
+        )
+        merged = self._merge_values([out[0][1] for out in shard_outputs], specs)
+        if self._cardinality_of(merged, specs) <= 0:
+            raise EmptyContextError(f"context {context} matches no documents")
+        return CollectionStatistics.from_values(merged)
+
+    # -- batch execution internals --------------------------------------
+
+    def _single(
+        self, query: Union[ContextQuery, str], top_k: Optional[int], mode: str
+    ) -> SearchResults:
+        result = self._execute_batch([query], top_k, mode)[0]
+        if isinstance(result, ReproError):
+            raise result
+        return result
+
+    def _execute_batch(
+        self,
+        queries: Sequence[Union[ContextQuery, str]],
+        top_k: Optional[int],
+        mode: str,
+    ) -> List[Union[SearchResults, ReproError]]:
+        started = time.perf_counter()
+        num_shards = self.sharded_index.num_shards
+        results: List[Optional[Union[SearchResults, ReproError]]] = [None] * len(
+            queries
+        )
+
+        # Parse + analyse in the parent; failures claim their slot now.
+        analyzed: Dict[int, ContextQuery] = {}
+        specs_by_qid: Dict[int, Tuple[StatisticSpec, ...]] = {}
+        for qid, query in enumerate(queries):
+            try:
+                parsed = parse_query(query) if isinstance(query, str) else query
+                analyzed_query = self._analyze(parsed)
+                if mode == "disjunctive" and not self.ranking.decomposable:
+                    raise QueryError(
+                        f"ranking model {self.ranking.name!r} does not support "
+                        "MaxScore pruning (non-zero score for absent terms)"
+                    )
+                if mode in ("context", "disjunctive"):
+                    specs = tuple(
+                        self.ranking.required_collection_specs(
+                            analyzed_query.keywords
+                        )
+                    )
+                    self._check_additive(specs)
+                    specs_by_qid[qid] = specs
+                analyzed[qid] = analyzed_query
+            except ReproError as exc:
+                results[qid] = exc
+
+        if mode == "context":
+            self._run_context(analyzed, specs_by_qid, top_k, results, num_shards)
+        elif mode == "conventional":
+            self._run_conventional(analyzed, top_k, results, num_shards)
+        else:
+            self._run_disjunctive(
+                analyzed, specs_by_qid, top_k, results, num_shards
+            )
+
+        elapsed = time.perf_counter() - started
+        for result in results:
+            if isinstance(result, SearchResults):
+                # Shards run interleaved, so per-query wall-clock is not
+                # observable; every report carries the batch wall-clock.
+                result.report.elapsed_seconds = elapsed
+        return results  # type: ignore[return-value]
+
+    def _run_context(self, analyzed, specs_by_qid, top_k, results, num_shards):
+        phase1 = [
+            (
+                qid,
+                tuple(query.keywords),
+                tuple(query.predicates),
+                specs_by_qid[qid],
+            )
+            for qid, query in analyzed.items()
+        ]
+        if not phase1:
+            return
+        shard_outputs = self._backend.map(
+            "resolve_many", [list(phase1)] * num_shards
+        )
+
+        merged_values: Dict[int, Dict[StatisticSpec, float]] = {}
+        reports: Dict[int, ExecutionReport] = {}
+        result_sizes: Dict[int, int] = {}
+        paths: Dict[int, set] = {}
+        for qid, *_ in phase1:
+            merged_values[qid] = {spec: 0 for spec in specs_by_qid[qid]}
+            reports[qid] = ExecutionReport()
+            result_sizes[qid] = 0
+            paths[qid] = set()
+        for output in shard_outputs:  # shard order: deterministic merges
+            for qid, values, num_results, path, counter in output:
+                merged = merged_values[qid]
+                for spec, value in values.items():
+                    merged[spec] += value
+                result_sizes[qid] += num_results
+                paths[qid].add(path)
+                reports[qid].counter.merge(counter)
+
+        phase2 = []
+        for qid, query in analyzed.items():
+            specs = specs_by_qid[qid]
+            cardinality = self._cardinality_of(merged_values[qid], specs)
+            if cardinality <= 0:
+                results[qid] = EmptyContextError(
+                    f"context {query.context} matches no documents"
+                )
+                phase2.append((qid, None, top_k))  # discard the stash
+                continue
+            reports[qid].context_size = cardinality
+            reports[qid].result_size = result_sizes[qid]
+            reports[qid].resolution.path = _merge_paths(paths[qid])
+            phase2.append((qid, merged_values[qid], top_k))
+        shard_outputs = self._backend.map("score_many", [list(phase2)] * num_shards)
+        self._merge_hits(shard_outputs, analyzed, reports, top_k, results)
+
+    def _run_conventional(self, analyzed, top_k, results, num_shards):
+        tasks = []
+        reports: Dict[int, ExecutionReport] = {}
+        for qid, query in analyzed.items():
+            stats = self._global_statistics(query.keywords)
+            reports[qid] = ExecutionReport()
+            reports[qid].resolution.path = "conventional"
+            tasks.append(
+                (qid, tuple(query.keywords), tuple(query.predicates), stats, top_k)
+            )
+        if not tasks:
+            return
+        shard_outputs = self._backend.map(
+            "conventional_many", [list(tasks)] * num_shards
+        )
+        merged: Dict[int, List[_Hit]] = {qid: [] for qid in analyzed}
+        for output in shard_outputs:
+            for qid, hits, num_results, counter in output:
+                merged[qid].extend(hits)
+                reports[qid].result_size += num_results
+                reports[qid].counter.merge(counter)
+        for qid, query in analyzed.items():
+            hits = sorted(merged[qid], key=lambda hit: (-hit[0], hit[1]))
+            if top_k is not None:
+                hits = hits[:top_k]
+            results[qid] = SearchResults(
+                hits=[
+                    SearchHit(doc_id=gid, external_id=ext, score=score)
+                    for score, gid, ext in hits
+                ],
+                report=reports[qid],
+            )
+
+    def _run_disjunctive(self, analyzed, specs_by_qid, top_k, results, num_shards):
+        k = top_k if top_k is not None else 10
+        phase1 = [
+            (
+                qid,
+                tuple(query.keywords),
+                tuple(query.predicates),
+                specs_by_qid[qid],
+                True,
+            )
+            for qid, query in analyzed.items()
+        ]
+        if not phase1:
+            return
+        shard_outputs = self._backend.map("stats_many", [list(phase1)] * num_shards)
+
+        merged_values: Dict[int, Dict[StatisticSpec, float]] = {}
+        reports: Dict[int, ExecutionReport] = {}
+        paths: Dict[int, set] = {}
+        for qid, _, _, specs, _ in phase1:
+            merged_values[qid] = {spec: 0 for spec in specs}
+            reports[qid] = ExecutionReport()
+            paths[qid] = set()
+        for output in shard_outputs:
+            for qid, values, path, counter in output:
+                merged = merged_values[qid]
+                for spec, value in values.items():
+                    merged[spec] += value
+                paths[qid].add(path)
+                reports[qid].counter.merge(counter)
+
+        phase2 = []
+        shared_by_qid: Dict[int, SharedTopKThreshold] = {}
+        for qid, query in analyzed.items():
+            specs = specs_by_qid[qid]
+            cardinality = self._cardinality_of(merged_values[qid], specs)
+            if cardinality <= 0:
+                results[qid] = EmptyContextError(
+                    f"context {query.context} matches no documents"
+                )
+                continue
+            reports[qid].context_size = cardinality
+            reports[qid].resolution.path = _merge_paths(paths[qid])
+            stats = CollectionStatistics.from_values(merged_values[qid])
+            bounds = self._term_bounds(query.keywords, stats)
+            shared_by_qid[qid] = SharedTopKThreshold(k)
+            phase2.append(
+                (
+                    qid,
+                    tuple(query.keywords),
+                    tuple(query.predicates),
+                    merged_values[qid],
+                    k,
+                    bounds,
+                )
+            )
+        if not phase2:
+            return
+        kwargs = (
+            {"shared_by_qid": shared_by_qid}
+            if self._backend.shares_memory
+            else {}
+        )
+        shard_outputs = self._backend.map(
+            "topk_many", [list(phase2)] * num_shards, **kwargs
+        )
+        merged_hits: Dict[int, List[_Hit]] = {entry[0]: [] for entry in phase2}
+        for output in shard_outputs:
+            for qid, hits, counter in output:
+                merged_hits[qid].extend(hits)
+                reports[qid].counter.merge(counter)
+        for qid, hits in merged_hits.items():
+            hits = sorted(hits, key=lambda hit: (-hit[0], hit[1]))[:k]
+            report = reports[qid]
+            report.result_size = len(hits)
+            results[qid] = SearchResults(
+                hits=[
+                    SearchHit(doc_id=gid, external_id=ext, score=score)
+                    for score, gid, ext in hits
+                ],
+                report=report,
+            )
+
+    def _merge_hits(self, shard_outputs, analyzed, reports, top_k, results):
+        merged: Dict[int, List[_Hit]] = {
+            qid: [] for qid in analyzed if not isinstance(results[qid], ReproError)
+        }
+        for output in shard_outputs:
+            for qid, hits in output:
+                if qid in merged:
+                    merged[qid].extend(hits)
+        for qid, hits in merged.items():
+            hits = sorted(hits, key=lambda hit: (-hit[0], hit[1]))
+            if top_k is not None:
+                hits = hits[:top_k]
+            results[qid] = SearchResults(
+                hits=[
+                    SearchHit(doc_id=gid, external_id=ext, score=score)
+                    for score, gid, ext in hits
+                ],
+                report=reports[qid],
+            )
+
+    # -- merge helpers ---------------------------------------------------
+
+    @staticmethod
+    def _merge_values(
+        per_shard: Sequence[Dict[StatisticSpec, float]],
+        specs: Sequence[StatisticSpec],
+    ) -> Dict[StatisticSpec, float]:
+        merged: Dict[StatisticSpec, float] = {spec: 0 for spec in specs}
+        for values in per_shard:
+            for spec, value in values.items():
+                merged[spec] += value
+        return merged
+
+    @staticmethod
+    def _cardinality_of(
+        values: Dict[StatisticSpec, float], specs: Sequence[StatisticSpec]
+    ) -> int:
+        for spec in specs:
+            if spec.kind == CARDINALITY:
+                return int(values[spec])
+        return 0
+
+    @staticmethod
+    def _check_additive(specs: Sequence[StatisticSpec]) -> None:
+        """Reject the one Table 1 statistic that does not sum over shards.
+
+        ``utc(D_P)`` is a distinct-count: shard vocabularies overlap, so
+        per-shard values cannot be merged exactly without shipping the
+        vocabularies themselves.  No built-in ranking model requests it;
+        a custom model that does must run on the single-shard engine.
+        """
+        for spec in specs:
+            if spec.kind == UNIQUE_TERMS:
+                raise QueryError(
+                    "unique-term count (utc) is not additive across shards; "
+                    "use the single-shard engine for rankings that need it"
+                )
+
+    def _term_bounds(
+        self, keywords: Sequence[str], stats: CollectionStatistics
+    ) -> Dict[str, float]:
+        """Global per-term score upper bounds for every shard's scorer.
+
+        Computed from the collection-wide ``max_tf`` so the bounds equal
+        the single-shard scorer's exactly; identical bounds give every
+        shard the same term ordering, hence the same per-document float
+        summation order, hence bit-identical scores.
+        """
+        query_stats = QueryStatistics.from_keywords(keywords)
+        bounds: Dict[str, float] = {}
+        for term in dict.fromkeys(keywords):
+            max_tf = self.sharded_index.max_tf(term)
+            if max_tf > 0:
+                bounds[term] = self.ranking.term_upper_bound(
+                    term, max_tf, query_stats, stats
+                )
+        return bounds
+
+    def _global_statistics(self, keywords: Sequence[str]) -> CollectionStatistics:
+        """Whole-collection ``S_c(D)`` via exact per-shard sums."""
+        df = {w: self.sharded_index.document_frequency(w) for w in keywords}
+        wants_tc = any(
+            spec.kind == TERM_COUNT
+            for spec in self.ranking.required_collection_specs(keywords)
+        )
+        tc = {w: self._global_tc(w) for w in keywords} if wants_tc else {}
+        return CollectionStatistics(
+            cardinality=self.sharded_index.num_docs,
+            total_length=self.sharded_index.total_length,
+            df=df,
+            tc=tc,
+        )
+
+    def _global_tc(self, term: str) -> int:
+        cached = self._global_tc_cache.get(term)
+        if cached is None:
+            cached = self.sharded_index.term_count(term)
+            self._global_tc_cache[term] = cached
+        return cached
+
+    # -- analysis (mirrors ContextSearchEngine) --------------------------
+
+    def _analyze_keyword(self, keyword: str) -> str:
+        analyzed = self._analyzer.analyze_query_term(keyword)
+        if analyzed is None:
+            raise QueryError(
+                f"keyword {keyword!r} was removed by analysis (stopword?)"
+            )
+        return analyzed
+
+    def _analyze(self, query: ContextQuery) -> ContextQuery:
+        keywords = [self._analyze_keyword(w) for w in query.keywords]
+        predicates = []
+        for m in query.predicates:
+            analyzed = self._predicate_analyzer.analyze_query_term(m)
+            if analyzed is None:
+                raise QueryError(f"empty context predicate: {m!r}")
+            predicates.append(analyzed)
+        return ContextQuery(
+            KeywordQuery(keywords), ContextSpecification(predicates)
+        )
+
+
+def _merge_paths(paths: set) -> str:
+    """Collapse per-shard resolution paths into one report label."""
+    if paths == {"views"}:
+        return "sharded-views"
+    if paths == {"straightforward"} or not paths:
+        return "sharded-straightforward"
+    return "sharded-mixed"

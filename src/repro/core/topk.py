@@ -23,8 +23,9 @@ pruning; language models smooth absent terms and are rejected.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from ..index.inverted_index import InvertedIndex
@@ -64,6 +65,42 @@ class PredicateMembership:
         return all(plist.contains(doc_id) for plist in self._lists)
 
 
+class SharedTopKThreshold:
+    """A thread-safe running global k-th best score across shard scorers.
+
+    Parallel per-shard MaxScore runs publish every score they accept.
+    Published scores are a subset of all candidate scores, so the k-th
+    best published score can only be <= the final global k-th score;
+    pruning strictly below it is therefore rank-safe, and a shard that
+    starts late inherits the pruning power of everything the earlier
+    shards already scored.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: List[float] = []
+        self._lock = threading.Lock()
+        self._value = float("-inf")
+
+    @property
+    def value(self) -> float:
+        """Current global threshold (-inf until k scores are published)."""
+        return self._value
+
+    def publish(self, score: float) -> None:
+        """Fold one accepted candidate score into the global heap."""
+        with self._lock:
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, score)
+                if len(self._heap) == self.k:
+                    self._value = self._heap[0]
+            elif score > self._heap[0]:
+                heapq.heappushpop(self._heap, score)
+                self._value = self._heap[0]
+
+
 class MaxScoreScorer:
     """Document-at-a-time MaxScore over one query's posting cursors.
 
@@ -73,6 +110,10 @@ class MaxScoreScorer:
     their cursors are never used to generate candidates.
     """
 
+    # How many candidates between refreshes of an external shared
+    # threshold; staleness only costs pruning power, never correctness.
+    _SHARED_REFRESH = 64
+
     def __init__(
         self,
         index: InvertedIndex,
@@ -80,6 +121,7 @@ class MaxScoreScorer:
         collection_stats: CollectionStatistics,
         ranking,
         context_filter: Optional[object] = None,
+        term_bounds: Optional[Mapping[str, float]] = None,
     ):
         if not ranking.decomposable:
             raise QueryError(
@@ -98,9 +140,17 @@ class MaxScoreScorer:
             plist = index.postings(term)
             if not len(plist):
                 continue
-            bound = ranking.term_upper_bound(
-                term, max(plist.tfs), self.query_stats, collection_stats
-            )
+            if term_bounds is not None:
+                # Externally supplied bounds (e.g. computed from global
+                # collection max_tf by a sharded engine) must dominate the
+                # local ones; sharing them keeps the bound ordering — and
+                # hence per-document summation order — identical across
+                # shards, which is what makes sharded scores bit-identical.
+                bound = term_bounds.get(term, 0.0)
+            else:
+                bound = ranking.term_upper_bound(
+                    term, plist.max_tf, self.query_stats, collection_stats
+                )
             self._lists.append((term, plist, bound))
         # Descending bound: essential lists come first.
         self._lists.sort(key=lambda item: -item[2])
@@ -116,8 +166,18 @@ class MaxScoreScorer:
         k: int,
         counter: Optional[CostCounter] = None,
         diagnostics: Optional[TopKDiagnostics] = None,
+        shared: Optional[SharedTopKThreshold] = None,
+        initial_threshold: float = float("-inf"),
     ) -> List[ScoredDocument]:
-        """Return the k highest-scoring documents (ties: lowest docid)."""
+        """Return the k highest-scoring documents (ties: lowest docid).
+
+        ``shared`` / ``initial_threshold`` let a sharded engine tighten the
+        pruning threshold with scores other shards have already accepted.
+        An external threshold can prune documents out of the *local* top-k,
+        but never out of the global one: every comparison against it is
+        strict, and its value never exceeds the final global k-th score
+        (it is the k-th best of a subset of all candidates).
+        """
         if k < 1:
             raise QueryError(f"k must be >= 1, got {k}")
         if not self._lists:
@@ -128,12 +188,25 @@ class MaxScoreScorer:
         # Min-heap of (score, -doc_id) so the worst of the top-k is at
         # heap[0] and docid ties resolve toward smaller ids.
         heap: List[Tuple[float, int]] = []
-        threshold = float("-inf")
+        # Monotone: the max of the local k-th score and every external
+        # threshold observed so far.
+        threshold = initial_threshold
+        if shared is not None and shared.value > threshold:
+            threshold = shared.value
         # Index of the first non-essential list: lists [first_ne:] have a
         # combined bound below the threshold.
-        first_non_essential = num_lists
+        first_non_essential = self._essential_prefix(threshold)
+        since_refresh = 0
 
         while True:
+            if shared is not None:
+                since_refresh += 1
+                if since_refresh >= self._SHARED_REFRESH:
+                    since_refresh = 0
+                    external = shared.value
+                    if external > threshold:
+                        threshold = external
+                        first_non_essential = self._essential_prefix(threshold)
             # Next candidate: smallest current docid among essential lists.
             candidate = None
             for i in range(first_non_essential):
@@ -162,7 +235,9 @@ class MaxScoreScorer:
                         heapq.heappushpop(heap, entry)
                     if diagnostics is not None:
                         diagnostics.heap_updates += 1
-                    if len(heap) == k:
+                    if shared is not None:
+                        shared.publish(score)
+                    if len(heap) == k and heap[0][0] > threshold:
                         threshold = heap[0][0]
                         first_non_essential = self._essential_prefix(threshold)
 

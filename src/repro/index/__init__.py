@@ -25,6 +25,15 @@ from .inverted_index import (
     build_index,
 )
 from .searcher import BooleanSearcher
+from .sharded import (
+    HashPartitioner,
+    IndexShard,
+    RangePartitioner,
+    ShardPartitioner,
+    ShardedInvertedIndex,
+    make_partitioner,
+    shard_documents,
+)
 from .compression import (
     compressed_size,
     decode_postings,
@@ -65,4 +74,11 @@ __all__ = [
     "DEFAULT_PREDICATE_FIELD",
     "DEFAULT_SEARCHABLE_FIELDS",
     "BooleanSearcher",
+    "ShardPartitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "make_partitioner",
+    "IndexShard",
+    "ShardedInvertedIndex",
+    "shard_documents",
 ]

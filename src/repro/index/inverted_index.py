@@ -105,6 +105,31 @@ class InvertedIndex:
                 field_tokens[name] = text.split()
         return field_tokens
 
+    def add_preanalyzed(
+        self, external_id: str, field_tokens: Dict[str, List[str]]
+    ) -> StoredDocument:
+        """Index one document whose fields are already token streams.
+
+        Mirrors :meth:`add` with analysis skipped — the ingestion path for
+        persisted indexes (tokens were analysed at save time) and for
+        shard builders redistributing an already-analysed collection.
+        """
+        if self._committed:
+            raise IndexError_("index is committed; create a new index to add documents")
+        document = Document(external_id, fields={})
+        stored = self.store.add(document, field_tokens, self.searchable_fields)
+        self._total_length += stored.length
+
+        tf_counts: Dict[str, int] = {}
+        for name in self.searchable_fields:
+            for token in field_tokens.get(name, ()):
+                tf_counts[token] = tf_counts.get(token, 0) + 1
+        for term, tf in tf_counts.items():
+            self._content_acc.setdefault(term, []).append((stored.internal_id, tf))
+        for term in set(field_tokens.get(self.predicate_field, ())):
+            self._predicate_acc.setdefault(term, []).append((stored.internal_id, 1))
+        return stored
+
     def add_all(self, documents: Iterable[Document]) -> None:
         """Index a stream of documents."""
         for document in documents:

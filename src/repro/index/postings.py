@@ -89,6 +89,7 @@ class PostingList:
         "_skip_starts",
         "_seg_mins",
         "_seg_maxes",
+        "_max_tf",
         "_frozen",
     )
 
@@ -102,6 +103,7 @@ class PostingList:
         self._skip_starts: array = _EMPTY_COLUMN
         self._seg_mins: array = _EMPTY_COLUMN
         self._seg_maxes: array = _EMPTY_COLUMN
+        self._max_tf = 0
         self._frozen = False
 
     # -- construction --------------------------------------------------
@@ -132,6 +134,7 @@ class PostingList:
                 "q",
                 (self.doc_ids[min(start + seg, n) - 1] for start in self._skip_starts),
             )
+            self._max_tf = max(self.tfs) if self.tfs else 0
             self._frozen = True
         return self
 
@@ -213,6 +216,16 @@ class PostingList:
 
     def __repr__(self) -> str:
         return f"PostingList(term={self.term!r}, len={len(self)})"
+
+    @property
+    def max_tf(self) -> int:
+        """Largest tf in the list (0 when empty), computed at freeze time.
+
+        Top-k scorers derive per-term score upper bounds from this; caching
+        it here removes an O(list length) scan per query term per query.
+        """
+        self._require_frozen()
+        return self._max_tf
 
     @property
     def num_segments(self) -> int:

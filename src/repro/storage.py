@@ -95,12 +95,10 @@ def load_documents(path: PathLike) -> List[Document]:
 # -- indexes -----------------------------------------------------------------
 
 
-def save_index(index: InvertedIndex, path: PathLike) -> None:
-    """Persist a committed index (configuration + analysed documents)."""
+def _encode_index(index: InvertedIndex) -> dict:
     if not index.committed:
         raise StorageError("only committed indexes can be saved")
-    path = Path(path)
-    payload = {
+    return {
         "kind": "index",
         "version": FORMAT_VERSION,
         "searchable_fields": list(index.searchable_fields),
@@ -116,6 +114,27 @@ def save_index(index: InvertedIndex, path: PathLike) -> None:
             for doc in index.store
         ],
     }
+
+
+def _decode_index(payload: dict) -> InvertedIndex:
+    index = InvertedIndex(
+        searchable_fields=tuple(payload["searchable_fields"]),
+        predicate_field=payload["predicate_field"],
+        segment_size=payload["segment_size"],
+    )
+    for entry in payload["documents"]:
+        field_tokens: Dict[str, List[str]] = {
+            name: list(tokens)
+            for name, tokens in entry["field_tokens"].items()
+        }
+        index.add_preanalyzed(entry["external_id"], field_tokens)
+    return index.commit()
+
+
+def save_index(index: InvertedIndex, path: PathLike) -> None:
+    """Persist a committed index (configuration + analysed documents)."""
+    path = Path(path)
+    payload = _encode_index(index)
     with _open_write(path) as handle:
         json.dump(payload, handle)
 
@@ -132,37 +151,99 @@ def load_index(path: PathLike) -> InvertedIndex:
     with _open_read(path) as handle:
         payload = json.load(handle)
     _check_header(payload, "index")
+    return _decode_index(payload)
 
-    index = InvertedIndex(
-        searchable_fields=tuple(payload["searchable_fields"]),
-        predicate_field=payload["predicate_field"],
-        segment_size=payload["segment_size"],
-    )
-    # Re-ingest pre-analysed tokens directly: mirror InvertedIndex.add
-    # without re-running the analyzers.
-    for entry in payload["documents"]:
-        field_tokens: Dict[str, List[str]] = {
-            name: list(tokens)
-            for name, tokens in entry["field_tokens"].items()
-        }
-        document = Document(entry["external_id"], fields={})
-        stored = index.store.add(
-            document, field_tokens, index.searchable_fields
+
+# -- sharded indexes -----------------------------------------------------------
+
+
+def _shard_file_name(manifest_name: str, shard_id: int) -> str:
+    """Derive a shard file name from the manifest's: insert ``.shardK``.
+
+    ``idx.json.gz`` → ``idx.shard0.json.gz`` (the trailing extension is
+    preserved so gzip autodetection keeps working for shard files).
+    """
+    dot = manifest_name.find(".")
+    if dot < 0:
+        return f"{manifest_name}.shard{shard_id}"
+    return f"{manifest_name[:dot]}.shard{shard_id}{manifest_name[dot:]}"
+
+
+def save_sharded_index(sharded_index, path: PathLike) -> None:
+    """Persist a sharded index: a manifest plus one file per shard.
+
+    The manifest (at ``path``) records the partitioner and the shard file
+    names *relative to its own directory*, so the whole set of files can
+    be moved together.  Each shard file is an ordinary index payload
+    (readable by :func:`load_index`, which ignores the extra key) enriched
+    with the shard's local→global docid map.
+    """
+    path = Path(path)
+    shard_entries = []
+    for shard in sharded_index.shards:
+        shard_name = _shard_file_name(path.name, shard.shard_id)
+        payload = _encode_index(shard.index)
+        payload["global_ids"] = list(shard.global_ids)
+        with _open_write(path.parent / shard_name) as handle:
+            json.dump(payload, handle)
+        shard_entries.append(
+            {"file": shard_name, "num_docs": shard.index.num_docs}
         )
-        index._total_length += stored.length
-        tf_counts: Dict[str, int] = {}
-        for name in index.searchable_fields:
-            for token in field_tokens.get(name, ()):
-                tf_counts[token] = tf_counts.get(token, 0) + 1
-        for term, tf in tf_counts.items():
-            index._content_acc.setdefault(term, []).append(
-                (stored.internal_id, tf)
+    manifest = {
+        "kind": "sharded_index",
+        "version": FORMAT_VERSION,
+        "partitioner": {
+            "name": sharded_index.partitioner.name,
+            "num_shards": sharded_index.partitioner.num_shards,
+        },
+        "shards": shard_entries,
+    }
+    with _open_write(path) as handle:
+        json.dump(manifest, handle)
+
+
+def load_sharded_index(path: PathLike):
+    """Load a sharded index saved by :func:`save_sharded_index`."""
+    from array import array
+
+    from .index.sharded import IndexShard, ShardedInvertedIndex, make_partitioner
+
+    path = Path(path)
+    with _open_read(path) as handle:
+        manifest = json.load(handle)
+    _check_header(manifest, "sharded_index")
+    partitioner = make_partitioner(
+        manifest["partitioner"]["name"], manifest["partitioner"]["num_shards"]
+    )
+    shards = []
+    for shard_id, entry in enumerate(manifest["shards"]):
+        shard_path = path.parent / entry["file"]
+        with _open_read(shard_path) as handle:
+            payload = json.load(handle)
+        _check_header(payload, "index")
+        global_ids = payload.get("global_ids")
+        if global_ids is None:
+            raise StorageError(
+                f"shard file {shard_path} carries no global docid map"
             )
-        for term in set(field_tokens.get(index.predicate_field, ())):
-            index._predicate_acc.setdefault(term, []).append(
-                (stored.internal_id, 1)
-            )
-    return index.commit()
+        index = _decode_index(payload)
+        shards.append(IndexShard(shard_id, index, array("q", global_ids)))
+    return ShardedInvertedIndex(shards, partitioner)
+
+
+def load_any_index(path: PathLike):
+    """Load whichever index kind ``path`` holds (flat or sharded).
+
+    The CLI's search/batch commands use this so one ``--index`` flag
+    accepts both artefacts.
+    """
+    path = Path(path)
+    with _open_read(path) as handle:
+        payload = json.load(handle)
+    if payload.get("kind") == "sharded_index":
+        return load_sharded_index(path)
+    _check_header(payload, "index")
+    return _decode_index(payload)
 
 
 # -- view catalogs -------------------------------------------------------------

@@ -11,6 +11,11 @@ from .view import GroupTuple, MaterializedView, materialize_view
 from .estimator import DEFAULT_SAMPLE_SIZE, ViewSizeEstimator
 from .catalog import CatalogStats, ViewCatalog
 from .rewrite import ResolutionReport, compute_rare_term_statistics
+from .sharding import (
+    catalog_definitions,
+    materialize_sharded_catalogs,
+    replicate_catalog,
+)
 from .maintenance import (
     MaintenanceReport,
     apply_document,
@@ -38,4 +43,7 @@ __all__ = [
     "ViewCatalog",
     "ResolutionReport",
     "compute_rare_term_statistics",
+    "catalog_definitions",
+    "materialize_sharded_catalogs",
+    "replicate_catalog",
 ]

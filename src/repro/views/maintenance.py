@@ -89,6 +89,9 @@ def apply_document(
             group.df[term] = group.df.get(term, 0) + 1
         if term in view.tc_terms:
             group.tc[term] = group.tc.get(term, 0) + tf
+    # The columnar answer_many image is now stale; drop it so the next
+    # batched answer rebuilds from the mutated groups.
+    view.invalidate_columns()
     return created
 
 

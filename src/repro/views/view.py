@@ -18,7 +18,12 @@ non-empty tuples) is simply the number of stored groups.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+try:  # numpy is optional: answer_many falls back to a python column scan
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatched tests
+    _np = None
 
 from ..errors import ViewError, ViewNotUsableError
 from ..index.inverted_index import InvertedIndex
@@ -44,6 +49,88 @@ class GroupTuple:
     tc: Dict[str, int] = field(default_factory=dict)
 
 
+# numpy's int64 bitmask path only holds this many keyword bits; wider
+# views (or a numpy-less interpreter) use the python-int column scan.
+_NUMPY_MASK_BITS = 63
+
+
+class _ViewColumns:
+    """Column-major image of a view's groups for batched answering.
+
+    One parallel row per group: an integer bitmask of the group's keyword
+    pattern plus the count/sum_len/df/tc parameter columns.  A context
+    ``P ⊆ K`` becomes a mask, and the groups containing ``P`` are exactly
+    those with ``pattern & wanted == wanted`` — a single vectorised
+    compare + masked column sum on the numpy path, or one python loop per
+    batch (instead of one per spec) on the fallback path.
+    """
+
+    def __init__(self, view: "MaterializedView"):
+        terms = sorted(view.keyword_set)
+        self.bit_for: Dict[str, int] = {t: 1 << i for i, t in enumerate(terms)}
+        patterns: List[int] = []
+        counts: List[int] = []
+        sum_lens: List[int] = []
+        df_cols: Dict[str, List[int]] = {t: [] for t in view.df_terms}
+        tc_cols: Dict[str, List[int]] = {t: [] for t in view.tc_terms}
+        for pattern, group in view.groups.items():
+            mask = 0
+            for t in pattern:
+                mask |= self.bit_for[t]
+            patterns.append(mask)
+            counts.append(group.count)
+            sum_lens.append(group.sum_len)
+            for t, col in df_cols.items():
+                col.append(group.df.get(t, 0))
+            for t, col in tc_cols.items():
+                col.append(group.tc.get(t, 0))
+        self.use_numpy = _np is not None and len(terms) <= _NUMPY_MASK_BITS
+        if self.use_numpy:
+            self.patterns = _np.asarray(patterns, dtype=_np.int64)
+            self.counts = _np.asarray(counts, dtype=_np.int64)
+            self.sum_lens = _np.asarray(sum_lens, dtype=_np.int64)
+            self.df_cols = {
+                t: _np.asarray(col, dtype=_np.int64) for t, col in df_cols.items()
+            }
+            self.tc_cols = {
+                t: _np.asarray(col, dtype=_np.int64) for t, col in tc_cols.items()
+            }
+        else:
+            self.patterns = patterns
+            self.counts = counts
+            self.sum_lens = sum_lens
+            self.df_cols = df_cols
+            self.tc_cols = tc_cols
+
+    def _column(self, spec: StatisticSpec):
+        if spec.kind == CARDINALITY:
+            return self.counts
+        if spec.kind == TOTAL_LENGTH:
+            return self.sum_lens
+        if spec.kind == DOC_FREQUENCY:
+            return self.df_cols[spec.term]
+        return self.tc_cols[spec.term]
+
+    def answer_many(
+        self, specs: Sequence[StatisticSpec], wanted: FrozenSet[str]
+    ) -> Dict[StatisticSpec, int]:
+        wanted_mask = 0
+        for t in wanted:
+            wanted_mask |= self.bit_for[t]
+        if self.use_numpy:
+            mask = (self.patterns & wanted_mask) == wanted_mask
+            return {
+                spec: int(self._column(spec)[mask].sum()) for spec in specs
+            }
+        totals = {spec: 0 for spec in specs}
+        columns = [(spec, self._column(spec)) for spec in specs]
+        for row, pattern in enumerate(self.patterns):
+            if pattern & wanted_mask == wanted_mask:
+                for spec, col in columns:
+                    totals[spec] += col[row]
+        return totals
+
+
 class MaterializedView:
     """An immutable view ``V_K`` answering statistics for any ``P ⊆ K``."""
 
@@ -60,6 +147,18 @@ class MaterializedView:
         self.groups: Dict[FrozenSet[str], GroupTuple] = dict(groups)
         self.df_terms: FrozenSet[str] = frozenset(df_terms)
         self.tc_terms: FrozenSet[str] = frozenset(tc_terms)
+        # Lazily-built column-major image used by answer_many; must be
+        # dropped (invalidate_columns) whenever self.groups mutates.
+        self._columns: Optional[_ViewColumns] = None
+
+    def invalidate_columns(self) -> None:
+        """Drop the columnar cache after a mutation of ``groups``.
+
+        Incremental maintenance (:func:`repro.views.maintenance.apply_document`)
+        edits group tuples in place; the next ``answer_many`` rebuilds the
+        columns from the mutated groups.
+        """
+        self._columns = None
 
     # -- size & storage ---------------------------------------------------
 
@@ -132,8 +231,36 @@ class MaterializedView:
 
         Complexity is ``O(ViewSize)`` regardless of the context size —
         Theorem 4.2's guarantee, and the reason large contexts are cheap
-        once covered.
+        once covered.  The scan runs over a lazily-built column-major
+        image of the groups: a vectorised bitmask compare + masked column
+        sums when numpy is available (and ``|K|`` fits an int64 mask), a
+        python column loop otherwise.  Both paths return exactly what the
+        tuple-scan reference (:meth:`_answer_many_reference`) returns, and
+        the :class:`CostCounter` charge is the reference's — one scanned
+        entry and one unit of model cost per view tuple — regardless of
+        which path ran.
         """
+        for spec in specs:
+            if not self.is_usable_for(spec, context):
+                raise ViewNotUsableError(
+                    f"view over {sorted(self.keyword_set)} cannot answer "
+                    f"{spec.column_name()} for context {context}"
+                )
+        if self._columns is None:
+            self._columns = _ViewColumns(self)
+        totals = self._columns.answer_many(specs, context.as_set())
+        if counter is not None:
+            counter.entries_scanned += self.size
+            counter.model_cost += self.size
+        return totals
+
+    def _answer_many_reference(
+        self,
+        specs: Sequence[StatisticSpec],
+        context: ContextSpecification,
+        counter: Optional[CostCounter] = None,
+    ) -> Dict[StatisticSpec, int]:
+        """Tuple-scan reference implementation (ground truth for tests)."""
         for spec in specs:
             if not self.is_usable_for(spec, context):
                 raise ViewNotUsableError(

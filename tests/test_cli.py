@@ -85,3 +85,78 @@ class TestPipeline:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestShardedPipeline:
+    """CLI sharding: build with --shards, auto-detect, re-shard at load."""
+
+    @pytest.fixture(scope="class")
+    def sharded_index_path(self, artefacts, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-sharded") / "sharded.json.gz")
+        assert main([
+            "index", "--corpus", artefacts["corpus"],
+            "--shards", "3", "--partitioner", "hash", "--out", path,
+        ]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def probe_query(self, artefacts):
+        from repro.storage import load_index
+
+        index = load_index(artefacts["index"])
+        predicate = max(
+            index.predicate_vocabulary, key=index.predicate_frequency
+        )
+        term = max(list(index.vocabulary)[:100], key=index.document_frequency)
+        return f"{term} | {predicate}"
+
+    def test_sharded_search_matches_flat(
+        self, artefacts, sharded_index_path, probe_query, capsys
+    ):
+        assert main([
+            "search", probe_query, "--index", artefacts["index"],
+            "--top-k", "5",
+        ]) == 0
+        flat_out = capsys.readouterr().out
+        assert main([
+            "search", probe_query, "--index", sharded_index_path,
+            "--top-k", "5", "--executor", "serial",
+        ]) == 0
+        sharded_out = capsys.readouterr().out
+        assert "shards=3 executor=serial" in sharded_out
+        flat_hits = [l for l in flat_out.splitlines() if "score=" in l]
+        sharded_hits = [l for l in sharded_out.splitlines() if "score=" in l]
+        assert flat_hits == sharded_hits
+
+    def test_reshard_flat_index_at_load(
+        self, artefacts, probe_query, capsys
+    ):
+        assert main([
+            "search", probe_query, "--index", artefacts["index"],
+            "--top-k", "5", "--shards", "4", "--partitioner", "range",
+            "--executor", "serial",
+        ]) == 0
+        assert "shards=4 executor=serial" in capsys.readouterr().out
+
+    def test_sharded_batch(
+        self, sharded_index_path, probe_query, tmp_path, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            f"{probe_query}\nnosuchword | NoSuchPredicate\n"
+        )
+        assert main([
+            "batch", "--queries", str(queries),
+            "--index", sharded_index_path, "--executor", "serial",
+            "--top-k", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ok    " in out
+        assert "error " in out
+        assert "workers=3" in out
+
+    def test_sharded_stats(self, sharded_index_path, capsys):
+        assert main(["stats", "--index", sharded_index_path]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 3 (hash-partitioned)" in out
+        assert "documents: 800" in out

@@ -152,3 +152,30 @@ class TestCostCounter:
         counter.reset()
         assert counter.entries_scanned == 0
         assert counter.model_cost == 0
+
+
+class TestMaxTf:
+    """max_tf is cached at freeze time (no per-query O(len) scan)."""
+
+    def test_equals_scan_of_tfs(self):
+        plist = PostingList.from_pairs("t", [(1, 2), (4, 7), (9, 3)])
+        assert plist.max_tf == 7 == max(plist.tfs)
+
+    def test_empty_list_is_zero(self):
+        assert PostingList.from_pairs("t", []).max_tf == 0
+
+    def test_from_arrays_path(self):
+        plist = PostingList.from_arrays("t", [2, 5, 11], [1, 9, 4])
+        assert plist.max_tf == 9
+
+    def test_requires_frozen(self):
+        plist = PostingList("t")
+        plist.append(1, 5)
+        with pytest.raises(RuntimeError, match="frozen"):
+            plist.max_tf
+
+    def test_extend_recomputes(self):
+        plist = PostingList.from_pairs("t", [(1, 2), (3, 4)])
+        assert plist.max_tf == 4
+        plist.extend([(7, 11), (9, 1)])
+        assert plist.max_tf == 11

@@ -237,3 +237,86 @@ class TestViewAnswerProperty:
         assert view.answer(cardinality_spec(), ctx) == truth.cardinality
         assert view.answer(total_length_spec(), ctx) == truth.total_length
         assert view.answer(df_spec("therapy"), ctx) == truth.df_for("therapy")
+
+
+class TestVectorizedAnswerMany:
+    """The columnar answer_many fast path must be invisible: same values,
+    same CostCounter charges as the tuple-scan reference, on every path
+    (numpy, python fallback, post-maintenance rebuild)."""
+
+    CONTEXTS = [
+        ["Diseases"],
+        ["DigestiveSystem", "Neoplasms"],
+        ["Diseases", "Blood"],
+        ["Nutrition"],
+    ]
+
+    def _specs(self, view):
+        specs = [cardinality_spec(), total_length_spec()]
+        specs += [df_spec(t) for t in sorted(view.df_terms)[:3]]
+        specs += [tc_spec(t) for t in sorted(view.tc_terms)]
+        return specs
+
+    def assert_matches_reference(self, view):
+        for predicates in self.CONTEXTS:
+            ctx = ContextSpecification(predicates)
+            fast_counter, ref_counter = CostCounter(), CostCounter()
+            fast = view.answer_many(self._specs(view), ctx, fast_counter)
+            ref = view._answer_many_reference(
+                self._specs(view), ctx, ref_counter
+            )
+            assert fast == ref
+            assert fast_counter.entries_scanned == ref_counter.entries_scanned
+            assert fast_counter.model_cost == ref_counter.model_cost
+
+    def test_numpy_path(self, full_view):
+        self.assert_matches_reference(full_view)
+        if __import__("repro.views.view", fromlist=["_np"])._np is not None:
+            assert full_view._columns.use_numpy
+
+    def test_python_fallback(self, full_view, monkeypatch):
+        import repro.views.view as view_mod
+
+        monkeypatch.setattr(view_mod, "_np", None)
+        full_view.invalidate_columns()
+        try:
+            self.assert_matches_reference(full_view)
+            assert not full_view._columns.use_numpy
+        finally:
+            full_view.invalidate_columns()  # rebuild with numpy next time
+
+    def test_wide_keyword_sets_skip_numpy(self, handmade_table):
+        import repro.views.view as view_mod
+
+        view = materialize_view(
+            handmade_table,
+            {"Diseases"} | {f"Pad{i}" for i in range(70)},
+            df_terms=["leukemia"],
+        )
+        ctx = ContextSpecification(["Diseases"])
+        fast = view.answer_many([cardinality_spec()], ctx)
+        assert fast == view._answer_many_reference([cardinality_spec()], ctx)
+        if view_mod._np is not None:
+            assert not view._columns.use_numpy  # >63 keyword bits
+
+    def test_maintenance_invalidates_columns(self, handmade_table):
+        from repro.views.maintenance import apply_document
+
+        view = materialize_view(
+            handmade_table,
+            {"Diseases", "Neoplasms"},
+            df_terms=["leukemia"],
+            tc_terms=["leukemia"],
+        )
+        ctx = ContextSpecification(["Diseases"])
+        before = view.answer_many(self._specs(view), ctx)
+        assert view._columns is not None  # columns built and cached
+        apply_document(
+            view,
+            frozenset({"Diseases"}),
+            length=12,
+            term_frequencies={"leukemia": 3},
+        )
+        after = view.answer_many(self._specs(view), ctx)
+        assert after == view._answer_many_reference(self._specs(view), ctx)
+        assert after != before  # the insert is visible through the cache
