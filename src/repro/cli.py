@@ -10,6 +10,14 @@ The stages mirror how the paper's system would be deployed::
                              "pancreas leukemia | DigestiveSystem"
     python -m repro stats    --index index.json.gz --catalog catalog.json.gz
 
+``explain`` prints the planner's decision record for a query — the
+logical plan, every candidate path with its predicted cost, the chosen
+path, and predicted vs. actual operation counts (``--path`` forces a
+path)::
+
+    python -m repro explain --index index.json.gz --catalog catalog.json.gz \
+                            "pancreas leukemia | DigestiveSystem"
+
 ``search`` accepts ``--conventional`` for the baseline ranking,
 ``--disjunctive`` for OR-semantics top-k, and ``--model`` to pick the
 ranking function.  ``batch`` evaluates a whole query file (one query
@@ -181,6 +189,48 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Print the optimizer's decision record for one query.
+
+    Runs the query for real (the plan's ``actual`` counter is the live
+    execution counter), then renders the logical tree, every candidate
+    path with its predicted cost, the chosen path, and predicted vs.
+    actual operation counts.  For sharded indexes the per-shard choices
+    are listed too.
+    """
+    engine, sharded = _load_engine(args)
+    mode = (
+        "conventional"
+        if args.conventional
+        else "disjunctive" if args.disjunctive else "context"
+    )
+    results = engine.explain(
+        args.query, top_k=args.top_k, mode=mode, path=args.path
+    )
+    report = results.report
+    print(f"explain: {args.query}")
+    if report.plan is not None:
+        print(report.plan.render())
+    if report.per_shard:
+        print("per-shard execution:")
+        for shard in report.per_shard:
+            print(
+                f"  shard {shard.shard_id}: path={shard.path} "
+                f"predicted={shard.predicted_cost} "
+                f"actual={shard.counter.model_cost} "
+                f"results={shard.result_size}"
+            )
+    print(
+        f"path={report.resolution.path} "
+        f"context={report.context_size} "
+        f"results={report.result_size} "
+        f"elapsed={report.elapsed_seconds * 1000:.1f}ms"
+    )
+    if sharded:
+        engine.close()
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     engine, sharded = _load_engine(args)
 
@@ -309,6 +359,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="OR-semantics top-k (MaxScore)")
     _add_sharding_options(p)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "explain", help="show the planner's path choice for a query"
+    )
+    p.add_argument("query", help='e.g. "pancreas leukemia | DigestiveSystem"')
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    p.add_argument("--conventional", action="store_true",
+                   help="explain the conventional baseline")
+    p.add_argument("--disjunctive", action="store_true",
+                   help="explain OR-semantics top-k")
+    p.add_argument("--path", choices=("auto", "views", "straightforward"),
+                   default="auto",
+                   help="force a physical path instead of cost-based choice")
+    _add_sharding_options(p)
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("batch", help="evaluate a file of queries as one batch")
     p.add_argument("--index", required=True)

@@ -1,15 +1,20 @@
 """The context-sensitive search engine (Sections 3, 4, 6.3).
 
-:class:`ContextSearchEngine` evaluates context-sensitive queries along
-two paths:
+:class:`ContextSearchEngine` evaluates context-sensitive queries through
+the three planner layers:
 
-* **views path** — when any catalog view covers the context, collection
-  statistics come from view scans (plus selective-first intersections for
-  rare keywords whose ``df`` columns views do not store), and the unranked
-  result comes from an ordinary selective-first conjunction;
-* **straightforward path** — otherwise, the full Figure 3 plan runs:
-  context materialisation, aggregations, per-keyword context
-  intersections.
+1. the **logical plan** (:mod:`repro.core.logical`) compiles the query
+   into a backend-agnostic tree;
+2. the **optimizer** (:mod:`repro.core.optimizer`) prices the physical
+   paths — view scan vs. the Figure 3 straightforward plan — with the
+   Section 3.2 cost model and picks the cheapest (``path=`` forces one);
+3. the **operators** (:mod:`repro.core.operators`) execute the choice
+   through one :class:`~repro.core.operators.ExecutionContext`.
+
+Path choice never changes rankings (view statistics are exact), only
+cost; every report carries the optimizer's
+:class:`~repro.core.optimizer.ExplainedPlan` with predicted vs. actual
+operation counts (``cli explain``).
 
 It also evaluates the **conventional baseline** ``Q_t = Q_k ∪ P`` (same
 unranked result, whole-collection statistics, predicates as pure boolean
@@ -22,25 +27,41 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EmptyContextError, QueryError, ReproError
 from ..index.intersection import intersect_many
 from ..index.inverted_index import InvertedIndex
 from ..index.postings import CostCounter
-from ..index.searcher import BooleanSearcher
-from ..views.catalog import ViewCatalog
-from ..views.rewrite import ResolutionReport, compute_rare_term_statistics
-from .plan import StraightforwardPlan
+from .logical import MODE_CONTEXT, MODE_CONVENTIONAL, MODE_DISJUNCTIVE
+from .operators import (
+    ExecutionContext,
+    MaxScoreTopK,
+    SelectiveFirstIntersect,
+    StraightforwardResolve,
+    ViewScan,
+)
+from .optimizer import PATH_AUTO, PATH_VIEWS, Optimizer
 from .query import ContextQuery, ContextSpecification, KeywordQuery, parse_query
 from .ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
+from .report import ExecutionReport
+from .scoring import rank_candidates, score_candidates
 from .statistics import (
     CollectionStatistics,
-    DocumentStatistics,
-    QueryStatistics,
     StatisticSpec,
 )
+
+__all__ = [
+    "BatchExecutor",
+    "BatchOutcome",
+    "BatchReport",
+    "ContextSearchEngine",
+    "ExecutionReport",
+    "SearchHit",
+    "SearchResults",
+    "SharedContextStore",
+]
 
 
 @dataclass(frozen=True)
@@ -50,22 +71,6 @@ class SearchHit:
     doc_id: int
     external_id: str
     score: float
-
-
-@dataclass
-class ExecutionReport:
-    """Diagnostics for one query evaluation.
-
-    ``elapsed_seconds`` is wall-clock; ``counter`` holds the operation
-    counts the paper's cost model predicts; ``resolution`` says where the
-    collection statistics came from.
-    """
-
-    elapsed_seconds: float = 0.0
-    counter: CostCounter = field(default_factory=CostCounter)
-    resolution: ResolutionReport = field(default_factory=ResolutionReport)
-    context_size: Optional[int] = None
-    result_size: int = 0
 
 
 @dataclass
@@ -90,7 +95,7 @@ class ContextSearchEngine:
         self,
         index: InvertedIndex,
         ranking: Optional[RankingFunction] = None,
-        catalog: Optional[ViewCatalog] = None,
+        catalog: Optional["ViewCatalog"] = None,
         use_skips: bool = True,
     ):
         if not index.committed:
@@ -98,8 +103,17 @@ class ContextSearchEngine:
         self.index = index
         self.ranking = ranking if ranking is not None else DEFAULT_RANKING_FUNCTION
         self.catalog = catalog
-        self.searcher = BooleanSearcher(index, use_skips=use_skips)
-        self.plan = StraightforwardPlan(index, use_skips=use_skips)
+        self.use_skips = use_skips
+        # The shared physical-operator set (also driven per shard by the
+        # sharded engine and per batch by the batch executor).
+        self._op_conjunction = SelectiveFirstIntersect(index, use_skips=use_skips)
+        self._op_view_scan = ViewScan(catalog, index, use_skips=use_skips)
+        self._op_straightforward = StraightforwardResolve(index, use_skips=use_skips)
+        self._op_topk = MaxScoreTopK(index, self.ranking)
+        self.optimizer = Optimizer(index, catalog)
+        # Back-compat attributes (wrappers and tests reach for these).
+        self.searcher = self._op_conjunction.searcher
+        self.plan = self._op_straightforward.plan
         self._global_tc_cache: Dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
@@ -108,15 +122,42 @@ class ContextSearchEngine:
         self,
         query: Union[ContextQuery, str],
         top_k: Optional[int] = None,
+        path: str = PATH_AUTO,
     ) -> SearchResults:
-        """Evaluate ``Q_c = Q_k | P`` with context-sensitive ranking."""
-        return self._search_impl(query, top_k, None)
+        """Evaluate ``Q_c = Q_k | P`` with context-sensitive ranking.
+
+        ``path`` forces the physical path (``"views"``/
+        ``"straightforward"``) instead of cost-based selection; forcing
+        never changes the ranking, only the work done to produce it.
+        """
+        return self._search_impl(query, top_k, None, path=path)
+
+    def explain(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int] = None,
+        mode: str = MODE_CONTEXT,
+        path: str = PATH_AUTO,
+    ) -> SearchResults:
+        """Evaluate ``query`` in ``mode`` and return results whose report
+        carries the optimizer's :class:`ExplainedPlan` (predicted vs.
+        actual operation counts).  All modes record plans; this helper
+        just names the intent and dispatches on ``mode``."""
+        if mode == MODE_CONVENTIONAL:
+            return self.search_conventional(query, top_k=top_k)
+        if mode == MODE_DISJUNCTIVE:
+            return self.search_disjunctive(
+                query, top_k=top_k if top_k is not None else 10, path=path
+            )
+        return self.search(query, top_k=top_k, path=path)
 
     def _search_impl(
         self,
         query: Union[ContextQuery, str],
         top_k: Optional[int],
         shared_contexts: Optional["SharedContextStore"],
+        path: str = PATH_AUTO,
+        max_workers: Optional[int] = None,
     ) -> SearchResults:
         """The :meth:`search` body, parameterised over context sharing.
 
@@ -131,12 +172,9 @@ class ContextSearchEngine:
         analyzed = self._analyze(query)
 
         specs = self.ranking.required_collection_specs(analyzed.keywords)
-        if shared_contexts is None:
-            values, result_ids = self._resolve_statistics(analyzed, specs, report)
-        else:
-            values, result_ids = self._resolve_statistics(
-                analyzed, specs, report, shared_contexts
-            )
+        values, result_ids = self._resolve_statistics(
+            analyzed, specs, report, shared_contexts, path, max_workers
+        )
         collection_stats = CollectionStatistics.from_values(values)
         if collection_stats.cardinality <= 0:
             raise EmptyContextError(
@@ -166,8 +204,15 @@ class ContextSearchEngine:
         report.resolution.path = "conventional"
         analyzed = self._analyze(query)
 
-        result_ids = self.searcher.search_conjunction(
-            analyzed.keywords, analyzed.predicates, report.counter
+        specs = self.ranking.required_collection_specs(analyzed.keywords)
+        plan = self.optimizer.plan(analyzed, specs, mode=MODE_CONVENTIONAL)
+        report.plan = plan
+        plan.actual = report.counter
+        ctx = ExecutionContext(
+            counter=report.counter, resolution=report.resolution
+        )
+        result_ids = self._op_conjunction.run(
+            ctx, analyzed.keywords, analyzed.predicates
         )
         collection_stats = self._global_statistics(analyzed.keywords)
         hits = self._score(analyzed.keywords, result_ids, collection_stats, top_k)
@@ -179,13 +224,14 @@ class ContextSearchEngine:
         self,
         query: Union[ContextQuery, str],
         top_k: int = 10,
+        path: str = PATH_AUTO,
     ) -> SearchResults:
         """OR-semantics context-sensitive search with MaxScore pruning.
 
         Returns the ``top_k`` documents *in the context* that match at
         least one keyword, ranked context-sensitively.  Collection
-        statistics resolve exactly as in :meth:`search` (views first,
-        straightforward plan otherwise); the candidate scan then runs
+        statistics resolve exactly as in :meth:`search` (optimizer-chosen
+        path; ``path=`` forces one); the candidate scan then runs
         document-at-a-time over the keyword posting lists with a lazy
         context-membership filter, so on the views path the context is
         never materialised at all.
@@ -193,7 +239,7 @@ class ContextSearchEngine:
         Requires a ``decomposable`` ranking model (TF-IDF, BM25);
         language models raise :class:`~repro.errors.QueryError`.
         """
-        from .topk import MaxScoreScorer, PredicateMembership, TopKDiagnostics
+        from .topk import TopKDiagnostics
 
         query = self._coerce(query)
         started = time.perf_counter()
@@ -201,7 +247,7 @@ class ContextSearchEngine:
         analyzed = self._analyze(query)
 
         specs = self.ranking.required_collection_specs(analyzed.keywords)
-        values = self._resolve_statistics_only(analyzed, specs, report)
+        values = self._resolve_statistics_only(analyzed, specs, report, path)
         collection_stats = CollectionStatistics.from_values(values)
         if collection_stats.cardinality <= 0:
             raise EmptyContextError(
@@ -209,15 +255,18 @@ class ContextSearchEngine:
             )
         report.context_size = collection_stats.cardinality
 
-        scorer = MaxScoreScorer(
-            self.index,
-            analyzed.keywords,
-            collection_stats,
-            self.ranking,
-            context_filter=PredicateMembership(self.index, analyzed.predicates),
+        ctx = ExecutionContext(
+            counter=report.counter, resolution=report.resolution
         )
         diagnostics = TopKDiagnostics()
-        scored = scorer.top_k(top_k, report.counter, diagnostics)
+        scored = self._op_topk.run(
+            ctx,
+            analyzed.keywords,
+            analyzed.predicates,
+            collection_stats,
+            top_k,
+            diagnostics=diagnostics,
+        )
         hits = [
             SearchHit(
                 doc_id=s.doc_id,
@@ -235,35 +284,30 @@ class ContextSearchEngine:
         query: ContextQuery,
         specs: Sequence[StatisticSpec],
         report: ExecutionReport,
+        path: str = PATH_AUTO,
     ) -> Dict[StatisticSpec, float]:
         """Statistics resolution without computing a conjunctive result set.
 
-        Same policy as :meth:`_resolve_statistics`; used by evaluation
-        modes (disjunctive top-k) that build their own candidate stream.
+        Same optimizer-driven policy as :meth:`_resolve_statistics`; used
+        by evaluation modes (disjunctive top-k) that build their own
+        candidate stream.
         """
-        resolution = report.resolution
-        if self.catalog is not None and len(self.catalog) > 0:
-            values, unresolved, views_used = self.catalog.resolve(
-                specs, query.context, report.counter
+        plan = self.optimizer.plan(
+            query, specs, mode=MODE_DISJUNCTIVE, force=path
+        )
+        report.plan = plan
+        plan.actual = report.counter
+        ctx = ExecutionContext(
+            counter=report.counter, resolution=report.resolution
+        )
+        if plan.chosen == PATH_VIEWS:
+            chosen = plan.candidate(PATH_VIEWS)
+            values = self._op_view_scan.run(
+                ctx, query, specs, usable=chosen.assignment if chosen else None
             )
-            if views_used:
-                resolution.path = "views"
-                resolution.views_used = len(views_used)
-                resolution.view_tuples_scanned = sum(v.size for v in views_used)
-                resolution.specs_from_views = len(values)
-                if unresolved:
-                    values.update(
-                        compute_rare_term_statistics(
-                            self.index, query, unresolved, report.counter
-                        )
-                    )
-                    resolution.rare_term_fallbacks = len(
-                        {spec.term for spec in unresolved}
-                    )
-                    resolution.specs_from_fallback = len(unresolved)
+            if values is not None:
                 return values
-        resolution.path = "straightforward"
-        execution = self.plan.execute(query, specs, report.counter)
+        execution = self._op_straightforward.run(ctx, query, specs)
         report.context_size = execution.context_size
         return execution.statistic_values
 
@@ -315,53 +359,41 @@ class ContextSearchEngine:
         specs: Sequence[StatisticSpec],
         report: ExecutionReport,
         shared_contexts: Optional["SharedContextStore"] = None,
+        path: str = PATH_AUTO,
+        max_workers: Optional[int] = None,
     ) -> Tuple[Dict[StatisticSpec, float], List[int]]:
         """Obtain collection statistics and the unranked result set.
 
-        The two are coupled deliberately: on the views path the result set
-        is a cheap selective-first conjunction, while on the
-        straightforward path the plan has already produced the result as
-        a by-product of computing per-keyword statistics (Figure 3).
+        The optimizer picks the physical path; the two outputs are
+        coupled deliberately: on the views path the result set is a cheap
+        selective-first conjunction, while on the straightforward path
+        the plan has already produced the result as a by-product of
+        computing per-keyword statistics (Figure 3).
 
         With ``shared_contexts`` the straightforward branch reuses the
         batch's materialisation of this context (computing it on first
         use) and replays its recorded cost into this query's counter.
         """
-        resolution = report.resolution
-        if self.catalog is not None and len(self.catalog) > 0:
-            values, unresolved, views_used = self.catalog.resolve(
-                specs, query.context, report.counter
+        plan = self.optimizer.plan(query, specs, mode=MODE_CONTEXT, force=path)
+        report.plan = plan
+        plan.actual = report.counter
+        ctx = ExecutionContext(
+            counter=report.counter,
+            resolution=report.resolution,
+            shared_contexts=shared_contexts,
+            max_workers=max_workers,
+        )
+        if plan.chosen == PATH_VIEWS:
+            chosen = plan.candidate(PATH_VIEWS)
+            values = self._op_view_scan.run(
+                ctx, query, specs, usable=chosen.assignment if chosen else None
             )
-            if views_used:
-                resolution.path = "views"
-                resolution.views_used = len(views_used)
-                resolution.view_tuples_scanned = sum(v.size for v in views_used)
-                resolution.specs_from_views = len(values)
-                if unresolved:
-                    fallback = compute_rare_term_statistics(
-                        self.index, query, unresolved, report.counter
-                    )
-                    values.update(fallback)
-                    resolution.rare_term_fallbacks = len(
-                        {spec.term for spec in unresolved}
-                    )
-                    resolution.specs_from_fallback = len(unresolved)
-                result_ids = self.searcher.search_conjunction(
-                    query.keywords, query.predicates, report.counter
+            if values is not None:
+                result_ids = self._op_conjunction.run(
+                    ctx, query.keywords, query.predicates
                 )
                 return values, result_ids
-
-        resolution.path = "straightforward"
-        if shared_contexts is not None:
-            context_ids, materialisation_cost = shared_contexts.materialise(
-                self, query.predicates
-            )
-            report.counter.merge(materialisation_cost)
-            execution = self.plan.execute(
-                query, specs, report.counter, context_ids=context_ids
-            )
-        else:
-            execution = self.plan.execute(query, specs, report.counter)
+        execution = self._op_straightforward.run(ctx, query, specs)
         report.context_size = execution.context_size
         return execution.statistic_values, execution.result_ids
 
@@ -404,30 +436,20 @@ class ContextSearchEngine:
     ) -> List[SearchHit]:
         """Score the result set and return hits sorted best-first.
 
-        Ties break on ascending docid so rankings are fully deterministic.
+        One shared loop (:mod:`repro.core.scoring`) serves this engine
+        and the shard runtimes; ties break on ascending docid so rankings
+        are fully deterministic.
         """
-        query_stats = QueryStatistics.from_keywords(keywords)
-        unique_keywords = list(dict.fromkeys(keywords))
-        plists = {w: self.index.postings(w) for w in unique_keywords}
-        hits: List[SearchHit] = []
-        for doc_id in result_ids:
-            doc = self.index.store.get(doc_id)
-            tfs = {
-                w: (plists[w].tf_for(doc_id) or 0) for w in unique_keywords
-            }
-            doc_stats = DocumentStatistics(
-                length=doc.length,
-                unique_terms=doc.unique_terms,
-                term_frequencies=tfs,
-            )
-            score = self.ranking.score(query_stats, doc_stats, collection_stats)
-            hits.append(
-                SearchHit(doc_id=doc_id, external_id=doc.external_id, score=score)
-            )
-        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
-        if top_k is not None:
-            hits = hits[:top_k]
-        return hits
+        scored = score_candidates(
+            self.index, self.ranking, keywords, result_ids, collection_stats
+        )
+        ranked = rank_candidates(
+            [(score, doc_id, ext) for doc_id, score, ext in scored], top_k
+        )
+        return [
+            SearchHit(doc_id=doc_id, external_id=ext, score=score)
+            for score, doc_id, ext in ranked
+        ]
 
 
 # -- batched execution ---------------------------------------------------------
@@ -462,6 +484,17 @@ class SharedContextStore:
         self, engine: "ContextSearchEngine", predicates: Sequence[str]
     ) -> Tuple[List[int], CostCounter]:
         """The context's docids plus the recorded materialisation cost."""
+        return self.materialise_with(
+            engine.index, predicates, use_skips=engine.plan.use_skips
+        )
+
+    def materialise_with(
+        self,
+        index: InvertedIndex,
+        predicates: Sequence[str],
+        use_skips: bool = True,
+    ) -> Tuple[List[int], CostCounter]:
+        """Index-level entry point the ContextMaterialise operator uses."""
         key = self.key_for(predicates)
         with self._registry_lock:
             lock = self._locks.setdefault(key, threading.Lock())
@@ -470,9 +503,9 @@ class SharedContextStore:
             if entry is None:
                 counter = CostCounter()
                 context_ids = intersect_many(
-                    [engine.index.predicate_postings(m) for m in predicates],
+                    [index.predicate_postings(m) for m in predicates],
                     counter,
-                    use_skips=engine.plan.use_skips,
+                    use_skips=use_skips,
                 )
                 entry = (context_ids, counter)
                 self._entries[key] = entry
@@ -536,11 +569,15 @@ class BatchReport:
 class BatchExecutor:
     """Evaluates a workload of context queries as one batch.
 
-    Three sharing levers, all answer-preserving:
+    Per-query evaluation routes through the same planner stack as
+    standalone :meth:`ContextSearchEngine.search` — the optimizer picks
+    each query's path; the batch adds three sharing levers, all
+    answer-preserving:
 
     * **shared context materialisations** — each distinct context is
-      intersected once per batch (:class:`SharedContextStore`), with the
-      recorded cost replayed into every using query's counter;
+      intersected once per batch (:class:`SharedContextStore`, reached
+      through the ContextMaterialise operator), with the recorded cost
+      replayed into every using query's counter;
     * **shared decoded postings** — all keyword/predicate posting columns
       the workload touches are prefetched once up front
       (:meth:`InvertedIndex.prefetch`), so the batch pins each column a
@@ -548,7 +585,8 @@ class BatchExecutor:
     * **thread fan-out** — queries run concurrently on a
       :class:`~concurrent.futures.ThreadPoolExecutor`; evaluation is
       read-only over the index so no locking is needed beyond the
-      materialisation store.
+      materialisation store.  The pool size is also the per-query
+      :class:`~repro.core.operators.ExecutionContext` thread budget.
 
     Context sharing requires a plain :class:`ContextSearchEngine`;
     wrapped engines (e.g. ``CachingSearchEngine``) still get prefetch and
@@ -636,7 +674,9 @@ class BatchExecutor:
                     query, top_k=top_k if top_k is not None else 10
                 )
             elif shared is not None:
-                results = self.engine._search_impl(query, top_k, shared)
+                results = self.engine._search_impl(
+                    query, top_k, shared, max_workers=self.max_workers
+                )
             else:
                 results = self.engine.search(query, top_k=top_k)
             return BatchOutcome(query=text, results=results)
@@ -655,6 +695,7 @@ class BatchExecutor:
                 parsed = parse_query(query) if isinstance(query, str) else query
             except ReproError:
                 continue  # the per-query evaluation will surface the error
+
             keywords.extend(parsed.keywords)
             predicates.extend(parsed.predicates)
         index.prefetch(dict.fromkeys(keywords), dict.fromkeys(predicates))

@@ -1,0 +1,149 @@
+"""Logical query plans: what a query computes, not how (planner layer 1).
+
+A :class:`LogicalPlan` is a backend-agnostic tree compiled from a
+:class:`~repro.core.query.ContextQuery`.  It names the *relational*
+shape of evaluation — context materialisation, statistics resolution,
+keyword intersection, scoring, top-k — without committing to a physical
+strategy.  The optimizer (:mod:`repro.core.optimizer`) then picks the
+physical path (view scan vs. the Figure 3 straightforward plan vs. the
+conventional baseline, optionally partitioned per shard), and the
+operator layer (:mod:`repro.core.operators`) executes it.
+
+Every entry point — :class:`~repro.core.engine.ContextSearchEngine`,
+:class:`~repro.core.sharded_engine.ShardedEngine`, and the batch
+executor — compiles through this module, so the logical tree is the one
+shared vocabulary of the three layers (and what ``cli explain`` prints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from .query import ContextQuery
+from .statistics import StatisticSpec
+
+# Evaluation modes a logical plan can be compiled for.
+MODE_CONTEXT = "context"
+MODE_CONVENTIONAL = "conventional"
+MODE_DISJUNCTIVE = "disjunctive"
+ALL_MODES = (MODE_CONTEXT, MODE_CONVENTIONAL, MODE_DISJUNCTIVE)
+
+
+@dataclass(frozen=True)
+class LogicalNode:
+    """One operator of the logical tree.
+
+    ``op`` is the operator name (``materialise-context``,
+    ``resolve-statistics``, ``intersect``, ``score``, ``top-k``, …);
+    ``detail`` is a human-readable argument summary for rendering.
+    """
+
+    op: str
+    detail: str = ""
+    children: Tuple["LogicalNode", ...] = ()
+
+    def walk(self):
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """The compiled logical tree for one query in one evaluation mode."""
+
+    mode: str
+    query: ContextQuery
+    specs: Tuple[StatisticSpec, ...]
+    root: LogicalNode
+    top_k: Optional[int] = None
+
+    def render(self, indent: str = "") -> str:
+        """ASCII tree of the plan (the top half of ``cli explain``)."""
+        lines: List[str] = []
+        self._render_node(self.root, indent, lines, last=True, prefix="")
+        return "\n".join(lines)
+
+    def _render_node(self, node, indent, lines, last, prefix):
+        connector = "" if not prefix and not indent else ("└─ " if last else "├─ ")
+        detail = f"({node.detail})" if node.detail else ""
+        lines.append(f"{indent}{prefix}{connector}{node.op}{detail}")
+        child_prefix = prefix + ("   " if last else "│  ") if (prefix or connector) else ""
+        for i, child in enumerate(node.children):
+            self._render_node(
+                child, indent, lines, last=i == len(node.children) - 1,
+                prefix=child_prefix,
+            )
+
+
+def _spec_summary(specs: Sequence[StatisticSpec]) -> str:
+    names = []
+    for spec in specs:
+        names.append(spec.column_name())
+    return ", ".join(names)
+
+
+def compile_query(
+    query: ContextQuery,
+    specs: Sequence[StatisticSpec],
+    mode: str = MODE_CONTEXT,
+    top_k: Optional[int] = None,
+) -> LogicalPlan:
+    """Compile an *analysed* query into its logical plan tree.
+
+    The tree mirrors Figure 3 for context mode: statistics resolve over
+    the materialised context, the unranked result is the keyword ∧
+    predicate conjunction, and ranking consumes both.  Conventional mode
+    swaps the context statistics for whole-collection ones; disjunctive
+    mode swaps the conjunction for a document-at-a-time top-k scan.
+    """
+    if mode not in ALL_MODES:
+        raise QueryError(f"unknown evaluation mode: {mode!r}")
+    keywords = ", ".join(query.keywords)
+    predicates = " ∧ ".join(query.predicates)
+
+    if mode == MODE_CONVENTIONAL:
+        root = LogicalNode(
+            "top-k",
+            detail=f"k={top_k}" if top_k is not None else "all",
+            children=(
+                LogicalNode(
+                    "score",
+                    detail="whole-collection statistics S_c(D)",
+                    children=(
+                        LogicalNode("global-statistics", detail=_spec_summary(specs)),
+                        LogicalNode(
+                            "intersect", detail=f"{keywords} ∧ {predicates}"
+                        ),
+                    ),
+                ),
+            ),
+        )
+        return LogicalPlan(mode, query, tuple(specs), root, top_k)
+
+    resolve = LogicalNode(
+        "resolve-statistics",
+        detail=_spec_summary(specs),
+        children=(LogicalNode("materialise-context", detail=predicates),),
+    )
+    if mode == MODE_DISJUNCTIVE:
+        candidates = LogicalNode(
+            "disjunctive-scan", detail=f"{keywords} (context-filtered)"
+        )
+    else:
+        candidates = LogicalNode("intersect", detail=f"{keywords} ∧ {predicates}")
+    root = LogicalNode(
+        "top-k",
+        detail=f"k={top_k}" if top_k is not None else "all",
+        children=(
+            LogicalNode(
+                "score",
+                detail="context statistics S_c(D_P)",
+                children=(resolve, candidates),
+            ),
+        ),
+    )
+    return LogicalPlan(mode, query, tuple(specs), root, top_k)

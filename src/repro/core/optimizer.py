@@ -1,0 +1,360 @@
+"""Cost-based path selection (planner layer 2).
+
+The paper's core decision — answer context statistics from a view scan
+or run the Figure 3 straightforward plan — is made here, once, for every
+entry point.  The optimizer compiles the logical plan
+(:mod:`repro.core.logical`), enumerates the feasible physical paths,
+prices each with the analytic model of :mod:`repro.core.cost` (Section
+3.2, Proposition 3.1, Theorem 4.2), and returns an
+:class:`ExplainedPlan` carrying all candidates, the choice, and — after
+execution — the actual :class:`~repro.index.postings.CostCounter`, so
+``cli explain`` can print predicted vs. actual operation counts.
+
+Physical paths:
+
+``views``
+    resolve statistics by scanning covering materialized views (rare
+    keywords fall back to selective-first intersections), result set via
+    a selective-first conjunction;
+``straightforward``
+    the full Figure 3 plan: materialise the context, aggregate, one
+    context ∩ keyword-list pass per keyword;
+``conventional``
+    the baseline ``Q_t = Q_k ∪ P``: whole-collection statistics,
+    predicates as pure filters (a different ranking, so it is only a
+    candidate when the query *asks* for conventional mode);
+``per-shard``
+    the partitioned strategy: every shard runs its own optimizer over
+    its sub-collection and the parent merges additive statistics
+    (:class:`~repro.core.sharded_engine.ShardedEngine`).
+
+Because views are exact (Section 4's central invariant), path choice can
+never change rankings — only cost — which is what makes cost-based
+selection safe to apply retroactively to every engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..index.inverted_index import InvertedIndex
+from ..index.postings import CostCounter
+from ..views.catalog import ViewCatalog
+from .cost import estimate_straightforward_cost, estimate_view_cost
+from .logical import (
+    ALL_MODES,
+    MODE_CONTEXT,
+    MODE_CONVENTIONAL,
+    MODE_DISJUNCTIVE,
+    LogicalPlan,
+    compile_query,
+)
+from .query import ContextQuery
+from .statistics import DOC_FREQUENCY, TERM_COUNT, StatisticSpec
+
+PATH_VIEWS = "views"
+PATH_STRAIGHTFORWARD = "straightforward"
+PATH_CONVENTIONAL = "conventional"
+# The sharded engine's aggregate label: each shard optimises locally.
+PATH_PER_SHARD = "per-shard"
+PATH_AUTO = "auto"
+
+# Paths callers may force via the engines' ``path=`` override.
+FORCEABLE_PATHS = (PATH_VIEWS, PATH_STRAIGHTFORWARD)
+
+
+@dataclass
+class PathCandidate:
+    """One physical path the optimizer considered."""
+
+    name: str
+    feasible: bool
+    predicted_cost: int
+    reason: str = ""
+    # Views candidate only: the spec-to-view matching priced here, handed
+    # to execution so the catalog is not searched a second time.
+    assignment: Optional[Dict[StatisticSpec, object]] = field(
+        default=None, repr=False, compare=False
+    )
+
+
+class ExplainedPlan:
+    """The optimizer's full decision record for one query.
+
+    ``actual`` is bound to the executing query's live counter, so after
+    the query finishes it holds the observed operation counts the
+    predictions are compared against.
+
+    ``logical`` accepts either a built :class:`LogicalPlan` or a zero-arg
+    factory for one.  The optimizer passes a factory: the logical tree is
+    only read by ``explain``/diagnostics, so the serving path should not
+    pay to build (or collect) it per query.
+    """
+
+    def __init__(
+        self,
+        logical,
+        candidates: Optional[List[PathCandidate]] = None,
+        chosen: str = PATH_STRAIGHTFORWARD,
+        forced: bool = False,
+        actual: Optional[CostCounter] = None,
+        shard_choices: Optional[List[Tuple[int, str, int]]] = None,
+    ):
+        self._logical = logical
+        self.candidates = candidates if candidates is not None else []
+        self.chosen = chosen
+        self.forced = forced
+        self.actual = actual
+        # Filled by the sharded engine: per-shard (shard_id, chosen,
+        # predicted).
+        self.shard_choices = shard_choices
+
+    @property
+    def logical(self) -> LogicalPlan:
+        if callable(self._logical):
+            self._logical = self._logical()
+        return self._logical
+
+    @property
+    def predicted_cost(self) -> int:
+        """The chosen candidate's predicted model cost."""
+        for candidate in self.candidates:
+            if candidate.name == self.chosen:
+                return candidate.predicted_cost
+        return 0
+
+    def candidate(self, name: str) -> Optional[PathCandidate]:
+        for c in self.candidates:
+            if c.name == name:
+                return c
+        return None
+
+    def render(self) -> str:
+        """The ``EXPLAIN`` report: logical tree, candidates, costs."""
+        lines = [f"mode: {self.logical.mode}", "logical plan:"]
+        lines.extend("  " + line for line in self.logical.render().splitlines())
+        lines.append("physical paths:")
+        for c in self.candidates:
+            marker = "->" if c.name == self.chosen else "  "
+            if c.feasible:
+                lines.append(
+                    f"  {marker} {c.name:<16} predicted={c.predicted_cost}"
+                )
+            else:
+                lines.append(
+                    f"  {marker} {c.name:<16} infeasible ({c.reason})"
+                )
+        forced = " (forced)" if self.forced else ""
+        lines.append(f"chosen: {self.chosen}{forced}")
+        if self.shard_choices:
+            lines.append("per-shard choices:")
+            for shard_id, chosen, predicted in self.shard_choices:
+                lines.append(
+                    f"  shard {shard_id}: {chosen} predicted={predicted}"
+                )
+        lines.append(f"predicted model cost: {self.predicted_cost}")
+        if self.actual is not None:
+            lines.append(
+                f"actual: model_cost={self.actual.model_cost} "
+                f"entries_scanned={self.actual.entries_scanned} "
+                f"segments_skipped={self.actual.segments_skipped}"
+            )
+        return "\n".join(lines)
+
+
+def selective_first_bound(
+    index: InvertedIndex,
+    keywords: Sequence[str],
+    predicates: Sequence[str],
+) -> int:
+    """Bound the selective-first conjunction over keywords ∧ predicates.
+
+    The intersection starts from the shortest list and probes the others,
+    so work is bounded by ``min |L| · #lists`` entry touches — the
+    ``|L_i| + |L_i| · M0`` regime of Section 3.2.2.
+    """
+    lengths = [index.document_frequency(w) for w in dict.fromkeys(keywords)]
+    lengths += [index.predicate_frequency(m) for m in dict.fromkeys(predicates)]
+    if not lengths:
+        return 0
+    return min(lengths) * len(lengths)
+
+
+class Optimizer:
+    """Compiles queries to logical plans and picks their physical path.
+
+    One optimizer serves one (index, catalog) pair: the flat engine owns
+    one, and every shard runtime owns one over its own sub-index and
+    per-shard catalog.  ``view_cost`` prices one view scan answering
+    ``n`` specs and defaults to Theorem 4.2's
+    :func:`~repro.core.cost.estimate_view_cost` on exact view sizes; a
+    sampled oracle (:func:`repro.views.estimator.sampled_view_cost_oracle`)
+    can stand in when exact sizes are unavailable.
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        catalog: Optional[ViewCatalog] = None,
+        view_cost: Optional[Callable[[object, int], int]] = None,
+    ):
+        self.index = index
+        self.catalog = catalog
+        # ``view_cost(view, num_specs)`` prices one scan of ``view``
+        # answering ``num_specs`` specs.
+        self.view_cost = view_cost if view_cost is not None else (
+            lambda view, num_specs: estimate_view_cost(view.size, num_specs)
+        )
+
+    # -- public API -----------------------------------------------------
+
+    def plan(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        mode: str = MODE_CONTEXT,
+        force: Optional[str] = None,
+        top_k: Optional[int] = None,
+    ) -> ExplainedPlan:
+        """Choose the physical path for one analysed query.
+
+        ``force`` pins the path (``views``/``straightforward``) instead
+        of cost-choosing; forcing an infeasible path raises
+        :class:`~repro.errors.QueryError`.  Path choice never changes
+        rankings, so ``force`` is safe for testing and diagnostics.
+        """
+        if force in (None, PATH_AUTO):
+            force = None
+        if mode not in ALL_MODES:
+            raise QueryError(f"unknown evaluation mode: {mode!r}")
+        spec_list = list(specs)
+
+        def logical() -> LogicalPlan:
+            return compile_query(query, spec_list, mode, top_k)
+
+        if mode == MODE_CONVENTIONAL:
+            candidates = [self._conventional_candidate(query)]
+        else:
+            candidates = [
+                self._views_candidate(query, specs, mode),
+                self._straightforward_candidate(query, mode),
+            ]
+        plan = ExplainedPlan(logical=logical, candidates=candidates)
+
+        if force is not None:
+            if mode == MODE_CONVENTIONAL:
+                raise QueryError("conventional mode has no alternative paths")
+            if force not in FORCEABLE_PATHS:
+                raise QueryError(
+                    f"unknown path {force!r} (have auto, "
+                    f"{', '.join(FORCEABLE_PATHS)})"
+                )
+            candidate = plan.candidate(force)
+            if candidate is None or not candidate.feasible:
+                reason = candidate.reason if candidate else "not a candidate"
+                raise QueryError(
+                    f"path {force!r} is not available for this query ({reason})"
+                )
+            plan.chosen = force
+            plan.forced = True
+            return plan
+
+        feasible = [c for c in candidates if c.feasible]
+        if not feasible:
+            # Defensive: straightforward/conventional are always feasible.
+            raise QueryError("no feasible physical path for query")
+        best = min(feasible, key=lambda c: c.predicted_cost)
+        plan.chosen = best.name
+        return plan
+
+    # -- candidate pricing ----------------------------------------------
+
+    def _conventional_candidate(self, query: ContextQuery) -> PathCandidate:
+        """The baseline's only path: one selective-first conjunction.
+
+        Whole-collection statistics are precomputed index metadata and
+        cost nothing at query time.
+        """
+        return PathCandidate(
+            name=PATH_CONVENTIONAL,
+            feasible=True,
+            predicted_cost=selective_first_bound(
+                self.index, query.keywords, query.predicates
+            ),
+        )
+
+    def _views_candidate(
+        self, query: ContextQuery, specs: Sequence[StatisticSpec], mode: str
+    ) -> PathCandidate:
+        """Price the view-scan path, mirroring the catalog's own matching.
+
+        Feasible when at least one spec is answerable from a usable view
+        and every unresolved spec has a rare-term fallback (``df``/``tc``
+        only).  Predicted cost: one batched scan per distinct view
+        (Theorem 4.2) + the selective-first fallback intersections + the
+        result-set conjunction (context mode only).
+        """
+        if self.catalog is None or len(self.catalog) == 0:
+            return PathCandidate(
+                PATH_VIEWS, False, 0, reason="no view catalog"
+            )
+        specs_per_view: Dict[int, Tuple[object, int]] = {}
+        unresolved: List[StatisticSpec] = []
+        usable = self.catalog.find_usable_many(specs, query.context)
+        for spec in specs:
+            view = usable[spec]
+            if view is None:
+                unresolved.append(spec)
+            else:
+                entry = specs_per_view.get(id(view))
+                specs_per_view[id(view)] = (view, (entry[1] if entry else 0) + 1)
+        if not specs_per_view:
+            return PathCandidate(
+                PATH_VIEWS, False, 0, reason="no usable view covers the context"
+            )
+        for spec in unresolved:
+            if spec.kind not in (DOC_FREQUENCY, TERM_COUNT):
+                return PathCandidate(
+                    PATH_VIEWS,
+                    False,
+                    0,
+                    reason=f"no fallback for {spec.column_name()!r}",
+                )
+        predicted = sum(
+            self.view_cost(view, count)
+            for view, count in specs_per_view.values()
+        )
+        num_predicates = len(query.predicates)
+        for term in {spec.term for spec in unresolved}:
+            predicted += self.index.document_frequency(term) * (
+                1 + num_predicates
+            )
+        predicted += self._candidate_scan_bound(query, mode)
+        return PathCandidate(PATH_VIEWS, True, predicted, assignment=usable)
+
+    def _straightforward_candidate(
+        self, query: ContextQuery, mode: str
+    ) -> PathCandidate:
+        """Price the Figure 3 plan with Proposition 3.1's bound."""
+        estimate = estimate_straightforward_cost(self.index, query)
+        predicted = estimate.total
+        if mode == MODE_DISJUNCTIVE:
+            # The plan's by-product result set is discarded; the
+            # disjunctive scan is extra work on top.
+            predicted += self._candidate_scan_bound(query, mode)
+        return PathCandidate(PATH_STRAIGHTFORWARD, True, predicted)
+
+    def _candidate_scan_bound(self, query: ContextQuery, mode: str) -> int:
+        """Work to produce the candidate documents once statistics exist."""
+        if mode == MODE_DISJUNCTIVE:
+            # Document-at-a-time over every keyword list (MaxScore can
+            # only prune below this).
+            return sum(
+                self.index.document_frequency(w)
+                for w in dict.fromkeys(query.keywords)
+            )
+        return selective_first_bound(
+            self.index, query.keywords, query.predicates
+        )

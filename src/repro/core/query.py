@@ -61,8 +61,16 @@ class ContextSpecification:
         return " ∧ ".join(self.predicates)
 
     def as_set(self) -> frozenset:
-        """The predicate set (for subset tests against view keyword sets)."""
-        return frozenset(self.predicates)
+        """The predicate set (for subset tests against view keyword sets).
+
+        Memoised: catalog matching tests one context against every view,
+        so the set is built once per specification, not per test.
+        """
+        cached = getattr(self, "_predicate_set", None)
+        if cached is None:
+            cached = frozenset(self.predicates)
+            object.__setattr__(self, "_predicate_set", cached)
+        return cached
 
     def is_covered_by(self, keyword_set) -> bool:
         """Whether ``P ⊆ K`` — the usability condition of Theorem 4.1."""

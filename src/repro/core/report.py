@@ -1,0 +1,62 @@
+"""The unified execution report every entry point returns.
+
+Before the planner refactor the flat engine and the sharded engine each
+populated their own idea of a report (the sharded one filled a subset of
+the fields and kept its per-shard knowledge to itself).  This module is
+the single dataclass both return — flat queries leave ``per_shard``
+empty, sharded queries attach one :class:`ShardReport` per shard — and
+``plan`` carries the optimizer's :class:`~repro.core.optimizer.ExplainedPlan`
+(predicted costs, candidates, chosen path) next to the observed counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from ..index.postings import CostCounter
+from ..views.rewrite import ResolutionReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .optimizer import ExplainedPlan
+
+
+@dataclass
+class ShardReport:
+    """One shard's slice of a sharded evaluation."""
+
+    shard_id: int
+    path: str
+    predicted_cost: int = 0
+    result_size: int = 0
+    counter: CostCounter = field(default_factory=CostCounter)
+
+
+@dataclass
+class ExecutionReport:
+    """Diagnostics for one query evaluation (any engine, any mode).
+
+    ``elapsed_seconds`` is wall-clock; ``counter`` holds the operation
+    counts the paper's cost model predicts; ``resolution`` says where the
+    collection statistics came from; ``plan`` is the optimizer's decision
+    record (predicted vs. actual); ``per_shard`` is the sharded engine's
+    per-shard breakdown (``None`` for flat execution).
+    """
+
+    elapsed_seconds: float = 0.0
+    counter: CostCounter = field(default_factory=CostCounter)
+    resolution: ResolutionReport = field(default_factory=ResolutionReport)
+    context_size: Optional[int] = None
+    result_size: int = 0
+    plan: Optional["ExplainedPlan"] = None
+    per_shard: Optional[List[ShardReport]] = None
+
+    @property
+    def path(self) -> str:
+        """The chosen resolution path (shorthand for ``resolution.path``)."""
+        return self.resolution.path
+
+    @property
+    def predicted_cost(self) -> Optional[int]:
+        """The optimizer's predicted model cost, when a plan was recorded."""
+        return self.plan.predicted_cost if self.plan is not None else None

@@ -3,21 +3,33 @@
 The sharded engine runs every evaluation mode of
 :class:`~repro.core.engine.ContextSearchEngine` as a two-phase
 scatter-gather over the shards of a
-:class:`~repro.index.sharded.ShardedInvertedIndex`:
+:class:`~repro.index.sharded.ShardedInvertedIndex`.  Sharding is a
+*partitioned execution strategy over the shared planner stack*, not a
+separate engine: each :class:`ShardRuntime` owns the same physical
+operators (:mod:`repro.core.operators`) over its sub-index and its own
+:class:`~repro.core.optimizer.Optimizer` over its per-shard catalog, so
+every shard makes a local cost-based views-vs-straightforward choice and
+the parent merges with :class:`~repro.core.operators.StatsMerge`:
 
-1. **resolve** — each shard answers the query's collection-statistic
-   specs over *its* sub-collection (views path when a per-shard catalog
-   covers the context, straightforward plan otherwise) and stashes its
+1. **resolve** — each shard plans and answers the query's
+   collection-statistic specs over *its* sub-collection and stashes its
    local unranked result;
 2. **merge** — the parent sums the partial aggregates (every supported
    statistic of Table 1 is additive over documents; the one non-additive
    statistic, ``utc``, is rejected up front);
 3. **score** — the merged global statistics are broadcast back and every
-   shard scores its stashed candidates with them.  Scores are pure
-   functions of integer statistics and per-document values, so each
-   document's score is the exact float the single-shard engine computes;
-   the final sort on ``(-score, global docid)`` then reproduces the
-   single-shard ranking including tie-breaks.
+   shard scores its stashed candidates with them through the one shared
+   scoring loop (:mod:`repro.core.scoring`).  Scores are pure functions
+   of integer statistics and per-document values, so each document's
+   score is the exact float the single-shard engine computes; the final
+   sort on ``(-score, global docid)`` then reproduces the single-shard
+   ranking including tie-breaks.
+
+Every report carries the per-shard breakdown
+(:class:`~repro.core.report.ShardReport` — chosen path, predicted cost,
+observed counter per shard) and an aggregate
+:class:`~repro.core.optimizer.ExplainedPlan` whose ``shard_choices``
+record each shard's decision (``cli explain`` prints both).
 
 Disjunctive top-k additionally shares an adaptive threshold
 (:class:`~repro.core.topk.SharedTopKThreshold`) across shards and hands
@@ -46,10 +58,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EmptyContextError, QueryError, ReproError
 from ..index.postings import CostCounter
-from ..index.searcher import BooleanSearcher
 from ..index.sharded import IndexShard, ShardedInvertedIndex
 from ..views.catalog import ViewCatalog
-from ..views.rewrite import compute_rare_term_statistics
 from .engine import (
     BatchOutcome,
     BatchReport,
@@ -57,19 +67,36 @@ from .engine import (
     SearchHit,
     SearchResults,
 )
-from .plan import StraightforwardPlan
+from .logical import MODE_CONTEXT, MODE_CONVENTIONAL, MODE_DISJUNCTIVE, compile_query
+from .operators import (
+    ExecutionContext,
+    MaxScoreTopK,
+    SelectiveFirstIntersect,
+    StatsMerge,
+    StraightforwardResolve,
+    ViewScan,
+)
+from .optimizer import (
+    FORCEABLE_PATHS,
+    PATH_AUTO,
+    PATH_PER_SHARD,
+    PATH_VIEWS,
+    ExplainedPlan,
+    Optimizer,
+    PathCandidate,
+    selective_first_bound,
+)
 from .query import ContextQuery, ContextSpecification, KeywordQuery, parse_query
 from .ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
+from .report import ShardReport
+from .scoring import rank_candidates, score_candidates
 from .statistics import (
-    CARDINALITY,
     TERM_COUNT,
-    UNIQUE_TERMS,
     CollectionStatistics,
-    DocumentStatistics,
     QueryStatistics,
     StatisticSpec,
 )
-from .topk import MaxScoreScorer, PredicateMembership, SharedTopKThreshold
+from .topk import SharedTopKThreshold
 
 # A scored candidate crossing the shard boundary: (score, global docid,
 # external id).  Sorting tuples of this shape on (-score, gid) is the
@@ -80,6 +107,11 @@ _Hit = Tuple[float, int, str]
 
 class ShardRuntime:
     """Everything one shard needs to evaluate its slice of a query.
+
+    One planner stack per shard: the runtime's :class:`Optimizer` plans
+    over the shard's sub-index and per-shard catalog, and the physical
+    operators it drives are the same classes the flat engine drives —
+    there is no shard-specific resolution or scoring code.
 
     Lives on both sides of the process boundary: the parent builds the
     runtimes, and the fork backend's per-shard worker inherits them via
@@ -101,55 +133,82 @@ class ShardRuntime:
         self.global_ids = shard.global_ids
         self.ranking = ranking
         self.catalog = catalog
-        self.searcher = BooleanSearcher(shard.index, use_skips=use_skips)
-        self.plan = StraightforwardPlan(shard.index, use_skips=use_skips)
+        self.optimizer = Optimizer(shard.index, catalog)
+        self._op_conjunction = SelectiveFirstIntersect(
+            shard.index, use_skips=use_skips
+        )
+        self._op_view_scan = ViewScan(catalog, shard.index, use_skips=use_skips)
+        self._op_straightforward = StraightforwardResolve(
+            shard.index, use_skips=use_skips
+        )
+        self._op_topk = MaxScoreTopK(shard.index, ranking)
+        # Back-compat handles (diagnostics and older call sites).
+        self.searcher = self._op_conjunction.searcher
+        self.plan = self._op_straightforward.plan
         self._stash: Dict[int, Tuple[Tuple[str, ...], List[int]]] = {}
 
     # -- phase 1: per-shard statistics ----------------------------------
 
     def resolve_many(self, tasks: Sequence[tuple]) -> List[tuple]:
-        """Resolve statistics and stash the local conjunctive result.
+        """Plan, resolve statistics, and stash the local conjunctive result.
 
-        ``tasks``: ``(qid, keywords, predicates, specs)`` per query.
-        Returns ``(qid, values, num_results, path, counter)``; an empty
-        local context yields all-zero values (the additive identity) and
-        an empty result — the *global* emptiness check happens after the
-        merge, in the parent.
+        ``tasks``: ``(qid, keywords, predicates, specs, force)`` per
+        query (``force`` pins the path shard-locally when feasible).
+        Returns ``(qid, values, num_results, path, predicted, counter)``;
+        an empty local context yields all-zero values (the additive
+        identity) and an empty result — the *global* emptiness check
+        happens after the merge, in the parent.
         """
         out = []
-        for qid, keywords, predicates, specs in tasks:
+        for qid, keywords, predicates, specs, force in tasks:
             counter = CostCounter()
+            ctx = ExecutionContext(counter=counter)
             query = _rebuild_query(keywords, predicates)
+            plan = self._plan(query, specs, MODE_CONTEXT, force)
             try:
-                values, result_ids, path = self._resolve(query, specs, counter)
+                values, result_ids = self._execute_resolution(
+                    ctx, plan, query, specs
+                )
+                path = ctx.resolution.path
             except EmptyContextError:
-                values = {spec: 0 for spec in specs}
+                values = StatsMerge.zero(specs)
                 result_ids = []
                 path = "straightforward"
             self._stash[qid] = (tuple(keywords), result_ids)
-            out.append((qid, values, len(result_ids), path, counter))
+            out.append(
+                (qid, values, len(result_ids), path, plan.predicted_cost, counter)
+            )
         return out
 
     def stats_many(self, tasks: Sequence[tuple]) -> List[tuple]:
         """Statistics only (no result stash) — disjunctive & diagnostics.
 
-        ``tasks``: ``(qid, keywords, predicates, specs, use_views)``.
-        Returns ``(qid, values, path, counter)``.
+        ``tasks``: ``(qid, keywords, predicates, specs, use_views, force)``
+        (``use_views=False`` bypasses the optimizer entirely: the
+        straightforward plan is the ground truth diagnostics compare
+        views against).  Returns ``(qid, values, path, predicted, counter)``.
         """
         out = []
-        for qid, keywords, predicates, specs, use_views in tasks:
+        for qid, keywords, predicates, specs, use_views, force in tasks:
             counter = CostCounter()
+            ctx = ExecutionContext(counter=counter)
             query = _rebuild_query(keywords, predicates)
+            predicted = 0
             try:
                 if use_views:
-                    values, path = self._resolve_only(query, specs, counter)
+                    plan = self._plan(query, specs, MODE_DISJUNCTIVE, force)
+                    predicted = plan.predicted_cost
+                    values, _ = self._execute_resolution(
+                        ctx, plan, query, specs, want_result=False
+                    )
+                    path = ctx.resolution.path
                 else:
                     execution = self.plan.execute(query, specs, counter)
                     values, path = execution.statistic_values, "straightforward"
             except EmptyContextError:
-                values = {spec: 0 for spec in specs}
+                values = StatsMerge.zero(specs)
                 path = "straightforward"
-            out.append((qid, values, path, counter))
+            out.append((qid, values, path, predicted, counter))
         return out
 
     # -- phase 2: scoring with merged global statistics -----------------
@@ -170,9 +229,7 @@ class ShardRuntime:
             if values is None:
                 continue
             stats = CollectionStatistics.from_values(values)
-            hits = self._score(keywords, result_ids, stats)
-            if top_k is not None:
-                hits = hits[:top_k]
+            hits = self._score(keywords, result_ids, stats, top_k)
             out.append((qid, hits))
         return out
 
@@ -182,18 +239,18 @@ class ShardRuntime:
         Whole-collection statistics do not depend on per-shard work, so
         the parent precomputes them and one dispatch both filters and
         scores.  ``tasks``: ``(qid, keywords, predicates, stats, top_k)``.
-        Returns ``(qid, hits, num_results, counter)``.
+        Returns ``(qid, hits, num_results, predicted, counter)``.
         """
         out = []
         for qid, keywords, predicates, stats, top_k in tasks:
             counter = CostCounter()
-            result_ids = self.searcher.search_conjunction(
-                list(keywords), list(predicates), counter
+            ctx = ExecutionContext(counter=counter)
+            predicted = selective_first_bound(self.index, keywords, predicates)
+            result_ids = self._op_conjunction.run(
+                ctx, list(keywords), list(predicates)
             )
-            hits = self._score(keywords, result_ids, stats)
-            if top_k is not None:
-                hits = hits[:top_k]
-            out.append((qid, hits, len(result_ids), counter))
+            hits = self._score(keywords, result_ids, stats, top_k)
+            out.append((qid, hits, len(result_ids), predicted, counter))
         return out
 
     def topk_many(
@@ -215,19 +272,20 @@ class ShardRuntime:
         out = []
         for qid, keywords, predicates, values, k, term_bounds in tasks:
             counter = CostCounter()
+            ctx = ExecutionContext(counter=counter)
             if values is None:
                 continue
             stats = CollectionStatistics.from_values(values)
-            scorer = MaxScoreScorer(
-                self.index,
-                list(keywords),
-                stats,
-                self.ranking,
-                context_filter=PredicateMembership(self.index, list(predicates)),
-                term_bounds=term_bounds,
-            )
             shared = shared_by_qid.get(qid) if shared_by_qid else None
-            scored = scorer.top_k(k, counter, shared=shared)
+            scored = self._op_topk.run(
+                ctx,
+                keywords,
+                predicates,
+                stats,
+                k,
+                term_bounds=term_bounds,
+                shared=shared,
+            )
             hits = [
                 (
                     s.score,
@@ -241,75 +299,72 @@ class ShardRuntime:
 
     # -- internals ------------------------------------------------------
 
-    def _resolve(
+    def _plan(
         self,
         query: ContextQuery,
         specs: Sequence[StatisticSpec],
-        counter: CostCounter,
-    ) -> Tuple[Dict[StatisticSpec, float], List[int], str]:
-        """Mirror of ``ContextSearchEngine._resolve_statistics`` per shard."""
-        if self.catalog is not None and len(self.catalog) > 0:
-            values, unresolved, views_used = self.catalog.resolve(
-                specs, query.context, counter
-            )
-            if views_used:
-                if unresolved:
-                    values.update(
-                        compute_rare_term_statistics(
-                            self.index, query, unresolved, counter
-                        )
-                    )
-                result_ids = self.searcher.search_conjunction(
-                    query.keywords, query.predicates, counter
-                )
-                return values, result_ids, "views"
-        execution = self.plan.execute(query, specs, counter)
-        return execution.statistic_values, execution.result_ids, "straightforward"
+        mode: str,
+        force: Optional[str],
+    ) -> ExplainedPlan:
+        """Shard-local path choice.
 
-    def _resolve_only(
+        A forced path that is infeasible on *this* shard (its catalog
+        may cover less than a sibling's) falls back to cost-based choice
+        rather than failing the whole batch — the parent has already
+        validated that the force is globally satisfiable, and per-shard
+        fallback never changes results.
+        """
+        try:
+            return self.optimizer.plan(query, specs, mode=mode, force=force)
+        except QueryError:
+            if force in (None, PATH_AUTO):
+                raise
+            return self.optimizer.plan(query, specs, mode=mode)
+
+    def _execute_resolution(
         self,
+        ctx: ExecutionContext,
+        plan: ExplainedPlan,
         query: ContextQuery,
         specs: Sequence[StatisticSpec],
-        counter: CostCounter,
-    ) -> Tuple[Dict[StatisticSpec, float], str]:
-        if self.catalog is not None and len(self.catalog) > 0:
-            values, unresolved, views_used = self.catalog.resolve(
-                specs, query.context, counter
+        want_result: bool = True,
+    ) -> Tuple[Dict[StatisticSpec, float], List[int]]:
+        """Run the planned path through the shared operators."""
+        if plan.chosen == PATH_VIEWS:
+            chosen = plan.candidate(PATH_VIEWS)
+            values = self._op_view_scan.run(
+                ctx, query, specs, usable=chosen.assignment if chosen else None
             )
-            if views_used:
-                if unresolved:
-                    values.update(
-                        compute_rare_term_statistics(
-                            self.index, query, unresolved, counter
-                        )
+            if values is not None:
+                result_ids = (
+                    self._op_conjunction.run(
+                        ctx, query.keywords, query.predicates
                     )
-                return values, "views"
-        execution = self.plan.execute(query, specs, counter)
-        return execution.statistic_values, "straightforward"
+                    if want_result
+                    else []
+                )
+                return values, result_ids
+        execution = self._op_straightforward.run(ctx, query, specs)
+        return execution.statistic_values, execution.result_ids
 
     def _score(
         self,
         keywords: Sequence[str],
         result_ids: Sequence[int],
         stats: CollectionStatistics,
+        top_k: Optional[int],
     ) -> List[_Hit]:
-        """``ContextSearchEngine._score`` with global ids in the sort key."""
-        query_stats = QueryStatistics.from_keywords(keywords)
-        unique_keywords = list(dict.fromkeys(keywords))
-        plists = {w: self.index.postings(w) for w in unique_keywords}
-        hits: List[_Hit] = []
-        for doc_id in result_ids:
-            doc = self.index.store.get(doc_id)
-            tfs = {w: (plists[w].tf_for(doc_id) or 0) for w in unique_keywords}
-            doc_stats = DocumentStatistics(
-                length=doc.length,
-                unique_terms=doc.unique_terms,
-                term_frequencies=tfs,
-            )
-            score = self.ranking.score(query_stats, doc_stats, stats)
-            hits.append((score, self.global_ids[doc_id], doc.external_id))
-        hits.sort(key=lambda hit: (-hit[0], hit[1]))
-        return hits
+        """The shared scoring loop with global ids in the sort key."""
+        scored = score_candidates(
+            self.index, self.ranking, list(keywords), result_ids, stats
+        )
+        return rank_candidates(
+            [
+                (score, self.global_ids[doc_id], ext)
+                for doc_id, score, ext in scored
+            ],
+            top_k,
+        )
 
 
 def _rebuild_query(
@@ -512,10 +567,18 @@ class ShardedEngine:
     # -- public API -----------------------------------------------------
 
     def search(
-        self, query: Union[ContextQuery, str], top_k: Optional[int] = None
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int] = None,
+        path: str = PATH_AUTO,
     ) -> SearchResults:
-        """Context-sensitive ``Q_c = Q_k | P`` across all shards."""
-        return self._single(query, top_k, "context")
+        """Context-sensitive ``Q_c = Q_k | P`` across all shards.
+
+        ``path`` forces each shard's physical path where feasible
+        (shards whose catalog cannot serve a forced ``views`` path fall
+        back locally); forcing never changes results.
+        """
+        return self._single(query, top_k, "context", path)
 
     def search_conventional(
         self, query: Union[ContextQuery, str], top_k: Optional[int] = None
@@ -524,16 +587,37 @@ class ShardedEngine:
         return self._single(query, top_k, "conventional")
 
     def search_disjunctive(
-        self, query: Union[ContextQuery, str], top_k: int = 10
+        self,
+        query: Union[ContextQuery, str],
+        top_k: int = 10,
+        path: str = PATH_AUTO,
     ) -> SearchResults:
         """OR-semantics context-sensitive top-k across all shards."""
-        return self._single(query, top_k, "disjunctive")
+        return self._single(query, top_k, "disjunctive", path)
+
+    def explain(
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int] = None,
+        mode: str = MODE_CONTEXT,
+        path: str = PATH_AUTO,
+    ) -> SearchResults:
+        """Evaluate and return results whose report carries the aggregate
+        plan (per-shard choices, predicted vs. actual counts)."""
+        if mode == MODE_CONVENTIONAL:
+            return self.search_conventional(query, top_k=top_k)
+        if mode == MODE_DISJUNCTIVE:
+            return self.search_disjunctive(
+                query, top_k=top_k if top_k is not None else 10, path=path
+            )
+        return self.search(query, top_k=top_k, path=path)
 
     def search_many(
         self,
         queries: Iterable[Union[ContextQuery, str]],
         top_k: Optional[int] = None,
         mode: str = "context",
+        path: str = PATH_AUTO,
     ) -> BatchReport:
         """Evaluate a workload with one scatter-gather round per phase.
 
@@ -547,7 +631,7 @@ class ShardedEngine:
             raise QueryError(f"unknown batch mode: {mode!r}")
         queries = list(queries)
         started = time.perf_counter()
-        results = self._execute_batch(queries, top_k, mode)
+        results = self._execute_batch(queries, top_k, mode, path)
         elapsed = time.perf_counter() - started
         outcomes = []
         for query, result in zip(queries, results):
@@ -577,33 +661,59 @@ class ShardedEngine:
             context = ContextSpecification(context)
         keywords = [self._analyze_keyword(w) for w in keywords] or ["__none__"]
         specs = self.ranking.required_collection_specs(keywords)
-        self._check_additive(specs)
-        tasks = [(0, tuple(keywords), tuple(context.predicates), tuple(specs), False)]
+        StatsMerge.check_additive(specs)
+        tasks = [
+            (0, tuple(keywords), tuple(context.predicates), tuple(specs), False, None)
+        ]
         shard_outputs = self._backend.map(
             "stats_many", [list(tasks)] * self.sharded_index.num_shards
         )
-        merged = self._merge_values([out[0][1] for out in shard_outputs], specs)
-        if self._cardinality_of(merged, specs) <= 0:
+        merged = StatsMerge.merge([out[0][1] for out in shard_outputs], specs)
+        if StatsMerge.cardinality_of(merged, specs) <= 0:
             raise EmptyContextError(f"context {context} matches no documents")
         return CollectionStatistics.from_values(merged)
 
     # -- batch execution internals --------------------------------------
 
     def _single(
-        self, query: Union[ContextQuery, str], top_k: Optional[int], mode: str
+        self,
+        query: Union[ContextQuery, str],
+        top_k: Optional[int],
+        mode: str,
+        path: str = PATH_AUTO,
     ) -> SearchResults:
-        result = self._execute_batch([query], top_k, mode)[0]
+        result = self._execute_batch([query], top_k, mode, path)[0]
         if isinstance(result, ReproError):
             raise result
         return result
+
+    def _validate_path(self, path: str) -> Optional[str]:
+        """Parent-side force validation (shards then apply it locally)."""
+        if path in (None, PATH_AUTO):
+            return None
+        if path not in FORCEABLE_PATHS:
+            raise QueryError(
+                f"unknown path {path!r} (have {PATH_AUTO}, "
+                f"{', '.join(FORCEABLE_PATHS)})"
+            )
+        if path == PATH_VIEWS and all(
+            runtime.catalog is None or len(runtime.catalog) == 0
+            for runtime in self.runtimes
+        ):
+            raise QueryError(
+                "path 'views' is not available: no shard has a view catalog"
+            )
+        return path
 
     def _execute_batch(
         self,
         queries: Sequence[Union[ContextQuery, str]],
         top_k: Optional[int],
         mode: str,
+        path: str = PATH_AUTO,
     ) -> List[Union[SearchResults, ReproError]]:
         started = time.perf_counter()
+        force = self._validate_path(path)
         num_shards = self.sharded_index.num_shards
         results: List[Optional[Union[SearchResults, ReproError]]] = [None] * len(
             queries
@@ -627,19 +737,21 @@ class ShardedEngine:
                             analyzed_query.keywords
                         )
                     )
-                    self._check_additive(specs)
+                    StatsMerge.check_additive(specs)
                     specs_by_qid[qid] = specs
                 analyzed[qid] = analyzed_query
             except ReproError as exc:
                 results[qid] = exc
 
         if mode == "context":
-            self._run_context(analyzed, specs_by_qid, top_k, results, num_shards)
+            self._run_context(
+                analyzed, specs_by_qid, top_k, results, num_shards, force
+            )
         elif mode == "conventional":
             self._run_conventional(analyzed, top_k, results, num_shards)
         else:
             self._run_disjunctive(
-                analyzed, specs_by_qid, top_k, results, num_shards
+                analyzed, specs_by_qid, top_k, results, num_shards, force
             )
 
         elapsed = time.perf_counter() - started
@@ -650,13 +762,61 @@ class ShardedEngine:
                 result.report.elapsed_seconds = elapsed
         return results  # type: ignore[return-value]
 
-    def _run_context(self, analyzed, specs_by_qid, top_k, results, num_shards):
+    def _aggregate_plan(
+        self,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+        mode: str,
+        top_k: Optional[int],
+        forced: bool,
+    ) -> ExplainedPlan:
+        """The parent's plan record: one per-shard candidate whose
+        predicted cost and ``shard_choices`` fill in as shard outputs
+        arrive."""
+        spec_list = list(specs)
+        plan = ExplainedPlan(
+            logical=lambda: compile_query(query, spec_list, mode, top_k),
+            candidates=[PathCandidate(PATH_PER_SHARD, True, 0)],
+            chosen=PATH_PER_SHARD,
+            forced=forced,
+            shard_choices=[],
+        )
+        return plan
+
+    def _record_shard(
+        self,
+        report: ExecutionReport,
+        shard_id: int,
+        path: str,
+        predicted: int,
+        num_results: int,
+        counter: CostCounter,
+    ) -> None:
+        """Fold one shard's slice into the parent report and plan."""
+        report.counter.merge(counter)
+        report.per_shard.append(
+            ShardReport(
+                shard_id=shard_id,
+                path=path,
+                predicted_cost=predicted,
+                result_size=num_results,
+                counter=counter,
+            )
+        )
+        plan = report.plan
+        plan.shard_choices.append((shard_id, path, predicted))
+        plan.candidates[0].predicted_cost += predicted
+
+    def _run_context(
+        self, analyzed, specs_by_qid, top_k, results, num_shards, force
+    ):
         phase1 = [
             (
                 qid,
                 tuple(query.keywords),
                 tuple(query.predicates),
                 specs_by_qid[qid],
+                force,
             )
             for qid, query in analyzed.items()
         ]
@@ -670,24 +830,31 @@ class ShardedEngine:
         reports: Dict[int, ExecutionReport] = {}
         result_sizes: Dict[int, int] = {}
         paths: Dict[int, set] = {}
-        for qid, *_ in phase1:
-            merged_values[qid] = {spec: 0 for spec in specs_by_qid[qid]}
-            reports[qid] = ExecutionReport()
+        for qid, query in analyzed.items():
+            specs = specs_by_qid[qid]
+            merged_values[qid] = StatsMerge.zero(specs)
+            report = ExecutionReport(per_shard=[])
+            report.plan = self._aggregate_plan(
+                query, specs, MODE_CONTEXT, top_k, force is not None
+            )
+            report.plan.actual = report.counter
+            reports[qid] = report
             result_sizes[qid] = 0
             paths[qid] = set()
-        for output in shard_outputs:  # shard order: deterministic merges
-            for qid, values, num_results, path, counter in output:
-                merged = merged_values[qid]
-                for spec, value in values.items():
-                    merged[spec] += value
+        for shard_id, output in enumerate(shard_outputs):
+            # Shard order: deterministic merges.
+            for qid, values, num_results, path, predicted, counter in output:
+                StatsMerge.accumulate(merged_values[qid], values)
                 result_sizes[qid] += num_results
                 paths[qid].add(path)
-                reports[qid].counter.merge(counter)
+                self._record_shard(
+                    reports[qid], shard_id, path, predicted, num_results, counter
+                )
 
         phase2 = []
         for qid, query in analyzed.items():
             specs = specs_by_qid[qid]
-            cardinality = self._cardinality_of(merged_values[qid], specs)
+            cardinality = StatsMerge.cardinality_of(merged_values[qid], specs)
             if cardinality <= 0:
                 results[qid] = EmptyContextError(
                     f"context {query.context} matches no documents"
@@ -706,8 +873,13 @@ class ShardedEngine:
         reports: Dict[int, ExecutionReport] = {}
         for qid, query in analyzed.items():
             stats = self._global_statistics(query.keywords)
-            reports[qid] = ExecutionReport()
-            reports[qid].resolution.path = "conventional"
+            report = ExecutionReport(per_shard=[])
+            report.resolution.path = "conventional"
+            report.plan = self._aggregate_plan(
+                query, (), MODE_CONVENTIONAL, top_k, False
+            )
+            report.plan.actual = report.counter
+            reports[qid] = report
             tasks.append(
                 (qid, tuple(query.keywords), tuple(query.predicates), stats, top_k)
             )
@@ -717,15 +889,20 @@ class ShardedEngine:
             "conventional_many", [list(tasks)] * num_shards
         )
         merged: Dict[int, List[_Hit]] = {qid: [] for qid in analyzed}
-        for output in shard_outputs:
-            for qid, hits, num_results, counter in output:
+        for shard_id, output in enumerate(shard_outputs):
+            for qid, hits, num_results, predicted, counter in output:
                 merged[qid].extend(hits)
                 reports[qid].result_size += num_results
-                reports[qid].counter.merge(counter)
+                self._record_shard(
+                    reports[qid],
+                    shard_id,
+                    "conventional",
+                    predicted,
+                    num_results,
+                    counter,
+                )
         for qid, query in analyzed.items():
-            hits = sorted(merged[qid], key=lambda hit: (-hit[0], hit[1]))
-            if top_k is not None:
-                hits = hits[:top_k]
+            hits = rank_candidates(merged[qid], top_k)
             results[qid] = SearchResults(
                 hits=[
                     SearchHit(doc_id=gid, external_id=ext, score=score)
@@ -734,7 +911,9 @@ class ShardedEngine:
                 report=reports[qid],
             )
 
-    def _run_disjunctive(self, analyzed, specs_by_qid, top_k, results, num_shards):
+    def _run_disjunctive(
+        self, analyzed, specs_by_qid, top_k, results, num_shards, force
+    ):
         k = top_k if top_k is not None else 10
         phase1 = [
             (
@@ -743,6 +922,7 @@ class ShardedEngine:
                 tuple(query.predicates),
                 specs_by_qid[qid],
                 True,
+                force,
             )
             for qid, query in analyzed.items()
         ]
@@ -753,23 +933,29 @@ class ShardedEngine:
         merged_values: Dict[int, Dict[StatisticSpec, float]] = {}
         reports: Dict[int, ExecutionReport] = {}
         paths: Dict[int, set] = {}
-        for qid, _, _, specs, _ in phase1:
-            merged_values[qid] = {spec: 0 for spec in specs}
-            reports[qid] = ExecutionReport()
+        for qid, query in analyzed.items():
+            specs = specs_by_qid[qid]
+            merged_values[qid] = StatsMerge.zero(specs)
+            report = ExecutionReport(per_shard=[])
+            report.plan = self._aggregate_plan(
+                query, specs, MODE_DISJUNCTIVE, k, force is not None
+            )
+            report.plan.actual = report.counter
+            reports[qid] = report
             paths[qid] = set()
-        for output in shard_outputs:
-            for qid, values, path, counter in output:
-                merged = merged_values[qid]
-                for spec, value in values.items():
-                    merged[spec] += value
+        for shard_id, output in enumerate(shard_outputs):
+            for qid, values, path, predicted, counter in output:
+                StatsMerge.accumulate(merged_values[qid], values)
                 paths[qid].add(path)
-                reports[qid].counter.merge(counter)
+                self._record_shard(
+                    reports[qid], shard_id, path, predicted, 0, counter
+                )
 
         phase2 = []
         shared_by_qid: Dict[int, SharedTopKThreshold] = {}
         for qid, query in analyzed.items():
             specs = specs_by_qid[qid]
-            cardinality = self._cardinality_of(merged_values[qid], specs)
+            cardinality = StatsMerge.cardinality_of(merged_values[qid], specs)
             if cardinality <= 0:
                 results[qid] = EmptyContextError(
                     f"context {query.context} matches no documents"
@@ -801,12 +987,15 @@ class ShardedEngine:
             "topk_many", [list(phase2)] * num_shards, **kwargs
         )
         merged_hits: Dict[int, List[_Hit]] = {entry[0]: [] for entry in phase2}
-        for output in shard_outputs:
+        for shard_id, output in enumerate(shard_outputs):
             for qid, hits, counter in output:
                 merged_hits[qid].extend(hits)
-                reports[qid].counter.merge(counter)
+                report = reports[qid]
+                report.counter.merge(counter)
+                report.per_shard[shard_id].counter.merge(counter)
+                report.per_shard[shard_id].result_size += len(hits)
         for qid, hits in merged_hits.items():
-            hits = sorted(hits, key=lambda hit: (-hit[0], hit[1]))[:k]
+            hits = rank_candidates(hits, k)
             report = reports[qid]
             report.result_size = len(hits)
             results[qid] = SearchResults(
@@ -826,9 +1015,7 @@ class ShardedEngine:
                 if qid in merged:
                     merged[qid].extend(hits)
         for qid, hits in merged.items():
-            hits = sorted(hits, key=lambda hit: (-hit[0], hit[1]))
-            if top_k is not None:
-                hits = hits[:top_k]
+            hits = rank_candidates(hits, top_k)
             results[qid] = SearchResults(
                 hits=[
                     SearchHit(doc_id=gid, external_id=ext, score=score)
@@ -840,40 +1027,9 @@ class ShardedEngine:
     # -- merge helpers ---------------------------------------------------
 
     @staticmethod
-    def _merge_values(
-        per_shard: Sequence[Dict[StatisticSpec, float]],
-        specs: Sequence[StatisticSpec],
-    ) -> Dict[StatisticSpec, float]:
-        merged: Dict[StatisticSpec, float] = {spec: 0 for spec in specs}
-        for values in per_shard:
-            for spec, value in values.items():
-                merged[spec] += value
-        return merged
-
-    @staticmethod
-    def _cardinality_of(
-        values: Dict[StatisticSpec, float], specs: Sequence[StatisticSpec]
-    ) -> int:
-        for spec in specs:
-            if spec.kind == CARDINALITY:
-                return int(values[spec])
-        return 0
-
-    @staticmethod
     def _check_additive(specs: Sequence[StatisticSpec]) -> None:
-        """Reject the one Table 1 statistic that does not sum over shards.
-
-        ``utc(D_P)`` is a distinct-count: shard vocabularies overlap, so
-        per-shard values cannot be merged exactly without shipping the
-        vocabularies themselves.  No built-in ranking model requests it;
-        a custom model that does must run on the single-shard engine.
-        """
-        for spec in specs:
-            if spec.kind == UNIQUE_TERMS:
-                raise QueryError(
-                    "unique-term count (utc) is not additive across shards; "
-                    "use the single-shard engine for rankings that need it"
-                )
+        """Back-compat alias for :meth:`StatsMerge.check_additive`."""
+        StatsMerge.check_additive(specs)
 
     def _term_bounds(
         self, keywords: Sequence[str], stats: CollectionStatistics

@@ -55,6 +55,12 @@ class StatisticSpec:
                 raise QueryError(f"statistic kind {self.kind!r} takes no term")
         else:
             raise QueryError(f"unknown statistic kind: {self.kind!r}")
+        # Specs key every statistics dict in the resolve path; precompute
+        # the hash instead of re-deriving it per lookup.
+        object.__setattr__(self, "_hash", hash((self.kind, self.term)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def column_name(self) -> str:
         """The parameter-column name this spec reads in a materialized view."""

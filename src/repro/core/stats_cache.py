@@ -134,7 +134,7 @@ class CachingSearchEngine:
         inner_resolve = self.engine._resolve_statistics
         inner_resolve_only = self.engine._resolve_statistics_only
 
-        def cached_resolve(query: ContextQuery, specs, report):
+        def cached_resolve(query: ContextQuery, specs, report, *args, **kwargs):
             key = canonical_context_key(query.predicates)
             found, missing = self.cache.lookup(key, specs)
             if not missing:
@@ -145,18 +145,18 @@ class CachingSearchEngine:
                 )
                 report.resolution.path = "cache"
                 return dict(found), result_ids
-            values, result_ids = inner_resolve(query, specs, report)
+            values, result_ids = inner_resolve(query, specs, report, *args, **kwargs)
             self.cache.store(key, values)
             values.update(found)
             return values, result_ids
 
-        def cached_resolve_only(query: ContextQuery, specs, report):
+        def cached_resolve_only(query: ContextQuery, specs, report, *args, **kwargs):
             key = canonical_context_key(query.predicates)
             found, missing = self.cache.lookup(key, specs)
             if not missing:
                 report.resolution.path = "cache"
                 return dict(found)
-            values = inner_resolve_only(query, specs, report)
+            values = inner_resolve_only(query, specs, report, *args, **kwargs)
             self.cache.store(key, values)
             values.update(found)
             return values

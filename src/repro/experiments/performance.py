@@ -13,10 +13,19 @@ from .stack import ExperimentStack
 
 @dataclass(frozen=True)
 class ArmMeasurement:
-    """One (system, keyword-count) cell: mean latency and model cost."""
+    """One (system, keyword-count) cell: mean latency and model cost.
+
+    ``path_counts`` records how often the optimizer chose each physical
+    path across the bucket (from the unified report's plan), and
+    ``mean_predicted_cost`` is the mean of the optimizer's predicted
+    model cost — comparing it with ``mean_model_cost`` shows how tight
+    the analytic bounds run on real workloads.
+    """
 
     mean_ms: float
     mean_model_cost: float
+    mean_predicted_cost: float = 0.0
+    path_counts: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass
@@ -55,6 +64,14 @@ class PerformanceResult:
             self.measurements[(arm, n)].mean_ms for n in self.keyword_counts
         )
 
+    def path_mix(self, arm: str) -> Dict[str, int]:
+        """How often the optimizer chose each path across the arm's sweep."""
+        mix: Dict[str, int] = {}
+        for n in self.keyword_counts:
+            for path, count in self.measurements[(arm, n)].path_counts:
+                mix[path] = mix.get(path, 0) + count
+        return mix
+
     @property
     def shape_holds(self) -> bool:
         """Figure 7: straightforward slower than views.  Figure 8: the
@@ -77,20 +94,35 @@ def _measure(
     """Mean per-query latency/model-cost over a bucket (best of repeats)."""
     best_ms = float("inf")
     cost = 0.0
-    for _ in range(repeats):
+    predicted = 0.0
+    path_counts: Dict[str, int] = {}
+    for attempt in range(repeats):
         total_cost = 0
+        total_predicted = 0
         started = time.perf_counter()
         for wq in bucket:
             if conventional:
                 result = engine.search_conventional(wq.query, top_k=20)
             else:
                 result = engine.search(wq.query, top_k=20)
-            total_cost += result.report.counter.model_cost
+            report = result.report
+            total_cost += report.counter.model_cost
+            if report.predicted_cost is not None:
+                total_predicted += report.predicted_cost
+            if attempt == 0:
+                path = report.path
+                path_counts[path] = path_counts.get(path, 0) + 1
         elapsed_ms = (time.perf_counter() - started) * 1000 / len(bucket)
         if elapsed_ms < best_ms:
             best_ms = elapsed_ms
         cost = total_cost / len(bucket)
-    return ArmMeasurement(mean_ms=best_ms, mean_model_cost=cost)
+        predicted = total_predicted / len(bucket)
+    return ArmMeasurement(
+        mean_ms=best_ms,
+        mean_model_cost=cost,
+        mean_predicted_cost=predicted,
+        path_counts=tuple(sorted(path_counts.items())),
+    )
 
 
 def run_figure7(stack: ExperimentStack) -> PerformanceResult:

@@ -33,8 +33,15 @@ class CatalogStats:
 class ViewCatalog:
     """An ordered collection of materialized views with usability search."""
 
+    # Covering-view lists are memoised per context predicate set; the cap
+    # only guards against adversarial workloads with unbounded distinct
+    # contexts (real mixes reuse contexts — the premise views pay off on).
+    _COVER_CACHE_LIMIT = 4096
+
     def __init__(self, views: Iterable[MaterializedView] = ()):
         self._views: List[MaterializedView] = list(views)
+        self._by_size: Optional[List[MaterializedView]] = None
+        self._cover_cache: Dict[frozenset, List[MaterializedView]] = {}
 
     def __len__(self) -> int:
         return len(self._views)
@@ -44,17 +51,70 @@ class ViewCatalog:
 
     def add(self, view: MaterializedView) -> None:
         self._views.append(view)
+        self._by_size = None
+        self._cover_cache.clear()
+
+    def _views_by_size(self) -> List[MaterializedView]:
+        """Catalog views in ascending size order (cached; Section 6.3's
+        "the view with the minimal size is picked" becomes first-match)."""
+        if self._by_size is None:
+            self._by_size = sorted(self._views, key=lambda v: v.size)
+        return self._by_size
+
+    def _covering_views(
+        self, context: ContextSpecification
+    ) -> List[MaterializedView]:
+        """Views with ``P ⊆ K`` in ascending size order (memoised).
+
+        Coverage depends only on the predicate set and the catalog, and
+        workloads re-ask the same contexts constantly, so each distinct
+        context pays the catalog scan once.
+        """
+        key = context.as_set()
+        covering = self._cover_cache.get(key)
+        if covering is None:
+            covering = [
+                v for v in self._views_by_size() if v.covers_context(context)
+            ]
+            if len(self._cover_cache) >= self._COVER_CACHE_LIMIT:
+                self._cover_cache.clear()
+            self._cover_cache[key] = covering
+        return covering
 
     def find_usable(
         self, spec: StatisticSpec, context: ContextSpecification
     ) -> Optional[MaterializedView]:
         """Smallest view usable for ``spec`` in ``context`` (Theorem 4.1)."""
-        best: Optional[MaterializedView] = None
-        for view in self._views:
-            if view.is_usable_for(spec, context):
-                if best is None or view.size < best.size:
-                    best = view
-        return best
+        for view in self._covering_views(context):
+            if view.has_column_for(spec):
+                return view
+        return None
+
+    def find_usable_many(
+        self,
+        specs: Sequence[StatisticSpec],
+        context: ContextSpecification,
+    ) -> Dict[StatisticSpec, Optional[MaterializedView]]:
+        """Per-spec smallest usable view, checking coverage once per view.
+
+        Theorem 4.1's usability test factors into a per-query condition
+        (``P ⊆ K``) and a per-spec condition (the parameter column
+        exists).  A query resolves many specs against one context, so
+        batching checks each view's coverage once instead of once per
+        ``(view, spec)`` pair — this is the planner's and the resolver's
+        shared matching step.
+        """
+        assigned: Dict[StatisticSpec, Optional[MaterializedView]] = {
+            spec: None for spec in specs
+        }
+        pending = set(assigned)
+        for view in self._covering_views(context):
+            if not pending:
+                break
+            for spec in [s for s in pending if view.has_column_for(s)]:
+                assigned[spec] = view
+                pending.discard(spec)
+        return assigned
 
     def find_covering(
         self, context: ContextSpecification
@@ -72,17 +132,25 @@ class ViewCatalog:
         specs: Sequence[StatisticSpec],
         context: ContextSpecification,
         counter: Optional[CostCounter] = None,
+        usable: Optional[
+            Dict[StatisticSpec, Optional[MaterializedView]]
+        ] = None,
     ) -> Tuple[Dict[StatisticSpec, int], List[StatisticSpec], List[MaterializedView]]:
         """Answer as many of ``specs`` as possible from the catalog.
 
         Returns ``(values, unresolved, views_used)``.  Specs answerable by
         the same view are batched into one scan; distinct views each cost
-        one scan (charged to ``counter``).
+        one scan (charged to ``counter``).  ``usable`` accepts a
+        spec-to-view assignment already computed by
+        :meth:`find_usable_many` (the optimizer's, typically) so matching
+        is not repeated at execution time.
         """
         by_view: Dict[int, Tuple[MaterializedView, List[StatisticSpec]]] = {}
         unresolved: List[StatisticSpec] = []
+        if usable is None:
+            usable = self.find_usable_many(specs, context)
         for spec in specs:
-            view = self.find_usable(spec, context)
+            view = usable[spec]
             if view is None:
                 unresolved.append(spec)
             else:

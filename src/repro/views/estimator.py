@@ -85,3 +85,23 @@ class ViewSizeEstimator:
         and is opted into explicitly.
         """
         return self.exact(keyword_set)
+
+
+def sampled_view_cost_oracle(estimator: "ViewSizeEstimator"):
+    """A drop-in ``view_cost`` for :class:`repro.core.optimizer.Optimizer`
+    that prices view scans from *sampled* sizes instead of the exact
+    ``view.size`` the default uses.
+
+    Sampled sizes under-count, so an optimizer using this oracle is
+    biased toward the views path — acceptable for scale experiments where
+    exact sizes are too expensive to maintain, and safe because path
+    choice never changes answers, only cost.
+    """
+    from ..core.cost import estimate_view_cost
+
+    def view_cost(view, num_specs: int) -> int:
+        return estimate_view_cost(
+            estimator.sampled(view.keyword_set), num_specs
+        )
+
+    return view_cost
