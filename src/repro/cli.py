@@ -32,6 +32,20 @@ auto-detect sharded artefacts and run the parallel
 :class:`~repro.core.sharded_engine.ShardedEngine` (``--executor`` picks
 the backend).  A flat index can also be re-sharded at load time with
 ``search --shards N``.
+
+``serve`` runs the asyncio query service (JSON lines over TCP) with
+micro-batching, admission control, deadlines, and the serving cache;
+``bench-serve`` starts a server in-process and drives it with the
+closed-loop load generator::
+
+    python -m repro serve --index index.json.gz --catalog catalog.json.gz \
+                          --port 7070
+    python -m repro bench-serve --index index.json.gz \
+                          --queries workload.txt --threads 8
+
+Operational failures (missing or corrupt artefacts, bad queries, ports
+in use) exit with code 2 and a one-line message on stderr, not a
+traceback.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .core.engine import BatchExecutor, ContextSearchEngine
+from .errors import ReproError
 from .core.ranking import ALL_RANKING_FUNCTIONS
 from .core.sharded_engine import ShardedEngine
 from .data.corpus import CorpusConfig, generate_corpus
@@ -301,6 +316,140 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace):
+    from .service import ServiceConfig
+
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers or 0,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        degrade_depth=args.degrade_depth,
+        default_timeout_ms=args.timeout_ms,
+        default_top_k=args.top_k,
+        cache_entries=args.cache_entries,
+        cache_enabled=not args.no_cache,
+        coalesce=not args.no_coalesce,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the query service in the foreground until interrupted."""
+    import asyncio
+
+    from .service import QueryServer
+
+    engine, sharded = _load_engine(args)
+    server = QueryServer(engine, _service_config(args))
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"serving on {host}:{port} "
+              f"({'sharded' if sharded else 'flat'} engine, "
+              f"workers={server.config.effective_workers()}, "
+              f"max_batch={server.config.max_batch}, "
+              f"max_pending={server.config.max_pending})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        if sharded:
+            engine.close()
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Start an in-process server and drive it with the load generator."""
+    import json
+
+    from .service import ServerThread, run_load
+
+    engine, sharded = _load_engine(args)
+    with open(args.queries, "r", encoding="utf-8") as handle:
+        queries = [line.strip() for line in handle if line.strip()]
+    if not queries:
+        print(f"no queries in {args.queries}", file=sys.stderr)
+        return 1
+
+    try:
+        with ServerThread(engine, _service_config(args)) as st:
+            report = run_load(
+                st.address,
+                queries,
+                threads=args.threads,
+                top_k=args.top_k,
+                mode=args.mode,
+                timeout_ms=args.timeout_ms,
+                repeat=args.repeat,
+            )
+            snapshot = st.service.metrics.snapshot()
+    finally:
+        if sharded:
+            engine.close()
+
+    batches = snapshot["batches"]
+    print(
+        f"bench-serve: {report.ok}/{report.sent} ok "
+        f"(errors={report.errors} shed={report.shed} "
+        f"timeouts={report.timeouts}) in {report.elapsed_seconds:.2f}s"
+    )
+    print(
+        f"  throughput: {report.qps:.1f} qps  "
+        f"latency p50={report.latency_ms(50):.1f}ms "
+        f"p95={report.latency_ms(95):.1f}ms "
+        f"p99={report.latency_ms(99):.1f}ms"
+    )
+    print(
+        f"  batches: {batches['count']} "
+        f"(mean_size={batches['mean_size']:.2f} "
+        f"max_size={batches['max_size']} "
+        f"coalesced={batches['coalesced_requests']})"
+    )
+    if args.out:
+        payload = {"load": report.to_dict(), "server": snapshot}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"  wrote {args.out}")
+    return 0 if report.ok and not report.errors else 1
+
+
+def _add_service_options(p: argparse.ArgumentParser) -> None:
+    """The serving knobs shared by ``serve`` and ``bench-serve``."""
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: min(8, cpu count))")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="coalescer flush size")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="coalescer window: max extra latency for batching")
+    p.add_argument("--max-pending", type=int, default=256,
+                   help="admission cap; past it requests are shed")
+    p.add_argument("--degrade-depth", type=int, default=None,
+                   help="queue depth that forces the cheap planner path "
+                        "(default: max-pending / 2)")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="default per-request deadline")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   help="serving-cache capacity (full query results)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the serving cache")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable micro-batching (batches of one)")
+
+
 def _add_sharding_options(p: argparse.ArgumentParser) -> None:
     """Options shared by the commands that can run a sharded engine."""
     p.add_argument("--shards", type=int, default=0,
@@ -399,14 +548,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--catalog", default=None)
     p.set_defaults(func=_cmd_stats)
 
+    p = sub.add_parser(
+        "serve", help="run the asyncio query service (JSON lines over TCP)"
+    )
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    _add_service_options(p)
+    _add_sharding_options(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="start an in-process server and measure serving throughput",
+    )
+    p.add_argument("--index", required=True)
+    p.add_argument("--catalog", default=None)
+    p.add_argument("--queries", required=True,
+                   help="text file, one 'keywords | predicates' query per line")
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    p.add_argument("--mode", choices=("context", "conventional", "disjunctive"),
+                   default="context")
+    p.add_argument("--threads", type=int, default=8,
+                   help="concurrent load-generator clients")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="times to replay the query file")
+    p.add_argument("--out", default=None,
+                   help="write the load + server report as JSON")
+    _add_service_options(p)
+    _add_sharding_options(p)
+    p.set_defaults(func=_cmd_bench_serve)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operational failures — missing or corrupt artefacts, unparseable
+    queries, a port already in use — are reported as one readable line
+    on stderr with exit code 2.  Anything else is a bug and keeps its
+    traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        target = getattr(exc, "filename", None)
+        detail = exc.strerror or str(exc)
+        where = f" ({target})" if target else ""
+        print(f"error: {detail}{where}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

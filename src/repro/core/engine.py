@@ -28,7 +28,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EmptyContextError, QueryError, ReproError
 from ..index.intersection import intersect_many
@@ -117,6 +117,11 @@ class ContextSearchEngine:
         self._global_tc_cache: Dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The index's mutation counter (cache keys derive from this)."""
+        return self.index.epoch
 
     def search(
         self,
@@ -470,10 +475,13 @@ class SharedContextStore:
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, ...], Tuple[List[int], CostCounter]] = {}
-        self._locks: Dict[Tuple[str, ...], threading.Lock] = {}
+        self._aggregates: Dict[tuple, Tuple[float, CostCounter]] = {}
+        self._locks: Dict[tuple, threading.Lock] = {}
         self._registry_lock = threading.Lock()
         self.materialisations = 0
         self.reuses = 0
+        self.aggregations = 0
+        self.aggregate_reuses = 0
 
     @staticmethod
     def key_for(predicates: Sequence[str]) -> Tuple[str, ...]:
@@ -512,6 +520,36 @@ class SharedContextStore:
                 self.materialisations += 1
             else:
                 self.reuses += 1
+            return entry
+
+    def aggregate(
+        self,
+        predicates: Sequence[str],
+        kind: str,
+        compute: Callable[[CostCounter], float],
+    ) -> Tuple[float, CostCounter]:
+        """A keyword-independent context aggregate, computed once per batch.
+
+        Context aggregations (``|D_P|``, ``len(D_P)``, ``utc(D_P)``)
+        depend only on the context, not the keywords, so queries sharing
+        a context share these exactly like the materialisation itself:
+        ``compute`` runs once against a fresh :class:`CostCounter`, and
+        the recorded cost is replayed into every using query's counter
+        (the caller merges it), keeping per-query accounting identical
+        to standalone execution while the scan happens once.
+        """
+        key = (self.key_for(predicates), kind)
+        with self._registry_lock:
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            entry = self._aggregates.get(key)
+            if entry is None:
+                counter = CostCounter()
+                entry = (compute(counter), counter)
+                self._aggregates[key] = entry
+                self.aggregations += 1
+            else:
+                self.aggregate_reuses += 1
             return entry
 
     def __len__(self) -> int:
@@ -614,14 +652,18 @@ class BatchExecutor:
         queries: Iterable[Union[ContextQuery, str]],
         top_k: Optional[int] = None,
         mode: str = "context",
+        path: str = PATH_AUTO,
     ) -> BatchReport:
         """Evaluate every query; outcomes come back in input order.
 
         ``mode`` selects the evaluation path: ``"context"``
         (context-sensitive ranking), ``"conventional"`` (the baseline),
-        or ``"disjunctive"`` (OR-semantics top-k).  A failing query
-        (empty context, stopword-only keywords, …) records its error and
-        never aborts the batch.
+        or ``"disjunctive"`` (OR-semantics top-k).  ``path`` forces the
+        physical path for every query in the batch (the query service's
+        degradation lever: forcing skips candidate pricing, and never
+        changes rankings).  A failing query (empty context,
+        stopword-only keywords, …) records its error and never aborts
+        the batch.
         """
         if mode not in ("context", "conventional", "disjunctive"):
             raise QueryError(f"unknown batch mode: {mode!r}")
@@ -635,11 +677,13 @@ class BatchExecutor:
         outcomes: List[Optional[BatchOutcome]] = [None] * len(queries)
         if len(queries) <= 1 or self.max_workers == 1:
             for i, query in enumerate(queries):
-                outcomes[i] = self._evaluate(query, top_k, mode, shared)
+                outcomes[i] = self._evaluate(query, top_k, mode, shared, path)
         else:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = {
-                    pool.submit(self._evaluate, query, top_k, mode, shared): i
+                    pool.submit(
+                        self._evaluate, query, top_k, mode, shared, path
+                    ): i
                     for i, query in enumerate(queries)
                 }
                 for future, i in futures.items():
@@ -664,6 +708,7 @@ class BatchExecutor:
         top_k: Optional[int],
         mode: str,
         shared: Optional[SharedContextStore],
+        path: str = PATH_AUTO,
     ) -> BatchOutcome:
         text = query if isinstance(query, str) else str(query)
         try:
@@ -671,14 +716,15 @@ class BatchExecutor:
                 results = self.engine.search_conventional(query, top_k=top_k)
             elif mode == "disjunctive":
                 results = self.engine.search_disjunctive(
-                    query, top_k=top_k if top_k is not None else 10
+                    query, top_k=top_k if top_k is not None else 10, path=path
                 )
             elif shared is not None:
                 results = self.engine._search_impl(
-                    query, top_k, shared, max_workers=self.max_workers
+                    query, top_k, shared, path=path,
+                    max_workers=self.max_workers,
                 )
             else:
-                results = self.engine.search(query, top_k=top_k)
+                results = self.engine.search(query, top_k=top_k, path=path)
             return BatchOutcome(query=text, results=results)
         except ReproError as exc:
             return BatchOutcome(query=text, error=f"{type(exc).__name__}: {exc}")

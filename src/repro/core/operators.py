@@ -40,8 +40,10 @@ from ..views.catalog import ViewCatalog
 from ..views.rewrite import ResolutionReport, compute_rare_term_statistics
 from .plan import PlanExecution, StraightforwardPlan
 from .query import ContextQuery
+from ..index.aggregation import aggregate_count, aggregate_sum
 from .statistics import (
     CARDINALITY,
+    TOTAL_LENGTH,
     UNIQUE_TERMS,
     CollectionStatistics,
     StatisticSpec,
@@ -199,8 +201,35 @@ class StraightforwardResolve:
     ) -> PlanExecution:
         ctx.resolution.path = "straightforward"
         context_ids = self.materialise.run(ctx, query.predicates)
+        precomputed = None
+        if ctx.shared_contexts is not None and context_ids:
+            # Keyword-independent aggregates are shared across the batch
+            # exactly like the materialisation: computed once, recorded
+            # cost replayed into every using query's counter.
+            precomputed = {}
+            lengths = self.plan.index.document_lengths()
+            computers = {
+                CARDINALITY: lambda c: aggregate_count(context_ids, c),
+                TOTAL_LENGTH: lambda c: aggregate_sum(context_ids, lengths, c),
+                UNIQUE_TERMS: lambda c: self.plan._unique_terms(
+                    context_ids, c
+                ),
+            }
+            for spec in specs:
+                compute = computers.get(spec.kind)
+                if compute is None:
+                    continue
+                value, recorded = ctx.shared_contexts.aggregate(
+                    query.predicates, spec.kind, compute
+                )
+                precomputed[spec] = value
+                ctx.counter.merge(recorded)
         return self.plan.execute(
-            query, specs, ctx.counter, context_ids=context_ids
+            query,
+            specs,
+            ctx.counter,
+            context_ids=context_ids,
+            precomputed=precomputed,
         )
 
 

@@ -90,6 +90,7 @@ class StraightforwardPlan:
         specs: Sequence[StatisticSpec],
         counter: Optional[CostCounter] = None,
         context_ids: Optional[Sequence[int]] = None,
+        precomputed: Optional[Dict[StatisticSpec, float]] = None,
     ) -> PlanExecution:
         """Run the full plan: context, aggregations, per-keyword stats, result.
 
@@ -98,11 +99,16 @@ class StraightforwardPlan:
         same predicates); the plan then skips the bottom intersection and
         charges nothing for it — the caller owns replaying the recorded
         materialisation cost so per-query accounting stays exact.
+        ``precomputed`` extends the same contract to keyword-independent
+        aggregates (``|D_P|``, ``len(D_P)``, ``utc(D_P)``): values present
+        there are taken as-is and their scans skipped, with the caller
+        again owning the cost replay.
 
         Raises :class:`EmptyContextError` when the context matches nothing —
         context statistics (and therefore ranking) are undefined there.
         """
         counter = counter if counter is not None else CostCounter()
+        precomputed = precomputed or {}
 
         if context_ids is None:
             predicate_lists = [
@@ -124,7 +130,9 @@ class StraightforwardPlan:
         df_terms = {spec.term for spec in specs if spec.kind == DOC_FREQUENCY}
 
         for spec in specs:
-            if spec.kind == CARDINALITY:
+            if spec in precomputed:
+                values[spec] = precomputed[spec]
+            elif spec.kind == CARDINALITY:
                 values[spec] = aggregate_count(context_ids, counter)
             elif spec.kind == TOTAL_LENGTH:
                 values[spec] = aggregate_sum(context_ids, lengths, counter)

@@ -7,6 +7,15 @@ the single dataclass both return — flat queries leave ``per_shard``
 empty, sharded queries attach one :class:`ShardReport` per shard — and
 ``plan`` carries the optimizer's :class:`~repro.core.optimizer.ExplainedPlan`
 (predicted costs, candidates, chosen path) next to the observed counter.
+
+Both report classes round-trip through ``to_dict()``/``from_dict()`` so
+they can cross a wire boundary (the query service ships them to clients
+and folds them into its metrics): the dict forms are plain JSON-friendly
+scalars/lists/dicts, and ``to_dict(from_dict(d)) == d`` holds.  The live
+``ExplainedPlan`` does not survive the trip — it holds the logical tree
+and live counters — so ``to_dict`` flattens it to a summary (chosen
+path, predicted cost, forced flag) that ``predicted_cost`` keeps
+answering from after deserialisation.
 """
 
 from __future__ import annotations
@@ -21,6 +30,44 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .optimizer import ExplainedPlan
 
 
+def _counter_to_dict(counter: CostCounter) -> dict:
+    return {
+        "entries_scanned": counter.entries_scanned,
+        "segments_skipped": counter.segments_skipped,
+        "model_cost": counter.model_cost,
+    }
+
+
+def _counter_from_dict(payload: dict) -> CostCounter:
+    return CostCounter(
+        entries_scanned=payload.get("entries_scanned", 0),
+        segments_skipped=payload.get("segments_skipped", 0),
+        model_cost=payload.get("model_cost", 0),
+    )
+
+
+def _resolution_to_dict(resolution: ResolutionReport) -> dict:
+    return {
+        "path": resolution.path,
+        "views_used": resolution.views_used,
+        "view_tuples_scanned": resolution.view_tuples_scanned,
+        "rare_term_fallbacks": resolution.rare_term_fallbacks,
+        "specs_from_views": resolution.specs_from_views,
+        "specs_from_fallback": resolution.specs_from_fallback,
+    }
+
+
+def _resolution_from_dict(payload: dict) -> ResolutionReport:
+    return ResolutionReport(
+        path=payload.get("path", "straightforward"),
+        views_used=payload.get("views_used", 0),
+        view_tuples_scanned=payload.get("view_tuples_scanned", 0),
+        rare_term_fallbacks=payload.get("rare_term_fallbacks", 0),
+        specs_from_views=payload.get("specs_from_views", 0),
+        specs_from_fallback=payload.get("specs_from_fallback", 0),
+    )
+
+
 @dataclass
 class ShardReport:
     """One shard's slice of a sharded evaluation."""
@@ -30,6 +77,27 @@ class ShardReport:
     predicted_cost: int = 0
     result_size: int = 0
     counter: CostCounter = field(default_factory=CostCounter)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (exact round-trip via :meth:`from_dict`)."""
+        return {
+            "shard_id": self.shard_id,
+            "path": self.path,
+            "predicted_cost": self.predicted_cost,
+            "result_size": self.result_size,
+            "counter": _counter_to_dict(self.counter),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardReport":
+        """Rebuild a shard report serialised by :meth:`to_dict`."""
+        return cls(
+            shard_id=payload["shard_id"],
+            path=payload["path"],
+            predicted_cost=payload.get("predicted_cost", 0),
+            result_size=payload.get("result_size", 0),
+            counter=_counter_from_dict(payload.get("counter", {})),
+        )
 
 
 @dataclass
@@ -50,6 +118,9 @@ class ExecutionReport:
     result_size: int = 0
     plan: Optional["ExplainedPlan"] = None
     per_shard: Optional[List[ShardReport]] = None
+    # A deserialised report has no live plan; the wire summary stands in
+    # so ``predicted_cost`` keeps answering (see :meth:`from_dict`).
+    plan_summary: Optional[dict] = None
 
     @property
     def path(self) -> str:
@@ -59,4 +130,52 @@ class ExecutionReport:
     @property
     def predicted_cost(self) -> Optional[int]:
         """The optimizer's predicted model cost, when a plan was recorded."""
-        return self.plan.predicted_cost if self.plan is not None else None
+        if self.plan is not None:
+            return self.plan.predicted_cost
+        if self.plan_summary is not None:
+            return self.plan_summary.get("predicted_cost")
+        return None
+
+    def _plan_dict(self) -> Optional[dict]:
+        if self.plan is not None:
+            return {
+                "chosen": self.plan.chosen,
+                "predicted_cost": self.plan.predicted_cost,
+                "forced": self.plan.forced,
+            }
+        return self.plan_summary
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; stable under a :meth:`from_dict` round-trip."""
+        return {
+            "elapsed_seconds": self.elapsed_seconds,
+            "counter": _counter_to_dict(self.counter),
+            "resolution": _resolution_to_dict(self.resolution),
+            "context_size": self.context_size,
+            "result_size": self.result_size,
+            "plan": self._plan_dict(),
+            "per_shard": (
+                [shard.to_dict() for shard in self.per_shard]
+                if self.per_shard is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionReport":
+        """Rebuild a report serialised by :meth:`to_dict`."""
+        per_shard = payload.get("per_shard")
+        return cls(
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            counter=_counter_from_dict(payload.get("counter", {})),
+            resolution=_resolution_from_dict(payload.get("resolution", {})),
+            context_size=payload.get("context_size"),
+            result_size=payload.get("result_size", 0),
+            plan=None,
+            per_shard=(
+                [ShardReport.from_dict(entry) for entry in per_shard]
+                if per_shard is not None
+                else None
+            ),
+            plan_summary=payload.get("plan"),
+        )

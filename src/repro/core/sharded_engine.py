@@ -554,6 +554,11 @@ class ShardedEngine:
     def executor_name(self) -> str:
         return self._backend.name
 
+    @property
+    def epoch(self) -> int:
+        """Global mutation counter over all shard sub-indexes."""
+        return self.sharded_index.epoch
+
     def close(self) -> None:
         """Release backend worker pools (idempotent)."""
         self._backend.close()

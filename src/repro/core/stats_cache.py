@@ -128,13 +128,27 @@ class CachingSearchEngine:
     def __init__(self, engine, max_contexts: int = 128):
         self.engine = engine
         self.cache = StatisticsCache(max_contexts=max_contexts)
+        self._seen_epoch = getattr(engine, "epoch", 0)
         self._wrap()
+
+    def _check_epoch(self) -> None:
+        """Self-invalidate when the index has mutated underneath us.
+
+        The engine's ``epoch`` bumps on every post-commit document batch,
+        so this closes the stale window even when the ingestion path
+        forgot to call :meth:`invalidate` explicitly.
+        """
+        epoch = getattr(self.engine, "epoch", 0)
+        if epoch != self._seen_epoch:
+            self._seen_epoch = epoch
+            self.cache.invalidate()
 
     def _wrap(self) -> None:
         inner_resolve = self.engine._resolve_statistics
         inner_resolve_only = self.engine._resolve_statistics_only
 
         def cached_resolve(query: ContextQuery, specs, report, *args, **kwargs):
+            self._check_epoch()
             key = canonical_context_key(query.predicates)
             found, missing = self.cache.lookup(key, specs)
             if not missing:
@@ -151,6 +165,7 @@ class CachingSearchEngine:
             return values, result_ids
 
         def cached_resolve_only(query: ContextQuery, specs, report, *args, **kwargs):
+            self._check_epoch()
             key = canonical_context_key(query.predicates)
             found, missing = self.cache.lookup(key, specs)
             if not missing:
@@ -166,14 +181,18 @@ class CachingSearchEngine:
 
     # -- delegation -------------------------------------------------------
 
-    def search(self, query, top_k: Optional[int] = None):
-        return self.engine.search(query, top_k=top_k)
+    @property
+    def epoch(self) -> int:
+        return getattr(self.engine, "epoch", 0)
+
+    def search(self, query, top_k: Optional[int] = None, path: str = "auto"):
+        return self.engine.search(query, top_k=top_k, path=path)
 
     def search_conventional(self, query, top_k: Optional[int] = None):
         return self.engine.search_conventional(query, top_k=top_k)
 
-    def search_disjunctive(self, query, top_k: int = 10):
-        return self.engine.search_disjunctive(query, top_k=top_k)
+    def search_disjunctive(self, query, top_k: int = 10, path: str = "auto"):
+        return self.engine.search_disjunctive(query, top_k=top_k, path=path)
 
     def invalidate(self) -> None:
         """Forward to the cache; call after ``append_documents`` — or let

@@ -68,6 +68,7 @@ class DocumentStore:
     def __init__(self):
         self._docs: List[StoredDocument] = []
         self._by_external: Dict[str, int] = {}
+        self._lengths_cache: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -102,6 +103,7 @@ class DocumentStore:
         )
         self._docs.append(stored)
         self._by_external[document.doc_id] = stored.internal_id
+        self._lengths_cache = None
         return stored
 
     def get(self, internal_id: int) -> StoredDocument:
@@ -120,6 +122,10 @@ class DocumentStore:
         """Return ``len(d)`` for every document, indexed by internal id.
 
         The wide sparse table (Section 4.1) uses this as its ``len(d)``
-        parameter column.
+        parameter column, and the straightforward plan reads it on every
+        context aggregation — so the dense column is memoised (callers
+        treat it as read-only) and rebuilt only after new documents land.
         """
-        return [doc.length for doc in self._docs]
+        if self._lengths_cache is None:
+            self._lengths_cache = [doc.length for doc in self._docs]
+        return self._lengths_cache

@@ -62,6 +62,7 @@ class InvertedIndex:
         self._predicates: Dict[str, PostingList] = {}
         self._total_length = 0
         self._committed = False
+        self._epoch = 0
         self._empty = PostingList.from_pairs("", (), segment_size=segment_size)
 
     # -- construction ----------------------------------------------------
@@ -210,6 +211,7 @@ class InvertedIndex:
                 )
             else:
                 plist.extend(pairs)
+        self._epoch += 1
         return new_stored
 
     # -- reads -------------------------------------------------------------
@@ -217,6 +219,17 @@ class InvertedIndex:
     @property
     def committed(self) -> bool:
         return self._committed
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumps on every post-commit document batch.
+
+        Caches layered above the index (statistics memoisation, the query
+        service's result cache) key or guard their entries with this
+        value, so anything resolved against an older collection state
+        becomes unreachable the moment the index changes.
+        """
+        return self._epoch
 
     def __len__(self) -> int:
         return len(self.store)

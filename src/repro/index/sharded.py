@@ -223,6 +223,11 @@ class ShardedInvertedIndex:
     def committed(self) -> bool:
         return all(shard.index.committed for shard in self.shards)
 
+    @property
+    def epoch(self) -> int:
+        """Global mutation counter: any shard's append bumps the sum."""
+        return sum(shard.index.epoch for shard in self.shards)
+
     def __len__(self) -> int:
         return self.num_docs
 

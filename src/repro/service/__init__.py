@@ -1,0 +1,47 @@
+"""The query service layer: async serving over the search engines.
+
+A production-shaped front for :class:`~repro.core.engine.ContextSearchEngine`
+and :class:`~repro.core.sharded_engine.ShardedEngine`:
+
+* :mod:`~repro.service.protocol` — the JSON-lines wire format and a
+  blocking :class:`ServiceClient`;
+* :mod:`~repro.service.server` — the asyncio server, the transport-free
+  :class:`QueryService`, and the in-process :class:`ServerThread`;
+* :mod:`~repro.service.coalescer` — dynamic micro-batching so concurrent
+  queries sharing a context share one materialisation;
+* :mod:`~repro.service.admission` — bounded queue, load shedding,
+  degradation, per-request deadlines;
+* :mod:`~repro.service.result_cache` — epoch-guarded LRU of full results;
+* :mod:`~repro.service.metrics` — qps/latency/batch-shape counters;
+* :mod:`~repro.service.loadgen` — the closed-loop load generator used by
+  ``bench-serve`` and ``benchmarks/bench_serving.py``.
+"""
+
+from .admission import AdmissionController, Ticket
+from .coalescer import Coalescer
+from .loadgen import LoadReport, run_load
+from .metrics import ServiceMetrics, percentile
+from .protocol import ProtocolError, Request, ServiceClient, decode_request, encode_response
+from .result_cache import ResultCache, ResultCacheMetrics
+from .server import QueryServer, QueryService, ServerThread, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "Coalescer",
+    "LoadReport",
+    "ProtocolError",
+    "QueryServer",
+    "QueryService",
+    "Request",
+    "ResultCache",
+    "ResultCacheMetrics",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "Ticket",
+    "decode_request",
+    "encode_response",
+    "percentile",
+    "run_load",
+]

@@ -1,0 +1,123 @@
+"""Admission control: bounded concurrency, load shedding, deadlines.
+
+The serving queue must be bounded or p99 latency is unbounded: under
+overload an unbounded queue grows without limit and every admitted
+request waits behind it.  :class:`AdmissionController` caps the number
+of requests the server has accepted but not yet answered; past the cap
+new requests are *shed* immediately (the HTTP-429 analogue), which keeps
+the latency of admitted requests proportional to the cap rather than to
+the offered load.
+
+Two softer levers ride on the same depth gauge:
+
+* **degradation** — above ``degrade_depth`` the service forces the
+  planner's path for context queries (skipping candidate pricing;
+  forcing never changes rankings), trading plan optimality for planning
+  work while the queue is deep;
+* **deadlines** — each admitted request carries a :class:`Ticket` with
+  an absolute deadline; the coalescer's worker consults
+  :attr:`Ticket.skip` immediately before execution, so a request whose
+  deadline expired while queued is dropped *before* any engine work is
+  spent on it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from .protocol import Request
+
+__all__ = ["AdmissionController", "Ticket"]
+
+
+class Ticket:
+    """One admitted request's deadline/cancellation state.
+
+    ``deadline`` is absolute :func:`time.monotonic` seconds (``None``
+    means no deadline).  ``cancel()`` is called by the server when the
+    awaiting side gave up (deadline fired in the event loop); the
+    executing side never needs to be interrupted mid-query — it just
+    skips tickets whose :attr:`skip` is set before starting them.
+    """
+
+    __slots__ = ("request", "deadline", "degraded", "_cancelled")
+
+    def __init__(
+        self,
+        request: Request,
+        deadline: Optional[float] = None,
+        degraded: bool = False,
+    ):
+        self.request = request
+        self.deadline = deadline
+        self.degraded = degraded
+        self._cancelled = False
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def skip(self) -> bool:
+        """Whether execution should not be started for this ticket."""
+        return self._cancelled or self.expired
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when there is none)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+
+class AdmissionController:
+    """Bounded in-flight request count with shed/degrade thresholds."""
+
+    def __init__(
+        self, max_pending: int = 256, degrade_depth: Optional[int] = None
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.degrade_depth = (
+            degrade_depth if degrade_depth is not None
+            else max(1, max_pending // 2)
+        )
+        self._lock = threading.Lock()
+        self._pending = 0
+        self.admitted = 0
+        self.shed = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet answered."""
+        return self._pending
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the queue is deep enough to trigger degradation."""
+        return self._pending >= self.degrade_depth
+
+    def try_admit(self) -> bool:
+        """Admit one request, or shed it when the queue is full."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self.shed += 1
+                return False
+            self._pending += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        """Mark one admitted request answered."""
+        with self._lock:
+            if self._pending > 0:
+                self._pending -= 1

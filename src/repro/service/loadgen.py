@@ -1,0 +1,131 @@
+"""Closed-loop load generator for the query service.
+
+``run_load`` drives a running server with N client threads, each holding
+its own :class:`~repro.service.protocol.ServiceClient` connection and
+issuing queries back-to-back (a closed loop: concurrency == thread
+count).  It is the measurement half of ``bench-serve`` and of
+``benchmarks/bench_serving.py`` — throughput and latency percentiles
+come from here, correctness cross-checks (bit-identical rankings vs
+serial execution) from the callers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import percentile
+from .protocol import ServiceClient
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced, aggregated across client threads."""
+
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    responses: Dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def qps(self) -> float:
+        return self.ok / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def latency_ms(self, p: float) -> float:
+        return percentile(self.latencies, p) * 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "qps": self.qps,
+            "latency_ms": {
+                "p50": self.latency_ms(50),
+                "p95": self.latency_ms(95),
+                "p99": self.latency_ms(99),
+            },
+        }
+
+
+def run_load(
+    address: Tuple[str, int],
+    queries: Sequence[str],
+    threads: int = 8,
+    top_k: Optional[int] = None,
+    mode: str = "context",
+    timeout_ms: Optional[float] = None,
+    repeat: int = 1,
+    keep_responses: bool = False,
+) -> LoadReport:
+    """Issue ``queries`` (``repeat`` times over) from ``threads`` clients.
+
+    The workload is split round-robin: thread ``t`` sends queries
+    ``t, t+threads, t+2·threads, …`` of the repeated sequence, so any
+    thread count covers the full workload exactly ``repeat`` times.
+    With ``keep_responses`` the ok responses are kept in
+    :attr:`LoadReport.responses` keyed by global query index — that is
+    what the benchmark's bit-identity check reads.
+    """
+    host, port = address
+    workload = list(queries) * repeat
+    threads = max(1, min(threads, len(workload)))
+    report = LoadReport(sent=len(workload))
+    lock = threading.Lock()
+
+    def client_loop(offset: int) -> None:
+        local_lat: List[float] = []
+        local_counts = {"ok": 0, "errors": 0, "shed": 0, "timeouts": 0}
+        local_responses: Dict[int, dict] = {}
+        with ServiceClient(host, port) as client:
+            for i in range(offset, len(workload), threads):
+                began = time.perf_counter()
+                response = client.query(
+                    workload[i],
+                    top_k=top_k,
+                    mode=mode,
+                    timeout_ms=timeout_ms,
+                    id=i,
+                )
+                local_lat.append(time.perf_counter() - began)
+                status = response.get("status")
+                if status == "ok":
+                    local_counts["ok"] += 1
+                    if keep_responses:
+                        local_responses[i] = response
+                elif status == "shed":
+                    local_counts["shed"] += 1
+                elif status == "timeout":
+                    local_counts["timeouts"] += 1
+                else:
+                    local_counts["errors"] += 1
+        with lock:
+            report.ok += local_counts["ok"]
+            report.errors += local_counts["errors"]
+            report.shed += local_counts["shed"]
+            report.timeouts += local_counts["timeouts"]
+            report.latencies.extend(local_lat)
+            report.responses.update(local_responses)
+
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(target=client_loop, args=(t,), daemon=True)
+        for t in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

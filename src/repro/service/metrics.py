@@ -1,0 +1,140 @@
+"""Serving metrics: request counters, latency percentiles, batch shapes.
+
+The service increments these from the event loop and from worker
+threads, so every mutation takes the lock; reads (the ``metrics`` op)
+take a consistent snapshot under the same lock.  Latencies live in a
+bounded ring — the percentiles are over the most recent window, which is
+what an operator watching a dashboard wants anyway — so memory is O(1)
+no matter how long the server runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+LATENCY_WINDOW = 4096
+BATCH_WINDOW = 1024
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by nearest-rank on a sorted copy."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe counters and windows for the ``metrics`` op."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started = time.monotonic()
+        self.requests = 0
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.timeouts = 0
+        self.degraded = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.batches = 0
+        self.size_flushes = 0
+        self.timer_flushes = 0
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self._batch_sizes: deque = deque(maxlen=BATCH_WINDOW)
+
+    # -- recording ------------------------------------------------------
+
+    def observe_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def observe_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def observe_timeout(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.timeouts += 1
+            self._latencies.append(latency_seconds)
+
+    def observe_error(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.errors += 1
+            self._latencies.append(latency_seconds)
+
+    def observe_ok(
+        self,
+        latency_seconds: float,
+        cached: bool = False,
+        degraded: bool = False,
+    ) -> None:
+        with self._lock:
+            self.ok += 1
+            if cached:
+                self.cache_hits += 1
+            if degraded:
+                self.degraded += 1
+            self._latencies.append(latency_seconds)
+
+    def observe_batch(self, size: int, reason: str) -> None:
+        """One coalescer flush: ``reason`` is ``"size"`` or ``"timer"``."""
+        with self._lock:
+            self.batches += 1
+            if reason == "size":
+                self.size_flushes += 1
+            else:
+                self.timer_flushes += 1
+            if size > 1:
+                self.coalesced += size
+            self._batch_sizes.append(size)
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self, extra: Optional[Dict] = None) -> dict:
+        """A consistent point-in-time view for the ``metrics`` op."""
+        with self._lock:
+            uptime = max(time.monotonic() - self.started, 1e-9)
+            latencies = list(self._latencies)
+            sizes = list(self._batch_sizes)
+            completed = self.ok + self.errors + self.timeouts
+            payload = {
+                "uptime_seconds": uptime,
+                "requests": self.requests,
+                "ok": self.ok,
+                "errors": self.errors,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "degraded": self.degraded,
+                "cache_hits": self.cache_hits,
+                "qps": completed / uptime,
+                "latency_ms": {
+                    "count": len(latencies),
+                    "mean": (
+                        sum(latencies) / len(latencies) * 1000.0
+                        if latencies
+                        else 0.0
+                    ),
+                    "p50": percentile(latencies, 50) * 1000.0,
+                    "p95": percentile(latencies, 95) * 1000.0,
+                    "p99": percentile(latencies, 99) * 1000.0,
+                },
+                "batches": {
+                    "count": self.batches,
+                    "size_flushes": self.size_flushes,
+                    "timer_flushes": self.timer_flushes,
+                    "coalesced_requests": self.coalesced,
+                    "mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
+                    "max_size": max(sizes) if sizes else 0,
+                },
+            }
+        if extra:
+            payload.update(extra)
+        return payload

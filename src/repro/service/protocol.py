@@ -1,0 +1,202 @@
+"""Wire protocol for the query service: JSON lines over a TCP stream.
+
+One request per line, one JSON object per response line.  The protocol
+is deliberately thin — stdlib ``json`` + ``asyncio`` streams, no HTTP
+dependency — but carries everything a serving deployment needs: query
+text, per-request deadline, evaluation mode, and the full
+:class:`~repro.core.report.ExecutionReport` (as the dict form of its
+``to_dict``) back to the caller.
+
+Request shapes::
+
+    {"op": "query", "query": "pancreas leukemia | DigestiveSystem",
+     "top_k": 10, "mode": "context", "path": "auto",
+     "timeout_ms": 250, "id": 7}
+    {"op": "healthz"}
+    {"op": "metrics"}
+
+Response statuses: ``ok`` (ranked hits + report), ``error`` (the query
+failed: empty context, bad syntax, …), ``shed`` (admission control
+rejected the request — the 429 analogue), ``timeout`` (the deadline
+expired before a result was produced).  Responses echo the request's
+``id`` so clients may pipeline multiple requests per connection and
+match responses out of order.
+
+:class:`ServiceClient` is the blocking reference client used by the
+tests, the load generator, and ``python -m repro bench-serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "ServiceClient",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
+    "VALID_MODES",
+    "VALID_PATHS",
+    "decode_request",
+    "encode_response",
+]
+
+# A request line longer than this is malformed by definition; the server
+# also passes it as the asyncio stream limit so one abusive client
+# cannot balloon the reader buffer.
+MAX_LINE_BYTES = 1 << 20
+
+OP_QUERY = "query"
+OP_HEALTHZ = "healthz"
+OP_METRICS = "metrics"
+VALID_OPS = (OP_QUERY, OP_HEALTHZ, OP_METRICS)
+
+VALID_MODES = ("context", "conventional", "disjunctive")
+VALID_PATHS = ("auto", "views", "straightforward")
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+STATUS_TIMEOUT = "timeout"
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed request lines (bad JSON, unknown fields)."""
+
+
+@dataclass
+class Request:
+    """One decoded request line."""
+
+    op: str
+    query: Optional[str] = None
+    top_k: Optional[int] = None
+    mode: str = "context"
+    path: str = "auto"
+    timeout_ms: Optional[float] = None
+    id: Any = None
+
+
+def decode_request(line: bytes) -> Request:
+    """Parse and validate one request line."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+
+    op = payload.get("op", OP_QUERY)
+    if op not in VALID_OPS:
+        raise ProtocolError(f"unknown op {op!r} (have {', '.join(VALID_OPS)})")
+    request = Request(op=op, id=payload.get("id"))
+    if op != OP_QUERY:
+        return request
+
+    query = payload.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise ProtocolError("op 'query' requires a non-empty 'query' string")
+    request.query = query
+
+    top_k = payload.get("top_k")
+    if top_k is not None and (not isinstance(top_k, int) or top_k < 1):
+        raise ProtocolError(f"top_k must be a positive integer, got {top_k!r}")
+    request.top_k = top_k
+
+    mode = payload.get("mode", "context")
+    if mode not in VALID_MODES:
+        raise ProtocolError(
+            f"unknown mode {mode!r} (have {', '.join(VALID_MODES)})"
+        )
+    request.mode = mode
+
+    path = payload.get("path", "auto")
+    if path not in VALID_PATHS:
+        raise ProtocolError(
+            f"unknown path {path!r} (have {', '.join(VALID_PATHS)})"
+        )
+    request.path = path
+
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None and (
+        not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0
+    ):
+        raise ProtocolError(
+            f"timeout_ms must be a positive number, got {timeout_ms!r}"
+        )
+    request.timeout_ms = timeout_ms
+    return request
+
+
+def encode_response(payload: dict) -> bytes:
+    """Serialise one response object to its wire line."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class ServiceClient:
+    """Blocking JSON-lines client (tests, load generator, CLI).
+
+    One request in flight at a time per client; open several clients for
+    concurrency (that is exactly what the load generator does).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object; block for its response."""
+        self._sock.sendall(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        return json.loads(line)
+
+    def query(
+        self,
+        query: str,
+        top_k: Optional[int] = None,
+        mode: str = "context",
+        path: str = "auto",
+        timeout_ms: Optional[float] = None,
+        id: Any = None,
+    ) -> dict:
+        payload: dict = {"op": OP_QUERY, "query": query, "mode": mode, "path": path}
+        if top_k is not None:
+            payload["top_k"] = top_k
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if id is not None:
+            payload["id"] = id
+        return self.request(payload)
+
+    def healthz(self) -> dict:
+        return self.request({"op": OP_HEALTHZ})
+
+    def metrics(self) -> dict:
+        return self.request({"op": OP_METRICS})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,538 @@
+"""The asyncio query server: admit → coalesce → plan → execute → cache.
+
+:class:`QueryService` is the transport-free request handler (the tests
+drive it directly); :class:`QueryServer` binds it to an asyncio TCP
+server speaking the JSON-lines protocol; :class:`ServerThread` runs a
+whole server on a background thread with its own event loop — the
+in-process form the CLI's ``bench-serve``, the load generator, and the
+test-suite use.
+
+Request lifecycle (one ``op: query`` line)::
+
+    decode ─▶ admission ──shed──▶ respond {"status": "shed"}
+                  │
+                  ├─▶ serving-cache lookup (canonical key + epoch) ──hit──▶ respond
+                  │
+                  ├─▶ degrade? (queue ≥ degrade_depth ⇒ force cheap path)
+                  │
+                  └─▶ coalescer.submit ─▶ [micro-batch window] ─▶ worker pool
+                            │                    BatchExecutor / search_many
+                            │  deadline fires ⇒ respond {"status": "timeout"}
+                            │  (the ticket is cancelled; execution is
+                            │   skipped if it has not started)
+                            ▼
+                      cache.put + respond {"status": "ok", hits, report}
+
+Evaluation itself is the engines' existing synchronous machinery —
+:class:`~repro.core.engine.BatchExecutor` for a flat engine (shared
+context materialisations, prefetch, thread fan-out) or
+:meth:`~repro.core.sharded_engine.ShardedEngine.search_many` for a
+sharded one (two scatter-gather dispatches per batch) — driven off the
+event loop on a worker pool.  The event loop only ever parses, admits,
+coalesces, and serialises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .. import __version__
+from ..core.engine import BatchExecutor, BatchOutcome
+from ..errors import QueryError, ReproError
+from .admission import AdmissionController, Ticket
+from .coalescer import Coalescer
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_LINE_BYTES,
+    OP_HEALTHZ,
+    OP_METRICS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    VALID_PATHS,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_response,
+)
+from .result_cache import ResultCache
+
+__all__ = ["QueryServer", "QueryService", "ServerThread", "ServiceConfig"]
+
+PATH_AUTO = "auto"
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one serving deployment (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is reported at start
+    workers: int = 0  # 0 = min(8, cpu count)
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_pending: int = 256
+    degrade_depth: Optional[int] = None  # None = max_pending // 2
+    degrade_path: str = "straightforward"
+    default_timeout_ms: Optional[float] = None
+    default_top_k: int = 10
+    cache_entries: int = 1024
+    cache_enabled: bool = True
+    coalesce: bool = True  # False = batches of one (bench baseline arm)
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.degrade_path not in VALID_PATHS or self.degrade_path == PATH_AUTO:
+            raise QueryError(
+                f"degrade_path must be a forceable path, got {self.degrade_path!r}"
+            )
+
+    def effective_workers(self) -> int:
+        return self.workers or min(8, os.cpu_count() or 1)
+
+
+class QueryService:
+    """Transport-free request handling: the whole lifecycle minus sockets."""
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+        self.engine = engine
+        self.config = config if config is not None else ServiceConfig()
+        # Duck-typed engine split: anything with search_many runs its own
+        # batch fan-out (the sharded engine); everything else goes
+        # through BatchExecutor (plain or wrapped flat engines).
+        self._sharded = hasattr(engine, "search_many")
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            degrade_depth=self.config.degrade_depth,
+        )
+        self.result_cache = ResultCache(max_entries=self.config.cache_entries)
+        self.pool = ThreadPoolExecutor(
+            max_workers=self.config.effective_workers(),
+            thread_name_prefix="repro-serve",
+        )
+        self.coalescer = Coalescer(
+            self._execute_batch,
+            max_batch=self.config.max_batch if self.config.coalesce else 1,
+            max_wait_ms=self.config.max_wait_ms if self.config.coalesce else 0.0,
+            pool=self.pool,
+            observe_batch=self.metrics.observe_batch,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return getattr(self.engine, "epoch", 0)
+
+    def invalidate(self) -> None:
+        """Drop the serving cache (``maintain_catalog`` ``caches=`` hook)."""
+        self.result_cache.invalidate()
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+
+    # -- request handling ----------------------------------------------
+
+    async def handle_line(self, line: bytes) -> bytes:
+        """Decode one request line, handle it, encode the response."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return encode_response(
+                {"status": STATUS_ERROR, "error": str(exc)}
+            )
+        payload = await self.handle_request(request)
+        return encode_response(payload)
+
+    async def handle_request(self, request: Request) -> dict:
+        if request.op == OP_HEALTHZ:
+            return self._healthz()
+        if request.op == OP_METRICS:
+            return self._metrics()
+        return await self._handle_query(request)
+
+    def _healthz(self) -> dict:
+        index = getattr(self.engine, "index", None) or getattr(
+            self.engine, "sharded_index", None
+        )
+        return {
+            "status": STATUS_OK,
+            "version": __version__,
+            "engine": "sharded" if self._sharded else "flat",
+            "num_docs": getattr(index, "num_docs", None),
+            "epoch": self.epoch,
+            "uptime_seconds": time.monotonic() - self.metrics.started,
+        }
+
+    def _metrics(self) -> dict:
+        return self.metrics.snapshot(
+            extra={
+                "status": STATUS_OK,
+                "queue_depth": self.admission.depth,
+                "max_pending": self.admission.max_pending,
+                "degrade_depth": self.admission.degrade_depth,
+                "admitted": self.admission.admitted,
+                "cache": self.result_cache.stats(),
+                "epoch": self.epoch,
+            }
+        )
+
+    async def _handle_query(self, request: Request) -> dict:
+        started = time.monotonic()
+        self.metrics.observe_request()
+        if not self.admission.try_admit():
+            self.metrics.observe_shed()
+            return self._respond(
+                request,
+                STATUS_SHED,
+                started,
+                error=(
+                    f"server overloaded: {self.admission.max_pending} "
+                    "requests already pending"
+                ),
+            )
+        try:
+            return await self._admitted_query(request, started)
+        finally:
+            self.admission.release()
+
+    async def _admitted_query(self, request: Request, started: float) -> dict:
+        top_k = (
+            request.top_k
+            if request.top_k is not None
+            else self.config.default_top_k
+        )
+        mode, path = request.mode, request.path
+
+        # Serving-cache lookup: canonical query + engine epoch.  The key
+        # excludes the physical path (forcing never changes rankings).
+        cache_key = None
+        epoch = self.epoch
+        if self.config.cache_enabled:
+            try:
+                cache_key = ResultCache.key(request.query, mode, top_k)
+            except ReproError:
+                cache_key = None  # unparseable; the engine reports the error
+            if cache_key is not None:
+                payload = self.result_cache.get(cache_key, epoch)
+                if payload is not None:
+                    self.metrics.observe_ok(
+                        time.monotonic() - started, cached=True
+                    )
+                    return self._respond(
+                        request, STATUS_OK, started, body=payload, cached=True
+                    )
+
+        # Graceful degradation: deep queue ⇒ force the cheap planner path
+        # (skips candidate pricing; answer-preserving by construction).
+        degraded = False
+        if (
+            mode != "conventional"
+            and path == PATH_AUTO
+            and self.admission.degraded
+        ):
+            path = self.config.degrade_path
+            degraded = True
+
+        timeout_ms = (
+            request.timeout_ms
+            if request.timeout_ms is not None
+            else self.config.default_timeout_ms
+        )
+        deadline = (
+            started + timeout_ms / 1000.0 if timeout_ms is not None else None
+        )
+        ticket = Ticket(request, deadline=deadline, degraded=degraded)
+
+        submit = self.coalescer.submit((mode, top_k, path), ticket)
+        try:
+            if deadline is not None:
+                remaining = max(deadline - time.monotonic(), 0.0)
+                outcome = await asyncio.wait_for(submit, remaining)
+            else:
+                outcome = await submit
+        except asyncio.TimeoutError:
+            ticket.cancel()  # skip execution if the batch has not started
+            self.metrics.observe_timeout(time.monotonic() - started)
+            return self._respond(
+                request,
+                STATUS_TIMEOUT,
+                started,
+                error=f"deadline of {timeout_ms:g}ms exceeded",
+            )
+
+        if outcome is None:  # deadline expired while queued; never executed
+            self.metrics.observe_timeout(time.monotonic() - started)
+            return self._respond(
+                request,
+                STATUS_TIMEOUT,
+                started,
+                error=f"deadline of {timeout_ms:g}ms expired before execution",
+            )
+        if not outcome.ok:
+            self.metrics.observe_error(time.monotonic() - started)
+            return self._respond(
+                request, STATUS_ERROR, started, error=outcome.error
+            )
+
+        results = outcome.results
+        body = {
+            "mode": mode,
+            "hits": [
+                {
+                    "doc": hit.external_id,
+                    "doc_id": hit.doc_id,
+                    "score": hit.score,
+                }
+                for hit in results.hits
+            ],
+            "report": results.report.to_dict(),
+        }
+        if cache_key is not None:
+            self.result_cache.put(cache_key, epoch, body)
+        self.metrics.observe_ok(
+            time.monotonic() - started, degraded=degraded
+        )
+        return self._respond(
+            request, STATUS_OK, started, body=body, degraded=degraded
+        )
+
+    def _respond(
+        self,
+        request: Request,
+        status: str,
+        started: float,
+        body: Optional[dict] = None,
+        error: Optional[str] = None,
+        cached: bool = False,
+        degraded: bool = False,
+    ) -> dict:
+        payload = {
+            "status": status,
+            "elapsed_ms": (time.monotonic() - started) * 1000.0,
+        }
+        if request.id is not None:
+            payload["id"] = request.id
+        if body is not None:
+            payload.update(body)
+        if error is not None:
+            payload["error"] = error
+        if cached:
+            payload["cached"] = True
+        if degraded:
+            payload["degraded"] = True
+        return payload
+
+    # -- batch execution (worker thread) --------------------------------
+
+    def _execute_batch(
+        self, key: Tuple[str, Optional[int], str], tickets: Sequence[Ticket]
+    ) -> Sequence[Optional[BatchOutcome]]:
+        """Run one coalesced batch through the engine (blocking).
+
+        Tickets whose deadline expired (or whose waiter gave up) while
+        the batch sat in the window are *skipped before execution* —
+        their slot resolves to ``None`` and no engine work is spent.
+        """
+        mode, top_k, path = key
+        live = [i for i, t in enumerate(tickets) if not t.skip]
+        out: list = [None] * len(tickets)
+        if not live:
+            return out
+        queries = [tickets[i].request.query for i in live]
+        if self._sharded:
+            report = self.engine.search_many(
+                queries, top_k=top_k, mode=mode, path=path
+            )
+        else:
+            report = BatchExecutor(
+                self.engine, max_workers=self.config.effective_workers()
+            ).run(queries, top_k=top_k, mode=mode, path=path)
+        for slot, outcome in zip(live, report.outcomes):
+            out[slot] = outcome
+        return out
+
+
+class QueryServer:
+    """JSON-lines TCP transport around a :class:`QueryService`."""
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.service = QueryService(engine, self.config)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, release.
+
+        In-flight requests get up to ``drain_timeout`` seconds to finish
+        (their batches keep running on the worker pool); stragglers are
+        cancelled, their connections closed, and the pool shut down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.service.coalescer.drain()
+        self.service.close()
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        # One task per request line, so a pipelining connection coalesces
+        # with itself; responses interleave by completion (match on id).
+        request_tasks: set = set()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                    asyncio.IncompleteReadError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                rtask = asyncio.ensure_future(
+                    self._respond(line, writer, write_lock)
+                )
+                request_tasks.add(rtask)
+                rtask.add_done_callback(request_tasks.discard)
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _respond(self, line: bytes, writer, write_lock) -> None:
+        response = await self.service.handle_line(line)
+        async with write_lock:
+            try:
+                writer.write(response)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; the result is simply dropped
+
+
+class ServerThread:
+    """A query server on a daemon thread with a private event loop.
+
+    The in-process deployment shape: tests, the load generator, and
+    ``bench-serve`` start one, talk to it over real sockets, and stop it
+    for a clean shutdown.  ``start()`` blocks until the port is bound
+    (or raises what the server raised); ``stop()`` performs the graceful
+    drain and joins the thread.
+    """
+
+    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+        self.engine = engine
+        self.config = config if config is not None else ServiceConfig()
+        self.server: Optional[QueryServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    @property
+    def service(self) -> QueryService:
+        if self.server is None:
+            raise RuntimeError("server is not started")
+        return self.server.service
+
+    def start(self) -> Tuple[str, int]:
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            self._thread.join()
+            raise self._error
+        assert self.address is not None
+        return self.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            if not self._ready.is_set():
+                self._error = exc
+                self._ready.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.server = QueryServer(self.engine, self.config)
+        try:
+            self.address = await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -48,6 +48,20 @@ def _open_read(path: Path):
     return open(path, "r", encoding="utf-8")
 
 
+def _read_payload(path: Path) -> dict:
+    """Read one persisted JSON artefact; corruption is a :class:`StorageError`.
+
+    A truncated gzip stream, a non-gzip file with a ``.gz`` name, or a
+    half-written JSON body all surface as the same readable error rather
+    than leaking codec internals to the caller.
+    """
+    try:
+        with _open_read(path) as handle:
+            return json.load(handle)
+    except (ValueError, EOFError, gzip.BadGzipFile, UnicodeDecodeError) as exc:
+        raise StorageError(f"corrupt artefact {path}: {exc}") from None
+
+
 def _check_header(payload: dict, expected_kind: str) -> None:
     kind = payload.get("kind")
     version = payload.get("version")
@@ -83,8 +97,7 @@ def save_documents(documents, path: PathLike) -> None:
 def load_documents(path: PathLike) -> List[Document]:
     """Load documents saved by :func:`save_documents`."""
     path = Path(path)
-    with _open_read(path) as handle:
-        payload = json.load(handle)
+    payload = _read_payload(path)
     _check_header(payload, "documents")
     return [
         Document(entry["doc_id"], entry["fields"])
@@ -148,8 +161,7 @@ def load_index(path: PathLike) -> InvertedIndex:
     original.
     """
     path = Path(path)
-    with _open_read(path) as handle:
-        payload = json.load(handle)
+    payload = _read_payload(path)
     _check_header(payload, "index")
     return _decode_index(payload)
 
@@ -209,8 +221,7 @@ def load_sharded_index(path: PathLike):
     from .index.sharded import IndexShard, ShardedInvertedIndex, make_partitioner
 
     path = Path(path)
-    with _open_read(path) as handle:
-        manifest = json.load(handle)
+    manifest = _read_payload(path)
     _check_header(manifest, "sharded_index")
     partitioner = make_partitioner(
         manifest["partitioner"]["name"], manifest["partitioner"]["num_shards"]
@@ -218,8 +229,7 @@ def load_sharded_index(path: PathLike):
     shards = []
     for shard_id, entry in enumerate(manifest["shards"]):
         shard_path = path.parent / entry["file"]
-        with _open_read(shard_path) as handle:
-            payload = json.load(handle)
+        payload = _read_payload(shard_path)
         _check_header(payload, "index")
         global_ids = payload.get("global_ids")
         if global_ids is None:
@@ -238,8 +248,7 @@ def load_any_index(path: PathLike):
     accepts both artefacts.
     """
     path = Path(path)
-    with _open_read(path) as handle:
-        payload = json.load(handle)
+    payload = _read_payload(path)
     if payload.get("kind") == "sharded_index":
         return load_sharded_index(path)
     _check_header(payload, "index")
@@ -299,7 +308,6 @@ def save_catalog(catalog: ViewCatalog, path: PathLike) -> None:
 def load_catalog(path: PathLike) -> ViewCatalog:
     """Load a catalog saved by :func:`save_catalog`."""
     path = Path(path)
-    with _open_read(path) as handle:
-        payload = json.load(handle)
+    payload = _read_payload(path)
     _check_header(payload, "catalog")
     return ViewCatalog(_decode_view(entry) for entry in payload["views"])

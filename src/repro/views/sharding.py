@@ -38,6 +38,7 @@ def catalog_definitions(catalog: ViewCatalog) -> List[ViewDefinition]:
 def materialize_sharded_catalogs(
     sharded_index: ShardedInvertedIndex,
     definitions: Iterable[Sequence[Iterable[str]]],
+    caches: Iterable = (),
 ) -> List[ViewCatalog]:
     """Materialize every definition over every shard — one catalog each.
 
@@ -46,6 +47,12 @@ def materialize_sharded_catalogs(
     view-selection run).  Returns the per-shard catalogs positionally
     aligned with ``sharded_index.shards``, ready to hand to
     :class:`~repro.core.sharded_engine.ShardedEngine`.
+
+    ``caches`` mirrors :func:`repro.views.maintenance.maintain_catalog`:
+    anything with an ``invalidate()`` method (statistics memoisation, the
+    query service's result cache) is dropped after the re-materialisation
+    — replication is the sharded deployment's catalog mutation point, so
+    it must not leave memoised answers from the previous catalog behind.
     """
     definitions = [
         (frozenset(keywords), frozenset(df_terms), frozenset(tc_terms))
@@ -60,17 +67,22 @@ def materialize_sharded_catalogs(
                 for keywords, df_terms, tc_terms in definitions
             )
         )
+    for cache in caches:
+        cache.invalidate()
     return catalogs
 
 
 def replicate_catalog(
-    sharded_index: ShardedInvertedIndex, catalog: ViewCatalog
+    sharded_index: ShardedInvertedIndex,
+    catalog: ViewCatalog,
+    caches: Iterable = (),
 ) -> List[ViewCatalog]:
     """Re-materialize an existing catalog's definitions per shard.
 
     The single-collection catalog's *tuples* are useless to a shard (they
     aggregate the whole collection); only the definitions replicate.
+    ``caches`` is forwarded to :func:`materialize_sharded_catalogs`.
     """
     return materialize_sharded_catalogs(
-        sharded_index, catalog_definitions(catalog)
+        sharded_index, catalog_definitions(catalog), caches=caches
     )

@@ -160,3 +160,142 @@ class TestShardedPipeline:
         out = capsys.readouterr().out
         assert "shards: 3 (hash-partitioned)" in out
         assert "documents: 800" in out
+
+
+class TestServing:
+    """The serve/bench-serve commands and the load generator."""
+
+    @pytest.fixture(scope="class")
+    def query_file(self, artefacts, tmp_path_factory):
+        from repro.storage import load_index
+
+        index = load_index(artefacts["index"])
+        predicate = max(
+            index.predicate_vocabulary, key=index.predicate_frequency
+        )
+        terms = sorted(
+            list(index.vocabulary)[:200], key=index.document_frequency
+        )[-8:]
+        path = tmp_path_factory.mktemp("cli-serve") / "queries.txt"
+        path.write_text(
+            "".join(f"{term} | {predicate}\n" for term in terms)
+        )
+        return str(path)
+
+    def test_bench_serve(self, artefacts, query_file, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code = main([
+            "bench-serve", "--index", artefacts["index"],
+            "--queries", query_file, "--threads", "4", "--repeat", "2",
+            "--max-wait-ms", "5", "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench-serve:" in out and "throughput:" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["load"]["errors"] == 0
+        assert payload["load"]["ok"] == payload["load"]["sent"] == 16
+        assert payload["load"]["qps"] > 0
+        assert payload["server"]["ok"] == 16
+
+    def test_serve_command_over_socket(self, artefacts):
+        import threading
+        import time
+
+        from repro.service import ServiceClient
+        from repro.storage import load_index
+
+        # Drive the serve command's own machinery in-process: same
+        # engine construction as `python -m repro serve`, but via
+        # ServerThread so the test can stop it.
+        from repro.cli import build_parser, _load_engine, _service_config
+        from repro.service import ServerThread
+
+        args = build_parser().parse_args([
+            "serve", "--index", artefacts["index"], "--port", "0",
+        ])
+        engine, sharded = _load_engine(args)
+        assert not sharded
+        with ServerThread(engine, _service_config(args)) as st:
+            host, port = st.address
+            with ServiceClient(host, port) as client:
+                assert client.healthz()["status"] == "ok"
+                index = load_index(artefacts["index"])
+                predicate = max(
+                    index.predicate_vocabulary,
+                    key=index.predicate_frequency,
+                )
+                response = client.query(f"disease | {predicate}")
+                assert response["status"] in ("ok", "error")
+
+
+class TestErrorExits:
+    """Operational failures exit 2 with a readable message, no traceback."""
+
+    def test_missing_index(self, capsys):
+        code = main(["stats", "--index", "/nonexistent/index.json.gz"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "/nonexistent/index.json.gz" in err
+
+    def test_corrupt_index(self, tmp_path, capsys):
+        bad = tmp_path / "index.json.gz"
+        bad.write_bytes(b"this is not gzip or json")
+        code = main(["stats", "--index", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "corrupt artefact" in err
+
+    def test_truncated_gzip_index(self, artefacts, tmp_path, capsys):
+        from pathlib import Path
+
+        whole = Path(artefacts["index"]).read_bytes()
+        bad = tmp_path / "truncated.json.gz"
+        bad.write_bytes(whole[: len(whole) // 2])
+        code = main(["search", "a | b", "--index", str(bad)])
+        assert code == 2
+        assert "corrupt artefact" in capsys.readouterr().err
+
+    def test_wrong_artefact_kind(self, artefacts, capsys):
+        code = main(["stats", "--index", artefacts["corpus"]])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "expected a persisted" in err
+
+    def test_bad_query_is_readable(self, artefacts, capsys):
+        code = main([
+            "search", "no separator here", "--index", artefacts["index"],
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "|" in err
+
+    def test_port_in_use_is_readable(self, artefacts, capsys):
+        import socket
+
+        holder = socket.socket()
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        port = holder.getsockname()[1]
+        try:
+            code = main([
+                "serve", "--index", artefacts["index"],
+                "--port", str(port),
+            ])
+        finally:
+            holder.close()
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_query_file(self, artefacts, capsys):
+        code = main([
+            "bench-serve", "--index", artefacts["index"],
+            "--queries", "/nonexistent/queries.txt",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

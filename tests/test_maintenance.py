@@ -228,17 +228,20 @@ class TestCacheInvalidation:
         for ha, hb in zip(after.hits, fresh.hits):
             assert ha.score == pytest.approx(hb.score, abs=1e-12)
 
-    def test_without_caches_statistics_go_stale(self):
-        """The hazard the hook exists for: skipping ``caches=`` leaves the
-        memoised cardinality frozen at its pre-ingestion value."""
+    def test_epoch_guard_invalidates_without_caches(self):
+        """Even when ``caches=`` is skipped, the engine's epoch counter
+        (bumped by ``append_documents``) makes the caching wrapper drop
+        its memoised statistics — a stale cardinality is never served."""
         index, catalog, cached = self._cached_engine()
         before = cached.search("leukemia | DigestiveSystem")
 
         stored = index.append_documents(NEW_DOCS)
         maintain_catalog(catalog, index, stored)  # no caches passed
 
-        stale = cached.search("leukemia | DigestiveSystem")
-        assert stale.report.context_size == before.report.context_size
+        after = cached.search("leukemia | DigestiveSystem")
+        assert after.report.context_size == before.report.context_size + 1
+        fresh = ContextSearchEngine(index).search("leukemia | DigestiveSystem")
+        assert after.external_ids() == fresh.external_ids()
 
     def test_plain_statistics_cache_accepted(self):
         from repro.core.stats_cache import StatisticsCache
