@@ -43,6 +43,17 @@ closed-loop load generator::
     python -m repro bench-serve --index index.json.gz \
                           --queries workload.txt --threads 8
 
+A **segmented index directory** (the mutable lifecycle form: WAL +
+immutable segments + manifest) is managed with ``ingest``, ``compact``
+and ``info``, and is accepted by every ``--index`` flag — loading one
+performs crash recovery (manifest load + WAL replay) and serves through
+snapshot-isolated engines::
+
+    python -m repro ingest  --index idx.d --corpus corpus.json.gz --flush
+    python -m repro compact --index idx.d --full
+    python -m repro info    --index idx.d
+    python -m repro search  --index idx.d "pancreas | DigestiveSystem"
+
 Operational failures (missing or corrupt artefacts, bad queries, ports
 in use) exit with code 2 and a one-line message on stderr, not a
 traceback.
@@ -134,15 +145,35 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 
 def _load_engine(args: argparse.Namespace):
-    """Build the right engine for ``--index``: flat or sharded.
+    """Build the right engine for ``--index``: flat, sharded, or lifecycle.
 
     A sharded artefact always gets the :class:`ShardedEngine`; a flat one
     gets it only when ``--shards N`` asks for load-time re-sharding.  A
+    segmented index *directory* gets a
+    :class:`~repro.lifecycle.engine.LifecycleEngine` over the recovered
+    index (``--shards N`` makes its per-snapshot engines sharded).  A
     persisted single-collection catalog is re-materialised per shard
     (definitions replicate; tuples do not).
+
+    Returns ``(engine, needs_close)`` — engines owning worker pools or a
+    WAL handle must be closed by the caller.
     """
+    from .lifecycle import LifecycleEngine, SegmentedIndex
+
     index = load_any_index(args.index)
     shards = getattr(args, "shards", 0) or 0
+    ranking = ALL_RANKING_FUNCTIONS[args.model]()
+    catalog = load_catalog(args.catalog) if args.catalog else None
+    if isinstance(index, SegmentedIndex):
+        engine = LifecycleEngine(
+            index,
+            ranking=ranking,
+            catalog=catalog,
+            num_shards=shards if shards > 1 else 0,
+            partitioner=getattr(args, "partitioner", "hash"),
+            executor=getattr(args, "executor", "serial"),
+        )
+        return engine, True
     if isinstance(index, ShardedInvertedIndex):
         sharded = index
     elif shards > 1:
@@ -151,8 +182,6 @@ def _load_engine(args: argparse.Namespace):
         )
     else:
         sharded = None
-    ranking = ALL_RANKING_FUNCTIONS[args.model]()
-    catalog = load_catalog(args.catalog) if args.catalog else None
     if sharded is not None:
         catalogs = replicate_catalog(sharded, catalog) if catalog else None
         engine = ShardedEngine(
@@ -165,8 +194,16 @@ def _load_engine(args: argparse.Namespace):
     return ContextSearchEngine(index, ranking=ranking, catalog=catalog), False
 
 
+def _engine_label(engine) -> str:
+    if hasattr(engine, "lifecycle_info"):
+        return "lifecycle"
+    if hasattr(engine, "sharded_index"):
+        return "sharded"
+    return "flat"
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
-    engine, sharded = _load_engine(args)
+    engine, needs_close = _load_engine(args)
 
     if args.conventional:
         results = engine.search_conventional(args.query, top_k=args.top_k)
@@ -189,7 +226,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     extra = (
         f" shards={engine.sharded_index.num_shards}"
         f" executor={engine.executor_name}"
-        if sharded
+        if hasattr(engine, "sharded_index")
         else ""
     )
     print(
@@ -199,7 +236,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"model_cost={report.counter.model_cost}"
         f"{extra}"
     )
-    if sharded:
+    if needs_close:
         engine.close()
     return 0
 
@@ -213,7 +250,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     actual operation counts.  For sharded indexes the per-shard choices
     are listed too.
     """
-    engine, sharded = _load_engine(args)
+    engine, needs_close = _load_engine(args)
     mode = (
         "conventional"
         if args.conventional
@@ -241,13 +278,13 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         f"results={report.result_size} "
         f"elapsed={report.elapsed_seconds * 1000:.1f}ms"
     )
-    if sharded:
+    if needs_close:
         engine.close()
     return 0
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    engine, sharded = _load_engine(args)
+    engine, needs_close = _load_engine(args)
 
     with open(args.queries, "r", encoding="utf-8") as handle:
         queries = [line.strip() for line in handle if line.strip()]
@@ -255,14 +292,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"no queries in {args.queries}", file=sys.stderr)
         return 1
 
-    if sharded:
-        # The sharded engine fans a whole batch out in two dispatches per
-        # shard; the thread-pool BatchExecutor is the flat-index path.
+    if hasattr(engine, "search_many"):
+        # The sharded and lifecycle engines run their own batch fan-out;
+        # the thread-pool BatchExecutor is the flat-index path.
         report = engine.search_many(queries, top_k=args.top_k, mode=args.mode)
-        engine.close()
     else:
         executor = BatchExecutor(engine, max_workers=args.workers)
         report = executor.run(queries, top_k=args.top_k, mode=args.mode)
+    if needs_close:
+        engine.close()
 
     for outcome in report.outcomes:
         if outcome.ok:
@@ -289,8 +327,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from .lifecycle import SegmentedIndex
+
     index = load_any_index(args.index)
     print(f"index: {args.index}")
+    if isinstance(index, SegmentedIndex):
+        info = index.info()
+        snapshot = index.snapshot()
+        index.close()
+        print(
+            f"  segmented: {len(info['segments'])} segments "
+            f"(version={info['version']}, "
+            f"memtable={info['memtable_docs']} docs, "
+            f"tombstones={info['tombstones']}, "
+            f"wal_records={info['wal_records']})"
+        )
+        print(f"  documents: {snapshot.num_docs}")
+        print(f"  total length: {snapshot.total_length} tokens")
+        print(f"  avg doc length: {snapshot.average_document_length():.1f}")
+        print(f"  content terms: {len(snapshot.vocabulary)}")
+        print(f"  predicates: {len(snapshot.predicate_vocabulary)}")
+        return 0
     if isinstance(index, ShardedInvertedIndex):
         sizes = [shard.index.num_docs for shard in index.shards]
         print(
@@ -313,6 +370,76 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"  views: {stats.num_views}")
         print(f"  tuples: total={stats.total_tuples} max={stats.max_tuples}")
         print(f"  storage: {stats.total_storage_bytes / 1e6:.2f} MB")
+    return 0
+
+
+def _open_segmented(path: str, must_exist: bool = True):
+    """Open a segmented index directory for a lifecycle command."""
+    from pathlib import Path
+
+    from .lifecycle import SegmentedIndex
+    from .storage import StorageError
+
+    if must_exist and not (Path(path) / "manifest.json").exists():
+        raise StorageError(
+            f"not a segmented index directory (no manifest): {path}"
+        )
+    return SegmentedIndex.open(path)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Append documents to a segmented index (WAL + memtable)."""
+    documents = load_documents(args.corpus)
+    index = _open_segmented(args.index, must_exist=False)
+    try:
+        index.add_documents(documents)
+        if args.flush:
+            index.flush()
+        info = index.info()
+    finally:
+        index.close()
+    print(
+        f"ingested {len(documents)} documents into {args.index} "
+        f"(version={info['version']}, live_docs={info['live_docs']}, "
+        f"segments={len(info['segments'])}, "
+        f"wal_records={info['wal_records']})"
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    """Merge segments and physically drop deleted documents."""
+    index = _open_segmented(args.index)
+    try:
+        report = index.compact(full=args.full)
+        info = index.info()
+    finally:
+        index.close()
+    if report.changed:
+        merged = ", ".join(
+            "+".join(run) for run in report.merged
+        ) or "(none)"
+        print(
+            f"compacted {args.index}: {report.segments_before} -> "
+            f"{report.segments_after} segments (merged {merged}), "
+            f"dropped {report.dropped_documents} deleted documents, "
+            f"version={info['version']}"
+        )
+    else:
+        print(f"nothing to compact in {args.index}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    """Print a segmented index's manifest/WAL/segment state as JSON."""
+    import json
+
+    index = _open_segmented(args.index)
+    try:
+        info = index.info()
+    finally:
+        index.close()
+    print(json.dumps(info, indent=2))
     return 0
 
 
@@ -341,13 +468,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import QueryServer
 
-    engine, sharded = _load_engine(args)
+    engine, needs_close = _load_engine(args)
     server = QueryServer(engine, _service_config(args))
 
     async def run() -> None:
         host, port = await server.start()
         print(f"serving on {host}:{port} "
-              f"({'sharded' if sharded else 'flat'} engine, "
+              f"({_engine_label(engine)} engine, "
               f"workers={server.config.effective_workers()}, "
               f"max_batch={server.config.max_batch}, "
               f"max_pending={server.config.max_pending})")
@@ -363,7 +490,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
-        if sharded:
+        if needs_close:
             engine.close()
     return 0
 
@@ -374,7 +501,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     from .service import ServerThread, run_load
 
-    engine, sharded = _load_engine(args)
+    engine, needs_close = _load_engine(args)
     with open(args.queries, "r", encoding="utf-8") as handle:
         queries = [line.strip() for line in handle if line.strip()]
     if not queries:
@@ -394,7 +521,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             )
             snapshot = st.service.metrics.snapshot()
     finally:
-        if sharded:
+        if needs_close:
             engine.close()
 
     batches = snapshot["batches"]
@@ -547,6 +674,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", required=True)
     p.add_argument("--catalog", default=None)
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "ingest",
+        help="append documents to a segmented index directory (WAL-backed)",
+    )
+    p.add_argument("--index", required=True,
+                   help="segmented index directory (created if absent)")
+    p.add_argument("--corpus", required=True,
+                   help="documents file written by 'generate'")
+    p.add_argument("--flush", action="store_true",
+                   help="seal the memtable into an immutable segment "
+                        "after ingesting")
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "compact",
+        help="merge segments and drop tombstoned documents",
+    )
+    p.add_argument("--index", required=True,
+                   help="segmented index directory")
+    p.add_argument("--full", action="store_true",
+                   help="merge everything into one segment "
+                        "(default: size-tiered adjacent runs)")
+    p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser(
+        "info",
+        help="print a segmented index's segment/WAL/version state",
+    )
+    p.add_argument("--index", required=True,
+                   help="segmented index directory")
+    p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser(
         "serve", help="run the asyncio query service (JSON lines over TCP)"

@@ -20,6 +20,9 @@ Operators:
 * :class:`SelectiveFirstIntersect` — selective-first conjunctions and
   rare-term statistics;
 * :class:`StatsMerge` — exact additive merge of per-partition statistics;
+* :class:`SegmentStatsResolve` — the straightforward plan per snapshot
+  segment, merged with :class:`StatsMerge` (segment-granularity
+  scatter-gather for the segmented index lifecycle);
 * :class:`MaxScoreTopK` — disjunctive document-at-a-time top-k.
 
 Every operator charges all work to ``ctx.counter``, which is what makes
@@ -31,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from ..errors import QueryError
+from ..errors import EmptyContextError, QueryError
 from ..index.intersection import intersect_many
 from ..index.inverted_index import InvertedIndex
 from ..index.postings import CostCounter
@@ -292,6 +295,58 @@ class StatsMerge:
             if spec.kind == CARDINALITY:
                 return int(values[spec])
         return 0
+
+
+class SegmentStatsResolve:
+    """Per-segment straightforward resolve, merged with :class:`StatsMerge`.
+
+    The segment-granularity twin of the sharded scatter-gather: a
+    snapshot's segments hold disjoint ascending docid ranges, so the
+    straightforward plan can run *per segment* and the per-segment
+    statistics merge exactly (every supported Table 1 statistic is
+    additive over disjoint partitions; the non-additive ``utc`` is
+    rejected up front).  Result docids concatenate in segment order,
+    which *is* global docid order — bit-identical to the flat plan over
+    the whole snapshot.
+
+    ``snapshot`` is anything exposing ``partitions()`` returning
+    index-like per-partition views
+    (:meth:`repro.lifecycle.snapshot.Snapshot.partitions`).
+    """
+
+    def __init__(self, snapshot, use_skips: bool = True):
+        self.snapshot = snapshot
+        self.use_skips = use_skips
+
+    def run(
+        self,
+        ctx: ExecutionContext,
+        query: ContextQuery,
+        specs: Sequence[StatisticSpec],
+    ) -> PlanExecution:
+        StatsMerge.check_additive(specs)
+        ctx.resolution.path = "straightforward"
+        merged = StatsMerge.zero(specs)
+        result_ids: List[int] = []
+        context_size = 0
+        matched = False
+        for view in self.snapshot.partitions():
+            plan = StraightforwardPlan(view, use_skips=self.use_skips)
+            try:
+                execution = plan.execute(query, specs, ctx.counter)
+            except EmptyContextError:
+                # The context is simply absent from this segment — it
+                # contributes the additive identity, not an error.
+                continue
+            matched = True
+            context_size += execution.context_size
+            StatsMerge.accumulate(merged, execution.statistic_values)
+            result_ids.extend(execution.result_ids)
+        if not matched:
+            raise EmptyContextError(
+                f"context {query.context} matches no documents"
+            )
+        return PlanExecution(result_ids, merged, context_size, ctx.counter)
 
 
 class MaxScoreTopK:

@@ -11,6 +11,15 @@ so the views-never-change-answers invariant extends to
 cache-never-changes-answers (tested).  The cache must be invalidated on
 document ingestion — :meth:`CachingSearchEngine.invalidate` exists for
 exactly the :func:`repro.views.maintenance.maintain_catalog` call sites.
+
+Freshness is additionally guarded by ``engine.epoch``: the single
+version counter every index kind exposes (a flat index's commit clock,
+a sharded index's shared clock, a lifecycle snapshot's stamped
+:class:`~repro.lifecycle.version.VersionClock` value — one source, no
+scattered epoch-bump sites).  Any mutation advances that clock, and
+:meth:`CachingSearchEngine._check_epoch` self-invalidates on the next
+lookup, so a forgotten explicit ``invalidate()`` can narrow freshness
+but never corrupt it.
 """
 
 from __future__ import annotations

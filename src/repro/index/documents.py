@@ -106,6 +106,26 @@ class DocumentStore:
         self._lengths_cache = None
         return stored
 
+    def add_restored(self, stored: StoredDocument) -> StoredDocument:
+        """Re-register a previously-stored document, trusting its stats.
+
+        The persistence fast path: ``length``/``unique_terms`` were
+        computed at save time, so restoring skips the searchable-token
+        flatten entirely.  The document must carry the next dense
+        internal id (restore order = original insertion order).
+        """
+        if stored.internal_id != len(self._docs):
+            raise IndexError_(
+                f"restored document {stored.external_id!r} carries internal "
+                f"id {stored.internal_id}, expected {len(self._docs)}"
+            )
+        if stored.external_id in self._by_external:
+            raise IndexError_(f"duplicate document id: {stored.external_id!r}")
+        self._docs.append(stored)
+        self._by_external[stored.external_id] = stored.internal_id
+        self._lengths_cache = None
+        return stored
+
     def get(self, internal_id: int) -> StoredDocument:
         """Look up a document by internal id."""
         try:

@@ -18,12 +18,51 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import IndexError_
+from ..lifecycle.version import VersionClock
 from .analysis import Analyzer, KeywordAnalyzer
 from .documents import Document, DocumentStore, StoredDocument
 from .postings import DEFAULT_SEGMENT_SIZE, PostingList
 
 DEFAULT_SEARCHABLE_FIELDS = ("title", "abstract")
 DEFAULT_PREDICATE_FIELD = "mesh"
+
+
+def analyze_document_fields(
+    document: Document,
+    analyzer: Analyzer,
+    predicate_analyzer: Analyzer,
+    searchable_fields: Sequence[str],
+    predicate_field: str,
+) -> Dict[str, List[str]]:
+    """Analyse searchable/predicate fields; keep other fields raw.
+
+    The one analysis routine shared by the flat index and the segment
+    lifecycle's memtable, so a WAL replay or a segment rebuild produces
+    token streams bit-identical to the original ingest.  Extra fields
+    (e.g. a ``year`` attribute) are whitespace-split and stored
+    unanalysed so attribute indexes can be rebuilt from the index.
+    """
+    field_tokens: Dict[str, List[str]] = {}
+    for name in searchable_fields:
+        field_tokens[name] = analyzer.analyze(document.text(name))
+    field_tokens[predicate_field] = predicate_analyzer.analyze(
+        document.text(predicate_field)
+    )
+    for name, text in document.fields.items():
+        if name not in field_tokens:
+            field_tokens[name] = text.split()
+    return field_tokens
+
+
+def content_term_frequencies(
+    field_tokens: Dict[str, List[str]], searchable_fields: Sequence[str]
+) -> Dict[str, int]:
+    """``tf(w, d)`` over the searchable fields of one analysed document."""
+    tf_counts: Dict[str, int] = {}
+    for name in searchable_fields:
+        for token in field_tokens.get(name, ()):
+            tf_counts[token] = tf_counts.get(token, 0) + 1
+    return tf_counts
 
 
 class InvertedIndex:
@@ -62,7 +101,9 @@ class InvertedIndex:
         self._predicates: Dict[str, PostingList] = {}
         self._total_length = 0
         self._committed = False
-        self._epoch = 0
+        # The single mutation clock (see repro.lifecycle.version); a
+        # sharded wrapper rebinds this so all shards tick one clock.
+        self._clock = VersionClock()
         self._empty = PostingList.from_pairs("", (), segment_size=segment_size)
 
     # -- construction ----------------------------------------------------
@@ -75,10 +116,7 @@ class InvertedIndex:
         stored = self.store.add(document, field_tokens, self.searchable_fields)
         self._total_length += stored.length
 
-        tf_counts: Dict[str, int] = {}
-        for name in self.searchable_fields:
-            for token in field_tokens[name]:
-                tf_counts[token] = tf_counts.get(token, 0) + 1
+        tf_counts = content_term_frequencies(field_tokens, self.searchable_fields)
         for term, tf in tf_counts.items():
             self._content_acc.setdefault(term, []).append((stored.internal_id, tf))
 
@@ -89,22 +127,14 @@ class InvertedIndex:
         return stored
 
     def _analyze_fields(self, document: Document) -> Dict[str, List[str]]:
-        """Analyse searchable/predicate fields; keep other fields raw.
-
-        Extra fields (e.g. a ``year`` attribute) are whitespace-split and
-        stored unanalysed so attribute indexes
-        (:mod:`repro.temporal.attributes`) can be rebuilt from the index.
-        """
-        field_tokens: Dict[str, List[str]] = {}
-        for name in self.searchable_fields:
-            field_tokens[name] = self.analyzer.analyze(document.text(name))
-        field_tokens[self.predicate_field] = self.predicate_analyzer.analyze(
-            document.text(self.predicate_field)
+        """Analyse one document with this index's configuration."""
+        return analyze_document_fields(
+            document,
+            self.analyzer,
+            self.predicate_analyzer,
+            self.searchable_fields,
+            self.predicate_field,
         )
-        for name, text in document.fields.items():
-            if name not in field_tokens:
-                field_tokens[name] = text.split()
-        return field_tokens
 
     def add_preanalyzed(
         self, external_id: str, field_tokens: Dict[str, List[str]]
@@ -121,10 +151,7 @@ class InvertedIndex:
         stored = self.store.add(document, field_tokens, self.searchable_fields)
         self._total_length += stored.length
 
-        tf_counts: Dict[str, int] = {}
-        for name in self.searchable_fields:
-            for token in field_tokens.get(name, ()):
-                tf_counts[token] = tf_counts.get(token, 0) + 1
+        tf_counts = content_term_frequencies(field_tokens, self.searchable_fields)
         for term, tf in tf_counts.items():
             self._content_acc.setdefault(term, []).append((stored.internal_id, tf))
         for term in set(field_tokens.get(self.predicate_field, ())):
@@ -182,10 +209,9 @@ class InvertedIndex:
             self._total_length += stored.length
             new_stored.append(stored)
 
-            tf_counts: Dict[str, int] = {}
-            for name in self.searchable_fields:
-                for token in field_tokens[name]:
-                    tf_counts[token] = tf_counts.get(token, 0) + 1
+            tf_counts = content_term_frequencies(
+                field_tokens, self.searchable_fields
+            )
             for term, tf in tf_counts.items():
                 content_delta.setdefault(term, []).append(
                     (stored.internal_id, tf)
@@ -211,7 +237,7 @@ class InvertedIndex:
                 )
             else:
                 plist.extend(pairs)
-        self._epoch += 1
+        self._clock.advance()
         return new_stored
 
     # -- reads -------------------------------------------------------------
@@ -222,14 +248,18 @@ class InvertedIndex:
 
     @property
     def epoch(self) -> int:
-        """Mutation counter: bumps on every post-commit document batch.
+        """The index's :class:`~repro.lifecycle.version.VersionClock` value.
 
+        One committed mutation (post-commit document batch here; delete,
+        flush, or compaction in the segment lifecycle) is one tick.
         Caches layered above the index (statistics memoisation, the query
         service's result cache) key or guard their entries with this
         value, so anything resolved against an older collection state
-        becomes unreachable the moment the index changes.
+        becomes unreachable the moment the index changes.  Every
+        freshness consumer reads this one clock — there are no other
+        epoch counters in the system.
         """
-        return self._epoch
+        return self._clock.version
 
     def __len__(self) -> int:
         return len(self.store)
@@ -283,6 +313,20 @@ class InvertedIndex:
         self._require_committed()
         return self._predicates.get(term, self._empty)
 
+    def content_items(self) -> Iterable[Tuple[str, PostingList]]:
+        """All ``(term, posting list)`` pairs of the content space.
+
+        The storage codec serialises the compiled columns directly from
+        here; the view is read-only by convention.
+        """
+        self._require_committed()
+        return self._content.items()
+
+    def predicate_items(self) -> Iterable[Tuple[str, PostingList]]:
+        """All ``(term, posting list)`` pairs of the predicate space."""
+        self._require_committed()
+        return self._predicates.items()
+
     def document_frequency(self, term: str) -> int:
         """``df(w, D)`` over the whole collection."""
         return len(self.postings(term))
@@ -304,6 +348,45 @@ class InvertedIndex:
     def _require_committed(self) -> None:
         if not self._committed:
             raise IndexError_("index must be committed before reads")
+
+    @classmethod
+    def from_compiled(
+        cls,
+        stored_documents: Iterable[StoredDocument],
+        content: Dict[str, PostingList],
+        predicates: Dict[str, PostingList],
+        analyzer: Optional[Analyzer] = None,
+        predicate_analyzer: Optional[Analyzer] = None,
+        searchable_fields: Sequence[str] = DEFAULT_SEARCHABLE_FIELDS,
+        predicate_field: str = DEFAULT_PREDICATE_FIELD,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> "InvertedIndex":
+        """Assemble a committed index from precompiled parts.
+
+        The fast load path: posting lists and per-document statistics
+        were computed (and persisted) at save time, so construction is
+        O(documents + postings) with no re-tokenisation and no posting
+        accumulation.  Callers own the invariants (docids dense and in
+        insertion order, postings consistent with the documents) — the
+        version-2 storage codec and the segment compactor are the
+        intended callers.
+        """
+        index = cls(
+            analyzer=analyzer,
+            predicate_analyzer=predicate_analyzer,
+            searchable_fields=searchable_fields,
+            predicate_field=predicate_field,
+            segment_size=segment_size,
+        )
+        total_length = 0
+        for stored in stored_documents:
+            index.store.add_restored(stored)
+            total_length += stored.length
+        index._total_length = total_length
+        index._content = dict(content)
+        index._predicates = dict(predicates)
+        index._committed = True
+        return index
 
 
 def build_index(

@@ -121,8 +121,13 @@ class PostingList:
         self.doc_ids.append(doc_id)
         self.tfs.append(tf)
 
-    def freeze(self) -> "PostingList":
-        """Finalise the list and build the skip table; returns self."""
+    def freeze(self, max_tf: Optional[int] = None) -> "PostingList":
+        """Finalise the list and build the skip table; returns self.
+
+        ``max_tf`` lets a caller that already knows the maximum term
+        frequency (the version-2 storage codec persists it) skip the
+        O(postings) scan.
+        """
         if not self._frozen:
             n = len(self.doc_ids)
             seg = self.segment_size
@@ -134,7 +139,10 @@ class PostingList:
                 "q",
                 (self.doc_ids[min(start + seg, n) - 1] for start in self._skip_starts),
             )
-            self._max_tf = max(self.tfs) if self.tfs else 0
+            if max_tf is not None:
+                self._max_tf = max_tf
+            else:
+                self._max_tf = max(self.tfs) if self.tfs else 0
             self._frozen = True
         return self
 
@@ -158,14 +166,19 @@ class PostingList:
         doc_ids: Sequence[int],
         tfs: Sequence[int],
         segment_size: int = DEFAULT_SEGMENT_SIZE,
+        validate: bool = True,
+        max_tf: Optional[int] = None,
     ) -> "PostingList":
         """Build and freeze a list from parallel docid/tf columns.
 
         The columns are adopted wholesale (one C-level copy into
         ``array('q')``), so this is the fast path for bulk construction —
         codec decodes and kernel outputs use it instead of per-element
-        :meth:`append`.  The same invariants are enforced: docids strictly
-        increasing, tfs positive.
+        :meth:`append`.  The same invariants are enforced — docids
+        strictly increasing, tfs positive — unless ``validate=False``,
+        the trusted path for columns this library produced itself
+        (segment compaction, snapshot compilation, version-2 artefact
+        decode), where the per-element check would dominate load time.
         """
         plist = cls(term, segment_size=segment_size)
         ids = doc_ids if isinstance(doc_ids, array) else array("q", doc_ids)
@@ -174,18 +187,19 @@ class PostingList:
             raise ValueError(
                 f"column length mismatch: {len(ids)} docids vs {len(freqs)} tfs"
             )
-        previous = None
-        for doc_id in ids:
-            if previous is not None and doc_id <= previous:
-                raise ValueError(
-                    f"docids must be strictly increasing: {doc_id} after {previous}"
-                )
-            previous = doc_id
-        if freqs and min(freqs) <= 0:
-            raise ValueError("tf must be positive")
+        if validate:
+            previous = None
+            for doc_id in ids:
+                if previous is not None and doc_id <= previous:
+                    raise ValueError(
+                        f"docids must be strictly increasing: {doc_id} after {previous}"
+                    )
+                previous = doc_id
+            if freqs and min(freqs) <= 0:
+                raise ValueError("tf must be positive")
         plist.doc_ids = ids
         plist.tfs = freqs
-        return plist.freeze()
+        return plist.freeze(max_tf=max_tf)
 
     def extend(self, pairs: Iterable[Tuple[int, int]]) -> "PostingList":
         """Append postings to a frozen list and rebuild the skip table.

@@ -22,6 +22,7 @@ from array import array
 from typing import Iterable, List, Optional, Sequence
 
 from ..errors import IndexError_
+from ..lifecycle.version import VersionClock
 from .analysis import Analyzer
 from .documents import Document
 from .inverted_index import (
@@ -130,6 +131,12 @@ class ShardedInvertedIndex:
         self.searchable_fields = first.searchable_fields
         self.predicate_field = first.predicate_field
         self.segment_size = first.segment_size
+        # One mutation clock for the whole partitioned collection: every
+        # shard index is rebound to it, so an append on any shard ticks
+        # the same clock every cache reads (no per-shard counters to sum).
+        self._clock = VersionClock()
+        for shard in self.shards:
+            shard.index._clock = self._clock
 
     # -- construction ---------------------------------------------------
 
@@ -225,8 +232,9 @@ class ShardedInvertedIndex:
 
     @property
     def epoch(self) -> int:
-        """Global mutation counter: any shard's append bumps the sum."""
-        return sum(shard.index.epoch for shard in self.shards)
+        """The shared :class:`~repro.lifecycle.version.VersionClock` value:
+        any shard's append ticks the one clock all shards share."""
+        return self._clock.version
 
     def __len__(self) -> int:
         return self.num_docs

@@ -1,0 +1,109 @@
+"""The in-memory write buffer of the segmented index.
+
+All mutations land here first (after the WAL records them): document
+adds are analysed immediately — with the *same* routine the flat index
+uses, :func:`repro.index.inverted_index.analyze_document_fields`, so a
+WAL replay reproduces token streams bit-identically — and assigned the
+next **global** docid.  Global docids are arrival positions over the
+whole index lifetime, never reused, which is what keeps every sealed
+segment's docid range disjoint and ascending and therefore keeps
+snapshot posting compilation a pure concatenation.
+
+A delete of a document that only ever existed in the memtable removes
+it outright (it never reaches a segment); its docid stays consumed, so
+replaying the same operation sequence yields the same id assignment.
+Deletes of already-sealed documents are not the memtable's business —
+the :class:`~repro.lifecycle.index.SegmentedIndex` tombstones those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import IndexError_
+from ..index.analysis import Analyzer
+from ..index.documents import Document, StoredDocument
+from ..index.inverted_index import analyze_document_fields
+
+__all__ = ["Memtable"]
+
+
+class Memtable:
+    """Mutable arrival-ordered buffer of analysed, not-yet-sealed docs."""
+
+    def __init__(
+        self,
+        analyzer: Analyzer,
+        predicate_analyzer: Analyzer,
+        searchable_fields: Sequence[str],
+        predicate_field: str,
+        next_doc_id: int = 0,
+    ):
+        self.analyzer = analyzer
+        self.predicate_analyzer = predicate_analyzer
+        self.searchable_fields = tuple(searchable_fields)
+        self.predicate_field = predicate_field
+        self.next_doc_id = next_doc_id
+        self._docs: Dict[str, StoredDocument] = {}
+        self.total_length = 0
+
+    # -- writes ----------------------------------------------------------
+
+    def add(self, document: Document) -> StoredDocument:
+        """Analyse one document and buffer it under the next global docid."""
+        if document.doc_id in self._docs:
+            raise IndexError_(f"duplicate document id: {document.doc_id!r}")
+        field_tokens = analyze_document_fields(
+            document,
+            self.analyzer,
+            self.predicate_analyzer,
+            self.searchable_fields,
+            self.predicate_field,
+        )
+        searchable = [
+            token
+            for name in self.searchable_fields
+            for token in field_tokens.get(name, ())
+        ]
+        stored = StoredDocument(
+            internal_id=self.next_doc_id,
+            external_id=document.doc_id,
+            field_tokens=field_tokens,
+            length=len(searchable),
+            unique_terms=len(set(searchable)),
+        )
+        self.next_doc_id += 1
+        self._docs[document.doc_id] = stored
+        self.total_length += stored.length
+        return stored
+
+    def delete(self, external_id: str) -> Optional[StoredDocument]:
+        """Drop a buffered document; returns it, or ``None`` if not here.
+
+        The consumed docid is *not* reclaimed — id assignment must be a
+        pure function of the operation sequence for WAL replay.
+        """
+        stored = self._docs.pop(external_id, None)
+        if stored is not None:
+            self.total_length -= stored.length
+        return stored
+
+    # -- reads -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, external_id: str) -> bool:
+        return external_id in self._docs
+
+    def get(self, external_id: str) -> Optional[StoredDocument]:
+        return self._docs.get(external_id)
+
+    def documents(self) -> List[StoredDocument]:
+        """Buffered documents in ascending docid (= arrival) order."""
+        return sorted(self._docs.values(), key=lambda d: d.internal_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"Memtable(docs={len(self._docs)}, next_doc_id={self.next_doc_id})"
+        )

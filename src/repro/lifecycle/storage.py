@@ -1,0 +1,358 @@
+"""On-disk layout and atomic commit protocol of the segmented index.
+
+A segmented index directory looks like::
+
+    <dir>/manifest.json            the commit point (atomic os.replace)
+    <dir>/wal-<version>.jsonl      the live WAL generation
+    <dir>/segments/<id>.json.gz    one immutable file per sealed segment
+
+**Commit protocol.**  Segment files are written first (each via a
+temporary file + ``os.replace``; segments are immutable so a file is
+written exactly once and never modified).  The manifest is then replaced
+atomically — *that* replace is the commit point: it names the segment
+files, the tombstone set, the docid high-water mark, the clock version,
+and the WAL generation that starts empty at this commit.  Only after the
+manifest lands are the previous WAL generation and any orphaned segment
+files (left behind by compaction) deleted; a crash anywhere in the
+sequence leaves either the old manifest (old WAL replays over the old
+state) or the new manifest (old WAL is ignored garbage) — never a state
+that loses an acknowledged write.
+
+**Generational WAL.**  The manifest names its WAL file
+(``wal-<version>.jsonl``) instead of reusing one path.  This is what
+makes recovery idempotent without sequence numbers: operations recorded
+before a commit are baked into the manifest's segments and their old WAL
+generation is simply never replayed again, even if the crash happened
+before the old file was unlinked.
+
+Segment payloads persist **precompiled posting columns** next to the
+analysed documents, so loading a segment is O(documents + postings) —
+array adoption, no re-tokenisation, no posting accumulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..index.documents import StoredDocument
+from ..index.postings import PostingList
+from .segment import Segment
+
+__all__ = ["SegmentStorage", "ManifestState"]
+
+PathLike = Union[str, Path]
+
+SEGMENT_DIR = "segments"
+MANIFEST_NAME = "manifest.json"
+SEGMENT_FORMAT_VERSION = 2
+
+
+def _storage_error(message: str):
+    from ..storage import StorageError
+
+    return StorageError(message)
+
+
+def _encode_column(values) -> str:
+    from ..storage import encode_column
+
+    return encode_column(values)
+
+
+def _decode_column(text):
+    from ..storage import decode_column
+
+    return decode_column(text)
+
+
+def _encode_tokens(tokens):
+    from ..storage import encode_tokens
+
+    return encode_tokens(tokens)
+
+
+def _lazy_tokens(mapping):
+    from ..storage import LazyTokenFields
+
+    return LazyTokenFields(mapping)
+
+
+def _write_atomic(path: Path, payload: dict, gzipped: bool) -> None:
+    """Write JSON to ``path`` via a temporary sibling + ``os.replace``."""
+    import gzip
+
+    tmp = path.with_name(path.name + ".tmp")
+    if gzipped:
+        with gzip.open(tmp, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    else:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict:
+    """Read one JSON artefact; corruption surfaces as a StorageError."""
+    import gzip
+
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                return json.load(handle)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise _storage_error(f"missing artefact {path}") from None
+    except (ValueError, EOFError, OSError, UnicodeDecodeError) as exc:
+        raise _storage_error(f"corrupt artefact {path}: {exc}") from None
+
+
+def _encode_segment(segment: Segment) -> dict:
+    return {
+        "kind": "segment",
+        "version": SEGMENT_FORMAT_VERSION,
+        "segment_id": segment.segment_id,
+        "documents": [
+            {
+                "internal_id": doc.internal_id,
+                "external_id": doc.external_id,
+                "field_tokens": {
+                    name: _encode_tokens(tokens)
+                    for name, tokens in doc.field_tokens.items()
+                },
+                "length": doc.length,
+                "unique_terms": doc.unique_terms,
+            }
+            for doc in segment.documents
+        ],
+        "content": {
+            term: [_encode_column(plist.doc_ids), _encode_column(plist.tfs)]
+            for term, plist in segment.content.items()
+        },
+        "predicates": {
+            term: _encode_column(plist.doc_ids)
+            for term, plist in segment.predicates.items()
+        },
+    }
+
+
+def _decode_segment(payload: dict, path: Path, segment_size: int) -> Segment:
+    if payload.get("kind") != "segment":
+        raise _storage_error(
+            f"expected a persisted segment in {path}, "
+            f"found {payload.get('kind')!r}"
+        )
+    if payload.get("version") != SEGMENT_FORMAT_VERSION:
+        raise _storage_error(
+            f"unsupported segment format version {payload.get('version')!r} "
+            f"in {path} (this build reads version {SEGMENT_FORMAT_VERSION})"
+        )
+    try:
+        documents = [
+            StoredDocument(
+                internal_id=entry["internal_id"],
+                external_id=entry["external_id"],
+                field_tokens=_lazy_tokens(entry["field_tokens"]),
+                length=entry["length"],
+                unique_terms=entry["unique_terms"],
+            )
+            for entry in payload["documents"]
+        ]
+        content = {
+            term: PostingList.from_arrays(
+                term,
+                _decode_column(ids),
+                _decode_column(tfs),
+                segment_size=segment_size,
+                validate=False,
+            )
+            for term, (ids, tfs) in payload["content"].items()
+        }
+        predicates = {}
+        for term, packed in payload["predicates"].items():
+            ids = _decode_column(packed)
+            predicates[term] = PostingList.from_arrays(
+                term,
+                ids,
+                [1] * len(ids),
+                segment_size=segment_size,
+                validate=False,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _storage_error(
+            f"malformed segment payload in {path}: {exc!r}"
+        ) from None
+    return Segment(
+        payload["segment_id"],
+        documents,
+        content,
+        predicates,
+        segment_size=segment_size,
+    )
+
+
+class ManifestState:
+    """Everything one manifest load yields (plus the WAL to replay)."""
+
+    def __init__(
+        self,
+        segments: List[Segment],
+        tombstones: Set[int],
+        next_doc_id: int,
+        next_segment_number: int,
+        version: int,
+        config: dict,
+        wal_name: str,
+    ):
+        self.segments = segments
+        self.tombstones = tombstones
+        self.next_doc_id = next_doc_id
+        self.next_segment_number = next_segment_number
+        self.version = version
+        self.config = config
+        self.wal_name = wal_name
+
+
+class SegmentStorage:
+    """Filesystem backing of one segmented index directory."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        (self.directory / SEGMENT_DIR).mkdir(exist_ok=True)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    def wal_path(self, name: str) -> Path:
+        return self.directory / name
+
+    def default_wal_name(self) -> str:
+        """The generation a fresh (pre-first-commit) directory logs to."""
+        return "wal-000000.jsonl"
+
+    def _segment_path(self, segment_id: str) -> Path:
+        return self.directory / SEGMENT_DIR / f"{segment_id}.json.gz"
+
+    # -- commit ----------------------------------------------------------
+
+    def commit(
+        self,
+        segments: Sequence[Segment],
+        tombstones: Iterable[int],
+        next_doc_id: int,
+        next_segment_number: int,
+        version: int,
+        config: dict,
+    ) -> str:
+        """Persist the index state; returns the new live WAL name.
+
+        See the module docstring for the ordering argument.  ``segments``
+        must not contain ephemeral (memtable-seal) segments.
+        """
+        for segment in segments:
+            if segment.ephemeral:
+                raise _storage_error(
+                    f"refusing to persist ephemeral segment "
+                    f"{segment.segment_id!r}"
+                )
+            path = self._segment_path(segment.segment_id)
+            if not path.exists():
+                _write_atomic(path, _encode_segment(segment), gzipped=True)
+
+        wal_name = f"wal-{version:06d}.jsonl"
+        manifest = {
+            "kind": "segmented_index",
+            "version": SEGMENT_FORMAT_VERSION,
+            "config": dict(config),
+            "next_doc_id": next_doc_id,
+            "next_segment_number": next_segment_number,
+            "clock_version": version,
+            "wal": wal_name,
+            "tombstones": sorted(tombstones),
+            "segments": [
+                {
+                    "segment_id": segment.segment_id,
+                    "file": f"{SEGMENT_DIR}/{segment.segment_id}.json.gz",
+                    "num_docs": segment.num_docs,
+                    "min_doc_id": segment.min_doc_id,
+                    "max_doc_id": segment.max_doc_id,
+                }
+                for segment in segments
+            ],
+        }
+        _write_atomic(self.manifest_path, manifest, gzipped=False)
+
+        # Post-commit cleanup: stale WAL generations and segment files the
+        # manifest no longer references.  Best effort — leftovers are
+        # ignored by the next load, never replayed or reread.
+        live_segment_files = {
+            f"{segment.segment_id}.json.gz" for segment in segments
+        }
+        for path in (self.directory / SEGMENT_DIR).iterdir():
+            if path.name not in live_segment_files:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        for path in self.directory.glob("wal-*.jsonl"):
+            if path.name != wal_name:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return wal_name
+
+    # -- load ------------------------------------------------------------
+
+    def load(self) -> Optional[ManifestState]:
+        """Load the committed state, or ``None`` for a fresh directory.
+
+        A missing or unreadable segment file named by the manifest is a
+        single readable :class:`~repro.storage.StorageError` identifying
+        the file — the same robustness contract the sharded-index loader
+        follows.
+        """
+        if not self.exists():
+            return None
+        manifest = _read_json(self.manifest_path)
+        if manifest.get("kind") != "segmented_index":
+            raise _storage_error(
+                f"expected a segmented-index manifest in "
+                f"{self.manifest_path}, found {manifest.get('kind')!r}"
+            )
+        if manifest.get("version") != SEGMENT_FORMAT_VERSION:
+            raise _storage_error(
+                f"unsupported manifest version {manifest.get('version')!r} "
+                f"in {self.manifest_path} (this build reads version "
+                f"{SEGMENT_FORMAT_VERSION})"
+            )
+        config = manifest.get("config", {})
+        segment_size = config.get("segment_size", 64)
+        segments: List[Segment] = []
+        for entry in manifest.get("segments", ()):
+            path = self.directory / entry["file"]
+            try:
+                payload = _read_json(path)
+            except Exception as exc:
+                raise _storage_error(
+                    f"segmented index {self.directory}: segment file "
+                    f"{path} is missing or unreadable ({exc})"
+                ) from None
+            segments.append(_decode_segment(payload, path, segment_size))
+        return ManifestState(
+            segments=segments,
+            tombstones=set(manifest.get("tombstones", ())),
+            next_doc_id=manifest.get("next_doc_id", 0),
+            next_segment_number=manifest.get("next_segment_number", 0),
+            version=manifest.get("clock_version", 0),
+            config=config,
+            wal_name=manifest.get("wal", self.default_wal_name()),
+        )

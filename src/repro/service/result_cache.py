@@ -13,13 +13,16 @@ Correctness rests on two guards:
   sorted de-duplicated predicate set, mode, and ``top_k``; the forced
   physical path is deliberately *excluded* because path forcing never
   changes rankings);
-* every entry is stamped with the engine's **epoch** (the index mutation
-  counter).  A lookup under a newer epoch drops the entry instead of
-  serving it, so a stale result can never be returned after an update —
-  even if nobody called :meth:`invalidate` explicitly.  ``invalidate()``
-  exists anyway for the
-  :func:`repro.views.maintenance.maintain_catalog` ``caches=`` hook,
-  matching the statistics cache's protocol.
+* every entry is stamped with the engine's **epoch** — the one version
+  counter the whole stack shares (the lifecycle layer's
+  :class:`~repro.lifecycle.version.VersionClock`: each snapshot is
+  stamped with it, ``engine.epoch`` delegates to it, and every WAL
+  append, flush, delete, and compaction advances it).  A lookup under a
+  newer epoch drops the entry instead of serving it, so a stale result
+  can never be returned after any lifecycle mutation — even if nobody
+  called :meth:`invalidate` explicitly.  ``invalidate()`` exists anyway
+  for the :func:`repro.views.maintenance.maintain_catalog` ``caches=``
+  hook, matching the statistics cache's protocol.
 """
 
 from __future__ import annotations

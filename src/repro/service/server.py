@@ -163,7 +163,7 @@ class QueryService:
         index = getattr(self.engine, "index", None) or getattr(
             self.engine, "sharded_index", None
         )
-        return {
+        payload = {
             "status": STATUS_OK,
             "version": __version__,
             "engine": "sharded" if self._sharded else "flat",
@@ -171,6 +171,14 @@ class QueryService:
             "epoch": self.epoch,
             "uptime_seconds": time.monotonic() - self.metrics.started,
         }
+        # Lifecycle engines report their segment/WAL/version state so an
+        # operator can see compaction debt and recovery position from
+        # the health endpoint alone.
+        lifecycle_info = getattr(self.engine, "lifecycle_info", None)
+        if callable(lifecycle_info):
+            payload["engine"] = "lifecycle"
+            payload["lifecycle"] = lifecycle_info()
+        return payload
 
     def _metrics(self) -> dict:
         return self.metrics.snapshot(

@@ -6,20 +6,31 @@ the whole motivation for persisting its output).  This module serialises
 both artefacts to versioned JSON (gzip-compressed when the path ends in
 ``.gz``):
 
-* **indexes** persist their configuration and the *analysed* documents;
-  posting lists are rebuilt deterministically from the stored tokens on
-  load, which keeps the format independent of posting-list internals;
+* **indexes** (format version 2) persist their configuration, the
+  *analysed* documents, and the **precompiled posting columns** — docid
+  and tf arrays per term, plus each list's cached ``max_tf`` — so loading
+  is O(documents + postings): array adoption, no re-tokenisation, no
+  posting accumulation.  Version-1 payloads (tokens only) are still
+  read via the legacy rebuild path;
 * **catalogs** persist each view's keyword set, parameter-column terms,
   and non-empty group tuples — loading is O(total tuples), no corpus
   access required.
+
+Segmented index *directories* (manifest + WAL + per-segment files) are
+the lifecycle layer's concern — see :mod:`repro.lifecycle.storage` —
+but :func:`load_any_index` accepts them so one ``--index`` flag serves
+all three artefact kinds.
 """
 
 from __future__ import annotations
 
+import base64
 import gzip
 import json
+import sys
+from array import array
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Union
+from typing import Dict, FrozenSet, Iterable, List, Union
 
 from .errors import ReproError
 from .index.documents import Document
@@ -27,13 +38,93 @@ from .index.inverted_index import InvertedIndex
 from .views.catalog import ViewCatalog
 from .views.view import GroupTuple, MaterializedView
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
 
 
 class StorageError(ReproError):
     """Raised on malformed or incompatible persisted artefacts."""
+
+
+def encode_column(values: Iterable[int]) -> str:
+    """Pack an int64 column as base64 of little-endian bytes.
+
+    One JSON string token parses orders of magnitude faster than a list
+    of integers, and decoding is ``array.frombytes`` — the reason the
+    v2 cold-load path is array adoption rather than number parsing.
+    """
+    column = values if isinstance(values, array) else array("q", values)
+    if sys.byteorder != "little":
+        column = array("q", column)
+        column.byteswap()
+    return base64.b64encode(column.tobytes()).decode("ascii")
+
+
+def decode_column(text: str) -> array:
+    """Inverse of :func:`encode_column`."""
+    column = array("q")
+    column.frombytes(base64.b64decode(text))
+    if sys.byteorder != "little":
+        column.byteswap()
+    return column
+
+
+def encode_tokens(tokens: List[str]) -> Union[str, List[str]]:
+    """Pack a token list as one space-joined string when that round-trips.
+
+    At collection scale the dominant load cost is materialising millions
+    of small token strings out of JSON; a single joined string parses as
+    one token and ``str.split`` rebuilds the list in C.  Tokens that are
+    empty or contain a space cannot round-trip through the join, so such
+    lists fall back to the plain JSON-array form — the decoder accepts
+    both shapes.
+    """
+    if all(token and " " not in token for token in tokens):
+        return " ".join(tokens)
+    return list(tokens)
+
+
+def decode_tokens(value: Union[str, List[str]]) -> List[str]:
+    """Inverse of :func:`encode_tokens`."""
+    if isinstance(value, str):
+        return value.split(" ") if value else []
+    return list(value)
+
+
+class LazyTokenFields(dict):
+    """A ``field_tokens`` mapping that unpacks joined strings on demand.
+
+    Query execution runs entirely off the precompiled posting columns;
+    the stored token lists are only read by view maintenance, re-saves,
+    and per-document tf probes.  Keeping each field packed until first
+    access makes cold load O(postings) instead of O(total tokens).
+    Materialised fields replace the packed form in place, so the split
+    happens at most once per field.
+    """
+
+    __slots__ = ()
+
+    def _materialise(self, key, value):
+        if isinstance(value, str):
+            value = value.split(" ") if value else []
+            dict.__setitem__(self, key, value)
+        return value
+
+    def __getitem__(self, key):
+        return self._materialise(key, dict.__getitem__(self, key))
+
+    def get(self, key, default=None):
+        if key not in self:
+            return default
+        return self[key]
+
+    def items(self):
+        return [(key, self[key]) for key in dict.keys(self)]
+
+    def values(self):
+        return [self[key] for key in dict.keys(self)]
 
 
 def _open_write(path: Path):
@@ -62,18 +153,20 @@ def _read_payload(path: Path) -> dict:
         raise StorageError(f"corrupt artefact {path}: {exc}") from None
 
 
-def _check_header(payload: dict, expected_kind: str) -> None:
+def _check_header(payload: dict, expected_kind: str) -> int:
+    """Validate kind and version; returns the payload's format version."""
     kind = payload.get("kind")
     version = payload.get("version")
     if kind != expected_kind:
         raise StorageError(
             f"expected a persisted {expected_kind!r}, found {kind!r}"
         )
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise StorageError(
             f"unsupported format version {version!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
+    return version
 
 
 # -- raw documents -------------------------------------------------------------
@@ -121,15 +214,31 @@ def _encode_index(index: InvertedIndex) -> dict:
             {
                 "external_id": doc.external_id,
                 "field_tokens": {
-                    name: tokens for name, tokens in doc.field_tokens.items()
+                    name: encode_tokens(tokens)
+                    for name, tokens in doc.field_tokens.items()
                 },
+                "length": doc.length,
+                "unique_terms": doc.unique_terms,
             }
             for doc in index.store
         ],
+        "content": {
+            term: [
+                encode_column(plist.doc_ids),
+                encode_column(plist.tfs),
+                plist.max_tf,
+            ]
+            for term, plist in index.content_items()
+        },
+        "predicates": {
+            term: encode_column(plist.doc_ids)
+            for term, plist in index.predicate_items()
+        },
     }
 
 
-def _decode_index(payload: dict) -> InvertedIndex:
+def _decode_index_v1(payload: dict) -> InvertedIndex:
+    """Legacy decode: re-accumulate postings from the stored tokens."""
     index = InvertedIndex(
         searchable_fields=tuple(payload["searchable_fields"]),
         predicate_field=payload["predicate_field"],
@@ -144,6 +253,58 @@ def _decode_index(payload: dict) -> InvertedIndex:
     return index.commit()
 
 
+def _decode_index(payload: dict, version: int = FORMAT_VERSION) -> InvertedIndex:
+    if version == 1:
+        return _decode_index_v1(payload)
+    from .index.documents import StoredDocument
+    from .index.postings import PostingList
+
+    segment_size = payload["segment_size"]
+    try:
+        documents = [
+            StoredDocument(
+                internal_id=internal_id,
+                external_id=entry["external_id"],
+                field_tokens=LazyTokenFields(entry["field_tokens"]),
+                length=entry["length"],
+                unique_terms=entry["unique_terms"],
+            )
+            for internal_id, entry in enumerate(payload["documents"])
+        ]
+        content = {
+            term: PostingList.from_arrays(
+                term,
+                decode_column(ids),
+                decode_column(tfs),
+                segment_size=segment_size,
+                validate=False,
+                max_tf=max_tf,
+            )
+            for term, (ids, tfs, max_tf) in payload["content"].items()
+        }
+        predicates = {}
+        for term, packed in payload["predicates"].items():
+            ids = decode_column(packed)
+            predicates[term] = PostingList.from_arrays(
+                term,
+                ids,
+                array("q", [1]) * len(ids),
+                segment_size=segment_size,
+                validate=False,
+                max_tf=1 if ids else 0,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed index payload: {exc!r}") from None
+    return InvertedIndex.from_compiled(
+        documents,
+        content,
+        predicates,
+        searchable_fields=tuple(payload["searchable_fields"]),
+        predicate_field=payload["predicate_field"],
+        segment_size=segment_size,
+    )
+
+
 def save_index(index: InvertedIndex, path: PathLike) -> None:
     """Persist a committed index (configuration + analysed documents)."""
     path = Path(path)
@@ -155,15 +316,16 @@ def save_index(index: InvertedIndex, path: PathLike) -> None:
 def load_index(path: PathLike) -> InvertedIndex:
     """Load an index saved by :func:`save_index`.
 
-    Posting lists and collection statistics are rebuilt from the stored
-    token streams, bypassing text analysis (the tokens were analysed at
-    save time), so the loaded index is bit-identical in behaviour to the
-    original.
+    Version-2 payloads carry the compiled posting columns, so the load
+    is pure array adoption — O(documents + postings), no text analysis,
+    no posting accumulation.  Version-1 payloads fall back to the legacy
+    rebuild from stored token streams.  Either way the loaded index is
+    bit-identical in behaviour to the original.
     """
     path = Path(path)
     payload = _read_payload(path)
-    _check_header(payload, "index")
-    return _decode_index(payload)
+    version = _check_header(payload, "index")
+    return _decode_index(payload, version)
 
 
 # -- sharded indexes -----------------------------------------------------------
@@ -215,7 +377,13 @@ def save_sharded_index(sharded_index, path: PathLike) -> None:
 
 
 def load_sharded_index(path: PathLike):
-    """Load a sharded index saved by :func:`save_sharded_index`."""
+    """Load a sharded index saved by :func:`save_sharded_index`.
+
+    A missing, truncated, or version-incompatible per-shard file
+    surfaces as a single readable :class:`StorageError` naming the
+    offending file — the manifest alone never names enough state to
+    serve from, so a partial load is always a hard error.
+    """
     from array import array
 
     from .index.sharded import IndexShard, ShardedInvertedIndex, make_partitioner
@@ -229,30 +397,46 @@ def load_sharded_index(path: PathLike):
     shards = []
     for shard_id, entry in enumerate(manifest["shards"]):
         shard_path = path.parent / entry["file"]
-        payload = _read_payload(shard_path)
-        _check_header(payload, "index")
+        try:
+            payload = _read_payload(shard_path)
+            version = _check_header(payload, "index")
+        except FileNotFoundError:
+            raise StorageError(
+                f"sharded index {path}: shard file {shard_path} is missing"
+            ) from None
+        except StorageError as exc:
+            raise StorageError(
+                f"sharded index {path}: shard file {shard_path} is "
+                f"unreadable ({exc})"
+            ) from None
         global_ids = payload.get("global_ids")
         if global_ids is None:
             raise StorageError(
                 f"shard file {shard_path} carries no global docid map"
             )
-        index = _decode_index(payload)
+        index = _decode_index(payload, version)
         shards.append(IndexShard(shard_id, index, array("q", global_ids)))
     return ShardedInvertedIndex(shards, partitioner)
 
 
 def load_any_index(path: PathLike):
-    """Load whichever index kind ``path`` holds (flat or sharded).
+    """Load whichever index kind ``path`` holds (flat, sharded, segmented).
 
-    The CLI's search/batch commands use this so one ``--index`` flag
-    accepts both artefacts.
+    The CLI's commands use this so one ``--index`` flag accepts all
+    three artefacts.  A *directory* is a segmented index (manifest +
+    WAL + per-segment files): the load performs crash recovery — the
+    committed manifest plus a replay of the live WAL generation.
     """
     path = Path(path)
+    if path.is_dir():
+        from .lifecycle import SegmentedIndex
+
+        return SegmentedIndex.open(path)
     payload = _read_payload(path)
     if payload.get("kind") == "sharded_index":
         return load_sharded_index(path)
-    _check_header(payload, "index")
-    return _decode_index(payload)
+    version = _check_header(payload, "index")
+    return _decode_index(payload, version)
 
 
 # -- view catalogs -------------------------------------------------------------

@@ -1,13 +1,24 @@
-"""Incremental maintenance of materialized views under document insertions.
+"""Incremental maintenance of materialized views under inserts and deletes.
 
 The paper materialises views once over a static collection; a production
-deployment must survive a growing corpus.  Because every view column is
-a *distributive* aggregate (COUNT, SUM), insertions maintain views
-exactly with per-document deltas — no rescan of the collection:
+deployment must survive a growing *and shrinking* corpus.  Because every
+view column is a *distributive* aggregate (COUNT, SUM), both directions
+maintain views exactly with per-document deltas — no rescan of the
+collection:
 
-* the new document's group key is its predicate set restricted to ``K``;
+* the document's group key is its predicate set restricted to ``K``;
 * COUNT(*) and SUM(len) update in O(1);
-* each ``df``/``tc`` column updates from the document's term frequencies.
+* each ``df``/``tc`` column updates from the document's term frequencies;
+* deletion (:func:`retract_document`) applies the exact reverse delta,
+  dropping a group tuple when its count reaches zero — so a view after
+  any add/delete interleaving equals the view materialised from scratch
+  over the surviving documents (the lifecycle tests assert this).
+
+The segment lifecycle drives this module at segment granularity:
+:func:`segment_delta` folds one sealed segment's live documents into a
+catalog in a single pass (:func:`apply_segment_delta`), which is how a
+lifecycle engine keeps its catalog exact across flushes without
+re-materialising.
 
 What incremental maintenance *cannot* preserve is the selection-time
 guarantee: as the collection grows, context sizes drift across ``T_C``
@@ -93,6 +104,133 @@ def apply_document(
     # batched answer rebuilds from the mutated groups.
     view.invalidate_columns()
     return created
+
+
+def retract_document(
+    view: MaterializedView,
+    predicates: FrozenSet[str],
+    length: int,
+    term_frequencies: Mapping[str, int],
+) -> bool:
+    """Remove one document's contribution from ``view`` (exact reverse
+    of :func:`apply_document`).
+
+    Returns ``True`` when the document's group tuple emptied out and was
+    dropped.  Retracting a document that was never applied corrupts the
+    view silently where it can and raises where it cannot (count
+    underflow) — callers own exactly-once delivery, same as application.
+    """
+    key = predicates & view.keyword_set
+    group = view.groups.get(key)
+    if group is None or group.count <= 0:
+        raise ValueError(
+            f"cannot retract from empty group {sorted(key)!r}: "
+            "document was never applied to this view"
+        )
+    group.count -= 1
+    group.sum_len -= length
+    for term, tf in term_frequencies.items():
+        if term in view.df_terms and term in group.df:
+            remaining = group.df[term] - 1
+            if remaining > 0:
+                group.df[term] = remaining
+            else:
+                del group.df[term]
+        if term in view.tc_terms and term in group.tc:
+            remaining = group.tc[term] - tf
+            if remaining > 0:
+                group.tc[term] = remaining
+            else:
+                del group.tc[term]
+    removed = group.count == 0
+    if removed:
+        del view.groups[key]
+    view.invalidate_columns()
+    return removed
+
+
+def retract_views(
+    views: Iterable[MaterializedView],
+    index,
+    removed_documents: Sequence[StoredDocument],
+) -> MaintenanceReport:
+    """Retract a batch of deleted documents from every view.
+
+    ``removed_documents`` are the stored forms captured *before* the
+    delete (the lifecycle engine looks them up from its snapshot first);
+    ``index`` is anything exposing ``searchable_fields`` and
+    ``predicate_field``.
+    """
+    views = list(views)
+    report = MaintenanceReport(documents_applied=len(removed_documents))
+    deltas = [document_delta(index, stored) for stored in removed_documents]
+    for view in views:
+        for predicates, length, tf_counts in deltas:
+            retract_document(view, predicates, length, tf_counts)
+        if deltas:
+            report.views_updated += 1
+    return report
+
+
+def retract_catalog(
+    catalog: ViewCatalog,
+    index,
+    removed_documents: Sequence[StoredDocument],
+    caches: Iterable = (),
+) -> MaintenanceReport:
+    """Retract deleted documents from every catalog view, then drop caches."""
+    report = retract_views(list(catalog), index, removed_documents)
+    invalidated = 0
+    for cache in caches:
+        cache.invalidate()
+        invalidated += 1
+    report.caches_invalidated = invalidated
+    return report
+
+
+def segment_delta(index, segment, tombstones=frozenset()) -> list:
+    """Per-document deltas of one sealed segment's live documents.
+
+    ``segment`` is a :class:`~repro.lifecycle.segment.Segment`;
+    ``tombstones`` filters documents deleted after sealing.  The result
+    feeds :func:`apply_segment_delta` (or, reversed, retraction).
+    """
+    return [
+        document_delta(index, stored)
+        for stored in segment.live_documents(set(tombstones))
+    ]
+
+
+def apply_segment_delta(
+    catalog: ViewCatalog,
+    index,
+    segment,
+    tombstones=frozenset(),
+    t_v: Optional[int] = None,
+    caches: Iterable = (),
+) -> MaintenanceReport:
+    """Fold one segment's live documents into every catalog view.
+
+    The lifecycle's per-segment maintenance unit: a catalog bootstrapped
+    empty absorbs each sealed segment exactly once and stays equal to a
+    from-scratch materialisation over the live collection.
+    """
+    deltas = segment_delta(index, segment, tombstones)
+    report = MaintenanceReport(documents_applied=len(deltas))
+    for view in catalog:
+        for predicates, length, tf_counts in deltas:
+            if apply_document(view, predicates, length, tf_counts):
+                report.new_group_tuples += 1
+        if deltas:
+            report.views_updated += 1
+        if t_v is not None and view.size > t_v:
+            report.views_over_tv.append(view.keyword_set)
+    invalidated = 0
+    for cache in caches:
+        cache.invalidate()
+        invalidated += 1
+    report.caches_invalidated = invalidated
+    return report
 
 
 def maintain_views(

@@ -113,3 +113,152 @@ class TestCatalogRoundTrip:
         )
         assert b.report.resolution.path == "views"
         assert a.external_ids() == b.external_ids()
+
+
+class TestFormatVersions:
+    """Format-version 2 persists precompiled postings; version-1 payloads
+    (token streams only) must keep loading through the legacy decoder."""
+
+    def _v1_payload(self, index) -> dict:
+        return {
+            "kind": "index",
+            "version": 1,
+            "searchable_fields": list(index.searchable_fields),
+            "predicate_field": index.predicate_field,
+            "segment_size": index.segment_size,
+            "documents": [
+                {
+                    "external_id": doc.external_id,
+                    "field_tokens": {
+                        name: list(tokens)
+                        for name, tokens in doc.field_tokens.items()
+                    },
+                }
+                for doc in index.store
+            ],
+        }
+
+    def test_v1_payload_still_loads(self, tmp_path, handmade_index):
+        import json
+
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._v1_payload(handmade_index)))
+        loaded = load_index(path)
+        assert loaded.num_docs == handmade_index.num_docs
+        for term in handmade_index.vocabulary:
+            assert list(loaded.postings(term)) == list(
+                handmade_index.postings(term)
+            )
+        a = ContextSearchEngine(handmade_index).search("leukemia | Diseases")
+        b = ContextSearchEngine(loaded).search("leukemia | Diseases")
+        assert a.external_ids() == b.external_ids()
+
+    def test_v2_payload_carries_precompiled_postings(
+        self, tmp_path, handmade_index
+    ):
+        import json
+
+        path = tmp_path / "v2.json"
+        save_index(handmade_index, path)
+        payload = json.loads(path.read_text())
+        from repro.storage import decode_column
+
+        assert payload["version"] == 2
+        assert payload["content"]  # postings columns, not just tokens
+        term, column = next(iter(payload["content"].items()))
+        packed_ids, packed_tfs, max_tf = column
+        ids, tfs = decode_column(packed_ids), decode_column(packed_tfs)
+        assert len(ids) == len(tfs)
+        assert max_tf == max(tfs)
+        entry = payload["documents"][0]
+        assert "length" in entry and "unique_terms" in entry
+
+    def test_v2_reload_preserves_max_tf(self, tmp_path, handmade_index):
+        path = tmp_path / "v2.json"
+        save_index(handmade_index, path)
+        loaded = load_index(path)
+        for term in handmade_index.vocabulary:
+            assert (
+                loaded.postings(term).max_tf
+                == handmade_index.postings(term).max_tf
+            )
+
+    def test_future_version_rejected_with_supported_list(
+        self, tmp_path, handmade_index
+    ):
+        import json
+
+        path = tmp_path / "v9.json"
+        save_index(handmade_index, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 9
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StorageError, match="versions 1, 2"):
+            load_index(path)
+
+    def test_malformed_v2_payload_is_storage_error(
+        self, tmp_path, handmade_index
+    ):
+        import json
+
+        path = tmp_path / "broken.json"
+        save_index(handmade_index, path)
+        payload = json.loads(path.read_text())
+        term = next(iter(payload["content"]))
+        payload["content"][term] = [[0, 1]]  # not an (ids, tfs, max_tf) triple
+        path.write_text(json.dumps(payload))
+        with pytest.raises(StorageError, match="malformed index payload"):
+            load_index(path)
+
+
+class TestShardedLoadRobustness:
+    """A missing, truncated, or version-incompatible per-shard file must
+    surface as one readable StorageError naming the offending file."""
+
+    @pytest.fixture()
+    def saved_sharded(self, tmp_path, handmade_index):
+        from repro.index.sharded import ShardedInvertedIndex
+        from repro.storage import load_sharded_index, save_sharded_index
+
+        sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
+        path = tmp_path / "idx.json"
+        save_sharded_index(sharded, path)
+        return path, load_sharded_index
+
+    def test_missing_shard_file(self, saved_sharded):
+        path, load_sharded_index = saved_sharded
+        victim = path.parent / "idx.shard1.json"
+        victim.unlink()
+        with pytest.raises(StorageError, match="is missing") as exc_info:
+            load_sharded_index(path)
+        assert victim.name in str(exc_info.value)
+
+    def test_truncated_gzip_shard(self, tmp_path, handmade_index):
+        from repro.index.sharded import ShardedInvertedIndex
+        from repro.storage import load_sharded_index, save_sharded_index
+
+        sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
+        path = tmp_path / "idx.json.gz"
+        save_sharded_index(sharded, path)
+        victim = tmp_path / "idx.shard0.json.gz"
+        victim.write_bytes(victim.read_bytes()[:40])  # truncate mid-stream
+        with pytest.raises(StorageError, match="unreadable") as exc_info:
+            load_sharded_index(path)
+        assert victim.name in str(exc_info.value)
+
+    def test_shard_version_mismatch(self, saved_sharded):
+        import json
+
+        path, load_sharded_index = saved_sharded
+        victim = path.parent / "idx.shard0.json"
+        payload = json.loads(victim.read_text())
+        payload["version"] = 99
+        victim.write_text(json.dumps(payload))
+        with pytest.raises(StorageError, match="unreadable") as exc_info:
+            load_sharded_index(path)
+        assert victim.name in str(exc_info.value)
+
+    def test_intact_set_roundtrips(self, saved_sharded, handmade_index):
+        path, load_sharded_index = saved_sharded
+        loaded = load_sharded_index(path)
+        assert loaded.num_docs == handmade_index.num_docs
