@@ -4,7 +4,9 @@ Section 3.2.2 notes top-k processing cannot start until the context
 statistics are known; with materialized views supplying the statistics
 instantly, pruned top-k becomes worthwhile again.  This bench measures
 how much MaxScore saves over exhaustive OR-scoring at several k, for
-whole-collection queries (the regime with the longest posting lists).
+whole-collection queries (the regime with the longest posting lists),
+and isolates the block-max contribution (per-block score bounds) from
+the global-bound MaxScore baseline.
 """
 
 import pytest
@@ -42,25 +44,30 @@ def probe(bench_index):
     return keywords, stats
 
 
+@pytest.mark.parametrize("block_max", (True, False), ids=("blocks", "global"))
 @pytest.mark.parametrize("k", K_VALUES)
-def test_maxscore(benchmark, bench_index, probe, k):
+def test_maxscore(benchmark, bench_index, probe, k, block_max):
     keywords, stats = probe
     ranking = BM25()
     diagnostics = TopKDiagnostics()
 
     def run():
-        scorer = MaxScoreScorer(bench_index, keywords, stats, ranking)
+        scorer = MaxScoreScorer(
+            bench_index, keywords, stats, ranking, block_max=block_max
+        )
         return scorer.top_k(k, diagnostics=diagnostics)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert len(result) == k
     _rows.append(
         (
-            "maxscore",
+            "maxscore/blocks" if block_max else "maxscore/global",
             k,
             f"{benchmark.stats['mean'] * 1000:.1f}",
             diagnostics.candidates_seen // 4,   # per round (3 + warmup)
             diagnostics.candidates_scored // 4,
+            diagnostics.blocks_considered // 4,
+            diagnostics.blocks_skipped // 4,
         )
     )
 
@@ -78,7 +85,17 @@ def test_exhaustive(benchmark, bench_index, probe, k):
     union = len(
         {d for w in keywords for d in bench_index.postings(w).doc_ids}
     )
-    _rows.append(("exhaustive", k, f"{benchmark.stats['mean'] * 1000:.1f}", union, union))
+    _rows.append(
+        (
+            "exhaustive",
+            k,
+            f"{benchmark.stats['mean'] * 1000:.1f}",
+            union,
+            union,
+            0,
+            0,
+        )
+    )
 
 
 def test_equivalence_and_table(benchmark, bench_index, probe):
@@ -87,18 +104,31 @@ def test_equivalence_and_table(benchmark, bench_index, probe):
 
     def check():
         pruned = MaxScoreScorer(bench_index, keywords, stats, ranking).top_k(50)
+        unblocked = MaxScoreScorer(
+            bench_index, keywords, stats, ranking, block_max=False
+        ).top_k(50)
         reference = exhaustive_disjunctive(
             bench_index, keywords, stats, ranking, 50
         )
         assert [s.doc_id for s in pruned] == [s.doc_id for s in reference]
+        assert [s.doc_id for s in unblocked] == [s.doc_id for s in reference]
         return True
 
     assert benchmark.pedantic(check, rounds=1, iterations=1)
 
-    if len(_rows) >= 2 * len(K_VALUES):
+    if len(_rows) >= 3 * len(K_VALUES):
         print_table(
-            "Ablation A6: MaxScore vs exhaustive disjunctive top-k "
+            "Ablation A6: MaxScore (block-max / global bounds) vs "
+            "exhaustive disjunctive top-k "
             "(4 keywords over the whole collection)",
-            ("scorer", "k", "mean ms", "candidates seen", "candidates scored"),
+            (
+                "scorer",
+                "k",
+                "mean ms",
+                "cand seen",
+                "cand scored",
+                "blocks seen",
+                "blocks skipped",
+            ),
             sorted(_rows, key=lambda r: (r[1], r[0])),
         )

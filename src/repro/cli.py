@@ -208,7 +208,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.conventional:
         results = engine.search_conventional(args.query, top_k=args.top_k)
     elif args.disjunctive:
-        results = engine.search_disjunctive(args.query, top_k=args.top_k)
+        results = engine.search_disjunctive(
+            args.query,
+            top_k=args.top_k,
+            block_max=getattr(args, "block_max", "on") == "on",
+        )
     else:
         results = engine.search(args.query, top_k=args.top_k)
 
@@ -257,12 +261,27 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         else "disjunctive" if args.disjunctive else "context"
     )
     results = engine.explain(
-        args.query, top_k=args.top_k, mode=mode, path=args.path
+        args.query,
+        top_k=args.top_k,
+        mode=mode,
+        path=args.path,
+        block_max=getattr(args, "block_max", "on") == "on",
     )
     report = results.report
     print(f"explain: {args.query}")
     if report.plan is not None:
         print(report.plan.render())
+    if report.topk is not None:
+        topk = report.topk
+        print(
+            f"top-k pruning: block_max="
+            f"{'on' if topk.get('block_max') else 'off'} "
+            f"scored={topk.get('candidates_scored')}"
+            f"/{topk.get('candidates_seen')} "
+            f"pruned={topk.get('candidates_pruned')} "
+            f"blocks_considered={topk.get('blocks_considered')} "
+            f"blocks_skipped={topk.get('blocks_skipped')}"
+        )
     if report.per_shard:
         print("per-shard execution:")
         for shard in report.per_shard:
@@ -633,6 +652,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline ranking (whole-collection statistics)")
     p.add_argument("--disjunctive", action="store_true",
                    help="OR-semantics top-k (MaxScore)")
+    p.add_argument("--block-max", choices=("on", "off"), default="on",
+                   help="per-block score bounds for top-k skipping "
+                        "(rankings are identical either way)")
     _add_sharding_options(p)
     p.set_defaults(func=_cmd_search)
 
@@ -652,6 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--path", choices=("auto", "views", "straightforward"),
                    default="auto",
                    help="force a physical path instead of cost-based choice")
+    p.add_argument("--block-max", choices=("on", "off"), default="on",
+                   help="per-block score bounds for top-k skipping "
+                        "(rankings are identical either way)")
     _add_sharding_options(p)
     p.set_defaults(func=_cmd_explain)
 

@@ -143,6 +143,7 @@ class ContextSearchEngine:
         top_k: Optional[int] = None,
         mode: str = MODE_CONTEXT,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> SearchResults:
         """Evaluate ``query`` in ``mode`` and return results whose report
         carries the optimizer's :class:`ExplainedPlan` (predicted vs.
@@ -152,7 +153,10 @@ class ContextSearchEngine:
             return self.search_conventional(query, top_k=top_k)
         if mode == MODE_DISJUNCTIVE:
             return self.search_disjunctive(
-                query, top_k=top_k if top_k is not None else 10, path=path
+                query,
+                top_k=top_k if top_k is not None else 10,
+                path=path,
+                block_max=block_max,
             )
         return self.search(query, top_k=top_k, path=path)
 
@@ -230,6 +234,7 @@ class ContextSearchEngine:
         query: Union[ContextQuery, str],
         top_k: int = 10,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> SearchResults:
         """OR-semantics context-sensitive search with MaxScore pruning.
 
@@ -240,6 +245,10 @@ class ContextSearchEngine:
         document-at-a-time over the keyword posting lists with a lazy
         context-membership filter, so on the views path the context is
         never materialised at all.
+
+        ``block_max`` toggles block-max skipping (per-block score upper
+        bounds over the skip-table blocks); rankings are bit-identical
+        either way — the knob exists for A/B and ablation runs.
 
         Requires a ``decomposable`` ranking model (TF-IDF, BM25);
         language models raise :class:`~repro.errors.QueryError`.
@@ -271,7 +280,9 @@ class ContextSearchEngine:
             collection_stats,
             top_k,
             diagnostics=diagnostics,
+            block_max=block_max,
         )
+        report.topk = dict(diagnostics.to_dict(), block_max=block_max)
         hits = [
             SearchHit(
                 doc_id=s.doc_id,

@@ -372,6 +372,7 @@ class MaxScoreTopK:
         term_bounds: Optional[Mapping[str, float]] = None,
         shared: Optional[Any] = None,
         diagnostics: Optional[Any] = None,
+        block_max: bool = True,
     ):
         from .topk import MaxScoreScorer, PredicateMembership
 
@@ -382,5 +383,6 @@ class MaxScoreTopK:
             self.ranking,
             context_filter=PredicateMembership(self.index, list(predicates)),
             term_bounds=term_bounds,
+            block_max=block_max,
         )
         return scorer.top_k(k, ctx.counter, diagnostics, shared=shared)

@@ -121,6 +121,9 @@ class ExecutionReport:
     # A deserialised report has no live plan; the wire summary stands in
     # so ``predicted_cost`` keeps answering (see :meth:`from_dict`).
     plan_summary: Optional[dict] = None
+    # Disjunctive-only: top-k pruning diagnostics (candidate and block
+    # counters plus the block_max knob state); ``None`` for other modes.
+    topk: Optional[dict] = None
 
     @property
     def path(self) -> str:
@@ -159,6 +162,7 @@ class ExecutionReport:
                 if self.per_shard is not None
                 else None
             ),
+            "topk": self.topk,
         }
 
     @classmethod
@@ -178,4 +182,5 @@ class ExecutionReport:
                 else None
             ),
             plan_summary=payload.get("plan"),
+            topk=payload.get("topk"),
         )

@@ -260,23 +260,31 @@ class ShardRuntime:
     ) -> List[tuple]:
         """Per-shard disjunctive MaxScore with globally shared bounds.
 
-        ``tasks``: ``(qid, keywords, predicates, values, k, term_bounds)``.
-        ``term_bounds`` are computed by the parent from *global* max tf, so
-        every shard's scorer orders and prunes against the same bounds the
-        single-shard scorer would.  ``shared_by_qid`` carries live
-        :class:`SharedTopKThreshold` objects when shards run in the same
-        address space (serial/thread backends); the fork backend omits it
-        — threshold sharing is a pruning accelerator, never a correctness
-        requirement.  Returns ``(qid, hits, counter)``.
+        ``tasks``: ``(qid, keywords, predicates, values, k, term_bounds,
+        block_max)``.  ``term_bounds`` are computed by the parent from
+        *global* max tf, so every shard's scorer orders and prunes
+        against the same bounds the single-shard scorer would; with
+        ``block_max`` each shard additionally derives per-block bounds
+        from its local block max-tf metadata (capped by the global term
+        bounds — a pure local pruning accelerator).  ``shared_by_qid``
+        carries live :class:`SharedTopKThreshold` objects when shards
+        run in the same address space (serial/thread backends); the fork
+        backend omits it — threshold sharing is a pruning accelerator,
+        never a correctness requirement.  Returns ``(qid, hits, counter,
+        topk_diag)`` with ``topk_diag`` the shard's
+        :class:`~repro.core.topk.TopKDiagnostics` as a plain dict.
         """
+        from .topk import TopKDiagnostics
+
         out = []
-        for qid, keywords, predicates, values, k, term_bounds in tasks:
+        for qid, keywords, predicates, values, k, term_bounds, block_max in tasks:
             counter = CostCounter()
             ctx = ExecutionContext(counter=counter)
             if values is None:
                 continue
             stats = CollectionStatistics.from_values(values)
             shared = shared_by_qid.get(qid) if shared_by_qid else None
+            diagnostics = TopKDiagnostics()
             scored = self._op_topk.run(
                 ctx,
                 keywords,
@@ -285,6 +293,8 @@ class ShardRuntime:
                 k,
                 term_bounds=term_bounds,
                 shared=shared,
+                diagnostics=diagnostics,
+                block_max=block_max,
             )
             hits = [
                 (
@@ -294,7 +304,7 @@ class ShardRuntime:
                 )
                 for s in scored
             ]
-            out.append((qid, hits, counter))
+            out.append((qid, hits, counter, diagnostics.to_dict()))
         return out
 
     # -- internals ------------------------------------------------------
@@ -596,9 +606,10 @@ class ShardedEngine:
         query: Union[ContextQuery, str],
         top_k: int = 10,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> SearchResults:
         """OR-semantics context-sensitive top-k across all shards."""
-        return self._single(query, top_k, "disjunctive", path)
+        return self._single(query, top_k, "disjunctive", path, block_max)
 
     def explain(
         self,
@@ -606,6 +617,7 @@ class ShardedEngine:
         top_k: Optional[int] = None,
         mode: str = MODE_CONTEXT,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> SearchResults:
         """Evaluate and return results whose report carries the aggregate
         plan (per-shard choices, predicted vs. actual counts)."""
@@ -613,7 +625,10 @@ class ShardedEngine:
             return self.search_conventional(query, top_k=top_k)
         if mode == MODE_DISJUNCTIVE:
             return self.search_disjunctive(
-                query, top_k=top_k if top_k is not None else 10, path=path
+                query,
+                top_k=top_k if top_k is not None else 10,
+                path=path,
+                block_max=block_max,
             )
         return self.search(query, top_k=top_k, path=path)
 
@@ -623,6 +638,7 @@ class ShardedEngine:
         top_k: Optional[int] = None,
         mode: str = "context",
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> BatchReport:
         """Evaluate a workload with one scatter-gather round per phase.
 
@@ -636,7 +652,7 @@ class ShardedEngine:
             raise QueryError(f"unknown batch mode: {mode!r}")
         queries = list(queries)
         started = time.perf_counter()
-        results = self._execute_batch(queries, top_k, mode, path)
+        results = self._execute_batch(queries, top_k, mode, path, block_max)
         elapsed = time.perf_counter() - started
         outcomes = []
         for query, result in zip(queries, results):
@@ -686,8 +702,9 @@ class ShardedEngine:
         top_k: Optional[int],
         mode: str,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> SearchResults:
-        result = self._execute_batch([query], top_k, mode, path)[0]
+        result = self._execute_batch([query], top_k, mode, path, block_max)[0]
         if isinstance(result, ReproError):
             raise result
         return result
@@ -716,6 +733,7 @@ class ShardedEngine:
         top_k: Optional[int],
         mode: str,
         path: str = PATH_AUTO,
+        block_max: bool = True,
     ) -> List[Union[SearchResults, ReproError]]:
         started = time.perf_counter()
         force = self._validate_path(path)
@@ -756,7 +774,8 @@ class ShardedEngine:
             self._run_conventional(analyzed, top_k, results, num_shards)
         else:
             self._run_disjunctive(
-                analyzed, specs_by_qid, top_k, results, num_shards, force
+                analyzed, specs_by_qid, top_k, results, num_shards, force,
+                block_max,
             )
 
         elapsed = time.perf_counter() - started
@@ -917,7 +936,8 @@ class ShardedEngine:
             )
 
     def _run_disjunctive(
-        self, analyzed, specs_by_qid, top_k, results, num_shards, force
+        self, analyzed, specs_by_qid, top_k, results, num_shards, force,
+        block_max=True,
     ):
         k = top_k if top_k is not None else 10
         phase1 = [
@@ -979,6 +999,7 @@ class ShardedEngine:
                     merged_values[qid],
                     k,
                     bounds,
+                    block_max,
                 )
             )
         if not phase2:
@@ -993,12 +1014,18 @@ class ShardedEngine:
         )
         merged_hits: Dict[int, List[_Hit]] = {entry[0]: [] for entry in phase2}
         for shard_id, output in enumerate(shard_outputs):
-            for qid, hits, counter in output:
+            for qid, hits, counter, topk_diag in output:
                 merged_hits[qid].extend(hits)
                 report = reports[qid]
                 report.counter.merge(counter)
                 report.per_shard[shard_id].counter.merge(counter)
                 report.per_shard[shard_id].result_size += len(hits)
+                # Sum per-shard top-k diagnostics into the parent report.
+                if report.topk is None:
+                    report.topk = dict(topk_diag, block_max=block_max)
+                else:
+                    for key, value in topk_diag.items():
+                        report.topk[key] += value
         for qid, hits in merged_hits.items():
             hits = rank_candidates(hits, k)
             report = reports[qid]

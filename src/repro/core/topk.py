@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,12 +36,41 @@ from .statistics import CollectionStatistics, QueryStatistics
 
 @dataclass
 class TopKDiagnostics:
-    """How much work pruning saved (printed by the top-k ablation bench)."""
+    """How much work pruning saved (printed by the top-k ablation bench).
+
+    ``blocks_considered`` counts (list, block) activations by the
+    block-max path — a block whose bound was loaded because a cursor
+    entered it.  ``blocks_skipped`` counts block boundaries crossed by a
+    block-max skip: each is a block whose remaining postings were
+    bypassed without being scored.  Both stay zero when block-max is
+    off.
+    """
 
     candidates_seen: int = 0
     candidates_scored: int = 0
     candidates_pruned: int = 0
     heap_updates: int = 0
+    blocks_considered: int = 0
+    blocks_skipped: int = 0
+
+    def merge(self, other: "TopKDiagnostics") -> None:
+        """Fold another diagnostics object's totals into this one."""
+        self.candidates_seen += other.candidates_seen
+        self.candidates_scored += other.candidates_scored
+        self.candidates_pruned += other.candidates_pruned
+        self.heap_updates += other.heap_updates
+        self.blocks_considered += other.blocks_considered
+        self.blocks_skipped += other.blocks_skipped
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "candidates_seen": self.candidates_seen,
+            "candidates_scored": self.candidates_scored,
+            "candidates_pruned": self.candidates_pruned,
+            "heap_updates": self.heap_updates,
+            "blocks_considered": self.blocks_considered,
+            "blocks_skipped": self.blocks_skipped,
+        }
 
 
 @dataclass(frozen=True)
@@ -122,6 +152,7 @@ class MaxScoreScorer:
         ranking,
         context_filter: Optional[object] = None,
         term_bounds: Optional[Mapping[str, float]] = None,
+        block_max: bool = True,
     ):
         if not ranking.decomposable:
             raise QueryError(
@@ -160,6 +191,35 @@ class MaxScoreScorer:
             self._suffix_bounds[i] = (
                 self._suffix_bounds[i + 1] + self._lists[i][2]
             )
+        # Per-list, per-block score upper bounds derived from the skip
+        # table's block max-tf column.  Bounds are monotone in max_tf, so
+        # a block bound never exceeds the list's global bound; it is
+        # additionally capped by it so externally supplied (sharded)
+        # bounds stay dominant.  Degenerate inputs (an unfrozen list, a
+        # list without block metadata) disable the block path entirely —
+        # the global-bound loop below is the fallback.
+        self._block_bounds: List[array] = []
+        self.block_max = False
+        if block_max and self._lists:
+            try:
+                for term, plist, bound in self._lists:
+                    cache: Dict[int, float] = {}
+                    column = array("d")
+                    for block_tf in plist.block_max_tfs:
+                        cached = cache.get(block_tf)
+                        if cached is None:
+                            cached = ranking.term_upper_bound(
+                                term, block_tf, self.query_stats, collection_stats
+                            )
+                            if cached > bound:
+                                cached = bound
+                            cache[block_tf] = cached
+                        column.append(cached)
+                    self._block_bounds.append(column)
+                self.block_max = True
+            except (RuntimeError, AttributeError):
+                self._block_bounds = []
+                self.block_max = False
 
     def top_k(
         self,
@@ -197,6 +257,16 @@ class MaxScoreScorer:
         # combined bound below the threshold.
         first_non_essential = self._essential_prefix(threshold)
         since_refresh = 0
+        # Block-max state: current block index per list (-1 = needs
+        # refresh) and that block's score bound.  Tracking is lazy — the
+        # candidate loop refreshes an entry only when its cursor crossed a
+        # block boundary — and only runs once a finite threshold exists,
+        # so the pre-heap-fill phase pays no block overhead.
+        use_blocks = self.block_max
+        block_bounds = self._block_bounds
+        cur_block = [-1] * num_lists
+        cur_bound = [0.0] * num_lists
+        neg_inf = float("-inf")
 
         while True:
             if shared is not None:
@@ -208,15 +278,64 @@ class MaxScoreScorer:
                         threshold = external
                         first_non_essential = self._essential_prefix(threshold)
             # Next candidate: smallest current docid among essential lists.
+            blocks_active = use_blocks and threshold != neg_inf
             candidate = None
+            block_sum = 0.0
             for i in range(first_non_essential):
                 plist = self._lists[i][1]
-                if positions[i] < len(plist.doc_ids):
-                    doc_id = plist.doc_ids[positions[i]]
+                pos = positions[i]
+                if pos < len(plist.doc_ids):
+                    doc_id = plist.doc_ids[pos]
                     if candidate is None or doc_id < candidate:
                         candidate = doc_id
+                    if blocks_active:
+                        block = pos // plist.segment_size
+                        if block != cur_block[i]:
+                            cur_block[i] = block
+                            cur_bound[i] = block_bounds[i][block]
+                            if diagnostics is not None:
+                                diagnostics.blocks_considered += 1
+                        block_sum += cur_bound[i]
             if candidate is None:
                 break
+            if (
+                blocks_active
+                and block_sum + self._suffix_bounds[first_non_essential]
+                < threshold
+            ):
+                # No document in [candidate, min current block end] can
+                # reach the threshold: every essential occurrence in that
+                # range lies inside its list's current block (docids are
+                # sorted), so its term score is bounded by the block
+                # bound, and non-essential lists are bounded by their
+                # global suffix bound.  The comparison is strict, so
+                # exact ties (which could still win the docid tie-break)
+                # are never skipped.  Jump every essential cursor past
+                # the window; the minimum block end is >= candidate, so
+                # the target strictly advances.
+                target = None
+                for i in range(first_non_essential):
+                    plist = self._lists[i][1]
+                    if positions[i] < len(plist.doc_ids):
+                        block_end = plist._seg_maxes[cur_block[i]]
+                        if target is None or block_end < target:
+                            target = block_end
+                target += 1
+                for i in range(first_non_essential):
+                    plist = self._lists[i][1]
+                    pos = positions[i]
+                    if pos < len(plist.doc_ids):
+                        positions[i] = plist.skip_to(pos, target, counter)
+                        if diagnostics is not None:
+                            # Every block boundary crossed here is a block
+                            # whose remaining postings were bypassed
+                            # without scoring.
+                            landed = positions[i] // plist.segment_size
+                            gap = landed - cur_block[i]
+                            if gap > 0:
+                                diagnostics.blocks_skipped += gap
+                        cur_block[i] = -1
+                continue
             if diagnostics is not None:
                 diagnostics.candidates_seen += 1
 

@@ -61,8 +61,17 @@ def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
 
 
 def encode_postings(plist: PostingList) -> bytes:
-    """Serialise a posting list: count, then (d-gap, tf) varint pairs."""
+    """Serialise a posting list: count, cached max_tf, then (d-gap, tf)
+    varint pairs.
+
+    ``max_tf`` travels with the list so a decoded list keeps the cached
+    value instead of silently recomputing it from a rescan; the
+    per-block maxima need not be stored — they are a pure function of
+    the tf column and the segment size, so the decode-side freeze
+    rebuilds them identically.
+    """
     out = bytearray(encode_varint(len(plist)))
+    out += encode_varint(plist.max_tf)
     previous = 0
     for doc_id, tf in plist:
         out += encode_varint(doc_id - previous)
@@ -82,6 +91,7 @@ def decode_postings(
     :meth:`PostingList.from_arrays` — no intermediate list of pairs.
     """
     count, offset = decode_varint(data, 0)
+    max_tf, offset = decode_varint(data, offset)
     doc_ids = array("q")
     tfs = array("q")
     doc_id = 0
@@ -95,7 +105,9 @@ def decode_postings(
         raise IndexError_(
             f"trailing bytes after postings: {len(data) - offset}"
         )
-    return PostingList.from_arrays(term, doc_ids, tfs, segment_size=segment_size)
+    return PostingList.from_arrays(
+        term, doc_ids, tfs, segment_size=segment_size, max_tf=max_tf
+    )
 
 
 def compressed_size(plist: PostingList) -> int:

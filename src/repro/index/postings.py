@@ -89,6 +89,7 @@ class PostingList:
         "_skip_starts",
         "_seg_mins",
         "_seg_maxes",
+        "_seg_max_tfs",
         "_max_tf",
         "_frozen",
     )
@@ -103,6 +104,7 @@ class PostingList:
         self._skip_starts: array = _EMPTY_COLUMN
         self._seg_mins: array = _EMPTY_COLUMN
         self._seg_maxes: array = _EMPTY_COLUMN
+        self._seg_max_tfs: array = _EMPTY_COLUMN
         self._max_tf = 0
         self._frozen = False
 
@@ -121,12 +123,21 @@ class PostingList:
         self.doc_ids.append(doc_id)
         self.tfs.append(tf)
 
-    def freeze(self, max_tf: Optional[int] = None) -> "PostingList":
+    def freeze(
+        self,
+        max_tf: Optional[int] = None,
+        block_max_tfs: Optional[Sequence[int]] = None,
+    ) -> "PostingList":
         """Finalise the list and build the skip table; returns self.
 
         ``max_tf`` lets a caller that already knows the maximum term
         frequency (the version-2 storage codec persists it) skip the
-        O(postings) scan.
+        O(postings) scan.  ``block_max_tfs`` likewise adopts a persisted
+        per-segment max-tf column (version-3 payloads); it must have one
+        entry per skip segment.  When absent, the per-segment maxima are
+        computed here — one C-level slice+max per segment — and when
+        ``max_tf`` is also absent it is derived from them instead of a
+        second full scan.
         """
         if not self._frozen:
             n = len(self.doc_ids)
@@ -139,10 +150,27 @@ class PostingList:
                 "q",
                 (self.doc_ids[min(start + seg, n) - 1] for start in self._skip_starts),
             )
+            if block_max_tfs is not None:
+                col = (
+                    block_max_tfs
+                    if isinstance(block_max_tfs, array)
+                    else array("q", block_max_tfs)
+                )
+                if len(col) != len(self._skip_starts):
+                    raise ValueError(
+                        f"block max-tf column has {len(col)} entries for "
+                        f"{len(self._skip_starts)} segments"
+                    )
+                self._seg_max_tfs = col
+            else:
+                tfs = self.tfs
+                self._seg_max_tfs = array(
+                    "q", (max(tfs[start : start + seg]) for start in self._skip_starts)
+                )
             if max_tf is not None:
                 self._max_tf = max_tf
             else:
-                self._max_tf = max(self.tfs) if self.tfs else 0
+                self._max_tf = max(self._seg_max_tfs) if self._seg_max_tfs else 0
             self._frozen = True
         return self
 
@@ -168,6 +196,7 @@ class PostingList:
         segment_size: int = DEFAULT_SEGMENT_SIZE,
         validate: bool = True,
         max_tf: Optional[int] = None,
+        block_max_tfs: Optional[Sequence[int]] = None,
     ) -> "PostingList":
         """Build and freeze a list from parallel docid/tf columns.
 
@@ -199,7 +228,7 @@ class PostingList:
                 raise ValueError("tf must be positive")
         plist.doc_ids = ids
         plist.tfs = freqs
-        return plist.freeze(max_tf=max_tf)
+        return plist.freeze(max_tf=max_tf, block_max_tfs=block_max_tfs)
 
     def extend(self, pairs: Iterable[Tuple[int, int]]) -> "PostingList":
         """Append postings to a frozen list and rebuild the skip table.
@@ -245,6 +274,19 @@ class PostingList:
     def num_segments(self) -> int:
         """Number of skip segments (``ceil(len / M0)``)."""
         return len(self._skip_starts)
+
+    @property
+    def block_max_tfs(self) -> Sequence[int]:
+        """Largest tf per skip segment, one entry per segment.
+
+        Block-max top-k converts these into per-block score upper bounds;
+        the blocks are exactly the skip segments of
+        :meth:`segment_bounds`, so a scorer can skip straight to a
+        segment boundary when the summed block bounds cannot beat the
+        current threshold.
+        """
+        self._require_frozen()
+        return self._seg_max_tfs
 
     def segment_bounds(self) -> Sequence[Tuple[int, int]]:
         """Return ``(start index, max docid)`` per segment (frozen lists)."""

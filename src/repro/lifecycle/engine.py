@@ -213,10 +213,10 @@ class LifecycleEngine:
         return self.current_engine().search_conventional(query, top_k=top_k)
 
     def search_disjunctive(
-        self, query, top_k: int = 10, path: str = "auto"
+        self, query, top_k: int = 10, path: str = "auto", block_max: bool = True
     ) -> SearchResults:
         return self.current_engine().search_disjunctive(
-            query, top_k=top_k, path=path
+            query, top_k=top_k, path=path, block_max=block_max
         )
 
     def explain(
@@ -225,9 +225,10 @@ class LifecycleEngine:
         top_k: Optional[int] = None,
         mode: str = "context",
         path: str = "auto",
+        block_max: bool = True,
     ) -> SearchResults:
         return self.current_engine().explain(
-            query, top_k=top_k, mode=mode, path=path
+            query, top_k=top_k, mode=mode, path=path, block_max=block_max
         )
 
     def search_many(

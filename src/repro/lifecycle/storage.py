@@ -47,7 +47,11 @@ PathLike = Union[str, Path]
 
 SEGMENT_DIR = "segments"
 MANIFEST_NAME = "manifest.json"
-SEGMENT_FORMAT_VERSION = 2
+# v3 adds each posting list's max_tf and per-block max-tf column to the
+# segment payload (block-max top-k skips on them).  v2 payloads (columns
+# only) are still read; the maxima are recomputed at freeze on load.
+SEGMENT_FORMAT_VERSION = 3
+SUPPORTED_SEGMENT_VERSIONS = (2, 3)
 
 
 def _storage_error(message: str):
@@ -129,7 +133,12 @@ def _encode_segment(segment: Segment) -> dict:
             for doc in segment.documents
         ],
         "content": {
-            term: [_encode_column(plist.doc_ids), _encode_column(plist.tfs)]
+            term: [
+                _encode_column(plist.doc_ids),
+                _encode_column(plist.tfs),
+                plist.max_tf,
+                _encode_column(plist.block_max_tfs),
+            ]
             for term, plist in segment.content.items()
         },
         "predicates": {
@@ -145,10 +154,12 @@ def _decode_segment(payload: dict, path: Path, segment_size: int) -> Segment:
             f"expected a persisted segment in {path}, "
             f"found {payload.get('kind')!r}"
         )
-    if payload.get("version") != SEGMENT_FORMAT_VERSION:
+    version = payload.get("version")
+    if version not in SUPPORTED_SEGMENT_VERSIONS:
         raise _storage_error(
-            f"unsupported segment format version {payload.get('version')!r} "
-            f"in {path} (this build reads version {SEGMENT_FORMAT_VERSION})"
+            f"unsupported segment format version {version!r} "
+            f"in {path} (this build reads versions "
+            f"{', '.join(map(str, SUPPORTED_SEGMENT_VERSIONS))})"
         )
     try:
         documents = [
@@ -161,16 +172,28 @@ def _decode_segment(payload: dict, path: Path, segment_size: int) -> Segment:
             )
             for entry in payload["documents"]
         ]
-        content = {
-            term: PostingList.from_arrays(
-                term,
-                _decode_column(ids),
-                _decode_column(tfs),
-                segment_size=segment_size,
-                validate=False,
-            )
-            for term, (ids, tfs) in payload["content"].items()
-        }
+        content = {}
+        if version >= 3:
+            for term, (ids, tfs, max_tf, blocks) in payload["content"].items():
+                content[term] = PostingList.from_arrays(
+                    term,
+                    _decode_column(ids),
+                    _decode_column(tfs),
+                    segment_size=segment_size,
+                    validate=False,
+                    max_tf=max_tf,
+                    block_max_tfs=_decode_column(blocks),
+                )
+        else:
+            # v2 legacy: freeze recomputes max_tf and the block maxima.
+            for term, (ids, tfs) in payload["content"].items():
+                content[term] = PostingList.from_arrays(
+                    term,
+                    _decode_column(ids),
+                    _decode_column(tfs),
+                    segment_size=segment_size,
+                    validate=False,
+                )
         predicates = {}
         for term, packed in payload["predicates"].items():
             ids = _decode_column(packed)
@@ -180,6 +203,8 @@ def _decode_segment(payload: dict, path: Path, segment_size: int) -> Segment:
                 [1] * len(ids),
                 segment_size=segment_size,
                 validate=False,
+                max_tf=1 if len(ids) else 0,
+                block_max_tfs=[1] * (-(-len(ids) // segment_size)),
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise _storage_error(
@@ -328,11 +353,11 @@ class SegmentStorage:
                 f"expected a segmented-index manifest in "
                 f"{self.manifest_path}, found {manifest.get('kind')!r}"
             )
-        if manifest.get("version") != SEGMENT_FORMAT_VERSION:
+        if manifest.get("version") not in SUPPORTED_SEGMENT_VERSIONS:
             raise _storage_error(
                 f"unsupported manifest version {manifest.get('version')!r} "
-                f"in {self.manifest_path} (this build reads version "
-                f"{SEGMENT_FORMAT_VERSION})"
+                f"in {self.manifest_path} (this build reads versions "
+                f"{', '.join(map(str, SUPPORTED_SEGMENT_VERSIONS))})"
             )
         config = manifest.get("config", {})
         segment_size = config.get("segment_size", 64)

@@ -47,6 +47,10 @@ class ServiceMetrics:
         self.batches = 0
         self.size_flushes = 0
         self.timer_flushes = 0
+        self.topk_queries = 0
+        self.topk_blocks_considered = 0
+        self.topk_blocks_skipped = 0
+        self.topk_candidates_pruned = 0
         self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
         self._batch_sizes: deque = deque(maxlen=BATCH_WINDOW)
 
@@ -83,6 +87,26 @@ class ServiceMetrics:
             if degraded:
                 self.degraded += 1
             self._latencies.append(latency_seconds)
+
+    def observe_topk(self, diagnostics: Optional[Dict]) -> None:
+        """Fold one disjunctive query's top-k pruning diagnostics in.
+
+        ``diagnostics`` is the ``topk`` dict an
+        :class:`~repro.core.report.ExecutionReport` carries after a
+        MaxScore evaluation; conjunctive/context queries pass ``None``
+        and are ignored.
+        """
+        if not diagnostics:
+            return
+        with self._lock:
+            self.topk_queries += 1
+            self.topk_blocks_considered += diagnostics.get(
+                "blocks_considered", 0
+            )
+            self.topk_blocks_skipped += diagnostics.get("blocks_skipped", 0)
+            self.topk_candidates_pruned += diagnostics.get(
+                "candidates_pruned", 0
+            )
 
     def observe_batch(self, size: int, reason: str) -> None:
         """One coalescer flush: ``reason`` is ``"size"`` or ``"timer"``."""
@@ -125,6 +149,12 @@ class ServiceMetrics:
                     "p50": percentile(latencies, 50) * 1000.0,
                     "p95": percentile(latencies, 95) * 1000.0,
                     "p99": percentile(latencies, 99) * 1000.0,
+                },
+                "topk": {
+                    "queries": self.topk_queries,
+                    "blocks_considered": self.topk_blocks_considered,
+                    "blocks_skipped": self.topk_blocks_skipped,
+                    "candidates_pruned": self.topk_candidates_pruned,
                 },
                 "batches": {
                     "count": self.batches,

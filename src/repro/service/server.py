@@ -306,6 +306,7 @@ class QueryService:
         }
         if cache_key is not None:
             self.result_cache.put(cache_key, epoch, body)
+        self.metrics.observe_topk(results.report.topk)
         self.metrics.observe_ok(
             time.monotonic() - started, degraded=degraded
         )

@@ -6,12 +6,14 @@ the whole motivation for persisting its output).  This module serialises
 both artefacts to versioned JSON (gzip-compressed when the path ends in
 ``.gz``):
 
-* **indexes** (format version 2) persist their configuration, the
+* **indexes** (format version 3) persist their configuration, the
   *analysed* documents, and the **precompiled posting columns** — docid
-  and tf arrays per term, plus each list's cached ``max_tf`` — so loading
-  is O(documents + postings): array adoption, no re-tokenisation, no
-  posting accumulation.  Version-1 payloads (tokens only) are still
-  read via the legacy rebuild path;
+  and tf arrays per term, each list's cached ``max_tf``, and the
+  per-block max-tf column the block-max top-k path skips with — so
+  loading is O(documents + postings): array adoption, no
+  re-tokenisation, no posting accumulation.  Version-2 payloads (no
+  block metadata; the maxima are recomputed at freeze) and version-1
+  payloads (tokens only; legacy rebuild path) are still read;
 * **catalogs** persist each view's keyword set, parameter-column terms,
   and non-empty group tuples — loading is O(total tuples), no corpus
   access required.
@@ -38,8 +40,8 @@ from .index.inverted_index import InvertedIndex
 from .views.catalog import ViewCatalog
 from .views.view import GroupTuple, MaterializedView
 
-FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 PathLike = Union[str, Path]
 
@@ -227,6 +229,7 @@ def _encode_index(index: InvertedIndex) -> dict:
                 encode_column(plist.doc_ids),
                 encode_column(plist.tfs),
                 plist.max_tf,
+                encode_column(plist.block_max_tfs),
             ]
             for term, plist in index.content_items()
         },
@@ -271,27 +274,45 @@ def _decode_index(payload: dict, version: int = FORMAT_VERSION) -> InvertedIndex
             )
             for internal_id, entry in enumerate(payload["documents"])
         ]
-        content = {
-            term: PostingList.from_arrays(
-                term,
-                decode_column(ids),
-                decode_column(tfs),
-                segment_size=segment_size,
-                validate=False,
-                max_tf=max_tf,
-            )
-            for term, (ids, tfs, max_tf) in payload["content"].items()
-        }
+        content = {}
+        if version >= 3:
+            # v3: the per-block max-tf column is persisted next to the
+            # packed docid/tf columns and adopted wholesale.
+            for term, (ids, tfs, max_tf, blocks) in payload["content"].items():
+                content[term] = PostingList.from_arrays(
+                    term,
+                    decode_column(ids),
+                    decode_column(tfs),
+                    segment_size=segment_size,
+                    validate=False,
+                    max_tf=max_tf,
+                    block_max_tfs=decode_column(blocks),
+                )
+        else:
+            # v2 legacy: no block metadata on disk — freeze recomputes
+            # the per-block maxima from the tf column.
+            for term, (ids, tfs, max_tf) in payload["content"].items():
+                content[term] = PostingList.from_arrays(
+                    term,
+                    decode_column(ids),
+                    decode_column(tfs),
+                    segment_size=segment_size,
+                    validate=False,
+                    max_tf=max_tf,
+                )
         predicates = {}
         for term, packed in payload["predicates"].items():
             ids = decode_column(packed)
+            ones = array("q", [1]) * len(ids)
+            num_segments = -(-len(ids) // segment_size)
             predicates[term] = PostingList.from_arrays(
                 term,
                 ids,
-                array("q", [1]) * len(ids),
+                ones,
                 segment_size=segment_size,
                 validate=False,
                 max_tf=1 if ids else 0,
+                block_max_tfs=array("q", [1]) * num_segments,
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise StorageError(f"malformed index payload: {exc!r}") from None

@@ -112,3 +112,35 @@ class TestPostingsRoundTrip:
         assert decoded.doc_ids == original.doc_ids
         assert decoded.tfs == original.tfs
         assert decoded.tf_for(original.doc_ids[0]) == original.tfs[0]
+
+    def test_roundtrip_preserves_max_tf_and_block_maxima(self):
+        """Regression: decode used to drop the cached ``max_tf``, so a
+        decoded list silently recomputed it (and with it every score
+        upper bound) from a rescan.  The codec must carry ``max_tf``
+        and the rebuilt per-block maxima must match exactly."""
+        plist = PostingList.from_pairs(
+            "t", [(i * 3, 1 + (7 * i) % 13) for i in range(300)]
+        )
+        decoded = decode_postings(encode_postings(plist), "t")
+        assert decoded.max_tf == plist.max_tf
+        assert list(decoded.block_max_tfs) == list(plist.block_max_tfs)
+        assert decoded.segment_bounds() == plist.segment_bounds()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100_000),
+                st.integers(min_value=1, max_value=500),
+            ),
+            unique_by=lambda pair: pair[0],
+            max_size=200,
+        )
+    )
+    def test_roundtrip_block_metadata_property(self, pairs):
+        pairs = sorted(pairs)
+        plist = PostingList.from_pairs("t", pairs, segment_size=8)
+        decoded = decode_postings(
+            encode_postings(plist), "t", segment_size=8
+        )
+        assert decoded.max_tf == plist.max_tf
+        assert list(decoded.block_max_tfs) == list(plist.block_max_tfs)

@@ -116,8 +116,10 @@ class TestCatalogRoundTrip:
 
 
 class TestFormatVersions:
-    """Format-version 2 persists precompiled postings; version-1 payloads
-    (token streams only) must keep loading through the legacy decoder."""
+    """Format-version 3 persists precompiled postings plus block-max
+    metadata; version-2 (columns, no block metadata) and version-1
+    (token streams only) payloads must keep loading through the legacy
+    decoders."""
 
     def _v1_payload(self, index) -> dict:
         return {
@@ -153,35 +155,82 @@ class TestFormatVersions:
         b = ContextSearchEngine(loaded).search("leukemia | Diseases")
         assert a.external_ids() == b.external_ids()
 
-    def test_v2_payload_carries_precompiled_postings(
+    @staticmethod
+    def _as_v2_payload(payload: dict) -> dict:
+        """Strip a saved v3 payload down to the legacy v2 shape."""
+        payload = dict(payload)
+        payload["version"] = 2
+        payload["content"] = {
+            term: column[:3] for term, column in payload["content"].items()
+        }
+        return payload
+
+    def test_v3_payload_carries_precompiled_postings(
         self, tmp_path, handmade_index
     ):
         import json
 
-        path = tmp_path / "v2.json"
+        path = tmp_path / "v3.json"
         save_index(handmade_index, path)
         payload = json.loads(path.read_text())
         from repro.storage import decode_column
 
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["content"]  # postings columns, not just tokens
         term, column = next(iter(payload["content"].items()))
-        packed_ids, packed_tfs, max_tf = column
+        packed_ids, packed_tfs, max_tf, packed_blocks = column
         ids, tfs = decode_column(packed_ids), decode_column(packed_tfs)
+        blocks = decode_column(packed_blocks)
         assert len(ids) == len(tfs)
         assert max_tf == max(tfs)
+        seg = payload["segment_size"]
+        assert len(blocks) == -(-len(ids) // seg)
+        assert list(blocks) == [
+            max(tfs[start : start + seg]) for start in range(0, len(ids), seg)
+        ]
         entry = payload["documents"][0]
         assert "length" in entry and "unique_terms" in entry
 
-    def test_v2_reload_preserves_max_tf(self, tmp_path, handmade_index):
-        path = tmp_path / "v2.json"
+    def test_v3_reload_preserves_max_tf_and_blocks(
+        self, tmp_path, handmade_index
+    ):
+        path = tmp_path / "v3.json"
         save_index(handmade_index, path)
         loaded = load_index(path)
         for term in handmade_index.vocabulary:
-            assert (
-                loaded.postings(term).max_tf
-                == handmade_index.postings(term).max_tf
-            )
+            original = handmade_index.postings(term)
+            reloaded = loaded.postings(term)
+            assert reloaded.max_tf == original.max_tf
+            assert list(reloaded.block_max_tfs) == list(original.block_max_tfs)
+            assert reloaded.segment_bounds() == original.segment_bounds()
+
+    def test_v2_payload_still_loads_with_recomputed_blocks(
+        self, tmp_path, handmade_index
+    ):
+        import json
+
+        save_path = tmp_path / "v3.json"
+        save_index(handmade_index, save_path)
+        path = tmp_path / "v2.json"
+        path.write_text(
+            json.dumps(self._as_v2_payload(json.loads(save_path.read_text())))
+        )
+        loaded = load_index(path)
+        for term in handmade_index.vocabulary:
+            original = handmade_index.postings(term)
+            reloaded = loaded.postings(term)
+            assert list(reloaded) == list(original)
+            assert reloaded.max_tf == original.max_tf
+            # Block maxima are not in the v2 payload; the legacy decoder
+            # recomputes them and they must match exactly.
+            assert list(reloaded.block_max_tfs) == list(original.block_max_tfs)
+        a = ContextSearchEngine(handmade_index).search_disjunctive(
+            "leukemia | Diseases"
+        )
+        b = ContextSearchEngine(loaded).search_disjunctive(
+            "leukemia | Diseases"
+        )
+        assert a.external_ids() == b.external_ids()
 
     def test_future_version_rejected_with_supported_list(
         self, tmp_path, handmade_index
