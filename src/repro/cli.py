@@ -105,34 +105,41 @@ def _cmd_index(args: argparse.Namespace) -> int:
     from .index.inverted_index import build_index
 
     documents = load_documents(args.corpus)
+    fmt = getattr(args, "format", 4)
+    codec = "binary-v4" if fmt == 4 else f"json-v{fmt}"
     if args.shards > 1:
         sharded = ShardedInvertedIndex.build(
             documents, args.shards, partitioner=args.partitioner
         )
-        save_sharded_index(sharded, args.out)
+        save_sharded_index(sharded, args.out, format=fmt)
         sizes = [shard.index.num_docs for shard in sharded.shards]
         print(
             f"indexed {sharded.num_docs} documents into {args.shards} "
-            f"{args.partitioner}-partitioned shards {sizes} -> {args.out}"
+            f"{args.partitioner}-partitioned shards {sizes} "
+            f"({codec}) -> {args.out}"
         )
         return 0
     index = build_index(documents)
-    save_index(index, args.out)
+    save_index(index, args.out, format=fmt)
     print(
         f"indexed {index.num_docs} documents: "
         f"{len(index.vocabulary)} content terms, "
-        f"{len(index.predicate_vocabulary)} predicates -> {args.out}"
+        f"{len(index.predicate_vocabulary)} predicates "
+        f"({codec}) -> {args.out}"
     )
     return 0
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
     index = load_index(args.index)
-    t_c = max(int(index.num_docs * args.t_c_percent / 100.0), 1)
-    catalog, report = select_views(
-        index, t_c=t_c, t_v=args.t_v, strategy=args.strategy
-    )
-    save_catalog(catalog, args.out)
+    try:
+        t_c = max(int(index.num_docs * args.t_c_percent / 100.0), 1)
+        catalog, report = select_views(
+            index, t_c=t_c, t_v=args.t_v, strategy=args.strategy
+        )
+        save_catalog(catalog, args.out)
+    finally:
+        index.close()
     stats = catalog.stats()
     print(
         f"selected {report.num_views} views at T_C={t_c}, T_V={args.t_v} "
@@ -191,7 +198,9 @@ def _load_engine(args: argparse.Namespace):
             executor=args.executor,
         )
         return engine, True
-    return ContextSearchEngine(index, ranking=ranking, catalog=catalog), False
+    # Flat engines own the loaded index's resources (a v4 artefact holds
+    # an mmap), so the caller must close them too.
+    return ContextSearchEngine(index, ranking=ranking, catalog=catalog), True
 
 
 def _engine_label(engine) -> str:
@@ -376,12 +385,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"  documents: {index.num_docs}")
         print(f"  total length: {index.total_length} tokens")
         print(f"  avg doc length: {index.average_document_length():.1f}")
+        index.close()
         return 0
     print(f"  documents: {index.num_docs}")
     print(f"  total length: {index.total_length} tokens")
     print(f"  avg doc length: {index.average_document_length():.1f}")
     print(f"  content terms: {len(index.vocabulary)}")
     print(f"  predicates: {len(index.predicate_vocabulary)}")
+    index.close()
     if args.catalog:
         catalog = load_catalog(args.catalog)
         stats = catalog.stats()
@@ -392,7 +403,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_segmented(path: str, must_exist: bool = True):
+def _open_segmented(path: str, must_exist: bool = True, storage_format: int = 4):
     """Open a segmented index directory for a lifecycle command."""
     from pathlib import Path
 
@@ -403,13 +414,16 @@ def _open_segmented(path: str, must_exist: bool = True):
         raise StorageError(
             f"not a segmented index directory (no manifest): {path}"
         )
-    return SegmentedIndex.open(path)
+    return SegmentedIndex.open(path, storage_format=storage_format)
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
     """Append documents to a segmented index (WAL + memtable)."""
     documents = load_documents(args.corpus)
-    index = _open_segmented(args.index, must_exist=False)
+    index = _open_segmented(
+        args.index, must_exist=False,
+        storage_format=getattr(args, "format", 4),
+    )
     try:
         index.add_documents(documents)
         if args.flush:
@@ -428,7 +442,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
 def _cmd_compact(args: argparse.Namespace) -> int:
     """Merge segments and physically drop deleted documents."""
-    index = _open_segmented(args.index)
+    index = _open_segmented(
+        args.index, storage_format=getattr(args, "format", 4)
+    )
     try:
         report = index.compact(full=args.full)
         info = index.info()
@@ -629,6 +645,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=1,
                    help="partition into N shards (1 = flat single index)")
     p.add_argument("--partitioner", choices=("hash", "range"), default="hash")
+    p.add_argument("--format", type=int, choices=(3, 4), default=4,
+                   help="artefact format: 4 = compressed binary blocks "
+                        "(mmap, lazy decode), 3 = legacy JSON")
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("select", help="select and materialise views")
@@ -711,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flush", action="store_true",
                    help="seal the memtable into an immutable segment "
                         "after ingesting")
+    p.add_argument("--format", type=int, choices=(3, 4), default=4,
+                   help="format for newly sealed segment files: "
+                        "4 = binary blocks, 3 = gzipped JSON")
     p.set_defaults(func=_cmd_ingest)
 
     p = sub.add_parser(
@@ -722,6 +744,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true",
                    help="merge everything into one segment "
                         "(default: size-tiered adjacent runs)")
+    p.add_argument("--format", type=int, choices=(3, 4), default=4,
+                   help="format for segment files the merge writes: "
+                        "4 = binary blocks, 3 = gzipped JSON")
     p.set_defaults(func=_cmd_compact)
 
     p = sub.add_parser(

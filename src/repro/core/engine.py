@@ -118,6 +118,23 @@ class ContextSearchEngine:
 
     # -- public API ---------------------------------------------------------
 
+    def close(self) -> None:
+        """Release the underlying index's resources (idempotent).
+
+        For mmap-backed flat indexes this unmaps the block file; for
+        lifecycle snapshots it drops compiled-posting caches.  The
+        serving layer calls this on retired engines after epoch bumps.
+        """
+        closer = getattr(self.index, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "ContextSearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @property
     def epoch(self) -> int:
         """The index's mutation counter (cache keys derive from this)."""

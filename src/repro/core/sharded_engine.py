@@ -570,8 +570,12 @@ class ShardedEngine:
         return self.sharded_index.epoch
 
     def close(self) -> None:
-        """Release backend worker pools (idempotent)."""
+        """Release backend worker pools and shard index resources
+        (idempotent)."""
         self._backend.close()
+        closer = getattr(self.sharded_index, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "ShardedEngine":
         return self

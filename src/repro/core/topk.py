@@ -185,6 +185,10 @@ class MaxScoreScorer:
             self._lists.append((term, plist, bound))
         # Descending bound: essential lists come first.
         self._lists.sort(key=lambda item: -item[2])
+        # Cursor end positions, cached once: lists are frozen for the
+        # scorer's lifetime, and on lazily-decoded lists len(doc_ids) is
+        # a metadata read we should not repeat in the per-candidate loop.
+        self._list_sizes = [len(plist) for _, plist, _ in self._lists]
         # suffix_bounds[i] = total bound of lists i..end.
         self._suffix_bounds = [0.0] * (len(self._lists) + 1)
         for i in range(len(self._lists) - 1, -1, -1):
@@ -264,6 +268,7 @@ class MaxScoreScorer:
         # so the pre-heap-fill phase pays no block overhead.
         use_blocks = self.block_max
         block_bounds = self._block_bounds
+        sizes = self._list_sizes
         cur_block = [-1] * num_lists
         cur_bound = [0.0] * num_lists
         neg_inf = float("-inf")
@@ -284,7 +289,7 @@ class MaxScoreScorer:
             for i in range(first_non_essential):
                 plist = self._lists[i][1]
                 pos = positions[i]
-                if pos < len(plist.doc_ids):
+                if pos < sizes[i]:
                     doc_id = plist.doc_ids[pos]
                     if candidate is None or doc_id < candidate:
                         candidate = doc_id
@@ -316,7 +321,7 @@ class MaxScoreScorer:
                 target = None
                 for i in range(first_non_essential):
                     plist = self._lists[i][1]
-                    if positions[i] < len(plist.doc_ids):
+                    if positions[i] < sizes[i]:
                         block_end = plist._seg_maxes[cur_block[i]]
                         if target is None or block_end < target:
                             target = block_end
@@ -324,7 +329,7 @@ class MaxScoreScorer:
                 for i in range(first_non_essential):
                     plist = self._lists[i][1]
                     pos = positions[i]
-                    if pos < len(plist.doc_ids):
+                    if pos < sizes[i]:
                         positions[i] = plist.skip_to(pos, target, counter)
                         if diagnostics is not None:
                             # Every block boundary crossed here is a block
@@ -364,7 +369,7 @@ class MaxScoreScorer:
             for i in range(first_non_essential):
                 plist = self._lists[i][1]
                 pos = positions[i]
-                if pos < len(plist.doc_ids) and plist.doc_ids[pos] == candidate:
+                if pos < sizes[i] and plist.doc_ids[pos] == candidate:
                     positions[i] = pos + 1
                     if counter is not None:
                         counter.entries_scanned += 1
@@ -411,7 +416,7 @@ class MaxScoreScorer:
             positions[i] = plist.skip_to(positions[i], doc_id, counter)
             tf = 0
             if (
-                positions[i] < len(plist.doc_ids)
+                positions[i] < self._list_sizes[i]
                 and plist.doc_ids[positions[i]] == doc_id
             ):
                 tf = plist.tfs[positions[i]]

@@ -23,6 +23,15 @@ class QueryError(ReproError):
     """Raised when a query is syntactically or semantically invalid."""
 
 
+class StorageError(ReproError):
+    """Raised when a persisted artefact is missing, corrupt, or unsupported.
+
+    Lives here (rather than in :mod:`repro.storage`) so low-level codecs
+    such as :mod:`repro.index.compression` can raise it without importing
+    the storage layer; :mod:`repro.storage` re-exports it for callers.
+    """
+
+
 class EmptyContextError(QueryError):
     """Raised when a context specification matches no documents.
 

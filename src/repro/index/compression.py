@@ -17,8 +17,13 @@ from __future__ import annotations
 from array import array
 from typing import Tuple
 
-from ..errors import IndexError_
+from ..errors import IndexError_, StorageError
 from .postings import DEFAULT_SEGMENT_SIZE, PostingList
+
+_MAX_INT64 = (1 << 63) - 1
+#: Sentinel bit width marking a block encoded as varint pairs instead of
+#: fixed-width bit packing (the "exception" path of PFor-style codecs).
+VARINT_BLOCK = 255
 
 
 def encode_varint(value: int) -> bytes:
@@ -108,6 +113,144 @@ def decode_postings(
     return PostingList.from_arrays(
         term, doc_ids, tfs, segment_size=segment_size, max_tf=max_tf
     )
+
+
+def _pack_bits(values, width: int) -> bytes:
+    """LSB-first fixed-width bit packing of non-negative ints < 2**width."""
+    if width == 0:
+        return b""
+    big = 0
+    shift = 0
+    for value in values:
+        big |= value << shift
+        shift += width
+    return big.to_bytes((shift + 7) // 8, "little")
+
+
+def _unpack_bits(payload: bytes, width: int, count: int) -> list:
+    big = int.from_bytes(payload, "little")
+    mask = (1 << width) - 1
+    return [(big >> (i * width)) & mask for i in range(count)]
+
+
+def _varint_cost(value: int) -> int:
+    return max(1, (value.bit_length() + 6) // 7)
+
+
+def encode_block(
+    doc_ids, tfs, start: int, count: int, prev_doc_id: int
+) -> bytes:
+    """Encode one posting block as a self-framing byte string.
+
+    Docids are stored as ``gap - 1`` where ``gap`` is the delta from the
+    previous docid (``prev_doc_id`` is the last docid of the preceding
+    block, or ``-1`` for the first block), and tfs as ``tf - 1`` — both
+    are guaranteed non-negative, so dense runs (gap 1) and uniform
+    ``tf == 1`` columns pack to zero payload bits.  Frame layout::
+
+        [gap_width u8][tf_width u8][packed gaps][packed tfs]
+
+    with widths 0–63, or ``[VARINT_BLOCK u8]`` followed by
+    ``(gap-1, tf-1)`` varint pairs when that is strictly smaller
+    (the fallback for blocks with a single enormous outlier gap).
+    """
+    gaps = []
+    previous = prev_doc_id
+    for i in range(start, start + count):
+        doc_id = doc_ids[i]
+        if doc_id <= previous:
+            raise IndexError_(
+                f"docids not strictly increasing at position {i}"
+            )
+        gaps.append(doc_id - previous - 1)
+        previous = doc_id
+    tf_deltas = []
+    for i in range(start, start + count):
+        tf = tfs[i]
+        if tf < 1:
+            raise IndexError_(f"tf must be >= 1, got {tf} at position {i}")
+        tf_deltas.append(tf - 1)
+    gap_width = max((g.bit_length() for g in gaps), default=0)
+    tf_width = max((t.bit_length() for t in tf_deltas), default=0)
+    packed_size = 2 + (count * gap_width + 7) // 8 + (count * tf_width + 7) // 8
+    varint_size = 1 + sum(_varint_cost(g) for g in gaps) + sum(
+        _varint_cost(t) for t in tf_deltas
+    )
+    if varint_size < packed_size:
+        out = bytearray((VARINT_BLOCK,))
+        for gap, tf_delta in zip(gaps, tf_deltas):
+            out += encode_varint(gap)
+            out += encode_varint(tf_delta)
+        return bytes(out)
+    return (
+        bytes((gap_width, tf_width))
+        + _pack_bits(gaps, gap_width)
+        + _pack_bits(tf_deltas, tf_width)
+    )
+
+
+def decode_block(
+    data: bytes, count: int, prev_doc_id: int
+) -> Tuple[array, array]:
+    """Inverse of :func:`encode_block` over one exact frame.
+
+    Strict: every malformed input — short payload, trailing bytes,
+    out-of-range widths, values overflowing int64 — raises
+    :class:`~repro.errors.StorageError`; random bytes never crash the
+    decoder with anything else.
+    """
+    if count < 0:
+        raise StorageError(f"negative posting count {count}")
+    if not data:
+        raise StorageError("empty block frame")
+    doc_ids = array("q")
+    tfs = array("q")
+    marker = data[0]
+    try:
+        if marker == VARINT_BLOCK:
+            offset = 1
+            doc_id = prev_doc_id
+            for _ in range(count):
+                try:
+                    gap, offset = decode_varint(data, offset)
+                    tf_delta, offset = decode_varint(data, offset)
+                except IndexError_ as exc:
+                    raise StorageError(f"truncated varint block: {exc}")
+                doc_id += gap + 1
+                doc_ids.append(doc_id)
+                tfs.append(tf_delta + 1)
+            if offset != len(data):
+                raise StorageError(
+                    f"trailing bytes after varint block: {len(data) - offset}"
+                )
+            return doc_ids, tfs
+        if len(data) < 2:
+            raise StorageError("block frame shorter than its 2-byte header")
+        gap_width, tf_width = data[0], data[1]
+        if gap_width > 63 or tf_width > 63:
+            raise StorageError(
+                f"invalid block bit widths ({gap_width}, {tf_width})"
+            )
+        gap_bytes = (count * gap_width + 7) // 8
+        tf_bytes = (count * tf_width + 7) // 8
+        if len(data) != 2 + gap_bytes + tf_bytes:
+            raise StorageError(
+                f"block frame is {len(data)} bytes, expected "
+                f"{2 + gap_bytes + tf_bytes} for {count} postings at "
+                f"widths ({gap_width}, {tf_width})"
+            )
+        gaps = _unpack_bits(data[2 : 2 + gap_bytes], gap_width, count)
+        tf_deltas = _unpack_bits(data[2 + gap_bytes :], tf_width, count)
+        doc_id = prev_doc_id
+        for gap, tf_delta in zip(gaps, tf_deltas):
+            doc_id += gap + 1
+            doc_ids.append(doc_id)
+            tfs.append(tf_delta + 1)
+        return doc_ids, tfs
+    except OverflowError:
+        raise StorageError(
+            "decoded posting value overflows int64"
+        ) from None
 
 
 def compressed_size(plist: PostingList) -> int:

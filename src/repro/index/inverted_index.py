@@ -105,6 +105,9 @@ class InvertedIndex:
         # sharded wrapper rebinds this so all shards tick one clock.
         self._clock = VersionClock()
         self._empty = PostingList.from_pairs("", (), segment_size=segment_size)
+        # OS-level resources this index owns (the mmap reader behind a
+        # block-format load); released by close().
+        self._resources: List = []
 
     # -- construction ----------------------------------------------------
 
@@ -349,6 +352,35 @@ class InvertedIndex:
         if not self._committed:
             raise IndexError_("index must be committed before reads")
 
+    # -- resource lifecycle ------------------------------------------------
+
+    def attach_resource(self, resource) -> None:
+        """Adopt an OS-level resource (an object with ``close()``).
+
+        Block-format loads attach their mmap reader here so the index
+        controls its lifetime: posting lists stay lazily decodable for
+        as long as the index is open, and :meth:`close` releases the
+        mapping deterministically.
+        """
+        self._resources.append(resource)
+
+    def close(self) -> None:
+        """Release attached resources (idempotent).
+
+        After close, any posting block not yet decoded is unreadable, so
+        only call it when the index is no longer queried.  Purely
+        in-memory indexes hold no resources and close as a no-op.
+        """
+        resources, self._resources = self._resources, []
+        for resource in resources:
+            resource.close()
+
+    def __enter__(self) -> "InvertedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @classmethod
     def from_compiled(
         cls,
@@ -385,6 +417,40 @@ class InvertedIndex:
         index._total_length = total_length
         index._content = dict(content)
         index._predicates = dict(predicates)
+        index._committed = True
+        return index
+
+    @classmethod
+    def from_restored_store(
+        cls,
+        store: DocumentStore,
+        content: Dict[str, PostingList],
+        predicates: Dict[str, PostingList],
+        analyzer: Optional[Analyzer] = None,
+        predicate_analyzer: Optional[Analyzer] = None,
+        searchable_fields: Sequence[str] = DEFAULT_SEARCHABLE_FIELDS,
+        predicate_field: str = DEFAULT_PREDICATE_FIELD,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> "InvertedIndex":
+        """Assemble a committed index around an already-built store.
+
+        The mmap-backed cold-open path: unlike :meth:`from_compiled`
+        there is no per-document restore loop and the posting mappings
+        are adopted as-is (not copied), so lazy per-term mappings stay
+        lazy and opening costs O(dictionary), not O(collection).  The
+        store must already satisfy the dense-docid invariant.
+        """
+        index = cls(
+            analyzer=analyzer,
+            predicate_analyzer=predicate_analyzer,
+            searchable_fields=searchable_fields,
+            predicate_field=predicate_field,
+            segment_size=segment_size,
+        )
+        index.store = store
+        index._total_length = sum(store.lengths())
+        index._content = content
+        index._predicates = predicates
         index._committed = True
         return index
 

@@ -293,19 +293,35 @@ class PostingList:
         self._require_frozen()
         return tuple(zip(self._skip_starts, self._seg_maxes))
 
+    def _segment_position(self, doc_id: int) -> int:
+        """Position of ``doc_id`` if present, else ``len(self)``.
+
+        Routes through the skip table first: one bisect over the segment
+        max-docid column picks the only segment that can hold ``doc_id``,
+        then a bisect over that segment alone finds it.  Bounding the
+        docid probe to one segment matters for lazily materialised
+        columns — a membership test decodes at most one block instead of
+        O(log n) scattered blocks.
+        """
+        self._require_frozen()
+        seg = bisect_left(self._seg_maxes, doc_id)
+        if seg >= len(self._seg_maxes):
+            return len(self.doc_ids)
+        start = self._skip_starts[seg]
+        end = min(len(self.doc_ids), start + self.segment_size)
+        pos = bisect_left(self.doc_ids, doc_id, start, end)
+        if pos < end and self.doc_ids[pos] == doc_id:
+            return pos
+        return len(self.doc_ids)
+
     def contains(self, doc_id: int) -> bool:
         """Binary-search membership test (no cost accounting)."""
-        self._require_frozen()
-        ids = self.doc_ids
-        pos = bisect_left(ids, doc_id)
-        return pos < len(ids) and ids[pos] == doc_id
+        return self._segment_position(doc_id) < len(self.doc_ids)
 
     def tf_for(self, doc_id: int) -> Optional[int]:
         """Return the stored tf for ``doc_id`` or ``None`` if absent."""
-        self._require_frozen()
-        ids = self.doc_ids
-        pos = bisect_left(ids, doc_id)
-        if pos < len(ids) and ids[pos] == doc_id:
+        pos = self._segment_position(doc_id)
+        if pos < len(self.doc_ids):
             return self.tfs[pos]
         return None
 
@@ -333,8 +349,16 @@ class PostingList:
             landing = len(self._seg_maxes) - 1
         if counter is not None:
             counter.segments_skipped += landing - seg
-        scan_start = max(position, self._skip_starts[landing]) if self._skip_starts else position
-        new_position = bisect_left(self.doc_ids, target, scan_start, n)
+        landing_start = self._skip_starts[landing] if self._skip_starts else 0
+        scan_start = max(position, landing_start)
+        # The landing segment is the first whose max docid reaches the
+        # target, so the answer lies inside it (or is ``n`` when the
+        # target exceeds every docid).  Clamping the bisect to the
+        # segment keeps the probe decode-local for lazy columns: a skip
+        # touches exactly one block, never a binary search across the
+        # whole compressed list.
+        scan_end = min(n, landing_start + self.segment_size)
+        new_position = bisect_left(self.doc_ids, target, scan_start, scan_end)
         if counter is not None:
             counter.entries_scanned += new_position - scan_start
         return new_position
@@ -363,6 +387,158 @@ class PostingList:
             raise RuntimeError(
                 f"posting list for {self.term!r} must be frozen before reads"
             )
+
+
+class LazyColumn:
+    """Read-only sequence view over one column of a block-compressed list.
+
+    Quacks like the ``array('q')`` columns it replaces for every read
+    the engine performs — ``len``, indexing (including negative),
+    iteration, ``bisect`` probes — but decodes postings block by block
+    through the owning :class:`LazyPostingList` only when an element is
+    actually touched.  Deliberately *not* an ``array`` subclass: the
+    intersection kernels test ``isinstance(x, array)`` to choose their
+    dense C paths and must fall back to the index-probe path here.
+    """
+
+    __slots__ = ("_owner", "_select")
+
+    def __init__(self, owner: "LazyPostingList", select: int):
+        self._owner = owner
+        self._select = select
+
+    def __len__(self) -> int:
+        return self._owner._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return array(
+                "q",
+                (self[i] for i in range(*index.indices(self._owner._count))),
+            )
+        n = self._owner._count
+        if index < 0:
+            index += n
+        if index < 0 or index >= n:
+            raise IndexError("posting column index out of range")
+        block, offset = divmod(index, self._owner.segment_size)
+        return self._owner._block(block)[self._select][offset]
+
+    def __iter__(self) -> Iterator[int]:
+        owner = self._owner
+        select = self._select
+        for block in range(len(owner._skip_starts)):
+            yield from owner._block(block)[select]
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        try:
+            if len(other) != len(self):
+                return False
+        except TypeError:
+            return NotImplemented
+        return all(a == b for a, b in zip(self, other))
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyColumn({'doc_ids' if self._select == 0 else 'tfs'} of "
+            f"{self._owner.term!r}, len={len(self)})"
+        )
+
+
+class LazyPostingList(PostingList):
+    """A frozen posting list whose columns decode on demand.
+
+    Constructed straight from persisted metadata — posting count,
+    cached ``max_tf``, and the per-segment skip/block-max columns — so
+    every pre-decode read (score bounds, block-max skipping, segment
+    overlap counting) runs without touching the compressed payload.
+    Element access goes through ``loader(block_index) -> (ids, tfs)``,
+    typically a closure over an mmap-backed block file with an LRU of
+    decoded blocks; a one-block memo on the list keeps sequential scans
+    from re-probing the cache per element.
+    """
+
+    __slots__ = ("_count", "_loader", "_memo")
+
+    def __init__(
+        self,
+        term: str,
+        count: int,
+        segment_size: int,
+        max_tf: int,
+        seg_mins: array,
+        seg_maxes: array,
+        seg_max_tfs: array,
+        loader,
+    ):
+        super().__init__(term, segment_size=segment_size)
+        self._count = count
+        self._loader = loader
+        self._memo = None
+        self._skip_starts = array("q", range(0, count, segment_size))
+        if not (
+            len(seg_mins)
+            == len(seg_maxes)
+            == len(seg_max_tfs)
+            == len(self._skip_starts)
+        ):
+            raise ValueError(
+                f"skip metadata for {term!r} does not match "
+                f"{len(self._skip_starts)} segments"
+            )
+        self._seg_mins = seg_mins
+        self._seg_maxes = seg_maxes
+        self._seg_max_tfs = seg_max_tfs
+        self._max_tf = max_tf
+        self.doc_ids = LazyColumn(self, 0)
+        self.tfs = LazyColumn(self, 1)
+        self._frozen = True
+
+    def _block(self, block: int) -> Tuple[array, array]:
+        memo = self._memo
+        if memo is not None and memo[0] == block:
+            return memo[1]
+        columns = self._loader(block)
+        self._memo = (block, columns)
+        return columns
+
+    @property
+    def materialized(self) -> bool:
+        """True once the columns have been decoded into plain arrays."""
+        return not isinstance(self.doc_ids, LazyColumn)
+
+    def materialize(self) -> "PostingList":
+        """Decode every block into plain ``array('q')`` columns.
+
+        After this the list no longer touches its loader (and thus the
+        backing file); mutation paths call it implicitly.
+        """
+        if not self.materialized:
+            ids = array("q")
+            tfs = array("q")
+            for block in range(len(self._skip_starts)):
+                block_ids, block_tfs = self._block(block)
+                ids.extend(block_ids)
+                tfs.extend(block_tfs)
+            self.doc_ids = ids
+            self.tfs = tfs
+            self._loader = None
+            self._memo = None
+        return self
+
+    def extend(self, pairs: Iterable[Tuple[int, int]]) -> "PostingList":
+        # ``_count`` goes stale here, but nothing reads it once the
+        # LazyColumn views have been replaced by real arrays.
+        self.materialize()
+        return super().extend(pairs)
 
 
 EMPTY_POSTING_LIST = PostingList.from_pairs("", ())

@@ -138,6 +138,21 @@ class ShardedInvertedIndex:
         for shard in self.shards:
             shard.index._clock = self._clock
 
+    def close(self) -> None:
+        """Release every shard index's resources (idempotent).
+
+        Shards loaded from binary block files hold an mmap each; plain
+        in-memory shards close as a no-op.
+        """
+        for shard in self.shards:
+            shard.index.close()
+
+    def __enter__(self) -> "ShardedInvertedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- construction ---------------------------------------------------
 
     @classmethod

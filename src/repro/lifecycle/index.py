@@ -43,7 +43,7 @@ from ..index.postings import DEFAULT_SEGMENT_SIZE
 from .memtable import Memtable
 from .segment import Segment
 from .snapshot import Snapshot
-from .storage import SegmentStorage
+from .storage import SEGMENT_FORMAT_VERSION, SegmentStorage
 from .version import VersionClock
 from .wal import OP_ADD, WriteAheadLog, replay_wal
 
@@ -89,6 +89,7 @@ class SegmentedIndex:
         predicate_field: str = DEFAULT_PREDICATE_FIELD,
         segment_size: int = DEFAULT_SEGMENT_SIZE,
         flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+        storage_format: int = SEGMENT_FORMAT_VERSION,
     ):
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.predicate_analyzer = (
@@ -116,7 +117,9 @@ class SegmentedIndex:
         self._wal: Optional[WriteAheadLog] = None
         self._memtable = self._new_memtable(0)
         if directory is not None:
-            self._storage = SegmentStorage(directory)
+            self._storage = SegmentStorage(
+                directory, segment_format=storage_format
+            )
             self._wal = WriteAheadLog(
                 self._storage.wal_path(self._storage.default_wal_name())
             )
@@ -144,6 +147,7 @@ class SegmentedIndex:
         analyzer: Optional[Analyzer] = None,
         predicate_analyzer: Optional[Analyzer] = None,
         flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+        storage_format: int = SEGMENT_FORMAT_VERSION,
     ) -> "SegmentedIndex":
         """Open (or create) a segmented index directory.
 
@@ -154,7 +158,7 @@ class SegmentedIndex:
         bit-identically.  Analyzer arguments matter only for a fresh or
         replayed corpus and must match what built the directory.
         """
-        storage = SegmentStorage(directory)
+        storage = SegmentStorage(directory, segment_format=storage_format)
         state = storage.load()
         if state is None:
             return cls(
@@ -162,6 +166,7 @@ class SegmentedIndex:
                 analyzer=analyzer,
                 predicate_analyzer=predicate_analyzer,
                 flush_threshold=flush_threshold,
+                storage_format=storage_format,
             )
         index = cls.__new__(cls)
         index.analyzer = analyzer if analyzer is not None else Analyzer()
@@ -440,9 +445,26 @@ class SegmentedIndex:
         self._dirty = False
 
     def close(self) -> None:
-        """Release the WAL file handle (state stays on disk)."""
+        """Release the WAL handle and every segment's backing reader.
+
+        State stays on disk; the index object must not be used after
+        closing (block-backed segments raise ``StorageError`` on any
+        read that needs an undecoded block).  Idempotent.
+        """
         if self._wal is not None:
             self._wal.close()
+            self._wal = None
+        cached, self._snapshot_cache = self._snapshot_cache, None
+        if cached is not None:
+            cached.close()
+        for segment in self._segments:
+            segment.close()
+
+    def __enter__(self) -> "SegmentedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- reads ------------------------------------------------------------
 
@@ -535,7 +557,49 @@ class SegmentedIndex:
                 "wal_records": (
                     len(replay_wal(self._wal.path)) if self._wal else 0
                 ),
+                "storage": self._storage_info(),
             }
+
+    def _storage_info(self) -> Optional[dict]:
+        """On-disk footprint per segment file (``None`` when in-memory)."""
+        if self._storage is None:
+            return None
+        from .storage import SEGMENT_DIR
+
+        files = []
+        total_bytes = 0
+        total_docs = 0
+        for segment in self._segments:
+            name = self._storage._segment_file_name(segment.segment_id)
+            path = self._storage.directory / SEGMENT_DIR / name
+            try:
+                size = path.stat().st_size
+            except OSError:
+                # Not yet committed (e.g. flushed but crash before
+                # manifest) — report what is actually on disk.
+                continue
+            files.append(
+                {
+                    "segment_id": segment.segment_id,
+                    "file": name,
+                    "format": 4 if name.endswith(".seg") else 3,
+                    "bytes": size,
+                    "num_docs": segment.num_docs,
+                }
+            )
+            total_bytes += size
+            total_docs += segment.num_docs
+        return {
+            "segment_format": self._storage.segment_format,
+            "codec": (
+                "block-v4" if self._storage.segment_format == 4 else "json-v3"
+            ),
+            "files": files,
+            "total_bytes": total_bytes,
+            "bytes_per_doc": (
+                round(total_bytes / total_docs, 2) if total_docs else 0.0
+            ),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -45,6 +45,7 @@ class Segment:
         "max_doc_id",
         "total_length",
         "ephemeral",
+        "_source",
     )
 
     def __init__(
@@ -69,6 +70,23 @@ class Segment:
         # Ephemeral segments are snapshot-time seals of the live memtable:
         # they make unflushed writes searchable but are never persisted.
         self.ephemeral = ephemeral
+        # The mmap-backed reader this segment decodes from, when it was
+        # loaded from a block-format (v4) file; owned by the segment.
+        self._source = None
+
+    def attach_source(self, source) -> None:
+        """Adopt the block-file reader backing this segment's lazy lists."""
+        self._source = source
+
+    def close(self) -> None:
+        """Release the backing reader, if any (idempotent).
+
+        In-memory segments (freshly built, merged, or decoded from JSON
+        payloads) hold no resources and close as a no-op.
+        """
+        source, self._source = self._source, None
+        if source is not None:
+            source.close()
 
     # -- construction ----------------------------------------------------
 

@@ -322,6 +322,24 @@ class Snapshot:
             term, ids, tfs, segment_size=self.segment_size, validate=False
         )
 
+    def close(self) -> None:
+        """Drop this snapshot's compiled-posting caches (idempotent).
+
+        Snapshots own no file handles — segments do — so closing one
+        only releases the memory its per-term compile cache pinned.
+        The serving layer calls this on superseded snapshots after an
+        epoch bump; in-flight queries holding references to already
+        compiled lists are unaffected (the lists are plain arrays).
+        """
+        self._content_cache.clear()
+        self._predicate_cache.clear()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def partitions(self) -> List[_SegmentPartition]:
         """Per-segment index views for partitioned statistics resolution.
 

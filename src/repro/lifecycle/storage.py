@@ -4,7 +4,9 @@ A segmented index directory looks like::
 
     <dir>/manifest.json            the commit point (atomic os.replace)
     <dir>/wal-<version>.jsonl      the live WAL generation
-    <dir>/segments/<id>.json.gz    one immutable file per sealed segment
+    <dir>/segments/<id>.seg        one immutable file per sealed segment
+                                   (binary block format; legacy segments
+                                   may persist as <id>.json.gz)
 
 **Commit protocol.**  Segment files are written first (each via a
 temporary file + ``os.replace``; segments are immutable so a file is
@@ -47,11 +49,17 @@ PathLike = Union[str, Path]
 
 SEGMENT_DIR = "segments"
 MANIFEST_NAME = "manifest.json"
-# v3 adds each posting list's max_tf and per-block max-tf column to the
-# segment payload (block-max top-k skips on them).  v2 payloads (columns
-# only) are still read; the maxima are recomputed at freeze on load.
-SEGMENT_FORMAT_VERSION = 3
-SUPPORTED_SEGMENT_VERSIONS = (2, 3)
+# v4 stores segments as binary block files (``<id>.seg``, see
+# repro.index.blockstore): mmap-backed, bit-packed posting blocks
+# decoded lazily per query.  v3 added max_tf and the per-block max-tf
+# column to the JSON payload; v2 (columns only) recomputes the maxima
+# at freeze.  All three load; a directory may mix formats — each
+# segment file is sniffed by content, and flush/compaction emit the
+# storage's configured format for *new* segments without rewriting old
+# ones.
+SEGMENT_FORMAT_VERSION = 4
+SUPPORTED_SEGMENT_VERSIONS = (2, 3, 4)
+_SEGMENT_SUFFIXES = {3: ".json.gz", 4: ".seg"}
 
 
 def _storage_error(message: str):
@@ -117,7 +125,9 @@ def _read_json(path: Path) -> dict:
 def _encode_segment(segment: Segment) -> dict:
     return {
         "kind": "segment",
-        "version": SEGMENT_FORMAT_VERSION,
+        # JSON payloads are the v3 layout regardless of the storage's
+        # configured default; v4 is the binary block-file format.
+        "version": 3,
         "segment_id": segment.segment_id,
         "documents": [
             {
@@ -219,6 +229,51 @@ def _decode_segment(payload: dict, path: Path, segment_size: int) -> Segment:
     )
 
 
+def _is_block_segment(path: Path) -> bool:
+    from ..index import blockstore
+
+    return blockstore.is_block_file(path)
+
+
+def _load_block_segment(
+    path: Path, segment_id: str, segment_size: int
+) -> Segment:
+    """Open a v4 block-file segment; the reader stays attached for lazy
+    block decode and is released by :meth:`Segment.close`."""
+    from ..index import blockstore
+
+    reader = blockstore.BlockFile(path)
+    try:
+        if reader.kind != "segment":
+            raise _storage_error(
+                f"expected a persisted segment in {path}, "
+                f"found {reader.kind!r}"
+            )
+        if reader.segment_size != segment_size:
+            raise _storage_error(
+                f"segment file {path} was sealed with segment_size "
+                f"{reader.segment_size}, manifest expects {segment_size}"
+            )
+        stored_id = reader.header.get("segment_id", segment_id)
+        if stored_id != segment_id:
+            raise _storage_error(
+                f"segment file {path} holds segment {stored_id!r}, "
+                f"manifest expects {segment_id!r}"
+            )
+        segment = Segment(
+            segment_id,
+            reader.documents(),
+            reader.posting_map("content"),
+            reader.posting_map("predicates"),
+            segment_size=segment_size,
+        )
+    except Exception:
+        reader.close()
+        raise
+    segment.attach_source(reader)
+    return segment
+
+
 class ManifestState:
     """Everything one manifest load yields (plus the WAL to replay)."""
 
@@ -242,10 +297,26 @@ class ManifestState:
 
 
 class SegmentStorage:
-    """Filesystem backing of one segmented index directory."""
+    """Filesystem backing of one segmented index directory.
 
-    def __init__(self, directory: PathLike):
+    ``segment_format`` picks the layout for *newly written* segment
+    files (4 = binary block files, 3 = gzipped JSON); existing files are
+    immutable and keep whatever format they were sealed in.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        segment_format: int = SEGMENT_FORMAT_VERSION,
+    ):
+        if segment_format not in _SEGMENT_SUFFIXES:
+            raise _storage_error(
+                f"cannot write segment format {segment_format!r} "
+                f"(writable formats: "
+                f"{', '.join(map(str, sorted(_SEGMENT_SUFFIXES)))})"
+            )
         self.directory = Path(directory)
+        self.segment_format = segment_format
         self.directory.mkdir(parents=True, exist_ok=True)
         (self.directory / SEGMENT_DIR).mkdir(exist_ok=True)
 
@@ -263,8 +334,36 @@ class SegmentStorage:
         """The generation a fresh (pre-first-commit) directory logs to."""
         return "wal-000000.jsonl"
 
-    def _segment_path(self, segment_id: str) -> Path:
-        return self.directory / SEGMENT_DIR / f"{segment_id}.json.gz"
+    def _segment_file_name(self, segment_id: str) -> str:
+        """Resolve a segment's on-disk file name.
+
+        Segment files are immutable, so if the segment was already
+        sealed (in any format) its existing file is reused verbatim;
+        only brand-new segments get the storage's configured format.
+        """
+        for suffix in _SEGMENT_SUFFIXES.values():
+            name = f"{segment_id}{suffix}"
+            if (self.directory / SEGMENT_DIR / name).exists():
+                return name
+        return f"{segment_id}{_SEGMENT_SUFFIXES[self.segment_format]}"
+
+    def _write_segment(self, segment: Segment, path: Path) -> None:
+        if path.suffix == ".seg":
+            from ..index import blockstore
+
+            blockstore.write_block_file(
+                path,
+                kind="segment",
+                config={"segment_size": segment.segment_size},
+                segment_size=segment.segment_size,
+                documents=segment.documents,
+                content=segment.content,
+                predicates=segment.predicates,
+                header_extra={"segment_id": segment.segment_id},
+                atomic=True,
+            )
+        else:
+            _write_atomic(path, _encode_segment(segment), gzipped=True)
 
     # -- commit ----------------------------------------------------------
 
@@ -282,20 +381,23 @@ class SegmentStorage:
         See the module docstring for the ordering argument.  ``segments``
         must not contain ephemeral (memtable-seal) segments.
         """
+        segment_files: Dict[str, str] = {}
         for segment in segments:
             if segment.ephemeral:
                 raise _storage_error(
                     f"refusing to persist ephemeral segment "
                     f"{segment.segment_id!r}"
                 )
-            path = self._segment_path(segment.segment_id)
+            name = self._segment_file_name(segment.segment_id)
+            segment_files[segment.segment_id] = name
+            path = self.directory / SEGMENT_DIR / name
             if not path.exists():
-                _write_atomic(path, _encode_segment(segment), gzipped=True)
+                self._write_segment(segment, path)
 
         wal_name = f"wal-{version:06d}.jsonl"
         manifest = {
             "kind": "segmented_index",
-            "version": SEGMENT_FORMAT_VERSION,
+            "version": self.segment_format,
             "config": dict(config),
             "next_doc_id": next_doc_id,
             "next_segment_number": next_segment_number,
@@ -305,7 +407,7 @@ class SegmentStorage:
             "segments": [
                 {
                     "segment_id": segment.segment_id,
-                    "file": f"{SEGMENT_DIR}/{segment.segment_id}.json.gz",
+                    "file": f"{SEGMENT_DIR}/{segment_files[segment.segment_id]}",
                     "num_docs": segment.num_docs,
                     "min_doc_id": segment.min_doc_id,
                     "max_doc_id": segment.max_doc_id,
@@ -318,9 +420,7 @@ class SegmentStorage:
         # Post-commit cleanup: stale WAL generations and segment files the
         # manifest no longer references.  Best effort — leftovers are
         # ignored by the next load, never replayed or reread.
-        live_segment_files = {
-            f"{segment.segment_id}.json.gz" for segment in segments
-        }
+        live_segment_files = set(segment_files.values())
         for path in (self.directory / SEGMENT_DIR).iterdir():
             if path.name not in live_segment_files:
                 try:
@@ -364,14 +464,20 @@ class SegmentStorage:
         segments: List[Segment] = []
         for entry in manifest.get("segments", ()):
             path = self.directory / entry["file"]
-            try:
-                payload = _read_json(path)
-            except Exception as exc:
-                raise _storage_error(
-                    f"segmented index {self.directory}: segment file "
-                    f"{path} is missing or unreadable ({exc})"
-                ) from None
-            segments.append(_decode_segment(payload, path, segment_size))
+            if _is_block_segment(path):
+                segment = _load_block_segment(
+                    path, entry["segment_id"], segment_size
+                )
+            else:
+                try:
+                    payload = _read_json(path)
+                except Exception as exc:
+                    raise _storage_error(
+                        f"segmented index {self.directory}: segment file "
+                        f"{path} is missing or unreadable ({exc})"
+                    ) from None
+                segment = _decode_segment(payload, path, segment_size)
+            segments.append(segment)
         return ManifestState(
             segments=segments,
             tombstones=set(manifest.get("tombstones", ())),

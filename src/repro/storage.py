@@ -6,14 +6,14 @@ the whole motivation for persisting its output).  This module serialises
 both artefacts to versioned JSON (gzip-compressed when the path ends in
 ``.gz``):
 
-* **indexes** (format version 3) persist their configuration, the
-  *analysed* documents, and the **precompiled posting columns** — docid
-  and tf arrays per term, each list's cached ``max_tf``, and the
-  per-block max-tf column the block-max top-k path skips with — so
-  loading is O(documents + postings): array adoption, no
-  re-tokenisation, no posting accumulation.  Version-2 payloads (no
-  block metadata; the maxima are recomputed at freeze) and version-1
-  payloads (tokens only; legacy rebuild path) are still read;
+* **indexes** default to the *binary block format* (version 4, see
+  :mod:`repro.index.blockstore`): delta-encoded bit-packed posting
+  blocks behind an mmap, a fixed-width term dictionary, and per-block
+  skip/max-tf metadata, so a cold open reads only header + dictionaries
+  and queries decode just the blocks they touch.  ``format=3`` still
+  writes the JSON layout (precompiled posting columns as base64-packed
+  little-endian int64), and version-3/2/1 payloads all load through
+  their legacy decoders;
 * **catalogs** persist each view's keyword set, parameter-column terms,
   and non-empty group tuples — loading is O(total tuples), no corpus
   access required.
@@ -34,20 +34,40 @@ from array import array
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Union
 
-from .errors import ReproError
+from .errors import StorageError
+from .index import blockstore
 from .index.documents import Document
 from .index.inverted_index import InvertedIndex
 from .views.catalog import ViewCatalog
 from .views.view import GroupTuple, MaterializedView
 
-FORMAT_VERSION = 3
-SUPPORTED_VERSIONS = (1, 2, 3)
+FORMAT_VERSION = 4
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: The JSON layouts froze at version 3; only the index artefact gained
+#: the binary v4 encoding.  Documents and catalogs keep stamping 3.
+_JSON_VERSION = 3
 
 PathLike = Union[str, Path]
 
-
-class StorageError(ReproError):
-    """Raised on malformed or incompatible persisted artefacts."""
+__all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "StorageError",
+    "encode_column",
+    "decode_column",
+    "encode_tokens",
+    "decode_tokens",
+    "LazyTokenFields",
+    "save_documents",
+    "load_documents",
+    "save_index",
+    "load_index",
+    "save_sharded_index",
+    "load_sharded_index",
+    "load_any_index",
+    "save_catalog",
+    "load_catalog",
+]
 
 
 def encode_column(values: Iterable[int]) -> str:
@@ -146,13 +166,41 @@ def _read_payload(path: Path) -> dict:
 
     A truncated gzip stream, a non-gzip file with a ``.gz`` name, or a
     half-written JSON body all surface as the same readable error rather
-    than leaking codec internals to the caller.
+    than leaking codec internals to the caller.  Binary v4 artefacts are
+    detected up front (their errors carry the exact byte offset, the way
+    lifecycle WAL errors carry a line number) instead of failing as
+    JSON noise at character 0.
     """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(blockstore.MAGIC))
+    except IsADirectoryError:
+        raise StorageError(
+            f"{path} is a directory, not a persisted artefact"
+        ) from None
+    if head == blockstore.MAGIC:
+        raise StorageError(
+            f"corrupt artefact {path} at byte 0: binary block artefact "
+            f"(format v4) where a JSON artefact was expected"
+        )
+    if head.startswith(blockstore.MAGIC[:4]) and head != blockstore.MAGIC:
+        raise StorageError(
+            f"corrupt artefact {path} at byte {_magic_mismatch_offset(head)}: "
+            f"damaged v4 magic {head!r}"
+        )
     try:
         with _open_read(path) as handle:
             return json.load(handle)
     except (ValueError, EOFError, gzip.BadGzipFile, UnicodeDecodeError) as exc:
         raise StorageError(f"corrupt artefact {path}: {exc}") from None
+
+
+def _magic_mismatch_offset(head: bytes) -> int:
+    """First byte where a damaged magic diverges from the v4 magic."""
+    for i, (got, want) in enumerate(zip(head, blockstore.MAGIC)):
+        if got != want:
+            return i
+    return len(head)
 
 
 def _check_header(payload: dict, expected_kind: str) -> int:
@@ -179,7 +227,7 @@ def save_documents(documents, path: PathLike) -> None:
     path = Path(path)
     payload = {
         "kind": "documents",
-        "version": FORMAT_VERSION,
+        "version": _JSON_VERSION,
         "documents": [
             {"doc_id": doc.doc_id, "fields": dict(doc.fields)}
             for doc in documents
@@ -208,7 +256,7 @@ def _encode_index(index: InvertedIndex) -> dict:
         raise StorageError("only committed indexes can be saved")
     return {
         "kind": "index",
-        "version": FORMAT_VERSION,
+        "version": _JSON_VERSION,
         "searchable_fields": list(index.searchable_fields),
         "predicate_field": index.predicate_field,
         "segment_size": index.segment_size,
@@ -326,24 +374,93 @@ def _decode_index(payload: dict, version: int = FORMAT_VERSION) -> InvertedIndex
     )
 
 
-def save_index(index: InvertedIndex, path: PathLike) -> None:
-    """Persist a committed index (configuration + analysed documents)."""
+def _index_config(index: InvertedIndex) -> dict:
+    return {
+        "searchable_fields": list(index.searchable_fields),
+        "predicate_field": index.predicate_field,
+        "segment_size": index.segment_size,
+    }
+
+
+def save_index(
+    index: InvertedIndex, path: PathLike, format: int = FORMAT_VERSION
+) -> None:
+    """Persist a committed index (configuration + analysed documents).
+
+    ``format=4`` (the default) writes the binary block layout —
+    mmap-friendly, so it is stored raw even when ``path`` ends in
+    ``.gz``.  ``format=3`` writes the legacy JSON layout (gzipped for
+    ``.gz`` paths).
+    """
     path = Path(path)
+    if format == 4:
+        if not index.committed:
+            raise StorageError("only committed indexes can be saved")
+        blockstore.write_block_file(
+            path,
+            kind="index",
+            config=_index_config(index),
+            segment_size=index.segment_size,
+            documents=list(index.store),
+            content=dict(index.content_items()),
+            predicates=dict(index.predicate_items()),
+        )
+        return
+    if format != 3:
+        raise StorageError(
+            f"cannot write index format {format!r} (writable formats: 3, 4)"
+        )
     payload = _encode_index(index)
     with _open_write(path) as handle:
         json.dump(payload, handle)
 
 
+def _index_from_block_reader(reader: "blockstore.BlockFile") -> InvertedIndex:
+    if reader.kind != "index":
+        raise StorageError(
+            f"expected a persisted 'index', found {reader.kind!r} "
+            f"in {reader.path}"
+        )
+    config = reader.config
+    return InvertedIndex.from_restored_store(
+        reader.document_store(),
+        reader.posting_map("content"),
+        reader.posting_map("predicates"),
+        searchable_fields=tuple(config.get("searchable_fields", ())),
+        predicate_field=config.get("predicate_field", "predicates"),
+        segment_size=reader.segment_size,
+    )
+
+
+def _load_block_index(path: Path) -> InvertedIndex:
+    """Open a v4 block file as a lazily-materialised flat index.
+
+    The returned index owns the underlying mmap: ``index.close()`` (or
+    using the index as a context manager) releases it deterministically.
+    """
+    reader = blockstore.BlockFile(path)
+    try:
+        index = _index_from_block_reader(reader)
+    except Exception:
+        reader.close()
+        raise
+    index.attach_resource(reader)
+    return index
+
+
 def load_index(path: PathLike) -> InvertedIndex:
     """Load an index saved by :func:`save_index`.
 
-    Version-2 payloads carry the compiled posting columns, so the load
-    is pure array adoption — O(documents + postings), no text analysis,
-    no posting accumulation.  Version-1 payloads fall back to the legacy
-    rebuild from stored token streams.  Either way the loaded index is
-    bit-identical in behaviour to the original.
+    The format is sniffed from the file itself, never the name: v4
+    block files open as mmap-backed lazy indexes, version-3/2 JSON
+    payloads adopt their compiled posting columns wholesale, and
+    version-1 payloads fall back to the legacy rebuild from stored
+    token streams.  Either way the loaded index is bit-identical in
+    behaviour to the original.
     """
     path = Path(path)
+    if blockstore.is_block_file(path):
+        return _load_block_index(path)
     payload = _read_payload(path)
     version = _check_header(payload, "index")
     return _decode_index(payload, version)
@@ -364,29 +481,48 @@ def _shard_file_name(manifest_name: str, shard_id: int) -> str:
     return f"{manifest_name[:dot]}.shard{shard_id}{manifest_name[dot:]}"
 
 
-def save_sharded_index(sharded_index, path: PathLike) -> None:
+def save_sharded_index(
+    sharded_index, path: PathLike, format: int = FORMAT_VERSION
+) -> None:
     """Persist a sharded index: a manifest plus one file per shard.
 
-    The manifest (at ``path``) records the partitioner and the shard file
-    names *relative to its own directory*, so the whole set of files can
-    be moved together.  Each shard file is an ordinary index payload
-    (readable by :func:`load_index`, which ignores the extra key) enriched
-    with the shard's local→global docid map.
+    The manifest (at ``path``) stays JSON in every format and records
+    the partitioner and the shard file names *relative to its own
+    directory*, so the whole set of files can be moved together.  Each
+    shard file is an ordinary index artefact (readable by
+    :func:`load_index`, which ignores the extra global-id column)
+    enriched with the shard's local→global docid map.
     """
     path = Path(path)
+    if format not in (3, 4):
+        raise StorageError(
+            f"cannot write index format {format!r} (writable formats: 3, 4)"
+        )
     shard_entries = []
     for shard in sharded_index.shards:
         shard_name = _shard_file_name(path.name, shard.shard_id)
-        payload = _encode_index(shard.index)
-        payload["global_ids"] = list(shard.global_ids)
-        with _open_write(path.parent / shard_name) as handle:
-            json.dump(payload, handle)
+        if format == 4:
+            blockstore.write_block_file(
+                path.parent / shard_name,
+                kind="index",
+                config=_index_config(shard.index),
+                segment_size=shard.index.segment_size,
+                documents=list(shard.index.store),
+                content=dict(shard.index.content_items()),
+                predicates=dict(shard.index.predicate_items()),
+                global_ids=shard.global_ids,
+            )
+        else:
+            payload = _encode_index(shard.index)
+            payload["global_ids"] = list(shard.global_ids)
+            with _open_write(path.parent / shard_name) as handle:
+                json.dump(payload, handle)
         shard_entries.append(
             {"file": shard_name, "num_docs": shard.index.num_docs}
         )
     manifest = {
         "kind": "sharded_index",
-        "version": FORMAT_VERSION,
+        "version": format,
         "partitioner": {
             "name": sharded_index.partitioner.name,
             "num_shards": sharded_index.partitioner.num_shards,
@@ -419,8 +555,32 @@ def load_sharded_index(path: PathLike):
     for shard_id, entry in enumerate(manifest["shards"]):
         shard_path = path.parent / entry["file"]
         try:
-            payload = _read_payload(shard_path)
-            version = _check_header(payload, "index")
+            if blockstore.is_block_file(shard_path):
+                reader = blockstore.BlockFile(shard_path)
+                try:
+                    global_ids = reader.global_ids()
+                    if global_ids is None:
+                        raise StorageError(
+                            f"shard file {shard_path} carries no global "
+                            f"docid map"
+                        )
+                    index = _index_from_block_reader(reader)
+                except Exception:
+                    reader.close()
+                    raise
+                index.attach_resource(reader)
+            else:
+                if not shard_path.exists():
+                    raise FileNotFoundError(shard_path)
+                payload = _read_payload(shard_path)
+                version = _check_header(payload, "index")
+                packed = payload.get("global_ids")
+                if packed is None:
+                    raise StorageError(
+                        f"shard file {shard_path} carries no global docid map"
+                    )
+                global_ids = array("q", packed)
+                index = _decode_index(payload, version)
         except FileNotFoundError:
             raise StorageError(
                 f"sharded index {path}: shard file {shard_path} is missing"
@@ -430,12 +590,6 @@ def load_sharded_index(path: PathLike):
                 f"sharded index {path}: shard file {shard_path} is "
                 f"unreadable ({exc})"
             ) from None
-        global_ids = payload.get("global_ids")
-        if global_ids is None:
-            raise StorageError(
-                f"shard file {shard_path} carries no global docid map"
-            )
-        index = _decode_index(payload, version)
         shards.append(IndexShard(shard_id, index, array("q", global_ids)))
     return ShardedInvertedIndex(shards, partitioner)
 
@@ -453,6 +607,8 @@ def load_any_index(path: PathLike):
         from .lifecycle import SegmentedIndex
 
         return SegmentedIndex.open(path)
+    if blockstore.is_block_file(path):
+        return _load_block_index(path)
     payload = _read_payload(path)
     if payload.get("kind") == "sharded_index":
         return load_sharded_index(path)
@@ -503,7 +659,7 @@ def save_catalog(catalog: ViewCatalog, path: PathLike) -> None:
     path = Path(path)
     payload = {
         "kind": "catalog",
-        "version": FORMAT_VERSION,
+        "version": _JSON_VERSION,
         "views": [_encode_view(view) for view in catalog],
     }
     with _open_write(path) as handle:

@@ -216,19 +216,26 @@ class TestServing:
         args = build_parser().parse_args([
             "serve", "--index", artefacts["index"], "--port", "0",
         ])
-        engine, sharded = _load_engine(args)
-        assert not sharded
-        with ServerThread(engine, _service_config(args)) as st:
-            host, port = st.address
-            with ServiceClient(host, port) as client:
-                assert client.healthz()["status"] == "ok"
-                index = load_index(artefacts["index"])
-                predicate = max(
-                    index.predicate_vocabulary,
-                    key=index.predicate_frequency,
-                )
-                response = client.query(f"disease | {predicate}")
-                assert response["status"] in ("ok", "error")
+        engine, needs_close = _load_engine(args)
+        # Flat engines own their (possibly mmap-backed) index now and
+        # must be closed by the caller.
+        assert needs_close
+        assert not hasattr(engine, "sharded_index")
+        try:
+            with ServerThread(engine, _service_config(args)) as st:
+                host, port = st.address
+                with ServiceClient(host, port) as client:
+                    assert client.healthz()["status"] == "ok"
+                    index = load_index(artefacts["index"])
+                    predicate = max(
+                        index.predicate_vocabulary,
+                        key=index.predicate_frequency,
+                    )
+                    index.close()
+                    response = client.query(f"disease | {predicate}")
+                    assert response["status"] in ("ok", "error")
+        finally:
+            engine.close()
 
 
 class TestErrorExits:

@@ -144,3 +144,115 @@ class TestPostingsRoundTrip:
         )
         assert decoded.max_tf == plist.max_tf
         assert list(decoded.block_max_tfs) == list(plist.block_max_tfs)
+
+
+class TestBlockCodec:
+    """The v4 per-block frame codec: bit-packed gaps/tfs with a varint
+    fallback.  Every frame must round-trip exactly, and decoding
+    arbitrary bytes must fail with StorageError — never crash."""
+
+    @staticmethod
+    def _roundtrip(doc_ids, tfs, prev, block=None):
+        from array import array
+
+        from repro.index.compression import decode_block, encode_block
+
+        ids = array("q", doc_ids)
+        freq = array("q", tfs)
+        count = len(ids) if block is None else block
+        frame = encode_block(ids, freq, 0, count, prev)
+        out_ids, out_tfs = decode_block(frame, count, prev)
+        assert list(out_ids) == list(doc_ids)[:count]
+        assert list(out_tfs) == list(tfs)[:count]
+        return frame
+
+    def test_single_doc_block(self):
+        self._roundtrip([0], [1], -1)
+        self._roundtrip([2**62], [2**62], -1)
+
+    @pytest.mark.parametrize("width", range(64))
+    def test_every_gap_width_roundtrips(self, width):
+        # Gaps of exactly 2**width exercise each packed width 0..63.
+        gap = 2**width
+        ids, prev = [], -1
+        cursor = -1
+        for _ in range(5):
+            cursor += gap
+            if cursor >= 2**63:
+                break
+            ids.append(cursor)
+        self._roundtrip(ids, [1] * len(ids), prev)
+
+    def test_max_int64_gap(self):
+        self._roundtrip([2**63 - 1], [1], -1)
+        self._roundtrip([0, 2**63 - 1], [1, 1], -1)
+
+    def test_nonzero_prev_doc_id(self):
+        self._roundtrip([100, 101, 200], [3, 1, 2], 99)
+
+    def test_non_dividing_block_prefix(self):
+        # A trailing short block: encode only the first `block` entries.
+        ids = list(range(0, 700, 7))
+        tfs = [(i % 9) + 1 for i in range(len(ids))]
+        self._roundtrip(ids, tfs, -1, block=13)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**62),
+                st.integers(min_value=1, max_value=2**40),
+            ),
+            unique_by=lambda pair: pair[0],
+            min_size=1,
+            max_size=128,
+        ),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_roundtrip_property(self, pairs, prev_offset):
+        pairs = sorted(pairs)
+        ids = [doc for doc, _ in pairs]
+        prev = ids[0] - 1 - prev_offset
+        if prev < -1:
+            prev = -1
+        self._roundtrip(ids, [tf for _, tf in pairs], prev)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.binary(min_size=0, max_size=80),
+    )
+    def test_fuzz_decode_never_crashes(self, count, data):
+        from repro.errors import StorageError
+        from repro.index.compression import decode_block
+
+        try:
+            out_ids, out_tfs = decode_block(data, count, -1)
+        except StorageError:
+            return  # rejection is the expected failure mode
+        # A lucky decode must still satisfy the posting invariants.
+        assert len(out_ids) == count
+        assert all(tf >= 1 for tf in out_tfs)
+        assert all(a < b for a, b in zip(out_ids, out_ids[1:]))
+
+    def test_varint_fallback_for_wild_gaps(self):
+        from array import array
+
+        from repro.index.compression import VARINT_BLOCK, encode_block
+
+        # One huge gap forces the packed width up for every entry; the
+        # varint frame is smaller and must be chosen.
+        ids = array("q", [0, 1, 2, 3, 2**60])
+        tfs = array("q", [1] * 5)
+        frame = encode_block(ids, tfs, 0, 5, -1)
+        assert frame[0] == VARINT_BLOCK
+        self._roundtrip(list(ids), list(tfs), -1)
+
+    def test_unsorted_block_rejected(self):
+        from array import array
+
+        from repro.errors import ReproError
+        from repro.index.compression import encode_block
+
+        with pytest.raises(ReproError):
+            encode_block(array("q", [5, 5]), array("q", [1, 1]), 0, 2, -1)
+        with pytest.raises(ReproError):
+            encode_block(array("q", [5]), array("q", [0]), 0, 1, -1)

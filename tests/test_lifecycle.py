@@ -455,7 +455,7 @@ class TestPersistence:
         index.add_documents(DOCS[:5])
         index.flush()
         index.close()
-        victim = next((directory / "segments").glob("*.json.gz"))
+        victim = next((directory / "segments").glob("seg-*"))
         victim.unlink()
 
         with pytest.raises(StorageError) as exc_info:

@@ -15,10 +15,18 @@ from .conftest import HANDMADE_DOCS
 
 
 class TestIndexRoundTrip:
-    @pytest.fixture(params=["idx.json", "idx.json.gz"])
+    @pytest.fixture(
+        params=[
+            ("idx.json", 4),
+            ("idx.json", 3),
+            ("idx.json.gz", 3),
+        ],
+        ids=["v4-binary", "v3-json", "v3-json-gz"],
+    )
     def saved_path(self, request, tmp_path, handmade_index):
-        path = tmp_path / request.param
-        save_index(handmade_index, path)
+        name, fmt = request.param
+        path = tmp_path / name
+        save_index(handmade_index, path, format=fmt)
         return path
 
     def test_statistics_survive(self, saved_path, handmade_index):
@@ -171,7 +179,7 @@ class TestFormatVersions:
         import json
 
         path = tmp_path / "v3.json"
-        save_index(handmade_index, path)
+        save_index(handmade_index, path, format=3)
         payload = json.loads(path.read_text())
         from repro.storage import decode_column
 
@@ -195,7 +203,7 @@ class TestFormatVersions:
         self, tmp_path, handmade_index
     ):
         path = tmp_path / "v3.json"
-        save_index(handmade_index, path)
+        save_index(handmade_index, path, format=3)
         loaded = load_index(path)
         for term in handmade_index.vocabulary:
             original = handmade_index.postings(term)
@@ -210,7 +218,7 @@ class TestFormatVersions:
         import json
 
         save_path = tmp_path / "v3.json"
-        save_index(handmade_index, save_path)
+        save_index(handmade_index, save_path, format=3)
         path = tmp_path / "v2.json"
         path.write_text(
             json.dumps(self._as_v2_payload(json.loads(save_path.read_text())))
@@ -238,7 +246,7 @@ class TestFormatVersions:
         import json
 
         path = tmp_path / "v9.json"
-        save_index(handmade_index, path)
+        save_index(handmade_index, path, format=3)
         payload = json.loads(path.read_text())
         payload["version"] = 9
         path.write_text(json.dumps(payload))
@@ -251,7 +259,7 @@ class TestFormatVersions:
         import json
 
         path = tmp_path / "broken.json"
-        save_index(handmade_index, path)
+        save_index(handmade_index, path, format=3)
         payload = json.loads(path.read_text())
         term = next(iter(payload["content"]))
         payload["content"][term] = [[0, 1]]  # not an (ids, tfs, max_tf) triple
@@ -264,14 +272,14 @@ class TestShardedLoadRobustness:
     """A missing, truncated, or version-incompatible per-shard file must
     surface as one readable StorageError naming the offending file."""
 
-    @pytest.fixture()
-    def saved_sharded(self, tmp_path, handmade_index):
+    @pytest.fixture(params=[3, 4], ids=["v3-json", "v4-binary"])
+    def saved_sharded(self, request, tmp_path, handmade_index):
         from repro.index.sharded import ShardedInvertedIndex
         from repro.storage import load_sharded_index, save_sharded_index
 
         sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
         path = tmp_path / "idx.json"
-        save_sharded_index(sharded, path)
+        save_sharded_index(sharded, path, format=request.param)
         return path, load_sharded_index
 
     def test_missing_shard_file(self, saved_sharded):
@@ -288,17 +296,35 @@ class TestShardedLoadRobustness:
 
         sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
         path = tmp_path / "idx.json.gz"
-        save_sharded_index(sharded, path)
+        save_sharded_index(sharded, path, format=3)
         victim = tmp_path / "idx.shard0.json.gz"
         victim.write_bytes(victim.read_bytes()[:40])  # truncate mid-stream
         with pytest.raises(StorageError, match="unreadable") as exc_info:
             load_sharded_index(path)
         assert victim.name in str(exc_info.value)
 
-    def test_shard_version_mismatch(self, saved_sharded):
+    def test_truncated_binary_shard(self, tmp_path, handmade_index):
+        from repro.index.sharded import ShardedInvertedIndex
+        from repro.storage import load_sharded_index, save_sharded_index
+
+        sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
+        path = tmp_path / "idx.json"
+        save_sharded_index(sharded, path, format=4)
+        victim = tmp_path / "idx.shard0.json"
+        victim.write_bytes(victim.read_bytes()[:64])  # torn mid-header
+        with pytest.raises(StorageError, match="unreadable") as exc_info:
+            load_sharded_index(path)
+        assert victim.name in str(exc_info.value)
+
+    def test_shard_version_mismatch(self, tmp_path, handmade_index):
         import json
 
-        path, load_sharded_index = saved_sharded
+        from repro.index.sharded import ShardedInvertedIndex
+        from repro.storage import load_sharded_index, save_sharded_index
+
+        sharded = ShardedInvertedIndex.from_index(handmade_index, 2, "hash")
+        path = tmp_path / "idx.json"
+        save_sharded_index(sharded, path, format=3)
         victim = path.parent / "idx.shard0.json"
         payload = json.loads(victim.read_text())
         payload["version"] = 99
@@ -311,3 +337,111 @@ class TestShardedLoadRobustness:
         path, load_sharded_index = saved_sharded
         loaded = load_sharded_index(path)
         assert loaded.num_docs == handmade_index.num_docs
+        loaded.close()
+
+
+class TestBinaryFormatV4:
+    """The v4 block format: lazy loads, torn-file diagnostics, and
+    resource lifecycle."""
+
+    @pytest.fixture()
+    def v4_path(self, tmp_path, handmade_index):
+        path = tmp_path / "idx.bin"
+        save_index(handmade_index, path, format=4)
+        return path
+
+    def test_rankings_bit_identical_to_eager_v3(
+        self, tmp_path, v4_path, handmade_index
+    ):
+        v3_path = tmp_path / "idx.json"
+        save_index(handmade_index, v3_path, format=3)
+        eager = load_index(v3_path)
+        lazy = load_index(v4_path)
+        a = ContextSearchEngine(eager).search("leukemia | Diseases")
+        b = ContextSearchEngine(lazy).search("leukemia | Diseases")
+        assert a.external_ids() == b.external_ids()
+        for ha, hb in zip(a.hits, b.hits):
+            assert ha.score == hb.score  # bit-identical, not approx
+        lazy.close()
+
+    def test_loaded_lists_are_lazy_until_touched(self, v4_path):
+        from repro.index.postings import LazyPostingList
+
+        loaded = load_index(v4_path)
+        plist = next(
+            loaded.postings(t)
+            for t in loaded.vocabulary
+            if len(loaded.postings(t))
+        )
+        assert isinstance(plist, LazyPostingList)
+        assert not plist.materialized
+        # Metadata reads decode nothing...
+        assert plist.max_tf >= 1 and len(plist) >= 1
+        assert not plist.materialized
+        # ...while an element read decodes (memoised) blocks.
+        assert plist.doc_ids[0] >= 0
+        loaded.close()
+
+    def test_close_is_idempotent_and_blocks_reads(self, v4_path):
+        loaded = load_index(v4_path)
+        untouched = [
+            t for t in loaded.vocabulary if len(loaded.postings(t))
+        ]
+        loaded.close()
+        loaded.close()  # idempotent
+        with pytest.raises(StorageError, match="closed"):
+            list(loaded.postings(untouched[0]).doc_ids)
+
+    def test_context_manager_closes(self, v4_path):
+        with load_index(v4_path) as loaded:
+            assert loaded.num_docs > 0
+
+    def test_json_loader_names_binary_artefact(self, v4_path):
+        from repro.storage import load_catalog
+
+        with pytest.raises(StorageError, match="byte 0.*format v4"):
+            load_catalog(v4_path)
+
+    def test_torn_header_names_file_and_offset(self, tmp_path, v4_path):
+        torn = tmp_path / "torn.bin"
+        torn.write_bytes(v4_path.read_bytes()[:32])
+        with pytest.raises(StorageError, match="at byte") as exc_info:
+            load_index(torn)
+        assert torn.name in str(exc_info.value)
+
+    def test_torn_blocks_surface_offset_on_decode(self, tmp_path, v4_path):
+        # Keep the header/dictionary intact but cut the file short, so
+        # the tear is only discovered when a block is actually decoded.
+        data = v4_path.read_bytes()
+        torn = tmp_path / "torn-tail.bin"
+        torn.write_bytes(data[: int(len(data) * 0.7)])
+        try:
+            loaded = load_index(torn)
+        except StorageError as exc:
+            assert "at byte" in str(exc)
+            return
+        with pytest.raises(StorageError, match="at byte"):
+            for term in loaded.vocabulary:
+                list(loaded.postings(term).doc_ids)
+        loaded.close()
+
+    def test_flipped_magic_reports_damage(self, tmp_path, v4_path):
+        data = bytearray(v4_path.read_bytes())
+        data[5] ^= 0xFF  # damage inside the magic, after the sniff prefix
+        bad = tmp_path / "bad-magic.bin"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            load_index(bad)
+
+    def test_no_resource_warning_when_closed(self, v4_path):
+        import gc
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            loaded = load_index(v4_path)
+            for term in list(loaded.vocabulary)[:5]:
+                list(loaded.postings(term))
+            loaded.close()
+            del loaded
+            gc.collect()
