@@ -1,0 +1,379 @@
+"""Adaptive vs static view selection under workload drift — the PR-8 gate.
+
+Standalone script (not a pytest bench) so CI and operators can run it
+without the benchmark plugin::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_selection.py          # full
+    PYTHONPATH=src python benchmarks/bench_adaptive_selection.py --smoke  # CI
+
+The experiment behind the continuous-selection PR (it grew out of
+``bench_ablation_workload_drift.py``'s one-shot coverage comparison):
+
+* generate D **drift phases** — performance workloads over the same
+  collection from different seeds, each replayed for several passes
+  (sustained drift, the regime where adaptation can pay off);
+* the **static arm** serves every phase with a workload-driven catalog
+  trained on phase 0 and never touched again;
+* the **adaptive arm** starts from the *same* catalog, folds every
+  served query into a :class:`~repro.service.workload.WorkloadRecorder`,
+  and after the first pass of each drifted phase runs one
+  :meth:`~repro.service.adaptive.AdaptiveSelectionController.run_once`
+  pass — reselect under the same storage budget, hot-swap the catalog.
+
+Gates (full mode, aggregated over the drifted phases):
+
+* adaptive **view-hit rate** strictly above static;
+* adaptive **mean predicted+actual model cost** strictly below static;
+* rankings **bit-identical** everywhere — every query agrees across the
+  two arms, and at every swap point the pre-swap, post-swap, and
+  forced-straightforward answers agree (catalog swaps are rank-safe);
+* a :class:`~repro.lifecycle.engine.LifecycleEngine`
+  ``install_catalog`` swap is also bit-identical and bumps the
+  generation.
+
+Full runs write ``BENCH_adaptive.json`` at the repo root and exit 1 on
+any gate failure; ``--smoke`` shrinks everything and checks
+bit-identity plus a non-strict hit-rate gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    AdaptiveConfig,
+    AdaptiveSelectionController,
+    ContextSearchEngine,
+    CorpusConfig,
+    IncrementalReselector,
+    WorkloadRecorder,
+    generate_corpus,
+    generate_performance_workload,
+)
+from repro.selection import workload_from_queries  # noqa: E402
+from repro.views import ViewSizeEstimator, WideSparseTable  # noqa: E402
+
+FULL_DOCS = 8_000
+SMOKE_DOCS = 1_500
+PHASE_SEEDS = (101, 505, 909)  # phase 0 trains the static catalog
+FULL_QUERIES_PER_COUNT = 15
+SMOKE_QUERIES_PER_COUNT = 8
+REPEAT_PASSES = 3  # each phase replays its queries this many times
+PROBES_PER_SWAP = 6
+TOP_K = 10
+BUDGET_HEADROOM = 1.2  # budget = headroom x cost of covering phase 0
+
+
+def build_phases(corpus, index, t_c: int, queries_per_count: int):
+    """One list of WorkloadQuery per drift phase (distinct seeds)."""
+    phases = []
+    for seed in PHASE_SEEDS:
+        perf = generate_performance_workload(
+            corpus,
+            index,
+            t_c=t_c,
+            kind="large",
+            keyword_counts=(2, 3),
+            queries_per_count=queries_per_count,
+            seed=seed,
+        )
+        phases.append(perf.all_queries())
+    return phases
+
+
+def training_workload(phase):
+    return workload_from_queries(
+        [wq.query for wq in phase],
+        context_sizes={
+            frozenset(wq.query.predicates): wq.context_size for wq in phase
+        },
+    )
+
+
+def phase_budget(index, workload) -> int:
+    """The shared storage budget: enough to cover the training phase
+    outright, with a little headroom — both arms get exactly this."""
+    table = WideSparseTable.from_index(index)
+    estimator = ViewSizeEstimator(table, seed=0)
+    exact = sum(
+        estimator.exact(frozenset(entry.predicates)) for entry in workload
+    )
+    return int(BUDGET_HEADROOM * exact) + 1
+
+
+def assert_identical(a, b, label: str) -> None:
+    assert a.external_ids() == b.external_ids(), label
+    for ha, hb in zip(a.hits, b.hits):
+        assert abs(ha.score - hb.score) < 1e-12, label
+
+
+def swap_with_probes(controller, engine, probes) -> dict:
+    """One reselection pass bracketed by rank-safety probes.
+
+    Before the swap each probe runs on the auto path and forced
+    straightforward (the catalog-free ground truth); after the swap the
+    auto path must still match both.
+    """
+    before = [
+        (
+            engine.search(wq.query, top_k=TOP_K),
+            engine.search(wq.query, top_k=TOP_K, path="straightforward"),
+        )
+        for wq in probes
+    ]
+    for auto, truth in before:
+        assert_identical(auto, truth, "pre-swap auto vs straightforward")
+    started = time.perf_counter()
+    report = controller.run_once(trigger="drift")
+    reselect_seconds = time.perf_counter() - started
+    for wq, (auto, truth) in zip(probes, before):
+        after = engine.search(wq.query, top_k=TOP_K)
+        assert_identical(after, auto, "post-swap vs pre-swap")
+        assert_identical(after, truth, "post-swap vs straightforward")
+    return {
+        "generation": engine.catalog_generation,
+        "probes": len(probes),
+        "reselect_seconds": reselect_seconds,
+        "report": report.to_dict() if report is not None else None,
+    }
+
+
+def run_phases(phases, static, adaptive, recorder, controller):
+    """Both arms through every phase; returns (rows, swap events).
+
+    The two engines see the same query stream in the same order; each
+    query's results are asserted bit-identical across arms (views never
+    change rankings, whatever catalog is installed).
+    """
+    rows, swaps = [], []
+    for phase_id, queries in enumerate(phases):
+        stream = list(queries) * REPEAT_PASSES
+        swap_at = len(queries) if phase_id > 0 else None
+        arm_stats = {
+            "static": {"views": 0, "cost": 0, "predicted": 0},
+            "adaptive": {"views": 0, "cost": 0, "predicted": 0},
+        }
+        for i, wq in enumerate(stream):
+            if swap_at is not None and i == swap_at:
+                swaps.append(
+                    {
+                        "phase": phase_id,
+                        **swap_with_probes(
+                            controller, adaptive, queries[:PROBES_PER_SWAP]
+                        ),
+                    }
+                )
+            recorder.record(wq.query.predicates, wq.context_size)
+            rs = static.search(wq.query, top_k=TOP_K)
+            ra = adaptive.search(wq.query, top_k=TOP_K)
+            assert_identical(rs, ra, f"phase {phase_id} query {i}")
+            for arm, res in (("static", rs), ("adaptive", ra)):
+                stats = arm_stats[arm]
+                if res.report.resolution.path == "views":
+                    stats["views"] += 1
+                stats["cost"] += res.report.counter.model_cost
+                stats["predicted"] += res.report.predicted_cost or 0
+        total = len(stream)
+        row = {"phase": phase_id, "seed": PHASE_SEEDS[phase_id], "queries": total}
+        for arm, stats in arm_stats.items():
+            row[arm] = {
+                "view_hit_rate": stats["views"] / total,
+                "mean_cost": (stats["cost"] + stats["predicted"]) / total,
+            }
+        rows.append(row)
+        print(
+            f"phase {phase_id}: static hit="
+            f"{row['static']['view_hit_rate']:.2f} "
+            f"cost={row['static']['mean_cost']:.0f} | adaptive hit="
+            f"{row['adaptive']['view_hit_rate']:.2f} "
+            f"cost={row['adaptive']['mean_cost']:.0f}",
+            flush=True,
+        )
+    return rows, swaps
+
+
+def aggregate_drift(rows) -> dict:
+    """Weighted aggregates over the drifted phases (phase 0 trained the
+    static catalog — both arms are identical there by construction)."""
+    out = {}
+    drifted = [row for row in rows if row["phase"] > 0]
+    total = sum(row["queries"] for row in drifted)
+    for arm in ("static", "adaptive"):
+        out[arm] = {
+            "view_hit_rate": sum(
+                row[arm]["view_hit_rate"] * row["queries"] for row in drifted
+            )
+            / total,
+            "mean_cost": sum(
+                row[arm]["mean_cost"] * row["queries"] for row in drifted
+            )
+            / total,
+        }
+    return out
+
+
+def check_lifecycle_swap(documents, probes, budget: int) -> dict:
+    """install_catalog on a LifecycleEngine is a rank-safe epoch bump."""
+    from repro.lifecycle import LifecycleEngine, SegmentedIndex
+
+    index = SegmentedIndex()
+    engine = LifecycleEngine(index)
+    try:
+        engine.ingest(documents)
+        engine.flush()
+        before = [
+            (
+                engine.search(wq.query, top_k=TOP_K),
+                engine.search(wq.query, top_k=TOP_K, path="straightforward"),
+            )
+            for wq in probes
+        ]
+        for auto, truth in before:
+            assert_identical(auto, truth, "lifecycle pre-install")
+        reselector = IncrementalReselector(storage_budget=budget)
+        workload = training_workload(probes)
+        catalog, report = reselector.reselect(
+            index.snapshot(), workload, trigger="lifecycle"
+        )
+        generation = engine.install_catalog(catalog, info=report.to_dict())
+        assert generation == 1, generation
+        assert engine.last_reselection is not None
+        for wq, (auto, truth) in zip(probes, before):
+            after = engine.search(wq.query, top_k=TOP_K)
+            assert_identical(after, auto, "lifecycle post-install vs pre")
+            assert_identical(after, truth, "lifecycle post-install vs truth")
+    finally:
+        engine.close()
+    return {
+        "generation": generation,
+        "num_views": report.num_views,
+        "probes": len(probes),
+        "rankings_bit_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, no JSON write, bit-identity + non-strict gates",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_adaptive.json"),
+        help="JSON output path (full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    num_docs = SMOKE_DOCS if args.smoke else FULL_DOCS
+    queries_per_count = (
+        SMOKE_QUERIES_PER_COUNT if args.smoke else FULL_QUERIES_PER_COUNT
+    )
+    corpus = generate_corpus(CorpusConfig(num_docs=num_docs, seed=42))
+    index = corpus.build_index()
+    t_c = max(2, index.num_docs // 100)
+    phases = build_phases(corpus, index, t_c, queries_per_count)
+    train = training_workload(phases[0])
+    budget = phase_budget(index, train)
+    print(
+        f"{num_docs} docs, {len(phases)} phases x "
+        f"{len(phases[0])} queries x {REPEAT_PASSES} passes, "
+        f"t_c={t_c}, budget={budget} tuples",
+        flush=True,
+    )
+
+    reselector = IncrementalReselector(storage_budget=budget)
+    catalog0, report0 = reselector.reselect(index, train, trigger="init")
+    static = ContextSearchEngine(index, catalog=catalog0)
+    adaptive = ContextSearchEngine(index, catalog=catalog0)
+    recorder = WorkloadRecorder()
+    controller = AdaptiveSelectionController(
+        adaptive,
+        reselector,
+        recorder=recorder,
+        config=AdaptiveConfig(min_queries=1, decay=0.3),
+    )
+
+    rows, swaps = run_phases(phases, static, adaptive, recorder, controller)
+    drift = aggregate_drift(rows)
+    lifecycle = check_lifecycle_swap(
+        corpus.documents, phases[0][:PROBES_PER_SWAP], budget
+    )
+    print(
+        f"drifted phases: static hit={drift['static']['view_hit_rate']:.3f} "
+        f"cost={drift['static']['mean_cost']:.0f} | adaptive "
+        f"hit={drift['adaptive']['view_hit_rate']:.3f} "
+        f"cost={drift['adaptive']['mean_cost']:.0f} "
+        f"(generation={adaptive.catalog_generation})",
+        flush=True,
+    )
+
+    if args.smoke:
+        if drift["adaptive"]["view_hit_rate"] < drift["static"]["view_hit_rate"]:
+            print(
+                "FAIL: adaptive view-hit rate below static under drift",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "smoke mode: rankings bit-identical across arms and at every "
+            "swap point; adaptive view-hit rate holds; JSON not written"
+        )
+        return 0
+
+    payload = {
+        "benchmark": "adaptive vs static view selection under workload drift",
+        "python": platform.python_version(),
+        "host_cpu_cores": os.cpu_count() or 1,
+        "num_docs": num_docs,
+        "phase_seeds": list(PHASE_SEEDS),
+        "queries_per_phase": len(phases[0]),
+        "repeat_passes": REPEAT_PASSES,
+        "top_k": TOP_K,
+        "t_c": t_c,
+        "storage_budget": budget,
+        "initial_catalog": report0.to_dict(),
+        "phases": rows,
+        "drift_aggregate": drift,
+        "swaps": swaps,
+        "lifecycle_install": lifecycle,
+        "rankings_bit_identical": True,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if (
+        drift["adaptive"]["view_hit_rate"]
+        <= drift["static"]["view_hit_rate"]
+    ):
+        print(
+            "FAIL: adaptive view-hit rate "
+            f"{drift['adaptive']['view_hit_rate']:.3f} does not beat static "
+            f"{drift['static']['view_hit_rate']:.3f} under drift",
+            file=sys.stderr,
+        )
+        failed = True
+    if drift["adaptive"]["mean_cost"] >= drift["static"]["mean_cost"]:
+        print(
+            "FAIL: adaptive mean predicted+actual cost "
+            f"{drift['adaptive']['mean_cost']:.0f} does not beat static "
+            f"{drift['static']['mean_cost']:.0f} under drift",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

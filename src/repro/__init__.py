@@ -20,6 +20,10 @@ Quickstart::
         print(hit.external_id, hit.score)
 """
 
+# Defined before the subpackage imports: repro.service.server imports it
+# back from the partially initialised package.
+__version__ = "1.0.0"
+
 from .errors import (
     BudgetExceededError,
     DataGenerationError,
@@ -106,10 +110,17 @@ from .index import (
     make_partitioner,
 )
 from .core import ShardedEngine, fork_available
-from .views import materialize_sharded_catalogs, replicate_catalog
+from .views import CatalogHandle, materialize_sharded_catalogs, replicate_catalog
+from .selection import IncrementalReselector, ReselectionReport
+from .service import (
+    AdaptiveConfig,
+    AdaptiveSelectionController,
+    WorkloadRecorder,
+)
 from .storage import (
     load_any_index,
     load_catalog,
+    load_catalog_info,
     load_documents,
     load_index,
     load_sharded_index,
@@ -124,8 +135,6 @@ from .temporal import (
     TemporalSearchEngine,
     materialize_temporal_view,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     # errors
@@ -216,6 +225,13 @@ __all__ = [
     "fork_available",
     "materialize_sharded_catalogs",
     "replicate_catalog",
+    # adaptive selection
+    "CatalogHandle",
+    "WorkloadRecorder",
+    "IncrementalReselector",
+    "ReselectionReport",
+    "AdaptiveConfig",
+    "AdaptiveSelectionController",
     # persistence
     "save_index",
     "load_index",
@@ -224,6 +240,7 @@ __all__ = [
     "load_any_index",
     "save_catalog",
     "load_catalog",
+    "load_catalog_info",
     "save_documents",
     "load_documents",
     # temporal extension

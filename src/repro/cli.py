@@ -43,6 +43,18 @@ closed-loop load generator::
     python -m repro bench-serve --index index.json.gz \
                           --queries workload.txt --threads 8
 
+``serve --adaptive`` adds continuous workload-adaptive view selection:
+served queries feed a bounded decayed workload recorder, a background
+thread re-runs workload-driven selection when coverage drops (or the
+collection grows), and the new catalog is hot-swapped atomically —
+rankings are unchanged, only cost.  ``--save-catalog`` persists the
+final catalog with its hot-swap generation and reselection stats, which
+``info --catalog`` reports back::
+
+    python -m repro serve --index index.json.gz --adaptive \
+                          --adaptive-budget 4096 --save-catalog cat.json.gz
+    python -m repro info  --catalog cat.json.gz
+
 A **segmented index directory** (the mutable lifecycle form: WAL +
 immutable segments + manifest) is managed with ``ingest``, ``compact``
 and ``info``, and is accepted by every ``--index`` flag — loading one
@@ -76,6 +88,7 @@ from .selection.hybrid import select_views
 from .storage import (
     load_any_index,
     load_catalog,
+    load_catalog_info,
     load_documents,
     load_index,
     save_catalog,
@@ -466,15 +479,24 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    """Print a segmented index's manifest/WAL/segment state as JSON."""
+    """Print a segmented index's manifest/WAL/segment state as JSON,
+    and/or a saved catalog's provenance (views, hot-swap generation,
+    last-reselection stats)."""
     import json
 
-    index = _open_segmented(args.index)
-    try:
-        info = index.info()
-    finally:
-        index.close()
-    print(json.dumps(info, indent=2))
+    if not args.index and not args.catalog:
+        print("error: info needs --index and/or --catalog", file=sys.stderr)
+        return 2
+    payload: dict = {}
+    if args.index:
+        index = _open_segmented(args.index)
+        try:
+            payload = index.info()
+        finally:
+            index.close()
+    if args.catalog:
+        payload["catalog"] = load_catalog_info(args.catalog)
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -497,34 +519,168 @@ def _service_config(args: argparse.Namespace):
     )
 
 
+_ADAPTIVE_FLAGS = (
+    "adaptive_interval",
+    "adaptive_min_queries",
+    "adaptive_coverage",
+    "adaptive_growth",
+    "adaptive_budget",
+)
+
+
+def _check_adaptive_args(args: argparse.Namespace) -> None:
+    """Adaptive knobs without ``--adaptive`` are a configuration bug the
+    operator should hear about, not silently-ignored flags."""
+    if getattr(args, "adaptive", False):
+        return
+    for flag in _ADAPTIVE_FLAGS:
+        if getattr(args, flag, None) is not None:
+            raise ReproError(
+                f"--{flag.replace('_', '-')} requires --adaptive"
+            )
+    if getattr(args, "save_catalog", None):
+        raise ReproError("--save-catalog requires --adaptive")
+
+
+def _adaptive_controller(args: argparse.Namespace, engine, metrics):
+    """Build the workload recorder + reselection controller for
+    ``serve --adaptive`` (flat, re-sharded, and lifecycle engines)."""
+    from .index.inverted_index import InvertedIndex
+    from .selection.adaptive import IncrementalReselector
+    from .service import AdaptiveConfig, AdaptiveSelectionController
+
+    config = AdaptiveConfig(
+        interval_seconds=(
+            args.adaptive_interval
+            if args.adaptive_interval is not None
+            else 30.0
+        ),
+        min_queries=(
+            args.adaptive_min_queries
+            if args.adaptive_min_queries is not None
+            else 32
+        ),
+        coverage_threshold=(
+            args.adaptive_coverage
+            if args.adaptive_coverage is not None
+            else 0.8
+        ),
+        growth_threshold=(
+            args.adaptive_growth if args.adaptive_growth is not None else 0.2
+        ),
+    )
+    reference = None
+    if hasattr(engine, "swap_catalogs"):
+        # Selection needs the whole collection; per-shard sub-indexes
+        # cannot provide it.  A flat artefact re-sharded at load time
+        # still has the flat form on disk — reload it as the reference.
+        reference = load_any_index(args.index)
+        if not isinstance(reference, InvertedIndex):
+            reference.close()
+            raise ReproError(
+                "serve --adaptive over a sharded artefact is not "
+                "supported: view selection needs the whole collection; "
+                "serve the flat index with --shards N instead"
+            )
+    reselector = IncrementalReselector(
+        storage_budget=(
+            args.adaptive_budget if args.adaptive_budget is not None else 4096
+        )
+    )
+    controller = AdaptiveSelectionController(
+        engine,
+        reselector,
+        config=config,
+        metrics=metrics,
+        reference_index=reference,
+    )
+    return controller, reference
+
+
+def _save_adaptive_catalog(args: argparse.Namespace, engine, controller) -> None:
+    """Persist the serving catalog with its hot-swap provenance."""
+    catalog = getattr(engine, "catalog", None)
+    if catalog is None:
+        print(
+            f"note: no catalog to save to {args.save_catalog} "
+            "(engine has none installed)",
+            file=sys.stderr,
+        )
+        return
+    selection = (
+        controller.last_report.to_dict()
+        if controller is not None and controller.last_report is not None
+        else None
+    )
+    save_catalog(
+        catalog,
+        args.save_catalog,
+        generation=getattr(engine, "catalog_generation", 0),
+        selection=selection,
+    )
+    print(
+        f"saved catalog ({len(catalog)} views, "
+        f"generation={getattr(engine, 'catalog_generation', 0)}) "
+        f"-> {args.save_catalog}"
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the query service in the foreground until interrupted."""
     import asyncio
 
     from .service import QueryServer
 
+    _check_adaptive_args(args)
     engine, needs_close = _load_engine(args)
-    server = QueryServer(engine, _service_config(args))
-
-    async def run() -> None:
-        host, port = await server.start()
-        print(f"serving on {host}:{port} "
-              f"({_engine_label(engine)} engine, "
-              f"workers={server.config.effective_workers()}, "
-              f"max_batch={server.config.max_batch}, "
-              f"max_pending={server.config.max_pending})")
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
-
+    controller = reference = None
     try:
-        asyncio.run(run())
-    except KeyboardInterrupt:
-        print("shutting down")
+        if args.save_catalog and not hasattr(engine, "catalog"):
+            raise ReproError(
+                "--save-catalog needs an engine with a single-collection "
+                "catalog (flat or lifecycle, not sharded)"
+            )
+        server = QueryServer(engine, _service_config(args))
+        if args.adaptive:
+            controller, reference = _adaptive_controller(
+                args, engine, server.service.metrics
+            )
+            server.service.recorder = controller.recorder
+            server.service.adaptive = controller
+
+        async def run() -> None:
+            host, port = await server.start()
+            adaptive_note = (
+                f", adaptive every {controller.config.interval_seconds:g}s"
+                if controller is not None
+                else ""
+            )
+            print(f"serving on {host}:{port} "
+                  f"({_engine_label(engine)} engine, "
+                  f"workers={server.config.effective_workers()}, "
+                  f"max_batch={server.config.max_batch}, "
+                  f"max_pending={server.config.max_pending}"
+                  f"{adaptive_note})")
+            if controller is not None:
+                controller.start()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("shutting down")
+        if args.save_catalog:
+            _save_adaptive_catalog(args, engine, controller)
     finally:
+        if controller is not None:
+            controller.stop()
+        if reference is not None:
+            reference.close()
         if needs_close:
             engine.close()
     return 0
@@ -751,10 +907,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "info",
-        help="print a segmented index's segment/WAL/version state",
+        help="print a segmented index's segment/WAL/version state "
+             "and/or a saved catalog's provenance",
     )
-    p.add_argument("--index", required=True,
+    p.add_argument("--index", default=None,
                    help="segmented index directory")
+    p.add_argument("--catalog", default=None,
+                   help="saved catalog: reports views, hot-swap generation, "
+                        "and last-reselection stats")
     p.set_defaults(func=_cmd_info)
 
     p = sub.add_parser(
@@ -764,6 +924,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--catalog", default=None)
     p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
                    default="pivoted-tfidf")
+    p.add_argument("--adaptive", action="store_true",
+                   help="continuously reselect views from the live workload "
+                        "and hot-swap the catalog (background thread)")
+    p.add_argument("--adaptive-interval", type=float, default=None,
+                   help="seconds between trigger checks (default: 30)")
+    p.add_argument("--adaptive-min-queries", type=int, default=None,
+                   help="new queries before the coverage trigger can fire "
+                        "(default: 32)")
+    p.add_argument("--adaptive-coverage", type=float, default=None,
+                   help="reselect when the catalog covers less than this "
+                        "fraction of the recorded workload (default: 0.8)")
+    p.add_argument("--adaptive-growth", type=float, default=None,
+                   help="reselect when the collection grew by this fraction "
+                        "(default: 0.2)")
+    p.add_argument("--adaptive-budget", type=int, default=None,
+                   help="view storage budget in tuples (default: 4096)")
+    p.add_argument("--save-catalog", default=None,
+                   help="on shutdown, save the serving catalog with its "
+                        "hot-swap generation and reselection stats")
     _add_service_options(p)
     _add_sharding_options(p)
     p.set_defaults(func=_cmd_serve)

@@ -98,19 +98,27 @@ class ContextSearchEngine:
         catalog: Optional["ViewCatalog"] = None,
         use_skips: bool = True,
     ):
+        from ..views.handle import CatalogHandle
+
         if not index.committed:
             raise QueryError("index must be committed before searching")
         self.index = index
         self.ranking = ranking if ranking is not None else DEFAULT_RANKING_FUNCTION
-        self.catalog = catalog
+        # One swappable handle shared by every layer that reads the
+        # catalog (operator, optimizer, this engine): swapping it is the
+        # adaptive-selection hot-swap, and a single assignment retargets
+        # all readers atomically.
+        self.catalog_handle = CatalogHandle.ensure(catalog)
         self.use_skips = use_skips
         # The shared physical-operator set (also driven per shard by the
         # sharded engine and per batch by the batch executor).
         self._op_conjunction = SelectiveFirstIntersect(index, use_skips=use_skips)
-        self._op_view_scan = ViewScan(catalog, index, use_skips=use_skips)
+        self._op_view_scan = ViewScan(
+            self.catalog_handle, index, use_skips=use_skips
+        )
         self._op_straightforward = StraightforwardResolve(index, use_skips=use_skips)
         self._op_topk = MaxScoreTopK(index, self.ranking)
-        self.optimizer = Optimizer(index, catalog)
+        self.optimizer = Optimizer(index, self.catalog_handle)
         # Back-compat attributes (wrappers and tests reach for these).
         self.searcher = self._op_conjunction.searcher
         self.plan = self._op_straightforward.plan
@@ -139,6 +147,27 @@ class ContextSearchEngine:
     def epoch(self) -> int:
         """The index's mutation counter (cache keys derive from this)."""
         return self.index.epoch
+
+    @property
+    def catalog(self) -> Optional["ViewCatalog"]:
+        """The current catalog, read through the swappable handle."""
+        return self.catalog_handle.catalog
+
+    @property
+    def catalog_generation(self) -> int:
+        """How many hot-swaps the catalog has seen (serving caches fold
+        this into their epoch so a swap invalidates cached results)."""
+        return self.catalog_handle.generation
+
+    def swap_catalog(self, catalog: Optional["ViewCatalog"]) -> int:
+        """Atomically install a fully built catalog; returns the new
+        generation.
+
+        Rankings are unchanged by construction (views are exact), so the
+        swap only redirects *how* statistics are resolved.  In-flight
+        queries that already grabbed the old catalog finish against it.
+        """
+        return self.catalog_handle.swap(catalog)
 
     def search(
         self,

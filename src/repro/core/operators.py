@@ -119,12 +119,19 @@ class ViewScan:
 
     def __init__(
         self,
-        catalog: Optional[ViewCatalog],
+        catalog,
         index: InvertedIndex,
         use_skips: bool = True,
     ):
-        self.catalog = catalog
+        from ..views.handle import CatalogHandle
+
+        self.handle = CatalogHandle.ensure(catalog)
         self.fallback = SelectiveFirstIntersect(index, use_skips=use_skips)
+
+    @property
+    def catalog(self) -> Optional[ViewCatalog]:
+        """The current catalog, read through the swappable handle."""
+        return self.handle.catalog
 
     def run(
         self,
@@ -133,9 +140,12 @@ class ViewScan:
         specs: Sequence[StatisticSpec],
         usable: Optional[Mapping[StatisticSpec, Any]] = None,
     ) -> Optional[Dict[StatisticSpec, float]]:
-        if self.catalog is None or len(self.catalog) == 0:
+        # One handle read per query: the grabbed object stays consistent
+        # for this evaluation even if a swap lands mid-flight.
+        catalog = self.handle.catalog
+        if catalog is None or len(catalog) == 0:
             return None
-        values, unresolved, views_used = self.catalog.resolve(
+        values, unresolved, views_used = catalog.resolve(
             specs, query.context, ctx.counter, usable=usable
         )
         if not views_used:

@@ -197,16 +197,23 @@ class Optimizer:
     def __init__(
         self,
         index: InvertedIndex,
-        catalog: Optional[ViewCatalog] = None,
+        catalog=None,
         view_cost: Optional[Callable[[object, int], int]] = None,
     ):
+        from ..views.handle import CatalogHandle
+
         self.index = index
-        self.catalog = catalog
+        self.handle = CatalogHandle.ensure(catalog)
         # ``view_cost(view, num_specs)`` prices one scan of ``view``
         # answering ``num_specs`` specs.
         self.view_cost = view_cost if view_cost is not None else (
             lambda view, num_specs: estimate_view_cost(view.size, num_specs)
         )
+
+    @property
+    def catalog(self) -> Optional[ViewCatalog]:
+        """The current catalog, read through the swappable handle."""
+        return self.handle.catalog
 
     # -- public API -----------------------------------------------------
 
@@ -296,13 +303,14 @@ class Optimizer:
         (Theorem 4.2) + the selective-first fallback intersections + the
         result-set conjunction (context mode only).
         """
-        if self.catalog is None or len(self.catalog) == 0:
+        catalog = self.handle.catalog  # one read per plan: swap-safe
+        if catalog is None or len(catalog) == 0:
             return PathCandidate(
                 PATH_VIEWS, False, 0, reason="no view catalog"
             )
         specs_per_view: Dict[int, Tuple[object, int]] = {}
         unresolved: List[StatisticSpec] = []
-        usable = self.catalog.find_usable_many(specs, query.context)
+        usable = catalog.find_usable_many(specs, query.context)
         for spec in specs:
             view = usable[spec]
             if view is None:

@@ -128,16 +128,23 @@ class ShardRuntime:
         catalog: Optional[ViewCatalog],
         use_skips: bool = True,
     ):
+        from ..views.handle import CatalogHandle
+
         self.shard_id = shard.shard_id
         self.index = shard.index
         self.global_ids = shard.global_ids
         self.ranking = ranking
-        self.catalog = catalog
-        self.optimizer = Optimizer(shard.index, catalog)
+        # One swappable handle per shard, shared by this runtime's
+        # optimizer and view-scan operator: the parent's catalog hot-swap
+        # retargets both with a single assignment.
+        self.catalog_handle = CatalogHandle.ensure(catalog)
+        self.optimizer = Optimizer(shard.index, self.catalog_handle)
         self._op_conjunction = SelectiveFirstIntersect(
             shard.index, use_skips=use_skips
         )
-        self._op_view_scan = ViewScan(catalog, shard.index, use_skips=use_skips)
+        self._op_view_scan = ViewScan(
+            self.catalog_handle, shard.index, use_skips=use_skips
+        )
         self._op_straightforward = StraightforwardResolve(
             shard.index, use_skips=use_skips
         )
@@ -146,6 +153,11 @@ class ShardRuntime:
         self.searcher = self._op_conjunction.searcher
         self.plan = self._op_straightforward.plan
         self._stash: Dict[int, Tuple[Tuple[str, ...], List[int]]] = {}
+
+    @property
+    def catalog(self) -> Optional[ViewCatalog]:
+        """This shard's current catalog, read through its handle."""
+        return self.catalog_handle.catalog
 
     # -- phase 1: per-shard statistics ----------------------------------
 
@@ -552,6 +564,7 @@ class ShardedEngine:
             for i, shard in enumerate(sharded_index.shards)
         ]
         self._backend = _pick_backend(executor)(self.runtimes, max_workers)
+        self._catalog_generation = 0
         self._global_tc_cache: Dict[str, int] = {}
         # Analyzers are configuration, identical across shards; shard 0's
         # stand in for the collection's.
@@ -568,6 +581,41 @@ class ShardedEngine:
     def epoch(self) -> int:
         """Global mutation counter over all shard sub-indexes."""
         return self.sharded_index.epoch
+
+    @property
+    def catalog_generation(self) -> int:
+        """How many hot-swaps the per-shard catalogs have seen."""
+        return self._catalog_generation
+
+    def swap_catalogs(
+        self, catalogs: Optional[Sequence[Optional[ViewCatalog]]]
+    ) -> int:
+        """Atomically install one fully built catalog per shard.
+
+        ``None`` drops every shard's catalog.  The fork backend's worker
+        processes hold copy-on-write snapshots of the runtimes captured
+        at fork time, so a parent-side swap can never reach them — that
+        deployment shape must refuse the swap loudly rather than serve a
+        silently stale catalog.
+        """
+        if not self._backend.shares_memory:
+            raise QueryError(
+                f"catalog hot-swap is not supported on the "
+                f"{self._backend.name!r} executor: forked shard workers "
+                "hold copy-on-write runtimes captured at fork time and "
+                "would keep serving the old catalog (use the serial or "
+                "thread executor for adaptive selection)"
+            )
+        if catalogs is not None and len(catalogs) != self.sharded_index.num_shards:
+            raise QueryError(
+                f"{len(catalogs)} catalogs for {self.sharded_index.num_shards} shards"
+            )
+        for i, runtime in enumerate(self.runtimes):
+            runtime.catalog_handle.swap(
+                catalogs[i] if catalogs is not None else None
+            )
+        self._catalog_generation += 1
+        return self._catalog_generation
 
     def close(self) -> None:
         """Release backend worker pools and shard index resources

@@ -68,6 +68,15 @@ class LifecycleEngine:
         self._lock = threading.RLock()
         self._engine = None
         self._engine_version: Optional[int] = None
+        # Adaptive-selection state: generation counts hot-swaps,
+        # last_reselection records what the most recent swap installed,
+        # and maintenance hooks fire after flush/compaction so a
+        # background reselector can react to lifecycle events.  Hooks
+        # must be quick (set a flag, wake a thread) — they run on the
+        # mutating caller's thread.
+        self._catalog_generation = 0
+        self.last_reselection: Optional[dict] = None
+        self._maintenance_hooks: List = []
 
     # -- mutation API -----------------------------------------------------
 
@@ -115,16 +124,70 @@ class LifecycleEngine:
     def flush(self) -> Optional[Segment]:
         """Seal the memtable (manifest commit + WAL rotation)."""
         with self._lock:
-            return self.index.flush()
+            segment = self.index.flush()
+        self._fire_maintenance_hooks("flush")
+        return segment
 
     def compact(self, full: bool = False) -> CompactionReport:
         """Merge segments and physically drop tombstoned documents."""
         with self._lock:
-            return self.index.compact(full=full)
+            report = self.index.compact(full=full)
+        self._fire_maintenance_hooks("compact")
+        return report
 
     def _invalidate_caches(self) -> None:
         for cache in self._caches:
             cache.invalidate()
+
+    # -- adaptive selection hooks -----------------------------------------
+
+    def add_maintenance_hook(self, hook) -> None:
+        """Register ``hook(event)`` to fire after every flush/compaction.
+
+        The adaptive controller uses this to re-check its reselection
+        triggers at lifecycle boundaries.  Hooks run on the mutating
+        thread, outside the engine lock, and must return quickly.
+        """
+        self._maintenance_hooks.append(hook)
+
+    def _fire_maintenance_hooks(self, event: str) -> None:
+        for hook in list(self._maintenance_hooks):
+            hook(event)
+
+    @property
+    def catalog_generation(self) -> int:
+        """How many catalog hot-swaps this engine has installed."""
+        return self._catalog_generation
+
+    def install_catalog(self, catalog, info: Optional[dict] = None) -> int:
+        """Atomically hot-swap the catalog at a snapshot-version boundary.
+
+        The new catalog must be fully built and exact for the current
+        collection (the reselector guarantees this by reusing
+        incrementally-maintained views and materialising the rest from
+        the live index under this engine's lock).  Installing it:
+
+        * replaces ``self.catalog`` so the *next* ``current_engine()``
+          call builds a fresh engine (flat or sharded) over it;
+        * bumps the index's version clock, which is the system's single
+          epoch source — the per-version engine cache, the statistics
+          cache, and the serving result cache all roll over at once, so
+          no reader can mix old-catalog plans with new-catalog state;
+        * records ``info`` as :attr:`last_reselection` for ``info``/
+          ``healthz`` reporting.
+
+        In-flight queries holding the previous snapshot's engine finish
+        against the old catalog — a consistent (and ranking-identical)
+        view.  Returns the new catalog generation.
+        """
+        with self._lock:
+            self.catalog = catalog
+            self._catalog_generation += 1
+            self.index.bump_version()
+            self.last_reselection = dict(info) if info else None
+            if self._caches:
+                self._invalidate_caches()
+            return self._catalog_generation
 
     # -- engine management ------------------------------------------------
 

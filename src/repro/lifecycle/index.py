@@ -510,6 +510,20 @@ class SegmentedIndex:
         """The single version clock every cache in the system consumes."""
         return self._clock.version
 
+    def bump_version(self) -> int:
+        """Advance the version clock without a data mutation.
+
+        A catalog hot-swap changes *how* statistics are resolved (never
+        what they are), but every epoch-guarded cache and the per-version
+        engine cache key on this clock — bumping it is what makes the
+        swap a snapshot-version boundary.  Marks the index dirty so the
+        new version reaches the manifest on the next commit.
+        """
+        with self._lock:
+            self._clock.advance()
+            self._dirty = True
+            return self._clock.version
+
     committed = True
 
     def __len__(self) -> int:

@@ -38,6 +38,7 @@ from .hybrid import (
     select_views,
 )
 from .verify import VerificationResult, verify_selection
+from .adaptive import IncrementalReselector, ReselectionReport
 from .workload_driven import (
     WorkloadEntry,
     WorkloadSelectionReport,
@@ -47,6 +48,8 @@ from .workload_driven import (
 )
 
 __all__ = [
+    "IncrementalReselector",
+    "ReselectionReport",
     "WorkloadEntry",
     "WorkloadSelectionReport",
     "evaluate_coverage",

@@ -148,24 +148,40 @@ def evaluate_coverage(
 
 
 def workload_from_queries(
-    queries: Iterable, context_sizes: Optional[Dict[FrozenSet[str], int]] = None
+    queries: Iterable,
+    context_sizes: Optional[Dict[FrozenSet[str], int]] = None,
+    decay: Optional[float] = None,
 ) -> List[WorkloadEntry]:
     """Aggregate context-sensitive queries into a workload.
 
     Accepts anything with a ``predicates`` attribute (``ContextQuery``,
     ``WorkloadQuery.query``...); duplicate contexts merge with summed
-    frequency.
+    frequency.  Queries with an *empty* context are skipped: views group
+    by context predicates, so there is nothing for selection to cover.
+
+    ``decay`` (0 < decay ≤ 1) applies recency weighting over the input
+    order: the most recent query counts 1, each step back multiplies by
+    ``decay`` — the live recorder's view of a drifting stream.  Weights
+    round to integer frequencies with a floor of 1, so an observed
+    context never vanishes from the workload entirely.
     """
-    counts: Dict[FrozenSet[str], int] = {}
-    for query in queries:
+    if decay is not None and not (0.0 < decay <= 1.0):
+        raise SelectionError(f"decay must be in (0, 1], got {decay}")
+    queries = list(queries)
+    weights: Dict[FrozenSet[str], float] = {}
+    n = len(queries)
+    for i, query in enumerate(queries):
         key = frozenset(query.predicates)
-        counts[key] = counts.get(key, 0) + 1
+        if not key:
+            continue
+        weight = 1.0 if decay is None else decay ** (n - 1 - i)
+        weights[key] = weights.get(key, 0.0) + weight
     context_sizes = context_sizes or {}
     return [
         WorkloadEntry(
             predicates=key,
-            frequency=freq,
+            frequency=max(1, int(round(weight))),
             context_size=context_sizes.get(key, 0),
         )
-        for key, freq in sorted(counts.items(), key=lambda kv: sorted(kv[0]))
+        for key, weight in sorted(weights.items(), key=lambda kv: sorted(kv[0]))
     ]

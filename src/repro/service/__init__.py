@@ -14,9 +14,14 @@ and :class:`~repro.core.sharded_engine.ShardedEngine`:
 * :mod:`~repro.service.result_cache` — epoch-guarded LRU of full results;
 * :mod:`~repro.service.metrics` — qps/latency/batch-shape counters;
 * :mod:`~repro.service.loadgen` — the closed-loop load generator used by
-  ``bench-serve`` and ``benchmarks/bench_serving.py``.
+  ``bench-serve`` and ``benchmarks/bench_serving.py``;
+* :mod:`~repro.service.workload` — the bounded, decayed recorder turning
+  served queries into selector input;
+* :mod:`~repro.service.adaptive` — the background controller that
+  re-runs view selection and hot-swaps catalogs.
 """
 
+from .adaptive import AdaptiveConfig, AdaptiveSelectionController
 from .admission import AdmissionController, Ticket
 from .coalescer import Coalescer
 from .loadgen import LoadReport, run_load
@@ -24,8 +29,11 @@ from .metrics import ServiceMetrics, percentile
 from .protocol import ProtocolError, Request, ServiceClient, decode_request, encode_response
 from .result_cache import ResultCache, ResultCacheMetrics
 from .server import QueryServer, QueryService, ServerThread, ServiceConfig
+from .workload import WorkloadRecorder
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSelectionController",
     "AdmissionController",
     "Coalescer",
     "LoadReport",
@@ -40,6 +48,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "Ticket",
+    "WorkloadRecorder",
     "decode_request",
     "encode_response",
     "percentile",

@@ -51,6 +51,17 @@ class ServiceMetrics:
         self.topk_blocks_considered = 0
         self.topk_blocks_skipped = 0
         self.topk_candidates_pruned = 0
+        # Resolution-path accounting: which physical path answered each
+        # query (the adaptive-selection health signal — a rising
+        # straightforward share under drift means the catalog is stale).
+        self.path_views = 0
+        self.path_straightforward = 0
+        self.path_conventional = 0
+        self.path_mixed = 0
+        # Catalog reselection events (observed by the adaptive controller).
+        self.reselections = 0
+        self.catalog_generation = 0
+        self.last_reselection: Optional[Dict] = None
         self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
         self._batch_sizes: deque = deque(maxlen=BATCH_WINDOW)
 
@@ -108,6 +119,35 @@ class ServiceMetrics:
                 "candidates_pruned", 0
             )
 
+    def observe_path(self, path: Optional[str]) -> None:
+        """Bucket one answered query's resolution path.
+
+        Accepts both flat labels (``views``/``straightforward``/
+        ``conventional``) and the sharded merges (``sharded-views``,
+        ``sharded-straightforward``, ``sharded-mixed``).
+        """
+        if not path:
+            return
+        with self._lock:
+            if path == "conventional":
+                self.path_conventional += 1
+            elif path.endswith("mixed"):
+                self.path_mixed += 1
+            elif path.endswith("views"):
+                self.path_views += 1
+            else:
+                self.path_straightforward += 1
+
+    def observe_reselection(
+        self, generation: int, report: Optional[Dict] = None
+    ) -> None:
+        """One adaptive-selection catalog swap landed."""
+        with self._lock:
+            self.reselections += 1
+            self.catalog_generation = generation
+            if report is not None:
+                self.last_reselection = dict(report)
+
     def observe_batch(self, size: int, reason: str) -> None:
         """One coalescer flush: ``reason`` is ``"size"`` or ``"timer"``."""
         with self._lock:
@@ -163,6 +203,33 @@ class ServiceMetrics:
                     "coalesced_requests": self.coalesced,
                     "mean_size": sum(sizes) / len(sizes) if sizes else 0.0,
                     "max_size": max(sizes) if sizes else 0,
+                },
+                "paths": {
+                    "views": self.path_views,
+                    "straightforward": self.path_straightforward,
+                    "conventional": self.path_conventional,
+                    "mixed": self.path_mixed,
+                    # Of the queries that *could* have used views
+                    # (context-sensitive resolution), how many did.
+                    "view_hit_rate": (
+                        self.path_views
+                        / (
+                            self.path_views
+                            + self.path_straightforward
+                            + self.path_mixed
+                        )
+                        if (
+                            self.path_views
+                            + self.path_straightforward
+                            + self.path_mixed
+                        )
+                        else 0.0
+                    ),
+                },
+                "adaptive": {
+                    "reselections": self.reselections,
+                    "catalog_generation": self.catalog_generation,
+                    "last_reselection": self.last_reselection,
                 },
             }
         if extra:

@@ -109,6 +109,13 @@ class QueryService:
         # through BatchExecutor (plain or wrapped flat engines).
         self._sharded = hasattr(engine, "search_many")
         self.metrics = ServiceMetrics()
+        # Adaptive selection attachments (optional; wired by the CLI's
+        # ``serve --adaptive`` or by tests): served queries fold into the
+        # recorder, and the controller owns the background reselection
+        # thread.  ``adaptive.info()`` is surfaced by healthz.
+        self.recorder = None
+        self.adaptive = None
+        self._predicate_analyzer = self._find_predicate_analyzer(engine)
         self.admission = AdmissionController(
             max_pending=self.config.max_pending,
             degrade_depth=self.config.degrade_depth,
@@ -132,9 +139,53 @@ class QueryService:
     def epoch(self) -> int:
         return getattr(self.engine, "epoch", 0)
 
+    @property
+    def catalog_generation(self) -> int:
+        """How many catalog hot-swaps the engine has seen."""
+        return getattr(self.engine, "catalog_generation", 0)
+
+    def _cache_epoch(self) -> Tuple[int, int]:
+        """The result cache's staleness guard: index epoch × catalog
+        generation.  A flat-engine catalog swap does not touch the index
+        epoch, but it changes plans and view accounting in the cached
+        report bodies — folding the generation in means a swap
+        invalidates exactly like a data mutation."""
+        return (self.epoch, self.catalog_generation)
+
     def invalidate(self) -> None:
         """Drop the serving cache (``maintain_catalog`` ``caches=`` hook)."""
         self.result_cache.invalidate()
+
+    @staticmethod
+    def _find_predicate_analyzer(engine):
+        index = getattr(engine, "index", None)
+        if index is not None:
+            analyzer = getattr(index, "predicate_analyzer", None)
+            if analyzer is not None:
+                return analyzer
+        return getattr(engine, "_predicate_analyzer", None)
+
+    def _record_workload(self, query_text, context_size) -> None:
+        """Fold one served query into the workload recorder (cheap; any
+        parse/analysis failure just skips the sample)."""
+        if self.recorder is None or not query_text:
+            return
+        from ..core.query import parse_query
+
+        try:
+            parsed = parse_query(query_text)
+        except ReproError:
+            return
+        predicates = list(parsed.predicates)
+        if self._predicate_analyzer is not None:
+            analyzed = []
+            for predicate in predicates:
+                term = self._predicate_analyzer.analyze_query_term(predicate)
+                if term is None:
+                    return
+                analyzed.append(term)
+            predicates = analyzed
+        self.recorder.record(predicates, context_size or 0)
 
     def close(self) -> None:
         self.pool.shutdown(wait=True)
@@ -169,6 +220,7 @@ class QueryService:
             "engine": "sharded" if self._sharded else "flat",
             "num_docs": getattr(index, "num_docs", None),
             "epoch": self.epoch,
+            "catalog_generation": self.catalog_generation,
             "uptime_seconds": time.monotonic() - self.metrics.started,
         }
         # Lifecycle engines report their segment/WAL/version state so an
@@ -178,6 +230,8 @@ class QueryService:
         if callable(lifecycle_info):
             payload["engine"] = "lifecycle"
             payload["lifecycle"] = lifecycle_info()
+        if self.adaptive is not None:
+            payload["adaptive"] = self.adaptive.info()
         return payload
 
     def _metrics(self) -> dict:
@@ -190,6 +244,7 @@ class QueryService:
                 "admitted": self.admission.admitted,
                 "cache": self.result_cache.stats(),
                 "epoch": self.epoch,
+                "catalog_generation": self.catalog_generation,
             }
         )
 
@@ -223,7 +278,7 @@ class QueryService:
         # Serving-cache lookup: canonical query + engine epoch.  The key
         # excludes the physical path (forcing never changes rankings).
         cache_key = None
-        epoch = self.epoch
+        epoch = self._cache_epoch()
         if self.config.cache_enabled:
             try:
                 cache_key = ResultCache.key(request.query, mode, top_k)
@@ -232,6 +287,15 @@ class QueryService:
             if cache_key is not None:
                 payload = self.result_cache.get(cache_key, epoch)
                 if payload is not None:
+                    # A cache hit is still workload signal (and still a
+                    # served resolution path).
+                    report = payload.get("report") or {}
+                    self._record_workload(
+                        request.query, report.get("context_size")
+                    )
+                    self.metrics.observe_path(
+                        (report.get("resolution") or {}).get("path")
+                    )
                     self.metrics.observe_ok(
                         time.monotonic() - started, cached=True
                     )
@@ -306,6 +370,8 @@ class QueryService:
         }
         if cache_key is not None:
             self.result_cache.put(cache_key, epoch, body)
+        self._record_workload(request.query, results.report.context_size)
+        self.metrics.observe_path(results.report.resolution.path)
         self.metrics.observe_topk(results.report.topk)
         self.metrics.observe_ok(
             time.monotonic() - started, degraded=degraded

@@ -1,0 +1,150 @@
+"""The live workload recorder: served queries → a rolling transaction DB.
+
+The paper's Section 7 baseline selects views from an *observed* workload
+of context specifications; the serving layer is where that workload is
+actually observable.  :class:`WorkloadRecorder` folds every served query
+(cache hits included — a hit is still demand signal) into a bounded,
+exponentially decayed map ``context → weight`` that converts on demand
+into the ``List[WorkloadEntry]`` shape
+:func:`~repro.selection.workload_driven.workload_driven_selection`
+consumes.
+
+Design constraints, in order:
+
+* **cheap on the query path** — one lock, one dict update; parsing is
+  the caller's job (the service already has the analysed predicates);
+* **bounded** — at most ``capacity`` distinct contexts; when full, the
+  lowest-weight context is evicted (it is by construction the least
+  valuable candidate for a view);
+* **decayed** — :meth:`decay` multiplies every weight, so old phases of
+  a drifting workload fade instead of pinning the budget forever.
+  Entries that decay below ``floor`` are dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from ..errors import SelectionError
+from ..selection.workload_driven import WorkloadEntry
+
+__all__ = ["WorkloadRecorder"]
+
+DEFAULT_CAPACITY = 4096
+DEFAULT_FLOOR = 0.05
+
+
+class WorkloadRecorder:
+    """Thread-safe bounded, decayed record of served context queries."""
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, floor: float = DEFAULT_FLOOR
+    ):
+        if capacity < 1:
+            raise SelectionError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self.capacity = capacity
+        self.floor = floor
+        self._weights: Dict[FrozenSet[str], float] = {}
+        self._context_sizes: Dict[FrozenSet[str], int] = {}
+        self.total_recorded = 0
+        # Queries recorded since the last mark() — the controller's
+        # "enough new traffic to bother reselecting" trigger input.
+        self.recorded_since_mark = 0
+
+    # -- recording ------------------------------------------------------
+
+    def record(
+        self, predicates: Iterable[str], context_size: int = 0
+    ) -> None:
+        """Fold one served query's context in (empty contexts are noise
+        for selection and are skipped)."""
+        key = frozenset(predicates)
+        if not key:
+            return
+        with self._lock:
+            self.total_recorded += 1
+            self.recorded_since_mark += 1
+            self._weights[key] = self._weights.get(key, 0.0) + 1.0
+            if context_size > 0:
+                self._context_sizes[key] = max(
+                    context_size, self._context_sizes.get(key, 0)
+                )
+            if len(self._weights) > self.capacity:
+                self._evict_lowest()
+
+    def decay(self, factor: float) -> None:
+        """Multiply every weight by ``factor`` (0 < factor ≤ 1), dropping
+        contexts that fall below the floor."""
+        if not (0.0 < factor <= 1.0):
+            raise SelectionError(f"decay factor must be in (0, 1], got {factor}")
+        with self._lock:
+            dead = []
+            for key in self._weights:
+                self._weights[key] *= factor
+                if self._weights[key] < self.floor:
+                    dead.append(key)
+            for key in dead:
+                del self._weights[key]
+                self._context_sizes.pop(key, None)
+
+    def mark(self) -> None:
+        """Reset the since-mark counter (called after each reselection)."""
+        with self._lock:
+            self.recorded_since_mark = 0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._weights.clear()
+            self._context_sizes.clear()
+            self.recorded_since_mark = 0
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def distinct_contexts(self) -> int:
+        with self._lock:
+            return len(self._weights)
+
+    def to_workload(self) -> List[WorkloadEntry]:
+        """The current record as selector input, deterministically ordered.
+
+        Decayed float weights round to integer frequencies with a floor
+        of 1 — an observed context never drops to frequency 0 while it
+        is still in the record.
+        """
+        with self._lock:
+            return [
+                WorkloadEntry(
+                    predicates=key,
+                    frequency=max(1, int(round(weight))),
+                    context_size=self._context_sizes.get(key, 0),
+                )
+                for key, weight in sorted(
+                    self._weights.items(), key=lambda kv: sorted(kv[0])
+                )
+            ]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "distinct_contexts": len(self._weights),
+                "total_recorded": self.total_recorded,
+                "recorded_since_mark": self.recorded_since_mark,
+                "capacity": self.capacity,
+            }
+
+    # -- internals ------------------------------------------------------
+
+    def _evict_lowest(self) -> None:
+        """Drop the lowest-weight context (ties break deterministically
+        on the sorted predicate tuple). Caller holds the lock."""
+        victim = min(
+            self._weights.items(), key=lambda kv: (kv[1], sorted(kv[0]))
+        )[0]
+        del self._weights[victim]
+        self._context_sizes.pop(victim, None)
+
+    def __len__(self) -> int:
+        return self.distinct_contexts

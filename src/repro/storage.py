@@ -32,7 +32,7 @@ import json
 import sys
 from array import array
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Union
 
 from .errors import StorageError
 from .index import blockstore
@@ -67,6 +67,7 @@ __all__ = [
     "load_any_index",
     "save_catalog",
     "load_catalog",
+    "load_catalog_info",
 ]
 
 
@@ -654,14 +655,28 @@ def _decode_view(entry: dict) -> MaterializedView:
     )
 
 
-def save_catalog(catalog: ViewCatalog, path: PathLike) -> None:
-    """Persist every materialized view in the catalog."""
+def save_catalog(
+    catalog: ViewCatalog,
+    path: PathLike,
+    generation: int = 0,
+    selection: Optional[dict] = None,
+) -> None:
+    """Persist every materialized view in the catalog.
+
+    ``generation`` and ``selection`` carry the adaptive-selection
+    provenance (hot-swap generation plus the reselection pass summary)
+    so ``repro info`` can report where a saved catalog came from; both
+    default to "not adaptively selected".
+    """
     path = Path(path)
     payload = {
         "kind": "catalog",
         "version": _JSON_VERSION,
+        "generation": generation,
         "views": [_encode_view(view) for view in catalog],
     }
+    if selection is not None:
+        payload["selection"] = dict(selection)
     with _open_write(path) as handle:
         json.dump(payload, handle)
 
@@ -672,3 +687,20 @@ def load_catalog(path: PathLike) -> ViewCatalog:
     payload = _read_payload(path)
     _check_header(payload, "catalog")
     return ViewCatalog(_decode_view(entry) for entry in payload["views"])
+
+
+def load_catalog_info(path: PathLike) -> dict:
+    """The provenance header of a saved catalog, without the views.
+
+    Returns ``{"num_views", "generation", "selection"}`` — pre-PR-8
+    files (no generation field) read as generation 0 with no selection
+    record.
+    """
+    path = Path(path)
+    payload = _read_payload(path)
+    _check_header(payload, "catalog")
+    return {
+        "num_views": len(payload["views"]),
+        "generation": payload.get("generation", 0),
+        "selection": payload.get("selection"),
+    }

@@ -6,6 +6,7 @@ answers statistics by view scans (Theorem 4.2), estimates view sizes by
 sampling, and matches queries to the smallest usable view.
 """
 
+from .handle import CatalogHandle
 from .wide_table import TableRow, WideSparseTable
 from .view import GroupTuple, MaterializedView, materialize_view
 from .estimator import DEFAULT_SAMPLE_SIZE, ViewSizeEstimator
@@ -26,6 +27,7 @@ from .maintenance import (
 )
 
 __all__ = [
+    "CatalogHandle",
     "MaintenanceReport",
     "apply_document",
     "document_delta",

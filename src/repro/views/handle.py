@@ -1,0 +1,93 @@
+"""The swappable catalog reference every planner layer reads through.
+
+Historically each engine froze its :class:`~repro.views.catalog.ViewCatalog`
+into its operators at construction time, which made the catalog a
+build-time constant.  Continuous workload-adaptive selection needs the
+opposite: the catalog is versioned mutable state that a background
+reselector replaces while queries are in flight.  :class:`CatalogHandle`
+is the one indirection that makes this safe:
+
+* the flat engine, every shard runtime, the :class:`~repro.core.optimizer.
+  Optimizer` and the :class:`~repro.core.operators.ViewScan` operator all
+  hold the *same* handle and read ``handle.catalog`` per query;
+* a swap is a single reference assignment under the handle's lock — a
+  query that already grabbed the old catalog object keeps a fully
+  consistent (and still exact, hence ranking-identical) view to
+  completion, and no reader can ever observe a half-built catalog;
+* every swap bumps a **generation** counter.  The serving layer folds the
+  generation into its cache epoch, so result-cache entries produced
+  under an older catalog are never served after a swap; the planner's
+  coverage cache needs no explicit invalidation at all because it lives
+  *on* the catalog object and dies with it.
+
+Plain catalogs (or ``None``) passed to engine constructors are wrapped
+transparently via :meth:`CatalogHandle.ensure`, so existing call sites
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple, Union
+
+from .catalog import ViewCatalog
+
+__all__ = ["CatalogHandle"]
+
+
+class CatalogHandle:
+    """A generation-stamped, atomically swappable catalog reference."""
+
+    def __init__(
+        self, catalog: Optional[ViewCatalog] = None, generation: int = 0
+    ):
+        self._lock = threading.Lock()
+        self._catalog = catalog
+        self._generation = generation
+
+    @staticmethod
+    def ensure(
+        catalog: Union["CatalogHandle", ViewCatalog, None]
+    ) -> "CatalogHandle":
+        """Wrap a plain catalog (or ``None``) in a handle; pass handles
+        through untouched so co-owners share one swap point."""
+        if isinstance(catalog, CatalogHandle):
+            return catalog
+        return CatalogHandle(catalog)
+
+    @property
+    def catalog(self) -> Optional[ViewCatalog]:
+        """The current catalog (one reference read — readers grab it once
+        per query and keep that object for the whole evaluation)."""
+        return self._catalog
+
+    @property
+    def generation(self) -> int:
+        """How many swaps this handle has seen (0 = the build-time
+        catalog)."""
+        return self._generation
+
+    def get(self) -> Tuple[Optional[ViewCatalog], int]:
+        """The (catalog, generation) pair, read consistently."""
+        with self._lock:
+            return self._catalog, self._generation
+
+    def swap(self, catalog: Optional[ViewCatalog]) -> int:
+        """Install ``catalog`` and return the new generation.
+
+        The swap is atomic with respect to readers: they see either the
+        old object or the new one, never an intermediate state.  The new
+        catalog must already be fully built (and exact for the current
+        collection) before it is handed here.
+        """
+        with self._lock:
+            self._catalog = catalog
+            self._generation += 1
+            return self._generation
+
+    def __repr__(self) -> str:
+        catalog = self._catalog
+        views = len(catalog) if catalog is not None else 0
+        return (
+            f"CatalogHandle(generation={self._generation}, views={views})"
+        )
