@@ -55,6 +55,17 @@ final catalog with its hot-swap generation and reselection stats, which
                           --adaptive-budget 4096 --save-catalog cat.json.gz
     python -m repro info  --catalog cat.json.gz
 
+``worker`` and ``route`` run the distributed serving tier: each index
+shard behind its own worker process, with a router scatter-gathering
+queries across replica groups (rankings bit-identical to the in-process
+sharded engine) and failing over on worker loss.  A new replica
+bootstraps its artefact from a peer with ``--bootstrap-from``::
+
+    python -m repro worker --index idx.shard0 --shard-id 0 --port 7101
+    python -m repro route  --cluster cluster.json --port 7070
+    python -m repro worker --index copy.d --shard-id 0 \
+                           --bootstrap-from 127.0.0.1:7101 --port 7103
+
 A **segmented index directory** (the mutable lifecycle form: WAL +
 immutable segments + manifest) is managed with ``ingest``, ``compact``
 and ``info``, and is accepted by every ``--index`` flag — loading one
@@ -625,15 +636,35 @@ def _save_adaptive_catalog(args: argparse.Namespace, engine, controller) -> None
     )
 
 
+def _restore_workload_state(args: argparse.Namespace, recorder) -> None:
+    """Load a saved workload snapshot into the serving recorder, if the
+    state file exists (a fresh deployment starts empty, not with an
+    error)."""
+    from pathlib import Path
+
+    from .service import load_workload_state
+
+    if not Path(args.workload_state).exists():
+        print(f"workload state {args.workload_state} not found; "
+              "starting with an empty workload")
+        return
+    recorder.restore(load_workload_state(args.workload_state))
+    print(
+        f"restored workload state from {args.workload_state} "
+        f"({recorder.distinct_contexts} contexts, "
+        f"{recorder.total_recorded} queries recorded)"
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the query service in the foreground until interrupted."""
     import asyncio
 
-    from .service import QueryServer
+    from .service import QueryServer, WorkloadRecorder, save_workload_state
 
     _check_adaptive_args(args)
     engine, needs_close = _load_engine(args)
-    controller = reference = None
+    controller = reference = recorder = None
     try:
         if args.save_catalog and not hasattr(engine, "catalog"):
             raise ReproError(
@@ -647,6 +678,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             server.service.recorder = controller.recorder
             server.service.adaptive = controller
+        if args.workload_state:
+            # With --adaptive the controller owns the recorder; without
+            # it, recording still runs so the state keeps accumulating
+            # across restarts either way.
+            recorder = server.service.recorder
+            if recorder is None:
+                recorder = WorkloadRecorder()
+                server.service.recorder = recorder
+            _restore_workload_state(args, recorder)
 
         async def run() -> None:
             host, port = await server.start()
@@ -676,6 +716,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("shutting down")
         if args.save_catalog:
             _save_adaptive_catalog(args, engine, controller)
+        if args.workload_state and recorder is not None:
+            save_workload_state(recorder, args.workload_state)
+            print(
+                f"saved workload state "
+                f"({recorder.distinct_contexts} contexts) "
+                f"-> {args.workload_state}"
+            )
     finally:
         if controller is not None:
             controller.stop()
@@ -686,36 +733,146 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_until_interrupted(server, banner: str) -> None:
+    """Start ``server``, print the bound address, run until Ctrl-C."""
+    import asyncio
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(banner.format(host=host, port=port))
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one cluster shard worker in the foreground.
+
+    With ``--bootstrap-from`` the worker first ships the peer replica's
+    sealed artefact files into ``--index`` (treated as a directory) and
+    serves the shipped copy — no re-ingest.
+    """
+    from pathlib import Path
+
+    from .service import QueryServer
+    from .service.cluster import fetch_artifact
+    from .service.cluster.worker import worker_service_factory
+    from .storage import load_shard
+
+    index_path = Path(args.index)
+    if args.bootstrap_from:
+        index_path, copied = fetch_artifact(
+            args.bootstrap_from, index_path,
+            timeout=args.bootstrap_timeout,
+        )
+        print(
+            f"bootstrapped shard artefact from {args.bootstrap_from} "
+            f"({copied} files shipped) -> {index_path}"
+        )
+    ranking = ALL_RANKING_FUNCTIONS[args.model]()
+    shard = load_shard(index_path, shard_id=args.shard_id)
+    engine = ContextSearchEngine(shard.index, ranking)
+    try:
+        server = QueryServer(
+            engine,
+            _service_config(args),
+            service_class=worker_service_factory(
+                shard, ranking, artifact=index_path
+            ),
+        )
+        _serve_until_interrupted(
+            server,
+            f"shard worker {args.shard_id} serving {index_path} "
+            f"({shard.index.num_docs} docs, {ranking.name}) "
+            "on {host}:{port}",
+        )
+    finally:
+        engine.close()
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    """Run the cluster query router in the foreground."""
+    from .service import QueryServer, load_cluster_config
+    from .service.cluster import router_service_factory
+
+    cluster = load_cluster_config(args.cluster)
+    ranking = ALL_RANKING_FUNCTIONS[args.model]()
+    server = QueryServer(
+        None,
+        _service_config(args),
+        service_class=router_service_factory(cluster, ranking),
+    )
+    _serve_until_interrupted(
+        server,
+        f"routing {cluster.num_shards} shards x "
+        f"{cluster.replication} replicas ({ranking.name}) "
+        "on {host}:{port}",
+    )
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
-    """Start an in-process server and drive it with the load generator."""
+    """Start an in-process server and drive it with the load generator.
+
+    With ``--target`` no server is started: the load generator drives
+    the given already-running endpoint(s) — e.g. a cluster router, or
+    several routers round-robin — and reports per-endpoint latency.
+    """
     import json
 
     from .service import ServerThread, run_load
 
-    engine, needs_close = _load_engine(args)
     with open(args.queries, "r", encoding="utf-8") as handle:
         queries = [line.strip() for line in handle if line.strip()]
     if not queries:
         print(f"no queries in {args.queries}", file=sys.stderr)
         return 1
 
-    try:
-        with ServerThread(engine, _service_config(args)) as st:
-            report = run_load(
-                st.address,
-                queries,
-                threads=args.threads,
-                top_k=args.top_k,
-                mode=args.mode,
-                timeout_ms=args.timeout_ms,
-                repeat=args.repeat,
-            )
-            snapshot = st.service.metrics.snapshot()
-    finally:
-        if needs_close:
-            engine.close()
+    if args.target:
+        from .service.cluster import parse_address
 
-    batches = snapshot["batches"]
+        endpoints = [parse_address(t) for t in args.target]
+        report = run_load(
+            endpoints,
+            queries,
+            threads=args.threads,
+            top_k=args.top_k,
+            mode=args.mode,
+            timeout_ms=args.timeout_ms,
+            repeat=args.repeat,
+        )
+        snapshot = None
+    else:
+        if not args.index:
+            print("error: bench-serve needs --index (or --target)",
+                  file=sys.stderr)
+            return 2
+        engine, needs_close = _load_engine(args)
+        try:
+            with ServerThread(engine, _service_config(args)) as st:
+                report = run_load(
+                    st.address,
+                    queries,
+                    threads=args.threads,
+                    top_k=args.top_k,
+                    mode=args.mode,
+                    timeout_ms=args.timeout_ms,
+                    repeat=args.repeat,
+                )
+                snapshot = st.service.metrics.snapshot()
+        finally:
+            if needs_close:
+                engine.close()
+
     print(
         f"bench-serve: {report.ok}/{report.sent} ok "
         f"(errors={report.errors} shed={report.shed} "
@@ -727,12 +884,21 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         f"p95={report.latency_ms(95):.1f}ms "
         f"p99={report.latency_ms(99):.1f}ms"
     )
-    print(
-        f"  batches: {batches['count']} "
-        f"(mean_size={batches['mean_size']:.2f} "
-        f"max_size={batches['max_size']} "
-        f"coalesced={batches['coalesced_requests']})"
-    )
+    if snapshot is not None:
+        batches = snapshot["batches"]
+        print(
+            f"  batches: {batches['count']} "
+            f"(mean_size={batches['mean_size']:.2f} "
+            f"max_size={batches['max_size']} "
+            f"coalesced={batches['coalesced_requests']})"
+        )
+    if len(report.endpoints) > 1:
+        for addr, stats in sorted(report.endpoints.items()):
+            print(
+                f"  endpoint {addr}: {stats.ok}/{stats.sent} ok "
+                f"p50={stats.latency_ms(50):.1f}ms "
+                f"p99={stats.latency_ms(99):.1f}ms"
+            )
     if args.out:
         payload = {"load": report.to_dict(), "server": snapshot}
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -943,15 +1109,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-catalog", default=None,
                    help="on shutdown, save the serving catalog with its "
                         "hot-swap generation and reselection stats")
+    p.add_argument("--workload-state", default=None,
+                   help="JSON file to restore the workload recorder from "
+                        "at startup and save it to at shutdown, so the "
+                        "observed workload survives restarts")
     _add_service_options(p)
     _add_sharding_options(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
+        "worker",
+        help="run one cluster shard worker (JSON lines over TCP)",
+    )
+    p.add_argument("--index", required=True,
+                   help="per-shard artefact file written by "
+                        "'index --shards N' — or, with --bootstrap-from, "
+                        "the directory to ship the peer's artefact into")
+    p.add_argument("--shard-id", type=int, default=0,
+                   help="this worker's logical shard id in the cluster")
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf")
+    p.add_argument("--bootstrap-from", default=None,
+                   help="peer replica host:port to ship sealed artefact "
+                        "files from (no re-ingest)")
+    p.add_argument("--bootstrap-timeout", type=float, default=30.0,
+                   help="per-request timeout for segment shipping")
+    _add_service_options(p)
+    p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "route",
+        help="run the cluster query router over shard workers",
+    )
+    p.add_argument("--cluster", required=True,
+                   help="cluster config JSON (workers, placement, "
+                        "failover knobs)")
+    p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
+                   default="pivoted-tfidf",
+                   help="ranking model — must match the workers'")
+    _add_service_options(p)
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser(
         "bench-serve",
         help="start an in-process server and measure serving throughput",
     )
-    p.add_argument("--index", required=True)
+    p.add_argument("--index", default=None,
+                   help="index artefact (omit with --target)")
+    p.add_argument("--target", action="append", default=None,
+                   help="drive an already-running endpoint (host:port) "
+                        "instead of starting a server; repeat for "
+                        "round-robin multi-endpoint load")
     p.add_argument("--catalog", default=None)
     p.add_argument("--queries", required=True,
                    help="text file, one 'keywords | predicates' query per line")

@@ -245,6 +245,38 @@ class ShardRuntime:
             out.append((qid, hits))
         return out
 
+    # -- stateless variants (the wire path) ------------------------------
+
+    def resolve_stateless(
+        self,
+        qid: int,
+        keywords: Tuple[str, ...],
+        predicates: Tuple[str, ...],
+        specs: Tuple[StatisticSpec, ...],
+        force: Optional[str],
+    ) -> Tuple[tuple, List[int]]:
+        """One phase-1 resolution with the local result *returned*, not
+        stashed.  The cluster's shard workers use this shape: candidates
+        travel to the router and back, so phase 2 can land on any
+        replica of the group (replicas are bit-identical copies, so
+        local docids agree) — failover between phases is then trivially
+        correct, where the in-process stash requires process affinity.
+        """
+        out = self.resolve_many([(qid, keywords, predicates, specs, force)])[0]
+        _, result_ids = self._stash.pop(qid)
+        return out, list(result_ids)
+
+    def score_stateless(
+        self,
+        keywords: Sequence[str],
+        result_ids: Sequence[int],
+        values: Dict[StatisticSpec, float],
+        top_k: Optional[int],
+    ) -> List[_Hit]:
+        """Phase-2 scoring for candidates shipped with the task."""
+        stats = CollectionStatistics.from_values(values)
+        return self._score(keywords, result_ids, stats, top_k)
+
     def conventional_many(self, tasks: Sequence[tuple]) -> List[tuple]:
         """Single-phase conventional baseline ``Q_t = Q_k ∪ P``.
 
@@ -396,6 +428,305 @@ def _rebuild_query(
     return ContextQuery(
         KeywordQuery(list(keywords)), ContextSpecification(list(predicates))
     )
+
+
+# -- transport-agnostic merge --------------------------------------------------
+
+
+class _QueryMerge:
+    """Per-query accumulation state inside a :class:`ShardMergePlan`."""
+
+    __slots__ = (
+        "query", "specs", "values", "report", "paths", "result_size", "hits",
+    )
+
+    def __init__(self, query, specs, values, report):
+        self.query = query
+        self.specs = specs
+        self.values = values
+        self.report = report
+        self.paths: set = set()
+        self.result_size = 0
+        self.hits: List[_Hit] = []
+
+
+class ShardMergePlan:
+    """Everything rank-affecting about merging per-shard scatter output.
+
+    Both gather transports drive one of these per batch: the in-process
+    :class:`ShardedEngine` backends feed it runtime output tuples, and
+    the cluster router (:mod:`repro.service.cluster`) feeds it decoded
+    worker frames.  Additive :class:`StatsMerge` accumulation, the
+    global context-emptiness check, global per-term score bounds, the
+    shared top-k threshold construction, and the final ``(-score, gid)``
+    rank all live here — so the local and over-the-wire paths cannot
+    drift apart: identical shard outputs merge to bit-identical
+    rankings regardless of transport.
+
+    The caller owns dispatch and failure bookkeeping; this object owns
+    merge state keyed by query id.  Calls per query, by mode:
+
+    - context: ``add_query`` → ``add_resolution``\\* → ``complete_resolution``
+      → ``add_hits``\\* → ``finish``
+    - conventional: ``add_query`` → ``add_conventional``\\* → ``finish``
+    - disjunctive: ``add_query`` → ``add_resolution``\\* →
+      ``complete_resolution`` → ``term_bounds`` → ``add_topk``\\* → ``finish``
+
+    Shard outputs must be fed in ascending shard order (both transports
+    gather everything, then fold 0..N-1) so reports are deterministic;
+    the merged statistics are integer sums and the final sort key is
+    total, so rankings do not depend on fold order.
+    """
+
+    def __init__(
+        self,
+        ranking: RankingFunction,
+        mode: str,
+        top_k: Optional[int],
+        forced: bool = False,
+    ):
+        if mode not in (MODE_CONTEXT, MODE_CONVENTIONAL, MODE_DISJUNCTIVE):
+            raise QueryError(f"unknown batch mode: {mode!r}")
+        self.ranking = ranking
+        self.mode = mode
+        # Disjunctive top-k has no "all results" shape; default k=10
+        # exactly as the single-shard engine does.
+        self.top_k = (
+            (10 if top_k is None else top_k)
+            if mode == MODE_DISJUNCTIVE
+            else top_k
+        )
+        self.forced = forced
+        self._queries: Dict[int, _QueryMerge] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def add_query(
+        self, qid: int, query: ContextQuery
+    ) -> Tuple[StatisticSpec, ...]:
+        """Register one analysed query and return its additive spec tuple.
+
+        Raises :class:`QueryError` for statistic specs that cannot merge
+        additively and for disjunctive mode under a non-decomposable
+        ranking model — the same validation whichever transport runs it.
+        """
+        if self.mode == MODE_DISJUNCTIVE and not self.ranking.decomposable:
+            raise QueryError(
+                f"ranking model {self.ranking.name!r} does not support "
+                "MaxScore pruning (non-zero score for absent terms)"
+            )
+        specs: Tuple[StatisticSpec, ...] = ()
+        if self.mode != MODE_CONVENTIONAL:
+            specs = tuple(
+                self.ranking.required_collection_specs(query.keywords)
+            )
+            StatsMerge.check_additive(specs)
+        report = ExecutionReport(per_shard=[])
+        spec_list = list(specs)
+        mode, top_k = self.mode, self.top_k
+        report.plan = ExplainedPlan(
+            logical=lambda: compile_query(query, spec_list, mode, top_k),
+            candidates=[PathCandidate(PATH_PER_SHARD, True, 0)],
+            chosen=PATH_PER_SHARD,
+            forced=self.forced,
+            shard_choices=[],
+        )
+        report.plan.actual = report.counter
+        if self.mode == MODE_CONVENTIONAL:
+            report.resolution.path = "conventional"
+        self._queries[qid] = _QueryMerge(
+            query, specs, StatsMerge.zero(specs), report
+        )
+        return specs
+
+    def specs(self, qid: int) -> Tuple[StatisticSpec, ...]:
+        return self._queries[qid].specs
+
+    def query(self, qid: int) -> ContextQuery:
+        return self._queries[qid].query
+
+    # -- phase 1: additive statistics ------------------------------------
+
+    def add_resolution(
+        self,
+        qid: int,
+        shard_id: int,
+        values: Dict[StatisticSpec, float],
+        path: str,
+        predicted: int,
+        counter: CostCounter,
+        num_results: int = 0,
+    ) -> None:
+        """Fold one shard's phase-1 slice: partial aggregates + report."""
+        state = self._queries[qid]
+        StatsMerge.accumulate(state.values, values)
+        state.result_size += num_results
+        state.paths.add(path)
+        self._record_shard(
+            state.report, shard_id, path, predicted, num_results, counter
+        )
+
+    def complete_resolution(self, qid: int) -> Optional[EmptyContextError]:
+        """The global emptiness check, after every shard has reported.
+
+        Returns the :class:`EmptyContextError` the caller should record
+        (a locally empty shard contributes the additive identity, so
+        only the *merged* cardinality decides), or ``None`` with the
+        report's context size and resolution path filled in.
+        """
+        state = self._queries[qid]
+        cardinality = StatsMerge.cardinality_of(state.values, state.specs)
+        if cardinality <= 0:
+            return EmptyContextError(
+                f"context {state.query.context} matches no documents"
+            )
+        state.report.context_size = cardinality
+        if self.mode == MODE_CONTEXT:
+            state.report.result_size = state.result_size
+        state.report.resolution.path = _merge_paths(state.paths)
+        return None
+
+    def merged_values(self, qid: int) -> Dict[StatisticSpec, float]:
+        """The merged additive statistic values (broadcast in phase 2)."""
+        return self._queries[qid].values
+
+    def merged_statistics(self, qid: int) -> CollectionStatistics:
+        return CollectionStatistics.from_values(self._queries[qid].values)
+
+    def term_bounds(self, qid: int, max_tf_of) -> Dict[str, float]:
+        """Global per-term score upper bounds for every shard's scorer.
+
+        ``max_tf_of(term)`` must return the *collection-wide* max term
+        frequency (the sharded index's accessor locally; the max over
+        per-shard maxima at the router — the same integer).  Identical
+        bounds give every shard the same term ordering, hence the same
+        per-document float summation order, hence bit-identical scores.
+        """
+        state = self._queries[qid]
+        stats = CollectionStatistics.from_values(state.values)
+        query_stats = QueryStatistics.from_keywords(state.query.keywords)
+        bounds: Dict[str, float] = {}
+        for term in dict.fromkeys(state.query.keywords):
+            max_tf = max_tf_of(term)
+            if max_tf > 0:
+                bounds[term] = self.ranking.term_upper_bound(
+                    term, max_tf, query_stats, stats
+                )
+        return bounds
+
+    def shared_threshold(self) -> SharedTopKThreshold:
+        """A live cross-shard threshold (same-address-space gathers only;
+        a pruning accelerator, never a correctness requirement)."""
+        return SharedTopKThreshold(self.top_k if self.top_k else 10)
+
+    @staticmethod
+    def merge_collection_stats(parts: Sequence[dict]) -> CollectionStatistics:
+        """Exact additive merge of per-shard whole-collection statistics
+        (conventional mode).  ``parts`` hold ``num_docs``,
+        ``total_length``, and per-term ``df``/``tc`` integer maps; sums
+        over shards equal the single-shard accessors exactly."""
+        df: Dict[str, int] = {}
+        tc: Dict[str, int] = {}
+        num_docs = 0
+        total_length = 0
+        for part in parts:
+            num_docs += int(part["num_docs"])
+            total_length += int(part["total_length"])
+            for term, count in part.get("df", {}).items():
+                df[term] = df.get(term, 0) + int(count)
+            for term, count in part.get("tc", {}).items():
+                tc[term] = tc.get(term, 0) + int(count)
+        return CollectionStatistics(
+            cardinality=num_docs, total_length=total_length, df=df, tc=tc
+        )
+
+    # -- phase 2: scored candidates --------------------------------------
+
+    def add_hits(self, qid: int, hits: Sequence[_Hit]) -> None:
+        """Context mode: one shard's scored candidates (report already
+        folded in phase 1)."""
+        self._queries[qid].hits.extend(hits)
+
+    def add_conventional(
+        self,
+        qid: int,
+        shard_id: int,
+        hits: Sequence[_Hit],
+        num_results: int,
+        predicted: int,
+        counter: CostCounter,
+    ) -> None:
+        """Conventional mode's single phase: hits + per-shard report."""
+        state = self._queries[qid]
+        state.hits.extend(hits)
+        state.report.result_size += num_results
+        self._record_shard(
+            state.report, shard_id, "conventional", predicted, num_results,
+            counter,
+        )
+
+    def add_topk(
+        self,
+        qid: int,
+        shard_id: int,
+        hits: Sequence[_Hit],
+        counter: CostCounter,
+        topk_diag: dict,
+        block_max: bool,
+    ) -> None:
+        """Disjunctive phase 2: per-shard top-k hits + summed diagnostics."""
+        state = self._queries[qid]
+        state.hits.extend(hits)
+        report = state.report
+        report.counter.merge(counter)
+        report.per_shard[shard_id].counter.merge(counter)
+        report.per_shard[shard_id].result_size += len(hits)
+        if report.topk is None:
+            report.topk = dict(topk_diag, block_max=block_max)
+        else:
+            for key, value in topk_diag.items():
+                report.topk[key] += value
+
+    def finish(self, qid: int) -> SearchResults:
+        """Rank the merged candidates — the single sort both transports
+        share: ``(-score, gid)`` reproduces single-shard tie-breaks."""
+        state = self._queries.pop(qid)
+        hits = rank_candidates(state.hits, self.top_k)
+        if self.mode == MODE_DISJUNCTIVE:
+            state.report.result_size = len(hits)
+        return SearchResults(
+            hits=[
+                SearchHit(doc_id=gid, external_id=ext, score=score)
+                for score, gid, ext in hits
+            ],
+            report=state.report,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _record_shard(
+        report: ExecutionReport,
+        shard_id: int,
+        path: str,
+        predicted: int,
+        num_results: int,
+        counter: CostCounter,
+    ) -> None:
+        """Fold one shard's slice into the parent report and plan."""
+        report.counter.merge(counter)
+        report.per_shard.append(
+            ShardReport(
+                shard_id=shard_id,
+                path=path,
+                predicted_cost=predicted,
+                result_size=num_results,
+                counter=counter,
+            )
+        )
+        plan = report.plan
+        plan.shard_choices.append((shard_id, path, predicted))
+        plan.candidates[0].predicted_cost += predicted
 
 
 # -- execution backends --------------------------------------------------------
@@ -795,38 +1126,30 @@ class ShardedEngine:
         )
 
         # Parse + analyse in the parent; failures claim their slot now.
+        # All merge state for the batch lives in the shared plan object.
+        plan = ShardMergePlan(
+            self.ranking, mode, top_k, forced=force is not None
+        )
         analyzed: Dict[int, ContextQuery] = {}
         specs_by_qid: Dict[int, Tuple[StatisticSpec, ...]] = {}
         for qid, query in enumerate(queries):
             try:
                 parsed = parse_query(query) if isinstance(query, str) else query
                 analyzed_query = self._analyze(parsed)
-                if mode == "disjunctive" and not self.ranking.decomposable:
-                    raise QueryError(
-                        f"ranking model {self.ranking.name!r} does not support "
-                        "MaxScore pruning (non-zero score for absent terms)"
-                    )
-                if mode in ("context", "disjunctive"):
-                    specs = tuple(
-                        self.ranking.required_collection_specs(
-                            analyzed_query.keywords
-                        )
-                    )
-                    StatsMerge.check_additive(specs)
-                    specs_by_qid[qid] = specs
+                specs_by_qid[qid] = plan.add_query(qid, analyzed_query)
                 analyzed[qid] = analyzed_query
             except ReproError as exc:
                 results[qid] = exc
 
         if mode == "context":
             self._run_context(
-                analyzed, specs_by_qid, top_k, results, num_shards, force
+                analyzed, specs_by_qid, plan, top_k, results, num_shards, force
             )
         elif mode == "conventional":
-            self._run_conventional(analyzed, top_k, results, num_shards)
+            self._run_conventional(analyzed, plan, top_k, results, num_shards)
         else:
             self._run_disjunctive(
-                analyzed, specs_by_qid, top_k, results, num_shards, force,
+                analyzed, specs_by_qid, plan, results, num_shards, force,
                 block_max,
             )
 
@@ -838,53 +1161,8 @@ class ShardedEngine:
                 result.report.elapsed_seconds = elapsed
         return results  # type: ignore[return-value]
 
-    def _aggregate_plan(
-        self,
-        query: ContextQuery,
-        specs: Sequence[StatisticSpec],
-        mode: str,
-        top_k: Optional[int],
-        forced: bool,
-    ) -> ExplainedPlan:
-        """The parent's plan record: one per-shard candidate whose
-        predicted cost and ``shard_choices`` fill in as shard outputs
-        arrive."""
-        spec_list = list(specs)
-        plan = ExplainedPlan(
-            logical=lambda: compile_query(query, spec_list, mode, top_k),
-            candidates=[PathCandidate(PATH_PER_SHARD, True, 0)],
-            chosen=PATH_PER_SHARD,
-            forced=forced,
-            shard_choices=[],
-        )
-        return plan
-
-    def _record_shard(
-        self,
-        report: ExecutionReport,
-        shard_id: int,
-        path: str,
-        predicted: int,
-        num_results: int,
-        counter: CostCounter,
-    ) -> None:
-        """Fold one shard's slice into the parent report and plan."""
-        report.counter.merge(counter)
-        report.per_shard.append(
-            ShardReport(
-                shard_id=shard_id,
-                path=path,
-                predicted_cost=predicted,
-                result_size=num_results,
-                counter=counter,
-            )
-        )
-        plan = report.plan
-        plan.shard_choices.append((shard_id, path, predicted))
-        plan.candidates[0].predicted_cost += predicted
-
     def _run_context(
-        self, analyzed, specs_by_qid, top_k, results, num_shards, force
+        self, analyzed, specs_by_qid, plan, top_k, results, num_shards, force
     ):
         phase1 = [
             (
@@ -901,61 +1179,34 @@ class ShardedEngine:
         shard_outputs = self._backend.map(
             "resolve_many", [list(phase1)] * num_shards
         )
-
-        merged_values: Dict[int, Dict[StatisticSpec, float]] = {}
-        reports: Dict[int, ExecutionReport] = {}
-        result_sizes: Dict[int, int] = {}
-        paths: Dict[int, set] = {}
-        for qid, query in analyzed.items():
-            specs = specs_by_qid[qid]
-            merged_values[qid] = StatsMerge.zero(specs)
-            report = ExecutionReport(per_shard=[])
-            report.plan = self._aggregate_plan(
-                query, specs, MODE_CONTEXT, top_k, force is not None
-            )
-            report.plan.actual = report.counter
-            reports[qid] = report
-            result_sizes[qid] = 0
-            paths[qid] = set()
         for shard_id, output in enumerate(shard_outputs):
             # Shard order: deterministic merges.
             for qid, values, num_results, path, predicted, counter in output:
-                StatsMerge.accumulate(merged_values[qid], values)
-                result_sizes[qid] += num_results
-                paths[qid].add(path)
-                self._record_shard(
-                    reports[qid], shard_id, path, predicted, num_results, counter
+                plan.add_resolution(
+                    qid, shard_id, values, path, predicted, counter, num_results
                 )
 
         phase2 = []
-        for qid, query in analyzed.items():
-            specs = specs_by_qid[qid]
-            cardinality = StatsMerge.cardinality_of(merged_values[qid], specs)
-            if cardinality <= 0:
-                results[qid] = EmptyContextError(
-                    f"context {query.context} matches no documents"
-                )
+        for qid in analyzed:
+            error = plan.complete_resolution(qid)
+            if error is not None:
+                results[qid] = error
                 phase2.append((qid, None, top_k))  # discard the stash
                 continue
-            reports[qid].context_size = cardinality
-            reports[qid].result_size = result_sizes[qid]
-            reports[qid].resolution.path = _merge_paths(paths[qid])
-            phase2.append((qid, merged_values[qid], top_k))
+            phase2.append((qid, plan.merged_values(qid), top_k))
         shard_outputs = self._backend.map("score_many", [list(phase2)] * num_shards)
-        self._merge_hits(shard_outputs, analyzed, reports, top_k, results)
+        for output in shard_outputs:
+            for qid, hits in output:
+                if not isinstance(results[qid], ReproError):
+                    plan.add_hits(qid, hits)
+        for qid in analyzed:
+            if not isinstance(results[qid], ReproError):
+                results[qid] = plan.finish(qid)
 
-    def _run_conventional(self, analyzed, top_k, results, num_shards):
+    def _run_conventional(self, analyzed, plan, top_k, results, num_shards):
         tasks = []
-        reports: Dict[int, ExecutionReport] = {}
         for qid, query in analyzed.items():
             stats = self._global_statistics(query.keywords)
-            report = ExecutionReport(per_shard=[])
-            report.resolution.path = "conventional"
-            report.plan = self._aggregate_plan(
-                query, (), MODE_CONVENTIONAL, top_k, False
-            )
-            report.plan.actual = report.counter
-            reports[qid] = report
             tasks.append(
                 (qid, tuple(query.keywords), tuple(query.predicates), stats, top_k)
             )
@@ -964,34 +1215,19 @@ class ShardedEngine:
         shard_outputs = self._backend.map(
             "conventional_many", [list(tasks)] * num_shards
         )
-        merged: Dict[int, List[_Hit]] = {qid: [] for qid in analyzed}
         for shard_id, output in enumerate(shard_outputs):
             for qid, hits, num_results, predicted, counter in output:
-                merged[qid].extend(hits)
-                reports[qid].result_size += num_results
-                self._record_shard(
-                    reports[qid],
-                    shard_id,
-                    "conventional",
-                    predicted,
-                    num_results,
-                    counter,
+                plan.add_conventional(
+                    qid, shard_id, hits, num_results, predicted, counter
                 )
-        for qid, query in analyzed.items():
-            hits = rank_candidates(merged[qid], top_k)
-            results[qid] = SearchResults(
-                hits=[
-                    SearchHit(doc_id=gid, external_id=ext, score=score)
-                    for score, gid, ext in hits
-                ],
-                report=reports[qid],
-            )
+        for qid in analyzed:
+            results[qid] = plan.finish(qid)
 
     def _run_disjunctive(
-        self, analyzed, specs_by_qid, top_k, results, num_shards, force,
+        self, analyzed, specs_by_qid, plan, results, num_shards, force,
         block_max=True,
     ):
-        k = top_k if top_k is not None else 10
+        k = plan.top_k
         phase1 = [
             (
                 qid,
@@ -1006,49 +1242,25 @@ class ShardedEngine:
         if not phase1:
             return
         shard_outputs = self._backend.map("stats_many", [list(phase1)] * num_shards)
-
-        merged_values: Dict[int, Dict[StatisticSpec, float]] = {}
-        reports: Dict[int, ExecutionReport] = {}
-        paths: Dict[int, set] = {}
-        for qid, query in analyzed.items():
-            specs = specs_by_qid[qid]
-            merged_values[qid] = StatsMerge.zero(specs)
-            report = ExecutionReport(per_shard=[])
-            report.plan = self._aggregate_plan(
-                query, specs, MODE_DISJUNCTIVE, k, force is not None
-            )
-            report.plan.actual = report.counter
-            reports[qid] = report
-            paths[qid] = set()
         for shard_id, output in enumerate(shard_outputs):
             for qid, values, path, predicted, counter in output:
-                StatsMerge.accumulate(merged_values[qid], values)
-                paths[qid].add(path)
-                self._record_shard(
-                    reports[qid], shard_id, path, predicted, 0, counter
-                )
+                plan.add_resolution(qid, shard_id, values, path, predicted, counter)
 
         phase2 = []
         shared_by_qid: Dict[int, SharedTopKThreshold] = {}
         for qid, query in analyzed.items():
-            specs = specs_by_qid[qid]
-            cardinality = StatsMerge.cardinality_of(merged_values[qid], specs)
-            if cardinality <= 0:
-                results[qid] = EmptyContextError(
-                    f"context {query.context} matches no documents"
-                )
+            error = plan.complete_resolution(qid)
+            if error is not None:
+                results[qid] = error
                 continue
-            reports[qid].context_size = cardinality
-            reports[qid].resolution.path = _merge_paths(paths[qid])
-            stats = CollectionStatistics.from_values(merged_values[qid])
-            bounds = self._term_bounds(query.keywords, stats)
-            shared_by_qid[qid] = SharedTopKThreshold(k)
+            bounds = plan.term_bounds(qid, self.sharded_index.max_tf)
+            shared_by_qid[qid] = plan.shared_threshold()
             phase2.append(
                 (
                     qid,
                     tuple(query.keywords),
                     tuple(query.predicates),
-                    merged_values[qid],
+                    plan.merged_values(qid),
                     k,
                     bounds,
                     block_max,
@@ -1064,49 +1276,12 @@ class ShardedEngine:
         shard_outputs = self._backend.map(
             "topk_many", [list(phase2)] * num_shards, **kwargs
         )
-        merged_hits: Dict[int, List[_Hit]] = {entry[0]: [] for entry in phase2}
+        live = {entry[0] for entry in phase2}
         for shard_id, output in enumerate(shard_outputs):
             for qid, hits, counter, topk_diag in output:
-                merged_hits[qid].extend(hits)
-                report = reports[qid]
-                report.counter.merge(counter)
-                report.per_shard[shard_id].counter.merge(counter)
-                report.per_shard[shard_id].result_size += len(hits)
-                # Sum per-shard top-k diagnostics into the parent report.
-                if report.topk is None:
-                    report.topk = dict(topk_diag, block_max=block_max)
-                else:
-                    for key, value in topk_diag.items():
-                        report.topk[key] += value
-        for qid, hits in merged_hits.items():
-            hits = rank_candidates(hits, k)
-            report = reports[qid]
-            report.result_size = len(hits)
-            results[qid] = SearchResults(
-                hits=[
-                    SearchHit(doc_id=gid, external_id=ext, score=score)
-                    for score, gid, ext in hits
-                ],
-                report=report,
-            )
-
-    def _merge_hits(self, shard_outputs, analyzed, reports, top_k, results):
-        merged: Dict[int, List[_Hit]] = {
-            qid: [] for qid in analyzed if not isinstance(results[qid], ReproError)
-        }
-        for output in shard_outputs:
-            for qid, hits in output:
-                if qid in merged:
-                    merged[qid].extend(hits)
-        for qid, hits in merged.items():
-            hits = rank_candidates(hits, top_k)
-            results[qid] = SearchResults(
-                hits=[
-                    SearchHit(doc_id=gid, external_id=ext, score=score)
-                    for score, gid, ext in hits
-                ],
-                report=reports[qid],
-            )
+                plan.add_topk(qid, shard_id, hits, counter, topk_diag, block_max)
+        for qid in live:
+            results[qid] = plan.finish(qid)
 
     # -- merge helpers ---------------------------------------------------
 
@@ -1114,26 +1289,6 @@ class ShardedEngine:
     def _check_additive(specs: Sequence[StatisticSpec]) -> None:
         """Back-compat alias for :meth:`StatsMerge.check_additive`."""
         StatsMerge.check_additive(specs)
-
-    def _term_bounds(
-        self, keywords: Sequence[str], stats: CollectionStatistics
-    ) -> Dict[str, float]:
-        """Global per-term score upper bounds for every shard's scorer.
-
-        Computed from the collection-wide ``max_tf`` so the bounds equal
-        the single-shard scorer's exactly; identical bounds give every
-        shard the same term ordering, hence the same per-document float
-        summation order, hence bit-identical scores.
-        """
-        query_stats = QueryStatistics.from_keywords(keywords)
-        bounds: Dict[str, float] = {}
-        for term in dict.fromkeys(keywords):
-            max_tf = self.sharded_index.max_tf(term)
-            if max_tf > 0:
-                bounds[term] = self.ranking.term_upper_bound(
-                    term, max_tf, query_stats, stats
-                )
-        return bounds
 
     def _global_statistics(self, keywords: Sequence[str]) -> CollectionStatistics:
         """Whole-collection ``S_c(D)`` via exact per-shard sums."""

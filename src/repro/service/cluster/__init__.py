@@ -1,0 +1,65 @@
+"""The distributed serving tier: query router + replicated shard workers.
+
+Promotes each index shard to its own worker process behind the existing
+JSON-lines server, with a router that scatter-gathers client queries
+across the shards' replica groups and merges through the same
+:class:`~repro.core.sharded_engine.ShardMergePlan` as the in-process
+engine — rankings over the wire are bit-identical to single-process.
+
+- :mod:`.placement` — consistent-hash shard → replica-group assignment
+- :mod:`.config` — the ``cluster`` JSON config file format
+- :mod:`.worker` — :class:`ShardWorkerService` (shard ops + shipping)
+- :mod:`.router` — :class:`RouterService` (scatter, failover, merge)
+- :mod:`.shipping` — replica bootstrap by segment shipping
+"""
+
+from .config import (
+    ClusterConfig,
+    ClusterConfigError,
+    RouterOptions,
+    load_cluster_config,
+    parse_address,
+)
+from .placement import HashRing, place_shards
+from .router import (
+    GroupUnavailable,
+    Replica,
+    ReplicaGroup,
+    RouterMetrics,
+    RouterService,
+    WorkerError,
+    WorkerProtocolError,
+    WorkerTimeout,
+    WorkerUnavailable,
+    router_service_factory,
+    router_thread,
+)
+from .shipping import ArtifactShipper, fetch_artifact, ship_chunk_bytes
+from .worker import ShardWorkerService, worker_service_factory, worker_thread
+
+__all__ = [
+    "ArtifactShipper",
+    "ClusterConfig",
+    "ClusterConfigError",
+    "GroupUnavailable",
+    "HashRing",
+    "Replica",
+    "ReplicaGroup",
+    "RouterMetrics",
+    "RouterOptions",
+    "RouterService",
+    "ShardWorkerService",
+    "WorkerError",
+    "WorkerProtocolError",
+    "WorkerTimeout",
+    "WorkerUnavailable",
+    "fetch_artifact",
+    "load_cluster_config",
+    "parse_address",
+    "place_shards",
+    "router_service_factory",
+    "router_thread",
+    "ship_chunk_bytes",
+    "worker_service_factory",
+    "worker_thread",
+]

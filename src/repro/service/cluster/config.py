@@ -1,0 +1,211 @@
+"""The cluster config file: worker pool, placement, and router knobs.
+
+One JSON document describes a whole deployment::
+
+    {
+      "kind": "cluster",
+      "version": 1,
+      "num_shards": 2,
+      "replication": 2,
+      "workers": ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"],
+      "router": {"health_interval_s": 2.0,
+                 "fail_threshold": 3,
+                 "attempt_timeout_ms": 2000}
+    }
+
+Replica groups are *derived* — consistent hashing over ``workers``
+(:mod:`.placement`) assigns each shard its N-way group, so the router
+and any tooling reading the same file agree on placement without a
+coordinator.  An explicit ``"groups"`` list (``[{"shard": 0,
+"replicas": ["host:port", ...]}, ...]``) overrides the ring for
+hand-pinned layouts and tests.
+
+Every validation failure is one readable :class:`ClusterConfigError`
+naming the offending field — a cluster config is operator input, and
+"stack trace from deep inside the router" is not an error message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import ReproError
+from .placement import place_shards
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterConfigError",
+    "RouterOptions",
+    "load_cluster_config",
+    "parse_address",
+]
+
+
+class ClusterConfigError(ReproError):
+    """An unusable cluster config (missing fields, bad addresses, …)."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` with a readable failure."""
+    host, sep, port_text = str(address).rpartition(":")
+    if not sep or not host:
+        raise ClusterConfigError(
+            f"worker address {address!r} is not of the form host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterConfigError(
+            f"worker address {address!r} has a non-numeric port"
+        ) from None
+    if not 0 < port < 65536:
+        raise ClusterConfigError(
+            f"worker address {address!r} has an out-of-range port"
+        )
+    return host, port
+
+
+@dataclass
+class RouterOptions:
+    """Failover and health-polling knobs (the ``"router"`` section)."""
+
+    health_interval_s: float = 2.0
+    fail_threshold: int = 3
+    attempt_timeout_ms: float = 2000.0
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RouterOptions":
+        options = cls()
+        if "health_interval_s" in payload:
+            options.health_interval_s = float(payload["health_interval_s"])
+        if "fail_threshold" in payload:
+            options.fail_threshold = int(payload["fail_threshold"])
+        if "attempt_timeout_ms" in payload:
+            options.attempt_timeout_ms = float(payload["attempt_timeout_ms"])
+        if options.health_interval_s <= 0:
+            raise ClusterConfigError("router.health_interval_s must be > 0")
+        if options.fail_threshold < 1:
+            raise ClusterConfigError("router.fail_threshold must be >= 1")
+        if options.attempt_timeout_ms <= 0:
+            raise ClusterConfigError("router.attempt_timeout_ms must be > 0")
+        return options
+
+
+@dataclass
+class ClusterConfig:
+    """A validated deployment description with resolved placement."""
+
+    num_shards: int
+    replication: int
+    workers: List[str]
+    groups: Dict[int, List[str]]
+    router: RouterOptions = field(default_factory=RouterOptions)
+
+    def replicas(self, shard_id: int) -> List[Tuple[str, int]]:
+        return [parse_address(a) for a in self.groups[shard_id]]
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "cluster",
+            "version": 1,
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "workers": list(self.workers),
+            "groups": [
+                {"shard": shard_id, "replicas": list(addresses)}
+                for shard_id, addresses in sorted(self.groups.items())
+            ],
+            "router": {
+                "health_interval_s": self.router.health_interval_s,
+                "fail_threshold": self.router.fail_threshold,
+                "attempt_timeout_ms": self.router.attempt_timeout_ms,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClusterConfig":
+        if not isinstance(payload, dict) or payload.get("kind") != "cluster":
+            raise ClusterConfigError(
+                "cluster config must be a JSON object with kind='cluster'"
+            )
+        try:
+            num_shards = int(payload["num_shards"])
+        except (KeyError, TypeError, ValueError):
+            raise ClusterConfigError(
+                "cluster config requires an integer 'num_shards'"
+            ) from None
+        if num_shards < 1:
+            raise ClusterConfigError("num_shards must be >= 1")
+        replication = int(payload.get("replication", 1))
+        if replication < 1:
+            raise ClusterConfigError("replication must be >= 1")
+        workers = [str(w) for w in payload.get("workers", [])]
+        for worker in workers:
+            parse_address(worker)
+        router = RouterOptions.from_payload(payload.get("router", {}) or {})
+
+        explicit = payload.get("groups")
+        if explicit is not None:
+            groups: Dict[int, List[str]] = {}
+            for entry in explicit:
+                try:
+                    shard_id = int(entry["shard"])
+                    replicas = [str(a) for a in entry["replicas"]]
+                except (KeyError, TypeError, ValueError):
+                    raise ClusterConfigError(
+                        "each group needs 'shard' and a 'replicas' list"
+                    ) from None
+                if not replicas:
+                    raise ClusterConfigError(
+                        f"shard {shard_id} has an empty replica group"
+                    )
+                for replica in replicas:
+                    parse_address(replica)
+                groups[shard_id] = replicas
+            missing = sorted(set(range(num_shards)) - set(groups))
+            if missing:
+                raise ClusterConfigError(
+                    f"groups missing for shards {missing} "
+                    f"(num_shards={num_shards})"
+                )
+        else:
+            if not workers:
+                raise ClusterConfigError(
+                    "cluster config needs 'workers' (for consistent-hash "
+                    "placement) or explicit 'groups'"
+                )
+            try:
+                groups = place_shards(workers, num_shards, replication)
+            except ValueError as exc:
+                raise ClusterConfigError(str(exc)) from None
+        return cls(
+            num_shards=num_shards,
+            replication=replication,
+            workers=workers,
+            groups=groups,
+            router=router,
+        )
+
+
+def load_cluster_config(path) -> ClusterConfig:
+    """Read and validate a cluster config file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ClusterConfigError(
+            f"cannot read cluster config {path}: {exc}"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ClusterConfigError(
+            f"cluster config {path} is not valid JSON: {exc}"
+        ) from None
+    try:
+        return ClusterConfig.from_payload(payload)
+    except ClusterConfigError as exc:
+        raise ClusterConfigError(f"cluster config {path}: {exc}") from None

@@ -1,0 +1,78 @@
+"""Consistent-hash shard placement: which workers hold which shard.
+
+The ring maps worker addresses to many virtual points (crc32, the same
+deterministic stdlib hash :class:`~repro.index.sharded.HashPartitioner`
+uses for documents); shard ``k``'s replica group is the first N
+*distinct* workers clockwise from the shard's own point.  Consistency is
+the point: adding or removing one worker re-places only the shards whose
+arcs it touched, so a replacement replica bootstraps a bounded number of
+segments instead of reshuffling the whole cluster.
+
+Placement is pure arithmetic over the config — the router and any
+operator tooling derive the identical groups from the same worker list,
+no coordination service required.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Dict, List, Sequence
+
+__all__ = ["HashRing", "place_shards"]
+
+
+def _point(key: str) -> int:
+    return zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """A consistent-hash ring over worker addresses.
+
+    ``vnodes`` virtual points per worker smooth the arc lengths so a
+    small cluster still places shards near-uniformly.  Point collisions
+    break ties on the worker address, keeping the ring a pure function
+    of the node set.
+    """
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64):
+        if not nodes:
+            raise ValueError("hash ring requires at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate worker addresses: {sorted(nodes)}")
+        self.nodes = list(nodes)
+        self.vnodes = vnodes
+        points = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                points.append((_point(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def place(self, key: str, count: int) -> List[str]:
+        """The first ``count`` distinct nodes clockwise from ``key``."""
+        count = min(count, len(self.nodes))
+        start = bisect.bisect_left(self._points, _point(key))
+        chosen: List[str] = []
+        seen = set()
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            chosen.append(owner)
+            if len(chosen) == count:
+                break
+        return chosen
+
+
+def place_shards(
+    workers: Sequence[str], num_shards: int, replication: int
+) -> Dict[int, List[str]]:
+    """Replica groups for every shard: ``{shard_id: [address, ...]}``."""
+    ring = HashRing(workers)
+    return {
+        shard_id: ring.place(f"shard-{shard_id}", replication)
+        for shard_id in range(num_shards)
+    }

@@ -1,0 +1,1311 @@
+"""The query router: scatter to shard workers, gather, merge exactly.
+
+The router is the cluster's client-facing front end.  It speaks the same
+JSON-lines protocol as every other server in this repo, coalesces client
+queries into batches, scatters each batch to every shard's replica group
+over persistent pipelined connections, and folds the workers' frames
+through the *same* :class:`~repro.core.sharded_engine.ShardMergePlan`
+the in-process backends drive.  That shared merge object is the whole
+consistency argument: additive statistics, the global emptiness check,
+per-term score bounds, and the final ``(-score, gid)`` rank are one code
+path, so router rankings are bit-identical to a single-process
+:class:`~repro.core.sharded_engine.ShardedEngine` over the same shards.
+
+Failover: every shard has an N-way replica group (consistent-hash
+placement from the cluster config).  An attempt that times out, cannot
+connect, or returns a malformed frame marks the replica and the query is
+retried on a sibling — phase-1 candidate ids travel through the router,
+so any replica of the group can serve any phase.  A replica is *down*
+after ``fail_threshold`` consecutive failures (in-flight or health
+probe) and is skipped until a ``healthz`` probe succeeds again; when a
+whole group is down the affected queries shed with one readable error
+naming the group and its last failures — never a traceback, never a
+hung future.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ... import __version__
+from ...core.logical import MODE_CONVENTIONAL, MODE_DISJUNCTIVE
+from ...core.ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
+from ...core.report import _counter_from_dict
+from ...core.sharded_engine import ShardMergePlan, _rebuild_query
+from ...errors import ReproError
+from ..admission import AdmissionController
+from ..metrics import ServiceMetrics, percentile
+from ..protocol import (
+    CLUSTER_OPS,
+    MAX_CLUSTER_LINE_BYTES,
+    MAX_LINE_BYTES,
+    OP_HEALTHZ,
+    OP_METRICS,
+    OP_SHARD_CONVENTIONAL,
+    OP_SHARD_RESOLVE,
+    OP_SHARD_SCORE,
+    OP_SHARD_TOPK,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_response,
+)
+from ..server import ServerThread, ServiceConfig
+from .config import ClusterConfig, parse_address
+
+__all__ = [
+    "GroupUnavailable",
+    "Replica",
+    "ReplicaGroup",
+    "RouterMetrics",
+    "RouterService",
+    "WorkerError",
+    "WorkerProtocolError",
+    "WorkerTimeout",
+    "WorkerUnavailable",
+    "router_service_factory",
+    "router_thread",
+]
+
+PATH_AUTO = "auto"
+
+STATE_UNKNOWN = "unknown"
+STATE_UP = "up"
+STATE_DOWN = "down"
+
+# Per-shard attempt latency window (ring, like the service's own).
+SHARD_LATENCY_WINDOW = 1024
+
+
+class WorkerError(ReproError):
+    """A failed exchange with one shard worker (always names it)."""
+
+    def __init__(self, address: str, detail: str):
+        super().__init__(f"worker {address}: {detail}")
+        self.address = address
+        self.detail = detail
+
+
+class WorkerUnavailable(WorkerError):
+    """Connect refused, connection lost, or send failed."""
+
+
+class WorkerTimeout(WorkerError):
+    """No reply within the per-attempt deadline budget."""
+
+    def __init__(self, address: str, timeout_s: float):
+        super().__init__(address, f"no reply within {timeout_s * 1000.0:g}ms")
+
+
+class WorkerProtocolError(WorkerError):
+    """The worker sent bytes that are not a JSON-lines response frame."""
+
+    def __init__(self, address: str, detail: str):
+        super().__init__(address, f"sent a malformed response frame ({detail})")
+
+
+class GroupUnavailable(ReproError):
+    """Every replica of one shard group failed; queries must shed."""
+
+    def __init__(self, shard_id: int, detail: str):
+        super().__init__(f"shard group {shard_id} unavailable: {detail}")
+        self.shard_id = shard_id
+
+
+class Replica:
+    """One worker address: a lazily-connected, pipelining async client.
+
+    Requests match responses by ``id`` so concurrent batch exchanges
+    share a single connection.  Any protocol violation — non-JSON bytes,
+    a frame torn mid-line, an oversized line — fails *every* in-flight
+    request with a :class:`WorkerProtocolError` naming this address and
+    drops the connection; the next call reconnects from scratch.  Health
+    bookkeeping (``note_success`` / ``note_failure``) lives here so the
+    failover ordering and the health endpoint read one source of truth.
+    """
+
+    def __init__(self, shard_id: int, address: str, fail_threshold: int):
+        self.shard_id = shard_id
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.fail_threshold = max(int(fail_threshold), 1)
+        self.state = STATE_UNKNOWN
+        self.consecutive_failures = 0
+        self.last_error: Optional[str] = None
+        self.info: dict = {}  # healthz facts (num_docs, ranking, …)
+        self._reader = None
+        self._writer = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._conn_lock: Optional[asyncio.Lock] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+        self._closed = False
+
+    # -- health bookkeeping ----------------------------------------------
+
+    def note_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = STATE_UP
+        self.last_error = None
+
+    def note_failure(self, error: str) -> None:
+        self.consecutive_failures += 1
+        self.last_error = error
+        if self.consecutive_failures >= self.fail_threshold:
+            self.state = STATE_DOWN
+
+    # -- wire --------------------------------------------------------------
+
+    def _locks(self) -> Tuple[asyncio.Lock, asyncio.Lock]:
+        # Created lazily so the Replica may be built off the event loop.
+        if self._conn_lock is None:
+            self._conn_lock = asyncio.Lock()
+            self._write_lock = asyncio.Lock()
+        return self._conn_lock, self._write_lock
+
+    async def _ensure_connected(self) -> None:
+        conn_lock, _ = self._locks()
+        async with conn_lock:
+            if self._writer is not None:
+                return
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_CLUSTER_LINE_BYTES
+                )
+            except OSError as exc:
+                raise WorkerUnavailable(
+                    self.address, f"connect failed: {exc}"
+                ) from None
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.ensure_future(self._read_loop(reader))
+
+    async def call(self, payload: dict, timeout_s: float) -> dict:
+        """One request/response exchange under a per-attempt deadline."""
+        if self._closed:
+            raise WorkerUnavailable(self.address, "router is shutting down")
+        await self._ensure_connected()
+        loop = asyncio.get_running_loop()
+        rid = self._next_id
+        self._next_id += 1
+        future = loop.create_future()
+        self._pending[rid] = future
+        frame = dict(payload)
+        frame["id"] = rid
+        line = json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+        _, write_lock = self._locks()
+        try:
+            async with write_lock:
+                self._writer.write(line)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(rid, None)
+            error = WorkerUnavailable(self.address, f"send failed: {exc}")
+            self._teardown(error)
+            raise error from None
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            # Late replies for this id are dropped by the read loop.
+            self._pending.pop(rid, None)
+            raise WorkerTimeout(self.address, timeout_s) from None
+
+    async def _read_loop(self, reader) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.LimitOverrunError, ValueError):
+                self._teardown(
+                    WorkerProtocolError(self.address, "oversized frame")
+                )
+                return
+            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+                self._teardown(
+                    WorkerUnavailable(self.address, f"connection lost: {exc}")
+                )
+                return
+            if not line:
+                self._teardown(
+                    WorkerUnavailable(
+                        self.address, "connection closed by worker"
+                    )
+                )
+                return
+            if not line.endswith(b"\n"):
+                # EOF mid-frame: readline hands back the torn tail.
+                self._teardown(
+                    WorkerProtocolError(
+                        self.address,
+                        f"torn frame at connection close "
+                        f"({len(line)} bytes without newline)",
+                    )
+                )
+                return
+            if not line.strip():
+                continue
+            try:
+                frame = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                self._teardown(
+                    WorkerProtocolError(
+                        self.address,
+                        f"non-JSON bytes on the wire: {line[:60]!r}",
+                    )
+                )
+                return
+            if not isinstance(frame, dict):
+                self._teardown(
+                    WorkerProtocolError(
+                        self.address, "frame is not a JSON object"
+                    )
+                )
+                return
+            future = self._pending.pop(frame.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(frame)
+
+    def _teardown(self, error: WorkerError) -> None:
+        """Fail every in-flight request readably and drop the connection."""
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+        writer, self._writer = self._writer, None
+        self._reader = None
+        self._read_task = None
+        if writer is not None:
+            writer.close()
+
+    async def aclose(self) -> None:
+        self._closed = True
+        task = self._read_task
+        self._teardown(
+            WorkerUnavailable(self.address, "router is shutting down")
+        )
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+class ReplicaGroup:
+    """One shard's replicas plus the round-robin failover ordering."""
+
+    def __init__(
+        self, shard_id: int, addresses: Sequence[str], fail_threshold: int
+    ):
+        self.shard_id = shard_id
+        self.replicas = [
+            Replica(shard_id, address, fail_threshold) for address in addresses
+        ]
+        self._rr = 0
+
+    def candidates(self) -> List[Replica]:
+        """Every replica exactly once: live ones first (rotated so load
+        spreads across siblings), known-down ones last as a recovery
+        long shot — a query never hangs on a dead replica when a live
+        sibling exists, and never sheds while *any* replica answers."""
+        count = len(self.replicas)
+        start = self._rr
+        self._rr = (self._rr + 1) % count
+        ordered = [self.replicas[(start + i) % count] for i in range(count)]
+        live = [r for r in ordered if r.state != STATE_DOWN]
+        down = [r for r in ordered if r.state == STATE_DOWN]
+        return live + down
+
+    @property
+    def available(self) -> bool:
+        return any(r.state != STATE_DOWN for r in self.replicas)
+
+
+class RouterMetrics:
+    """:class:`ServiceMetrics` plus router-only signals: per-shard
+    attempt latency windows, failover counts, group-down sheds."""
+
+    def __init__(self, num_shards: int):
+        self.base = ServiceMetrics()
+        self._lock = threading.Lock()
+        self.failovers = 0
+        self.group_down = 0
+        self.health_probes = 0
+        self._attempts = [0] * num_shards
+        self._errors = [0] * num_shards
+        self._latencies = [
+            deque(maxlen=SHARD_LATENCY_WINDOW) for _ in range(num_shards)
+        ]
+
+    def record_attempt(
+        self, shard_id: int, seconds: float, ok: bool
+    ) -> None:
+        with self._lock:
+            self._attempts[shard_id] += 1
+            if not ok:
+                self._errors[shard_id] += 1
+            self._latencies[shard_id].append(seconds)
+
+    def record_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def record_group_down(self) -> None:
+        with self._lock:
+            self.group_down += 1
+
+    def record_probe(self) -> None:
+        with self._lock:
+            self.health_probes += 1
+
+    def shard_snapshot(self) -> dict:
+        with self._lock:
+            out = {}
+            for shard_id in range(len(self._attempts)):
+                window = list(self._latencies[shard_id])
+                out[str(shard_id)] = {
+                    "attempts": self._attempts[shard_id],
+                    "errors": self._errors[shard_id],
+                    "latency_ms": {
+                        "count": len(window),
+                        "mean": (
+                            sum(window) / len(window) * 1000.0
+                            if window
+                            else 0.0
+                        ),
+                        "p95": percentile(window, 95) * 1000.0,
+                        "p99": percentile(window, 99) * 1000.0,
+                    },
+                }
+            return out
+
+
+class _Bucket:
+    __slots__ = ("entries", "timer")
+
+    def __init__(self):
+        self.entries: list = []
+        self.timer = None
+
+
+class _AsyncBatcher:
+    """Event-loop-native coalescer (the thread-pool Coalescer assumes a
+    blocking runner; the router's scatter-gather is a coroutine).  Same
+    policy: one bucket per (mode, top_k, path) key, flushed at
+    ``max_batch`` or when the window timer fires."""
+
+    def __init__(self, runner, max_batch: int, max_wait_ms: float,
+                 observe_batch=None):
+        self._runner = runner
+        self.max_batch = max(int(max_batch), 1)
+        self.max_wait_ms = max(float(max_wait_ms), 0.0)
+        self._observe = observe_batch
+        self._buckets: Dict[tuple, _Bucket] = {}
+        self._tasks: set = set()
+
+    def submit(self, key: tuple, request: Request) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+            if self.max_wait_ms > 0:
+                bucket.timer = loop.call_later(
+                    self.max_wait_ms / 1000.0, self._flush, key, "timer"
+                )
+        bucket.entries.append((future, request))
+        if len(bucket.entries) >= self.max_batch or self.max_wait_ms <= 0:
+            self._flush(key, "size")
+        return future
+
+    def _flush(self, key: tuple, reason: str) -> None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        if self._observe is not None:
+            self._observe(len(bucket.entries), reason)
+        task = asyncio.ensure_future(self._run(key, bucket.entries))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, key: tuple, entries: list) -> None:
+        try:
+            outcomes = await self._runner(key, [r for _, r in entries])
+        except Exception as exc:  # defensive: the runner answers errors itself
+            outcomes = [
+                {"status": STATUS_ERROR,
+                 "error": f"{type(exc).__name__}: {exc}"}
+            ] * len(entries)
+        for (future, _), outcome in zip(entries, outcomes):
+            if not future.done():
+                future.set_result(outcome)
+
+    async def drain(self) -> None:
+        for key in list(self._buckets):
+            self._flush(key, "size")
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+class RouterService:
+    """Client-facing router service (duck-typed like ``QueryService`` so
+    :class:`~repro.service.server.QueryServer` binds it unchanged).
+
+    Lifecycle per client query: admit → coalesce by (mode, top_k, path)
+    → phase-1 ``shard_resolve`` scatter (workers analyse; additive stats
+    come back) → :class:`ShardMergePlan` merge → mode-specific phase 2 →
+    merged rank → respond in the exact shape ``QueryService`` answers.
+    """
+
+    line_limit = MAX_LINE_BYTES  # client-facing: the normal frame budget
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        config: Optional[ServiceConfig] = None,
+        ranking: Optional[RankingFunction] = None,
+    ):
+        self.cluster = cluster
+        self.config = config if config is not None else ServiceConfig()
+        self.ranking = (
+            ranking if ranking is not None else DEFAULT_RANKING_FUNCTION
+        )
+        self.options = cluster.router
+        self.metrics = RouterMetrics(cluster.num_shards)
+        self.admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            degrade_depth=self.config.degrade_depth,
+        )
+        self.groups = [
+            ReplicaGroup(
+                shard_id,
+                cluster.groups[shard_id],
+                cluster.router.fail_threshold,
+            )
+            for shard_id in range(cluster.num_shards)
+        ]
+        self._batcher = _AsyncBatcher(
+            self._run_batch,
+            max_batch=self.config.max_batch if self.config.coalesce else 1,
+            max_wait_ms=(
+                self.config.max_wait_ms if self.config.coalesce else 0.0
+            ),
+            observe_batch=self.metrics.base.observe_batch,
+        )
+        self._health_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def on_start(self) -> None:
+        await self.check_health()  # resolve unknown states before serving
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def on_stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for group in self.groups:
+            for replica in group.replicas:
+                await replica.aclose()
+
+    async def drain(self) -> None:
+        await self._batcher.drain()
+
+    def close(self) -> None:
+        pass  # no worker pool: merging runs on the event loop
+
+    # -- health ------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.options.health_interval_s)
+            try:
+                await self.check_health()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass  # a probe failure must never kill the loop
+
+    async def check_health(self) -> None:
+        """One sweep: probe every replica's ``healthz`` concurrently."""
+        await asyncio.gather(
+            *[
+                self._probe(replica)
+                for group in self.groups
+                for replica in group.replicas
+            ]
+        )
+
+    async def _probe(self, replica: Replica) -> None:
+        self.metrics.record_probe()
+        timeout_s = self.options.attempt_timeout_ms / 1000.0
+        try:
+            response = await replica.call({"op": OP_HEALTHZ}, timeout_s)
+        except WorkerError as exc:
+            replica.note_failure(str(exc))
+            return
+        if response.get("status") != STATUS_OK:
+            replica.note_failure(
+                f"worker {replica.address} healthz answered "
+                f"{response.get('status')!r}"
+            )
+            return
+        replica.note_success()
+        worker = response.get("worker") or {}
+        replica.info = {
+            "shard_id": worker.get("shard_id"),
+            "num_docs": worker.get("num_docs"),
+            "ranking": worker.get("ranking"),
+        }
+
+    # -- request handling --------------------------------------------------
+
+    async def handle_line(self, line: bytes) -> bytes:
+        try:
+            request = decode_request(line, limit=self.line_limit)
+        except ProtocolError as exc:
+            return encode_response({"status": STATUS_ERROR, "error": str(exc)})
+        payload = await self.handle_request(request)
+        return encode_response(payload)
+
+    async def handle_request(self, request: Request) -> dict:
+        if request.op == OP_HEALTHZ:
+            return self._with_id(request, self._healthz())
+        if request.op == OP_METRICS:
+            return self._with_id(request, self._metrics())
+        if request.op in CLUSTER_OPS:
+            payload = {
+                "status": STATUS_ERROR,
+                "error": (
+                    f"op {request.op!r} is cluster-internal: clients send "
+                    "'query' to the router; shard ops are router→worker only"
+                ),
+            }
+            if request.id is not None:
+                payload["id"] = request.id
+            return payload
+        return await self._handle_query(request)
+
+    @staticmethod
+    def _with_id(request: Request, payload: dict) -> dict:
+        if request.id is not None:
+            payload["id"] = request.id
+        return payload
+
+    async def _handle_query(self, request: Request) -> dict:
+        started = time.monotonic()
+        self.metrics.base.observe_request()
+        if not self.admission.try_admit():
+            self.metrics.base.observe_shed()
+            return self._respond(
+                request,
+                STATUS_SHED,
+                started,
+                error=(
+                    f"router overloaded: {self.admission.max_pending} "
+                    "requests already pending"
+                ),
+            )
+        try:
+            return await self._admitted(request, started)
+        finally:
+            self.admission.release()
+
+    async def _admitted(self, request: Request, started: float) -> dict:
+        top_k = (
+            request.top_k
+            if request.top_k is not None
+            else self.config.default_top_k
+        )
+        mode, path = request.mode, request.path
+        # Same graceful degradation as the single-node service: a deep
+        # queue forces the cheap planner path (answer-preserving).
+        degraded = False
+        if (
+            mode != MODE_CONVENTIONAL
+            and path == PATH_AUTO
+            and self.admission.degraded
+        ):
+            path = self.config.degrade_path
+            degraded = True
+        timeout_ms = (
+            request.timeout_ms
+            if request.timeout_ms is not None
+            else self.config.default_timeout_ms
+        )
+        submit = self._batcher.submit((mode, top_k, path), request)
+        try:
+            if timeout_ms is not None:
+                outcome = await asyncio.wait_for(submit, timeout_ms / 1000.0)
+            else:
+                outcome = await submit
+        except asyncio.TimeoutError:
+            self.metrics.base.observe_timeout(time.monotonic() - started)
+            return self._respond(
+                request,
+                STATUS_TIMEOUT,
+                started,
+                error=f"deadline of {timeout_ms:g}ms exceeded",
+            )
+        status = outcome.get("status", STATUS_ERROR)
+        if status == STATUS_OK:
+            body = outcome["body"]
+            report = body.get("report") or {}
+            self.metrics.base.observe_path(
+                (report.get("resolution") or {}).get("path")
+            )
+            self.metrics.base.observe_topk(report.get("topk"))
+            self.metrics.base.observe_ok(
+                time.monotonic() - started, degraded=degraded
+            )
+            return self._respond(
+                request, STATUS_OK, started, body=body, degraded=degraded
+            )
+        if status == STATUS_SHED:
+            self.metrics.base.observe_shed()
+            return self._respond(
+                request, STATUS_SHED, started, error=outcome.get("error")
+            )
+        self.metrics.base.observe_error(time.monotonic() - started)
+        return self._respond(
+            request, STATUS_ERROR, started, error=outcome.get("error")
+        )
+
+    def _respond(
+        self,
+        request: Request,
+        status: str,
+        started: float,
+        body: Optional[dict] = None,
+        error: Optional[str] = None,
+        degraded: bool = False,
+    ) -> dict:
+        payload = {
+            "status": status,
+            "elapsed_ms": (time.monotonic() - started) * 1000.0,
+        }
+        if request.id is not None:
+            payload["id"] = request.id
+        if body is not None:
+            payload.update(body)
+        if error is not None:
+            payload["error"] = error
+        if degraded:
+            payload["degraded"] = True
+        return payload
+
+    # -- batch execution ---------------------------------------------------
+
+    async def _run_batch(
+        self, key: tuple, requests: Sequence[Request]
+    ) -> List[dict]:
+        mode, top_k, path = key
+        try:
+            return await self._scatter_gather(mode, top_k, path, requests)
+        except GroupUnavailable as exc:
+            # A whole replica group is gone: shed the affected queries
+            # with one readable error naming the group and its failures.
+            self.metrics.record_group_down()
+            return [
+                {"status": STATUS_SHED, "error": str(exc)} for _ in requests
+            ]
+        except WorkerError as exc:
+            return [
+                {"status": STATUS_ERROR, "error": str(exc)} for _ in requests
+            ]
+
+    async def _scatter_gather(
+        self,
+        mode: str,
+        top_k: Optional[int],
+        path: str,
+        requests: Sequence[Request],
+    ) -> List[dict]:
+        plan = ShardMergePlan(
+            self.ranking,
+            mode,
+            top_k,
+            forced=path not in (None, PATH_AUTO),
+        )
+        outcomes: List[Optional[dict]] = [None] * len(requests)
+        payload = {
+            "op": OP_SHARD_RESOLVE,
+            "mode": mode,
+            "path": path,
+            "tasks": [
+                {"qid": qid, "query": request.query}
+                for qid, request in enumerate(requests)
+            ],
+        }
+        shard_maps = await self._scatter([payload] * len(self.groups))
+
+        # Register queries off shard 0's analysis (every worker runs the
+        # same analyzers; a per-query analysis failure is identical on
+        # all shards and surfaces as one readable error here).
+        live: List[int] = []
+        analyzed: Dict[int, dict] = {}
+        address0 = shard_maps[0][0]
+        for qid in range(len(requests)):
+            entry = shard_maps[0][1].get(qid)
+            if entry is None:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address0} omitted query {qid} from its "
+                        "response frame"
+                    ),
+                }
+                continue
+            if not entry.get("ok"):
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"{entry.get('error_type', 'QueryError')}: "
+                        f"{entry.get('error', 'worker reported an error')}"
+                    ),
+                }
+                continue
+            try:
+                plan.add_query(
+                    qid,
+                    _rebuild_query(entry["keywords"], entry["predicates"]),
+                )
+            except ReproError as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                continue
+            except (KeyError, TypeError, ValueError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address0}: malformed phase-1 entry for "
+                        f"query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            live.append(qid)
+            analyzed[qid] = entry
+
+        if live:
+            if mode == MODE_CONVENTIONAL:
+                await self._gather_conventional(
+                    plan, live, analyzed, shard_maps, outcomes, top_k
+                )
+            elif mode == MODE_DISJUNCTIVE:
+                await self._gather_disjunctive(
+                    plan, live, analyzed, shard_maps, outcomes
+                )
+            else:
+                await self._gather_context(
+                    plan, live, analyzed, shard_maps, outcomes, top_k
+                )
+        return [
+            outcome
+            if outcome is not None
+            else {"status": STATUS_ERROR, "error": "query produced no result"}
+            for outcome in outcomes
+        ]
+
+    def _fold_resolutions(
+        self,
+        plan: ShardMergePlan,
+        live: List[int],
+        shard_maps: List[Tuple[str, Dict[int, dict]]],
+        outcomes: List[Optional[dict]],
+        with_num_results: bool,
+    ) -> List[int]:
+        """Fold every shard's phase-1 statistics (ascending shard order)
+        and run the global emptiness check; returns the surviving qids."""
+        survivors: List[int] = []
+        for qid in live:
+            address = shard_maps[0][0]
+            try:
+                specs = plan.specs(qid)
+                for shard_id in range(len(self.groups)):
+                    address, mapping = shard_maps[shard_id]
+                    entry = self._shard_entry(mapping, qid, address)
+                    plan.add_resolution(
+                        qid,
+                        shard_id,
+                        self._unpack_values(specs, entry["values"], address),
+                        entry["path"],
+                        int(entry["predicted"]),
+                        _counter_from_dict(entry["counter"]),
+                        num_results=(
+                            int(entry.get("num_results", 0))
+                            if with_num_results
+                            else 0
+                        ),
+                    )
+            except WorkerError as exc:
+                outcomes[qid] = {"status": STATUS_ERROR, "error": str(exc)}
+                continue
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address}: malformed phase-1 entry for "
+                        f"query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            error = plan.complete_resolution(qid)
+            if error is not None:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+                continue
+            survivors.append(qid)
+        return survivors
+
+    async def _gather_context(
+        self, plan, live, analyzed, shard_maps, outcomes, top_k
+    ) -> None:
+        phase2 = self._fold_resolutions(
+            plan, live, shard_maps, outcomes, with_num_results=True
+        )
+        if not phase2:
+            return
+        # Phase 2: broadcast the merged statistics; each shard re-scores
+        # its own phase-1 candidates (their ids travelled through us, so
+        # any replica of the group can serve this).
+        payloads = []
+        for shard_id in range(len(self.groups)):
+            _, mapping = shard_maps[shard_id]
+            tasks = []
+            for qid in phase2:
+                merged = plan.merged_values(qid)
+                tasks.append(
+                    {
+                        "qid": qid,
+                        "keywords": analyzed[qid]["keywords"],
+                        "values": [
+                            merged[spec] for spec in plan.specs(qid)
+                        ],
+                        "result_ids": mapping[qid]["result_ids"],
+                    }
+                )
+            payloads.append(
+                {"op": OP_SHARD_SCORE, "top_k": top_k, "tasks": tasks}
+            )
+        frames = await self._scatter(payloads)
+        for qid in phase2:
+            address = frames[0][0]
+            try:
+                for shard_id in range(len(self.groups)):
+                    address, mapping = frames[shard_id]
+                    entry = self._shard_entry(mapping, qid, address)
+                    plan.add_hits(qid, [tuple(hit) for hit in entry["hits"]])
+            except WorkerError as exc:
+                outcomes[qid] = {"status": STATUS_ERROR, "error": str(exc)}
+                continue
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address}: malformed phase-2 entry for "
+                        f"query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            outcomes[qid] = self._ok_outcome(plan, qid)
+
+    async def _gather_conventional(
+        self, plan, live, analyzed, shard_maps, outcomes, top_k
+    ) -> None:
+        # Merge each query's per-shard collection-statistic summands
+        # (exact integer sums), then broadcast the merged whole.
+        stats_by_qid: Dict[int, object] = {}
+        phase2: List[int] = []
+        for qid in live:
+            address = shard_maps[0][0]
+            try:
+                parts = []
+                for shard_id in range(len(self.groups)):
+                    address, mapping = shard_maps[shard_id]
+                    parts.append(
+                        self._shard_entry(mapping, qid, address)["collection"]
+                    )
+                stats_by_qid[qid] = ShardMergePlan.merge_collection_stats(
+                    parts
+                )
+            except WorkerError as exc:
+                outcomes[qid] = {"status": STATUS_ERROR, "error": str(exc)}
+                continue
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address}: malformed phase-1 entry for "
+                        f"query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            phase2.append(qid)
+        if not phase2:
+            return
+        payload = {
+            "op": OP_SHARD_CONVENTIONAL,
+            "top_k": top_k,
+            "tasks": [
+                {
+                    "qid": qid,
+                    "keywords": analyzed[qid]["keywords"],
+                    "predicates": analyzed[qid]["predicates"],
+                    "stats": {
+                        "num_docs": stats_by_qid[qid].cardinality,
+                        "total_length": stats_by_qid[qid].total_length,
+                        "df": stats_by_qid[qid].df,
+                        "tc": stats_by_qid[qid].tc,
+                    },
+                }
+                for qid in phase2
+            ],
+        }
+        frames = await self._scatter([payload] * len(self.groups))
+        for qid in phase2:
+            address = frames[0][0]
+            try:
+                for shard_id in range(len(self.groups)):
+                    address, mapping = frames[shard_id]
+                    entry = self._shard_entry(mapping, qid, address)
+                    plan.add_conventional(
+                        qid,
+                        shard_id,
+                        [tuple(hit) for hit in entry["hits"]],
+                        int(entry["num_results"]),
+                        int(entry["predicted"]),
+                        _counter_from_dict(entry["counter"]),
+                    )
+            except WorkerError as exc:
+                outcomes[qid] = {"status": STATUS_ERROR, "error": str(exc)}
+                continue
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address}: malformed conventional entry "
+                        f"for query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            outcomes[qid] = self._ok_outcome(plan, qid)
+
+    async def _gather_disjunctive(
+        self, plan, live, analyzed, shard_maps, outcomes
+    ) -> None:
+        phase2 = self._fold_resolutions(
+            plan, live, shard_maps, outcomes, with_num_results=False
+        )
+        if not phase2:
+            return
+        # Global per-term bounds: the collection-wide max tf is the max
+        # over per-shard maxima — the same integer the sharded index's
+        # accessor computes locally, hence identical bounds and term
+        # orderings on every shard.
+        bounds_by_qid: Dict[int, Dict[str, float]] = {}
+        for qid in list(phase2):
+            max_tfs: Dict[str, int] = {}
+            for shard_id in range(len(self.groups)):
+                entry = shard_maps[shard_id][1].get(qid) or {}
+                for term, max_tf in (entry.get("max_tf") or {}).items():
+                    max_tfs[term] = max(max_tfs.get(term, 0), int(max_tf))
+            bounds_by_qid[qid] = plan.term_bounds(
+                qid, lambda term: max_tfs.get(term, 0)
+            )
+        payload = {
+            "op": OP_SHARD_TOPK,
+            "tasks": [
+                {
+                    "qid": qid,
+                    "keywords": analyzed[qid]["keywords"],
+                    "predicates": analyzed[qid]["predicates"],
+                    "values": [
+                        plan.merged_values(qid)[spec]
+                        for spec in plan.specs(qid)
+                    ],
+                    "k": plan.top_k,
+                    "term_bounds": bounds_by_qid[qid],
+                    "block_max": True,
+                }
+                for qid in phase2
+            ],
+        }
+        frames = await self._scatter([payload] * len(self.groups))
+        for qid in phase2:
+            address = frames[0][0]
+            try:
+                for shard_id in range(len(self.groups)):
+                    address, mapping = frames[shard_id]
+                    entry = self._shard_entry(mapping, qid, address)
+                    plan.add_topk(
+                        qid,
+                        shard_id,
+                        [tuple(hit) for hit in entry["hits"]],
+                        _counter_from_dict(entry["counter"]),
+                        entry["topk"],
+                        True,
+                    )
+            except WorkerError as exc:
+                outcomes[qid] = {"status": STATUS_ERROR, "error": str(exc)}
+                continue
+            except (KeyError, TypeError, ValueError, IndexError) as exc:
+                outcomes[qid] = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        f"worker {address}: malformed top-k entry for "
+                        f"query {qid}: {exc!r}"
+                    ),
+                }
+                continue
+            outcomes[qid] = self._ok_outcome(plan, qid)
+
+    def _ok_outcome(self, plan: ShardMergePlan, qid: int) -> dict:
+        results = plan.finish(qid)
+        return {
+            "status": STATUS_OK,
+            "body": {
+                "mode": plan.mode,
+                "hits": [
+                    {
+                        "doc": hit.external_id,
+                        "doc_id": hit.doc_id,
+                        "score": hit.score,
+                    }
+                    for hit in results.hits
+                ],
+                "report": results.report.to_dict(),
+            },
+        }
+
+    # -- scatter / failover ------------------------------------------------
+
+    async def _scatter(
+        self, payloads: Sequence[dict]
+    ) -> List[Tuple[str, Dict[int, dict]]]:
+        """One payload per shard group, concurrently; returns per shard
+        the answering replica's address and its results keyed by qid.
+        Raises :class:`GroupUnavailable` if any group has no live
+        replica left after failover."""
+        responses = await asyncio.gather(
+            *[
+                self._call_group(self.groups[shard_id], payloads[shard_id])
+                for shard_id in range(len(self.groups))
+            ],
+            return_exceptions=True,
+        )
+        out: List[Tuple[str, Dict[int, dict]]] = []
+        for response in responses:
+            if isinstance(response, BaseException):
+                raise response
+            address, frame = response
+            mapping: Dict[int, dict] = {}
+            for item in frame.get("results") or []:
+                if isinstance(item, dict) and isinstance(
+                    item.get("qid"), int
+                ):
+                    mapping[item["qid"]] = item
+            out.append((address, mapping))
+        return out
+
+    async def _call_group(
+        self, group: ReplicaGroup, payload: dict
+    ) -> Tuple[str, dict]:
+        """Send to the group with failover: every replica gets at most
+        one attempt under the per-attempt deadline budget; the first
+        well-formed ``ok`` frame wins."""
+        errors: List[str] = []
+        first = True
+        for replica in group.candidates():
+            if not first:
+                self.metrics.record_failover()
+            first = False
+            started = time.monotonic()
+            try:
+                response = await replica.call(
+                    payload, self.options.attempt_timeout_ms / 1000.0
+                )
+            except WorkerError as exc:
+                self.metrics.record_attempt(
+                    group.shard_id, time.monotonic() - started, ok=False
+                )
+                replica.note_failure(str(exc))
+                errors.append(str(exc))
+                continue
+            elapsed = time.monotonic() - started
+            if response.get("status") != STATUS_OK:
+                error = (
+                    f"worker {replica.address} answered "
+                    f"{response.get('status')!r}: "
+                    f"{response.get('error') or 'no error text'}"
+                )
+                self.metrics.record_attempt(group.shard_id, elapsed, ok=False)
+                replica.note_failure(error)
+                errors.append(error)
+                continue
+            if not isinstance(response.get("results"), list):
+                error = (
+                    f"worker {replica.address} returned a frame with no "
+                    "results list"
+                )
+                self.metrics.record_attempt(group.shard_id, elapsed, ok=False)
+                replica.note_failure(error)
+                errors.append(error)
+                continue
+            self.metrics.record_attempt(group.shard_id, elapsed, ok=True)
+            replica.note_success()
+            return replica.address, response
+        raise GroupUnavailable(
+            group.shard_id,
+            "; ".join(errors) if errors else "no replicas configured",
+        )
+
+    @staticmethod
+    def _shard_entry(
+        mapping: Dict[int, dict], qid: int, address: str
+    ) -> dict:
+        entry = mapping.get(qid)
+        if entry is None:
+            raise WorkerProtocolError(address, f"response omitted query {qid}")
+        if entry.get("ok") is False:
+            raise WorkerError(
+                address,
+                f"{entry.get('error_type', 'QueryError')}: "
+                f"{entry.get('error', 'worker reported an error')}",
+            )
+        return entry
+
+    @staticmethod
+    def _unpack_values(specs, packed, address: str) -> dict:
+        if len(packed) != len(specs):
+            raise WorkerProtocolError(
+                address,
+                f"returned {len(packed)} statistic values for "
+                f"{len(specs)} specs (ranking mismatch?)",
+            )
+        return dict(zip(specs, packed))
+
+    # -- aggregated health and metrics -------------------------------------
+
+    def _healthz(self) -> dict:
+        groups = []
+        available = 0
+        total_docs = 0
+        docs_known = True
+        for group in self.groups:
+            replicas = []
+            doc_counts = set()
+            for replica in group.replicas:
+                replicas.append(
+                    {
+                        "address": replica.address,
+                        "state": replica.state,
+                        "consecutive_failures": replica.consecutive_failures,
+                        "last_error": replica.last_error,
+                        "num_docs": replica.info.get("num_docs"),
+                        "ranking": replica.info.get("ranking"),
+                    }
+                )
+                if replica.info.get("num_docs") is not None:
+                    doc_counts.add(replica.info["num_docs"])
+            if group.available:
+                available += 1
+            if len(doc_counts) == 1:
+                total_docs += next(iter(doc_counts))
+            else:
+                docs_known = False
+            groups.append(
+                {
+                    "shard": group.shard_id,
+                    "available": group.available,
+                    # Sibling replicas must serve the same documents; a
+                    # num_docs mismatch means a botched bootstrap.
+                    "consistent": len(doc_counts) <= 1,
+                    "replicas": replicas,
+                }
+            )
+        return {
+            "status": (
+                STATUS_OK if available == len(self.groups) else "degraded"
+            ),
+            "version": __version__,
+            "engine": "router",
+            "num_shards": self.cluster.num_shards,
+            "replication": self.cluster.replication,
+            "num_docs": total_docs if docs_known else None,
+            "groups_available": available,
+            "ranking": self.ranking.name,
+            "uptime_seconds": time.monotonic() - self.metrics.base.started,
+            "groups": groups,
+        }
+
+    def _metrics(self) -> dict:
+        return self.metrics.base.snapshot(
+            extra={
+                "status": STATUS_OK,
+                "queue_depth": self.admission.depth,
+                "max_pending": self.admission.max_pending,
+                "degrade_depth": self.admission.degrade_depth,
+                "admitted": self.admission.admitted,
+                "router": {
+                    "failovers": self.metrics.failovers,
+                    "group_down_sheds": self.metrics.group_down,
+                    "health_probes": self.metrics.health_probes,
+                    "per_shard": self.metrics.shard_snapshot(),
+                    "replicas": [
+                        {
+                            "address": replica.address,
+                            "shard": group.shard_id,
+                            "state": replica.state,
+                            "consecutive_failures": (
+                                replica.consecutive_failures
+                            ),
+                        }
+                        for group in self.groups
+                        for replica in group.replicas
+                    ],
+                },
+            }
+        )
+
+
+def router_service_factory(
+    cluster: ClusterConfig, ranking: Optional[RankingFunction] = None
+):
+    """A ``service_class`` callable for :class:`~repro.service.QueryServer`
+    (the router has no local engine; the ``engine`` argument is unused)."""
+
+    def factory(engine, config):
+        return RouterService(cluster, config, ranking=ranking)
+
+    return factory
+
+
+def router_thread(
+    cluster: ClusterConfig,
+    config: Optional[ServiceConfig] = None,
+    ranking: Optional[RankingFunction] = None,
+) -> ServerThread:
+    """A ready-to-start router on a background thread (tests, CLI)."""
+    return ServerThread(
+        None, config, service_class=router_service_factory(cluster, ranking)
+    )

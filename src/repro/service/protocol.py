@@ -36,6 +36,8 @@ from typing import Any, Optional
 from ..errors import ReproError
 
 __all__ = [
+    "CLUSTER_OPS",
+    "MAX_CLUSTER_LINE_BYTES",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "Request",
@@ -55,10 +57,36 @@ __all__ = [
 # cannot balloon the reader buffer.
 MAX_LINE_BYTES = 1 << 20
 
+# Shard workers accept bigger frames: a router batch ships merged
+# statistic values and candidate id lists for every query in the batch
+# on one line.  Only the cluster-internal listener raises its limit;
+# client-facing servers keep MAX_LINE_BYTES.
+MAX_CLUSTER_LINE_BYTES = 1 << 26
+
 OP_QUERY = "query"
 OP_HEALTHZ = "healthz"
 OP_METRICS = "metrics"
-VALID_OPS = (OP_QUERY, OP_HEALTHZ, OP_METRICS)
+
+# Cluster-internal ops, spoken between the router and shard workers
+# (service/cluster/).  Their payloads are op-specific and validated by
+# the worker, not here; decode_request only routes them.  A plain
+# single-engine server politely rejects them (see QueryService).
+OP_SHARD_RESOLVE = "shard_resolve"
+OP_SHARD_SCORE = "shard_score"
+OP_SHARD_TOPK = "shard_topk"
+OP_SHARD_CONVENTIONAL = "shard_conventional"
+OP_SEGMENT_MANIFEST = "segment_manifest"
+OP_FETCH_SEGMENT = "fetch_segment"
+CLUSTER_OPS = (
+    OP_SHARD_RESOLVE,
+    OP_SHARD_SCORE,
+    OP_SHARD_TOPK,
+    OP_SHARD_CONVENTIONAL,
+    OP_SEGMENT_MANIFEST,
+    OP_FETCH_SEGMENT,
+)
+
+VALID_OPS = (OP_QUERY, OP_HEALTHZ, OP_METRICS) + CLUSTER_OPS
 
 VALID_MODES = ("context", "conventional", "disjunctive")
 VALID_PATHS = ("auto", "views", "straightforward")
@@ -84,12 +112,15 @@ class Request:
     path: str = "auto"
     timeout_ms: Optional[float] = None
     id: Any = None
+    # Raw request object for cluster ops, whose payloads are op-specific
+    # (task lists, segment names); validated by the shard worker.
+    payload: Optional[dict] = None
 
 
-def decode_request(line: bytes) -> Request:
+def decode_request(line: bytes, limit: int = MAX_LINE_BYTES) -> Request:
     """Parse and validate one request line."""
-    if len(line) > MAX_LINE_BYTES:
-        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    if len(line) > limit:
+        raise ProtocolError(f"request line exceeds {limit} bytes")
     try:
         payload = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -101,6 +132,9 @@ def decode_request(line: bytes) -> Request:
     if op not in VALID_OPS:
         raise ProtocolError(f"unknown op {op!r} (have {', '.join(VALID_OPS)})")
     request = Request(op=op, id=payload.get("id"))
+    if op in CLUSTER_OPS:
+        request.payload = payload
+        return request
     if op != OP_QUERY:
         return request
 

@@ -49,6 +49,7 @@ from .admission import AdmissionController, Ticket
 from .coalescer import Coalescer
 from .metrics import ServiceMetrics
 from .protocol import (
+    CLUSTER_OPS,
     MAX_LINE_BYTES,
     OP_HEALTHZ,
     OP_METRICS,
@@ -100,6 +101,9 @@ class ServiceConfig:
 
 class QueryService:
     """Transport-free request handling: the whole lifecycle minus sockets."""
+
+    # Per-service frame limit; shard workers raise it for router batches.
+    line_limit = MAX_LINE_BYTES
 
     def __init__(self, engine, config: Optional[ServiceConfig] = None):
         self.engine = engine
@@ -187,6 +191,10 @@ class QueryService:
             predicates = analyzed
         self.recorder.record(predicates, context_size or 0)
 
+    async def drain(self) -> None:
+        """Flush pending work before shutdown (transport calls this)."""
+        await self.coalescer.drain()
+
     def close(self) -> None:
         self.pool.shutdown(wait=True)
 
@@ -195,7 +203,7 @@ class QueryService:
     async def handle_line(self, line: bytes) -> bytes:
         """Decode one request line, handle it, encode the response."""
         try:
-            request = decode_request(line)
+            request = decode_request(line, limit=self.line_limit)
         except ProtocolError as exc:
             return encode_response(
                 {"status": STATUS_ERROR, "error": str(exc)}
@@ -205,10 +213,34 @@ class QueryService:
 
     async def handle_request(self, request: Request) -> dict:
         if request.op == OP_HEALTHZ:
-            return self._healthz()
+            return self._with_id(request, self._healthz())
         if request.op == OP_METRICS:
-            return self._metrics()
+            return self._with_id(request, self._metrics())
+        if request.op in CLUSTER_OPS:
+            return self._respond_cluster_op(request)
         return await self._handle_query(request)
+
+    @staticmethod
+    def _with_id(request: Request, payload: dict) -> dict:
+        """Echo the request id so pipelining clients (the router's
+        health prober among them) can match the response."""
+        if request.id is not None:
+            payload["id"] = request.id
+        return payload
+
+    def _respond_cluster_op(self, request: Request) -> dict:
+        """Cluster-internal ops on a plain server: readable refusal (the
+        shard worker subclass overrides the whole dispatch)."""
+        payload = {
+            "status": STATUS_ERROR,
+            "error": (
+                f"op {request.op!r} is cluster-internal and this server is "
+                "not a shard worker (start one with 'repro worker')"
+            ),
+        }
+        if request.id is not None:
+            payload["id"] = request.id
+        return payload
 
     def _healthz(self) -> dict:
         index = getattr(self.engine, "index", None) or getattr(
@@ -437,11 +469,23 @@ class QueryService:
 
 
 class QueryServer:
-    """JSON-lines TCP transport around a :class:`QueryService`."""
+    """JSON-lines TCP transport around a :class:`QueryService`.
 
-    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+    ``service_class`` is any callable ``(engine, config) -> service``
+    duck-typed like :class:`QueryService` (``handle_line``, ``drain``,
+    ``close``, ``line_limit``; optional async ``on_start``/``on_stop``
+    hooks) — the cluster's shard worker and router reuse this transport
+    unchanged through it.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServiceConfig] = None,
+        service_class=QueryService,
+    ):
         self.config = config if config is not None else ServiceConfig()
-        self.service = QueryService(engine, self.config)
+        self.service = service_class(engine, self.config)
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set = set()
 
@@ -460,8 +504,11 @@ class QueryServer:
             self._on_connection,
             host=self.config.host,
             port=self.config.port,
-            limit=MAX_LINE_BYTES,
+            limit=getattr(self.service, "line_limit", MAX_LINE_BYTES),
         )
+        on_start = getattr(self.service, "on_start", None)
+        if on_start is not None:
+            await on_start()
         return self.address
 
     async def serve_forever(self) -> None:
@@ -487,7 +534,10 @@ class QueryServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        await self.service.coalescer.drain()
+        on_stop = getattr(self.service, "on_stop", None)
+        if on_stop is not None:
+            await on_stop()
+        await self.service.drain()
         self.service.close()
 
     # -- connection handling --------------------------------------------
@@ -518,6 +568,8 @@ class QueryServer:
                 )
                 request_tasks.add(rtask)
                 rtask.add_done_callback(request_tasks.discard)
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled an idle persistent connection
         finally:
             if request_tasks:
                 await asyncio.gather(*request_tasks, return_exceptions=True)
@@ -548,9 +600,15 @@ class ServerThread:
     drain and joins the thread.
     """
 
-    def __init__(self, engine, config: Optional[ServiceConfig] = None):
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServiceConfig] = None,
+        service_class=QueryService,
+    ):
         self.engine = engine
         self.config = config if config is not None else ServiceConfig()
+        self.service_class = service_class
         self.server: Optional[QueryServer] = None
         self.address: Optional[Tuple[str, int]] = None
         self._ready = threading.Event()
@@ -594,7 +652,9 @@ class ServerThread:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        self.server = QueryServer(self.engine, self.config)
+        self.server = QueryServer(
+            self.engine, self.config, service_class=self.service_class
+        )
         try:
             self.address = await self.server.start()
         except BaseException as exc:  # noqa: BLE001 - surfaced via start()

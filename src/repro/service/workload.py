@@ -23,13 +23,20 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import json
+import os
 import threading
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from ..errors import SelectionError
 from ..selection.workload_driven import WorkloadEntry
 
-__all__ = ["WorkloadRecorder"]
+__all__ = [
+    "WorkloadRecorder",
+    "load_workload_state",
+    "save_workload_state",
+]
 
 DEFAULT_CAPACITY = 4096
 DEFAULT_FLOOR = 0.05
@@ -135,6 +142,79 @@ class WorkloadRecorder:
                 "capacity": self.capacity,
             }
 
+    # -- persistence ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-safe snapshot of the whole record (restart survival).
+
+        Context keys serialise as sorted predicate lists; weights keep
+        their decayed float values so a restart resumes exactly where
+        the process left off, not at rounded integer frequencies.
+        """
+        with self._lock:
+            return {
+                "kind": "workload-recorder",
+                "version": 1,
+                "capacity": self.capacity,
+                "floor": self.floor,
+                "total_recorded": self.total_recorded,
+                "contexts": [
+                    {
+                        "predicates": sorted(key),
+                        "weight": weight,
+                        "context_size": self._context_sizes.get(key, 0),
+                    }
+                    for key, weight in sorted(
+                        self._weights.items(), key=lambda kv: sorted(kv[0])
+                    )
+                ],
+            }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "WorkloadRecorder":
+        """Rebuild a recorder from :meth:`to_payload` output; a payload
+        that is not one raises a readable :class:`SelectionError`."""
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "workload-recorder"
+        ):
+            raise SelectionError(
+                "workload state must be a JSON object with "
+                "kind='workload-recorder'"
+            )
+        try:
+            recorder = cls(
+                capacity=int(payload.get("capacity", DEFAULT_CAPACITY)),
+                floor=float(payload.get("floor", DEFAULT_FLOOR)),
+            )
+            for entry in payload.get("contexts", []):
+                key = frozenset(str(p) for p in entry["predicates"])
+                if not key:
+                    continue
+                recorder._weights[key] = float(entry["weight"])
+                context_size = int(entry.get("context_size", 0))
+                if context_size > 0:
+                    recorder._context_sizes[key] = context_size
+            recorder.total_recorded = int(payload.get("total_recorded", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SelectionError(
+                f"malformed workload state: {exc!r}"
+            ) from None
+        return recorder
+
+    def restore(self, payload: dict) -> None:
+        """Load :meth:`to_payload` state into *this* recorder in place
+        (the serving CLI restores into the recorder already wired to the
+        service and adaptive controller)."""
+        loaded = WorkloadRecorder.from_payload(payload)
+        with self._lock:
+            self._weights = loaded._weights
+            self._context_sizes = loaded._context_sizes
+            self.total_recorded = loaded.total_recorded
+            self.recorded_since_mark = 0
+            while len(self._weights) > self.capacity:
+                self._evict_lowest()
+
     # -- internals ------------------------------------------------------
 
     def _evict_lowest(self) -> None:
@@ -148,3 +228,34 @@ class WorkloadRecorder:
 
     def __len__(self) -> int:
         return self.distinct_contexts
+
+
+def save_workload_state(recorder: WorkloadRecorder, path) -> None:
+    """Write the recorder snapshot atomically (tmp + ``os.replace``), so
+    a crash mid-write leaves the previous state intact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(recorder.to_payload(), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+def load_workload_state(path) -> dict:
+    """Read a saved snapshot; failures are one readable error naming the
+    file (operator input, not an internal invariant)."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SelectionError(
+            f"cannot read workload state {path}: {exc}"
+        ) from None
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise SelectionError(
+            f"workload state {path} is not valid JSON: {exc}"
+        ) from None

@@ -63,6 +63,7 @@ __all__ = [
     "save_index",
     "load_index",
     "save_sharded_index",
+    "load_shard",
     "load_sharded_index",
     "load_any_index",
     "save_catalog",
@@ -534,6 +535,62 @@ def save_sharded_index(
         json.dump(manifest, handle)
 
 
+def _load_shard_file(shard_path: Path):
+    """Load one per-shard artefact file → ``(index, global_ids array)``.
+
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`StorageError` for a readable-but-wrong one; callers wrap
+    both into their own context-naming error.
+    """
+    from array import array
+
+    if blockstore.is_block_file(shard_path):
+        reader = blockstore.BlockFile(shard_path)
+        try:
+            global_ids = reader.global_ids()
+            if global_ids is None:
+                raise StorageError(
+                    f"shard file {shard_path} carries no global docid map"
+                )
+            index = _index_from_block_reader(reader)
+        except Exception:
+            reader.close()
+            raise
+        index.attach_resource(reader)
+    else:
+        if not shard_path.exists():
+            raise FileNotFoundError(shard_path)
+        payload = _read_payload(shard_path)
+        version = _check_header(payload, "index")
+        packed = payload.get("global_ids")
+        if packed is None:
+            raise StorageError(
+                f"shard file {shard_path} carries no global docid map"
+            )
+        global_ids = array("q", packed)
+        index = _decode_index(payload, version)
+    return index, array("q", global_ids)
+
+
+def load_shard(path: PathLike, shard_id: int = 0):
+    """Load one per-shard artefact file as a standalone :class:`IndexShard`.
+
+    This is what a cluster shard worker (``repro worker``) serves: one
+    shard file written by :func:`save_sharded_index` — or shipped from a
+    peer replica — carrying both the sub-index and its local→global
+    docid map.  ``shard_id`` is assigned by the caller (the cluster
+    config decides which logical shard this worker holds).
+    """
+    from .index.sharded import IndexShard
+
+    path = Path(path)
+    try:
+        index, global_ids = _load_shard_file(path)
+    except FileNotFoundError:
+        raise StorageError(f"shard file {path} is missing") from None
+    return IndexShard(shard_id, index, global_ids)
+
+
 def load_sharded_index(path: PathLike):
     """Load a sharded index saved by :func:`save_sharded_index`.
 
@@ -542,8 +599,6 @@ def load_sharded_index(path: PathLike):
     offending file — the manifest alone never names enough state to
     serve from, so a partial load is always a hard error.
     """
-    from array import array
-
     from .index.sharded import IndexShard, ShardedInvertedIndex, make_partitioner
 
     path = Path(path)
@@ -556,32 +611,7 @@ def load_sharded_index(path: PathLike):
     for shard_id, entry in enumerate(manifest["shards"]):
         shard_path = path.parent / entry["file"]
         try:
-            if blockstore.is_block_file(shard_path):
-                reader = blockstore.BlockFile(shard_path)
-                try:
-                    global_ids = reader.global_ids()
-                    if global_ids is None:
-                        raise StorageError(
-                            f"shard file {shard_path} carries no global "
-                            f"docid map"
-                        )
-                    index = _index_from_block_reader(reader)
-                except Exception:
-                    reader.close()
-                    raise
-                index.attach_resource(reader)
-            else:
-                if not shard_path.exists():
-                    raise FileNotFoundError(shard_path)
-                payload = _read_payload(shard_path)
-                version = _check_header(payload, "index")
-                packed = payload.get("global_ids")
-                if packed is None:
-                    raise StorageError(
-                        f"shard file {shard_path} carries no global docid map"
-                    )
-                global_ids = array("q", packed)
-                index = _decode_index(payload, version)
+            index, global_ids = _load_shard_file(shard_path)
         except FileNotFoundError:
             raise StorageError(
                 f"sharded index {path}: shard file {shard_path} is missing"
@@ -591,7 +621,7 @@ def load_sharded_index(path: PathLike):
                 f"sharded index {path}: shard file {shard_path} is "
                 f"unreadable ({exc})"
             ) from None
-        shards.append(IndexShard(shard_id, index, array("q", global_ids)))
+        shards.append(IndexShard(shard_id, index, global_ids))
     return ShardedInvertedIndex(shards, partitioner)
 
 

@@ -1,0 +1,820 @@
+"""Tests for the distributed serving tier (repro.service.cluster).
+
+The load-bearing property is *bit-identity*: the router's rankings over
+wire-separated shard workers must equal the in-process
+:class:`~repro.core.sharded_engine.ShardedEngine` exactly — same docs,
+same float scores, same error messages — across shard counts, replica
+counts, and all three query modes.  On top of that: failover when a
+worker dies mid-stream, clean shedding when a whole replica group is
+down, replica bootstrap by segment shipping, readable errors for
+protocol-violating workers (torn and garbage frames), aggregated
+healthz/metrics, consistent-hash placement, the cluster config format,
+workload-state persistence, and the multi-endpoint load generator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import ContextSearchEngine
+from repro.core.sharded_engine import ShardedEngine
+from repro.errors import ReproError, SelectionError
+from repro.index.sharded import ShardedInvertedIndex
+from repro.service import (
+    ServerThread,
+    ServiceClient,
+    ServiceConfig,
+    WorkloadRecorder,
+    load_workload_state,
+    run_load,
+    save_workload_state,
+)
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterConfigError,
+    HashRing,
+    fetch_artifact,
+    load_cluster_config,
+    parse_address,
+    place_shards,
+    router_thread,
+    worker_thread,
+)
+from repro.storage import load_shard, save_sharded_index
+
+MODES = ("context", "conventional", "disjunctive")
+
+# Ordinary queries plus ones that must *fail identically* on both paths
+# (a context matching nothing, a keyword analysis removes entirely).
+QUERIES = [
+    "pancreas | DigestiveSystem",
+    "leukemia | DigestiveSystem",
+    "pancreas leukemia | DigestiveSystem",
+    "leukemia | Neoplasms",
+    "pancreas leukemia | Diseases Neoplasms",
+    "cancer | Neoplasms",
+    "pancreas | Cardiology",
+]
+
+
+def _worker_config(**overrides) -> ServiceConfig:
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("drain_timeout", 0.2)
+    return ServiceConfig(**overrides)
+
+
+@contextlib.contextmanager
+def running_cluster(
+    index,
+    num_shards: int,
+    replication: int,
+    *,
+    fail_threshold: int = 2,
+    health_interval_s: float = 30.0,
+    attempt_timeout_ms: float = 5000.0,
+):
+    """Start one worker process-equivalent per replica plus the router.
+
+    Everything runs on background threads over real sockets; the wire
+    format, scatter-gather, and failover paths are exactly the deployed
+    ones — only process isolation is elided (the benchmark covers that).
+    """
+    sharded = ShardedInvertedIndex.from_index(
+        index, num_shards, partitioner="hash"
+    )
+    threads = []
+    try:
+        worker_groups = []
+        groups_payload = []
+        for shard_id, shard in enumerate(sharded.shards):
+            replicas = []
+            for _ in range(replication):
+                thread = worker_thread(shard, _worker_config())
+                thread.start()
+                threads.append(thread)
+                replicas.append(thread)
+            worker_groups.append(replicas)
+            groups_payload.append(
+                {
+                    "shard": shard_id,
+                    "replicas": [
+                        f"{t.address[0]}:{t.address[1]}" for t in replicas
+                    ],
+                }
+            )
+        cluster = ClusterConfig.from_payload(
+            {
+                "kind": "cluster",
+                "num_shards": num_shards,
+                "replication": replication,
+                "groups": groups_payload,
+                "router": {
+                    "health_interval_s": health_interval_s,
+                    "fail_threshold": fail_threshold,
+                    "attempt_timeout_ms": attempt_timeout_ms,
+                },
+            }
+        )
+        router = router_thread(cluster, _worker_config())
+        router.start()
+        threads.append(router)
+        yield sharded, worker_groups, router
+    finally:
+        for thread in reversed(threads):
+            with contextlib.suppress(Exception):
+                thread.stop(timeout=10.0)
+
+
+def run_local(engine, query: str, mode: str, top_k: int = 10):
+    """The in-process reference outcome in the router's response shape."""
+    try:
+        if mode == "conventional":
+            results = engine.search_conventional(query, top_k=top_k)
+        elif mode == "disjunctive":
+            results = engine.search_disjunctive(query, top_k=top_k)
+        else:
+            results = engine.search(query, top_k=top_k)
+    except ReproError as exc:
+        return "error", f"{type(exc).__name__}: {exc}"
+    return "ok", [(hit.external_id, hit.score) for hit in results.hits]
+
+
+def assert_router_matches(client, engine, query, mode, top_k=10):
+    response = client.request(
+        {"op": "query", "query": query, "mode": mode, "top_k": top_k}
+    )
+    status, expected = run_local(engine, query, mode, top_k)
+    assert response["status"] == status, (query, mode, response)
+    if status == "ok":
+        got = [(hit["doc"], hit["score"]) for hit in response["hits"]]
+        assert got == expected, (query, mode)
+    else:
+        assert response["error"] == expected, (query, mode)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: router over the wire == in-process ShardedEngine
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("replication", [1, 2])
+    def test_all_modes_identical(
+        self, handmade_index, num_shards, replication
+    ):
+        with running_cluster(
+            handmade_index, num_shards, replication
+        ) as (sharded, _groups, router):
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                for mode in MODES:
+                    for query in QUERIES:
+                        assert_router_matches(client, engine, query, mode)
+            finally:
+                client.close()
+                engine.close()
+
+    def test_forced_paths_identical(self, handmade_index):
+        with running_cluster(handmade_index, 2, 1) as (
+            sharded,
+            _groups,
+            router,
+        ):
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                # Only 'straightforward' is forceable here: these
+                # workers carry no view catalogs, so 'views' errors.
+                for path in ("straightforward",):
+                    response = client.request(
+                        {
+                            "op": "query",
+                            "query": "pancreas | DigestiveSystem",
+                            "path": path,
+                            "top_k": 10,
+                        }
+                    )
+                    local = engine.explain(
+                        "pancreas | DigestiveSystem",
+                        top_k=10,
+                        mode="context",
+                        path=path,
+                    )
+                    assert response["status"] == "ok"
+                    got = [
+                        (hit["doc"], hit["score"]) for hit in response["hits"]
+                    ]
+                    want = [
+                        (hit.external_id, hit.score) for hit in local.hits
+                    ]
+                    assert got == want
+                    assert (
+                        response["report"]["resolution"]["path"]
+                        == local.report.resolution.path
+                    )
+            finally:
+                client.close()
+                engine.close()
+
+    def test_report_merges_like_in_process(self, handmade_index):
+        with running_cluster(handmade_index, 2, 1) as (
+            sharded,
+            _groups,
+            router,
+        ):
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                response = client.request(
+                    {
+                        "op": "query",
+                        "query": "pancreas leukemia | DigestiveSystem",
+                        "top_k": 10,
+                    }
+                )
+                local = engine.search(
+                    "pancreas leukemia | DigestiveSystem", top_k=10
+                )
+                remote_report = response["report"]
+                local_report = local.report.to_dict()
+                for key in ("context_size", "result_size"):
+                    assert remote_report[key] == local_report[key]
+                assert remote_report["counter"] == local_report["counter"]
+                assert len(remote_report["per_shard"]) == 2
+            finally:
+                client.close()
+                engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Failover and shedding
+
+
+class TestFailover:
+    def test_killed_replica_fails_over_identically(self, handmade_index):
+        with running_cluster(handmade_index, 2, 2) as (
+            sharded,
+            groups,
+            router,
+        ):
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                # Warm: both replicas answer.
+                assert_router_matches(
+                    client, engine, "pancreas | DigestiveSystem", "context"
+                )
+                # Kill one replica of shard 0 while queries keep coming.
+                killer = threading.Thread(
+                    target=lambda: groups[0][0].stop(timeout=10.0)
+                )
+                killer.start()
+                for _ in range(10):
+                    for mode in MODES:
+                        assert_router_matches(
+                            client,
+                            engine,
+                            "pancreas leukemia | DigestiveSystem",
+                            mode,
+                        )
+                killer.join()
+                # And after the kill has fully settled.
+                for query in QUERIES:
+                    assert_router_matches(client, engine, query, "context")
+                metrics = client.request({"op": "metrics"})
+                assert metrics["router"]["failovers"] >= 1
+                assert metrics["router"]["group_down_sheds"] == 0
+            finally:
+                client.close()
+                engine.close()
+
+    def test_whole_group_down_sheds_readably(self, handmade_index):
+        with running_cluster(
+            handmade_index, 2, 1, fail_threshold=1
+        ) as (sharded, groups, router):
+            client = ServiceClient(*router.address)
+            try:
+                groups[1][0].stop(timeout=10.0)
+                response = client.request(
+                    {
+                        "op": "query",
+                        "query": "pancreas | DigestiveSystem",
+                        "top_k": 5,
+                    }
+                )
+                assert response["status"] == "shed"
+                assert "shard group 1 unavailable" in response["error"]
+                assert "worker 127.0.0.1:" in response["error"]
+                metrics = client.request({"op": "metrics"})
+                assert metrics["router"]["group_down_sheds"] >= 1
+                health = client.request({"op": "healthz"})
+                assert health["status"] == "degraded"
+                assert health["groups_available"] == 1
+            finally:
+                client.close()
+
+
+# ---------------------------------------------------------------------------
+# Protocol-violating workers: readable errors, never hangs
+
+
+class FakeWorker:
+    """A listener that answers every request line with canned bytes.
+
+    ``reply`` is sent verbatim after one line is read; with
+    ``truncate=True`` the connection closes without a trailing newline —
+    a torn frame mid-response.
+    """
+
+    def __init__(self, reply: bytes, truncate: bool = False):
+        self.reply = reply
+        self.truncate = truncate
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = "{}:{}".format(*self._listener.getsockname())
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(5.0)
+            buffered = b""
+            while b"\n" not in buffered:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    return
+                buffered += chunk
+            conn.sendall(self.reply)
+        except OSError:
+            pass
+        finally:
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def close(self) -> None:
+        self._closing = True
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+@contextlib.contextmanager
+def router_over_fake_worker(reply: bytes, truncate: bool = False):
+    fake = FakeWorker(reply, truncate=truncate)
+    cluster = ClusterConfig.from_payload(
+        {
+            "kind": "cluster",
+            "num_shards": 1,
+            "replication": 1,
+            "groups": [{"shard": 0, "replicas": [fake.address]}],
+            "router": {
+                "health_interval_s": 30.0,
+                "fail_threshold": 10,
+                "attempt_timeout_ms": 3000.0,
+            },
+        }
+    )
+    router = router_thread(cluster, _worker_config())
+    router.start()
+    client = ServiceClient(*router.address)
+    try:
+        yield fake, client
+    finally:
+        client.close()
+        router.stop(timeout=10.0)
+        fake.close()
+
+
+class TestMalformedWorkerFrames:
+    def _shed_error(self, client) -> str:
+        began = time.monotonic()
+        response = client.request(
+            {"op": "query", "query": "pancreas | DigestiveSystem", "top_k": 5}
+        )
+        elapsed = time.monotonic() - began
+        assert elapsed < 10.0, "router hung on a protocol-violating worker"
+        assert response["status"] == "shed"
+        return response["error"]
+
+    def test_non_json_frame_names_the_worker(self):
+        with router_over_fake_worker(b"utter garbage, not json\n") as (
+            fake,
+            client,
+        ):
+            error = self._shed_error(client)
+            assert fake.address in error
+            assert "non-JSON bytes" in error
+            assert "Traceback" not in error
+
+    def test_torn_frame_names_the_worker(self):
+        with router_over_fake_worker(
+            b'{"status": "ok", "results": [', truncate=True
+        ) as (fake, client):
+            error = self._shed_error(client)
+            assert fake.address in error
+            assert "malformed response frame" in error
+
+    def test_non_dict_frame_names_the_worker(self):
+        with router_over_fake_worker(b"[1, 2, 3]\n") as (fake, client):
+            error = self._shed_error(client)
+            assert fake.address in error
+            assert "malformed response frame" in error
+
+    def test_router_refuses_cluster_ops_from_clients(self, handmade_index):
+        with running_cluster(handmade_index, 2, 1) as (_s, _g, router):
+            client = ServiceClient(*router.address)
+            try:
+                response = client.request(
+                    {"op": "shard_resolve", "tasks": []}
+                )
+                assert response["status"] == "error"
+                assert "cluster-internal" in response["error"]
+            finally:
+                client.close()
+
+
+# ---------------------------------------------------------------------------
+# Replica bootstrap by segment shipping
+
+
+class TestBootstrap:
+    def test_shipped_replica_serves_identical_rankings(
+        self, tmp_path, handmade_index
+    ):
+        sharded = ShardedInvertedIndex.from_index(
+            handmade_index, 2, partitioner="hash"
+        )
+        save_sharded_index(sharded, tmp_path / "idx.bin", format=4)
+        shard_path = tmp_path / "idx.shard0.bin"
+        shard = load_shard(shard_path, shard_id=0)
+        source = worker_thread(
+            shard, _worker_config(), artifact=shard_path
+        )
+        source.start()
+        try:
+            address = "{}:{}".format(*source.address)
+            local, copied = fetch_artifact(address, tmp_path / "boot")
+            assert copied == 1
+            assert local == tmp_path / "boot" / "idx.shard0.bin"
+            # A second pull verifies checksums and ships nothing.
+            _, copied_again = fetch_artifact(address, tmp_path / "boot")
+            assert copied_again == 0
+            # A tampered local copy is detected and re-shipped.
+            local.write_bytes(b"corrupted beyond recognition")
+            _, reshipped = fetch_artifact(address, tmp_path / "boot")
+            assert reshipped == 1
+
+            boot_shard = load_shard(local, shard_id=0)
+            bootstrapped = worker_thread(boot_shard, _worker_config())
+            bootstrapped.start()
+            try:
+                a = ServiceClient(*source.address)
+                b = ServiceClient(*bootstrapped.address)
+                try:
+                    request = {
+                        "op": "query",
+                        "query": "pancreas | DigestiveSystem",
+                        "top_k": 10,
+                    }
+                    first = a.request(dict(request))
+                    second = b.request(dict(request))
+                    assert first["status"] == second["status"] == "ok"
+                    assert first["hits"] == second["hits"]
+                finally:
+                    a.close()
+                    b.close()
+            finally:
+                bootstrapped.stop(timeout=10.0)
+        finally:
+            source.stop(timeout=10.0)
+
+    def test_worker_without_artifact_refuses_shipping(self, handmade_index):
+        sharded = ShardedInvertedIndex.from_index(
+            handmade_index, 2, partitioner="hash"
+        )
+        thread = worker_thread(sharded.shards[0], _worker_config())
+        thread.start()
+        try:
+            client = ServiceClient(*thread.address)
+            try:
+                response = client.request({"op": "segment_manifest"})
+                assert response["status"] == "error"
+                assert "no artefact files to ship" in response["error"]
+            finally:
+                client.close()
+        finally:
+            thread.stop(timeout=10.0)
+
+
+# ---------------------------------------------------------------------------
+# Router healthz / metrics aggregation
+
+
+class TestRouterObservability:
+    def test_healthz_aggregates_replica_states(self, handmade_index):
+        with running_cluster(handmade_index, 2, 2) as (_s, _g, router):
+            client = ServiceClient(*router.address)
+            try:
+                health = client.request({"op": "healthz"})
+                assert health["status"] == "ok"
+                assert health["engine"] == "router"
+                assert health["num_shards"] == 2
+                assert health["replication"] == 2
+                assert health["groups_available"] == 2
+                assert health["num_docs"] == handmade_index.num_docs
+                assert len(health["groups"]) == 2
+                for group in health["groups"]:
+                    assert group["available"] is True
+                    assert group["consistent"] is True
+                    states = [r["state"] for r in group["replicas"]]
+                    assert states == ["up", "up"]
+            finally:
+                client.close()
+
+    def test_metrics_aggregate_per_shard_latency(self, handmade_index):
+        with running_cluster(handmade_index, 2, 1) as (_s, _g, router):
+            client = ServiceClient(*router.address)
+            try:
+                for _ in range(3):
+                    client.request(
+                        {
+                            "op": "query",
+                            "query": "pancreas | DigestiveSystem",
+                            "top_k": 5,
+                        }
+                    )
+                metrics = client.request({"op": "metrics"})
+                assert metrics["status"] == "ok"
+                router_stats = metrics["router"]
+                assert router_stats["failovers"] == 0
+                per_shard = router_stats["per_shard"]
+                assert set(per_shard) == {"0", "1"}
+                for stats in per_shard.values():
+                    assert stats["attempts"] >= 3
+                    assert stats["errors"] == 0
+                    assert stats["latency_ms"]["p95"] >= 0.0
+                assert len(router_stats["replicas"]) == 2
+                assert metrics["requests"] == 3
+                assert metrics["ok"] == 3
+            finally:
+                client.close()
+
+
+# ---------------------------------------------------------------------------
+# Placement and cluster config
+
+
+class TestPlacement:
+    WORKERS = [f"10.0.0.{i}:7100" for i in range(1, 7)]
+
+    def test_deterministic(self):
+        first = place_shards(self.WORKERS, 8, 2)
+        second = place_shards(self.WORKERS, 8, 2)
+        assert first == second
+
+    def test_groups_are_distinct_workers(self):
+        groups = place_shards(self.WORKERS, 8, 3)
+        assert set(groups) == set(range(8))
+        for replicas in groups.values():
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+            assert set(replicas) <= set(self.WORKERS)
+
+    def test_replication_capped_at_cluster_size(self):
+        groups = place_shards(["a:1", "b:2"], 2, 5)
+        for replicas in groups.values():
+            assert len(replicas) == 2
+
+    def test_removal_moves_only_affected_shards(self):
+        before = place_shards(self.WORKERS, 16, 1)
+        after = place_shards(self.WORKERS[:-1], 16, 1)
+        lost = self.WORKERS[-1]
+        for shard_id, replicas in before.items():
+            if lost not in replicas:
+                assert after[shard_id] == replicas
+
+    def test_ring_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a:1", "a:1"])
+
+
+class TestClusterConfig:
+    def payload(self, **overrides):
+        payload = {
+            "kind": "cluster",
+            "num_shards": 2,
+            "replication": 2,
+            "workers": ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"],
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_ring_placement_from_workers(self):
+        config = ClusterConfig.from_payload(self.payload())
+        assert set(config.groups) == {0, 1}
+        for shard_id in (0, 1):
+            assert len(config.groups[shard_id]) == 2
+            assert config.replicas(shard_id)[0][0] == "127.0.0.1"
+
+    def test_explicit_groups_override_ring(self):
+        config = ClusterConfig.from_payload(
+            self.payload(
+                groups=[
+                    {"shard": 0, "replicas": ["127.0.0.1:9001"]},
+                    {"shard": 1, "replicas": ["127.0.0.1:9002"]},
+                ]
+            )
+        )
+        assert config.groups[0] == ["127.0.0.1:9001"]
+        assert config.groups[1] == ["127.0.0.1:9002"]
+
+    def test_round_trips_through_payload(self):
+        config = ClusterConfig.from_payload(self.payload())
+        again = ClusterConfig.from_payload(config.to_payload())
+        assert again.groups == config.groups
+        assert again.router.fail_threshold == config.router.fail_threshold
+
+    @pytest.mark.parametrize(
+        ("mutation", "match"),
+        [
+            ({"kind": "nope"}, "kind='cluster'"),
+            ({"num_shards": 0}, "num_shards"),
+            ({"replication": 0}, "replication"),
+            ({"workers": ["no-port"]}, "host:port"),
+            ({"workers": ["h:not-a-number"]}, "non-numeric"),
+            ({"workers": ["h:99999"]}, "out-of-range"),
+            ({"workers": []}, "workers"),
+            ({"router": {"fail_threshold": 0}}, "fail_threshold"),
+            ({"router": {"health_interval_s": 0}}, "health_interval_s"),
+            ({"router": {"attempt_timeout_ms": 0}}, "attempt_timeout_ms"),
+            (
+                {"groups": [{"shard": 0, "replicas": []}]},
+                "empty replica group",
+            ),
+            (
+                {"groups": [{"shard": 0, "replicas": ["h:1"]}]},
+                "missing for shards",
+            ),
+        ],
+    )
+    def test_validation_errors_are_readable(self, mutation, match):
+        with pytest.raises(ClusterConfigError, match=match):
+            ClusterConfig.from_payload(self.payload(**mutation))
+
+    def test_load_cluster_config_names_the_file(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(ClusterConfigError, match="nope.json"):
+            load_cluster_config(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ClusterConfigError, match="not valid JSON"):
+            load_cluster_config(bad)
+        good = tmp_path / "cluster.json"
+        good.write_text(
+            json.dumps(
+                {
+                    "kind": "cluster",
+                    "num_shards": 1,
+                    "workers": ["127.0.0.1:7101"],
+                }
+            )
+        )
+        config = load_cluster_config(good)
+        assert config.groups[0] == ["127.0.0.1:7101"]
+
+    def test_parse_address(self):
+        assert parse_address("example.org:7070") == ("example.org", 7070)
+        with pytest.raises(ClusterConfigError, match="host:port"):
+            parse_address("7070")
+
+
+# ---------------------------------------------------------------------------
+# Workload-state persistence (satellite of the serving tier: survive
+# restarts and failovers)
+
+
+class TestWorkloadPersistence:
+    def build_recorder(self) -> WorkloadRecorder:
+        recorder = WorkloadRecorder(capacity=8, floor=0.1)
+        for _ in range(3):
+            recorder.record(["DigestiveSystem"], context_size=4)
+        recorder.record(["Neoplasms", "Diseases"], context_size=3)
+        recorder.decay(0.5)
+        recorder.record(["Blood"], context_size=2)
+        return recorder
+
+    @staticmethod
+    def entries(recorder):
+        return [
+            (sorted(e.predicates), e.frequency, e.context_size)
+            for e in recorder.to_workload()
+        ]
+
+    def test_payload_round_trip_is_exact(self):
+        recorder = self.build_recorder()
+        clone = WorkloadRecorder.from_payload(recorder.to_payload())
+        assert self.entries(clone) == self.entries(recorder)
+        assert clone.total_recorded == recorder.total_recorded
+        assert clone.capacity == recorder.capacity
+        assert clone.floor == recorder.floor
+        # Weights survive as decayed floats, not rounded frequencies.
+        assert clone.to_payload() == recorder.to_payload()
+
+    def test_restore_in_place(self):
+        recorder = self.build_recorder()
+        target = WorkloadRecorder(capacity=8)
+        target.record(["Stale"], context_size=9)
+        target.restore(recorder.to_payload())
+        assert self.entries(target) == self.entries(recorder)
+        assert target.recorded_since_mark == 0
+
+    def test_restore_respects_own_capacity(self):
+        recorder = self.build_recorder()
+        tiny = WorkloadRecorder(capacity=1)
+        tiny.restore(recorder.to_payload())
+        assert len(tiny) == 1
+
+    def test_save_and_load_state_file(self, tmp_path):
+        recorder = self.build_recorder()
+        state = tmp_path / "workload.json"
+        save_workload_state(recorder, state)
+        loaded = WorkloadRecorder.from_payload(load_workload_state(state))
+        assert self.entries(loaded) == self.entries(recorder)
+
+    def test_load_errors_name_the_file(self, tmp_path):
+        with pytest.raises(SelectionError, match="workload.json"):
+            load_workload_state(tmp_path / "workload.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        with pytest.raises(SelectionError, match="not valid JSON"):
+            load_workload_state(bad)
+
+    def test_rejects_foreign_payloads(self):
+        with pytest.raises(SelectionError, match="workload-recorder"):
+            WorkloadRecorder.from_payload({"kind": "cluster"})
+        with pytest.raises(SelectionError, match="malformed"):
+            WorkloadRecorder.from_payload(
+                {
+                    "kind": "workload-recorder",
+                    "contexts": [{"predicates": ["A"]}],
+                }
+            )
+
+
+# ---------------------------------------------------------------------------
+# Multi-endpoint load generation
+
+
+class TestMultiEndpointLoad:
+    QUERIES = ["pancreas | DigestiveSystem", "leukemia | Neoplasms"] * 4
+
+    def test_round_robin_with_per_endpoint_breakdown(self, handmade_index):
+        with ServerThread(
+            ContextSearchEngine(handmade_index), _worker_config()
+        ) as first, ServerThread(
+            ContextSearchEngine(handmade_index), _worker_config()
+        ) as second:
+            report = run_load(
+                [first.address, second.address], self.QUERIES, threads=4
+            )
+            assert report.ok == report.sent == len(self.QUERIES)
+            keys = {
+                "{}:{}".format(*first.address),
+                "{}:{}".format(*second.address),
+            }
+            assert set(report.endpoints) == keys
+            assert (
+                sum(s.sent for s in report.endpoints.values()) == report.sent
+            )
+            for stats in report.endpoints.values():
+                assert stats.sent > 0
+                assert len(stats.latencies) == stats.sent
+            assert set(report.to_dict()["endpoints"]) == keys
+
+    def test_single_endpoint_report_shape_is_unchanged(self, handmade_index):
+        with ServerThread(
+            ContextSearchEngine(handmade_index), _worker_config()
+        ) as only:
+            report = run_load(only.address, self.QUERIES, threads=2)
+            assert report.ok == report.sent
+            assert "endpoints" not in report.to_dict()
