@@ -27,6 +27,16 @@ Arms:
   one failover counted in router metrics, rankings still bit-identical,
   and p99 bounded by one failed attempt plus a normal query (with
   slack) — failover must cost a retry, not a timeout storm.
+* **adaptive** — a drifting workload (two phases over disjoint context
+  bands) against a live 2-shard cluster.  The router reselects view
+  catalogs against the whole-collection reference index and *ships*
+  them to the workers (crc-verified ``install_catalog`` frames; each
+  worker re-materialises the views over its own shard slice and acks
+  with its version vector).  Gates: the shipped catalog lifts the
+  drifted phase's view-hit rate over the stale phase-A catalog, every
+  worker acks the router's generation, and rankings stay bit-identical
+  through **every** swap — checked before any rate or timing is
+  trusted.
 
 Before any timing is trusted, every workload query is issued once
 through the router in each of the three modes and asserted bit-identical
@@ -51,9 +61,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import ContextSearchEngine, CorpusConfig, generate_corpus  # noqa: E402
+from repro import (  # noqa: E402
+    ContextSearchEngine,
+    CorpusConfig,
+    IncrementalReselector,
+    generate_corpus,
+)
+from repro.core.query import parse_query  # noqa: E402
 from repro.errors import ReproError  # noqa: E402
 from repro.index.sharded import ShardedInvertedIndex  # noqa: E402
+from repro.selection import workload_from_queries  # noqa: E402
+from repro.views import ViewSizeEstimator, WideSparseTable  # noqa: E402
 from repro.service import (  # noqa: E402
     ServerThread,
     ServiceClient,
@@ -96,6 +114,57 @@ def build_workload(num_docs: int, num_queries: int, num_contexts: int):
         f"{kw} | {contexts[i % len(contexts)]}" for i, kw in enumerate(band)
     ]
     return ContextSearchEngine(index), index, queries
+
+
+def build_drift_phases(engine, index, num_queries: int, num_contexts: int):
+    """Two query phases over disjoint context bands — phase B is genuine
+    workload drift (none of its context sets appear in phase A), so a
+    catalog trained on phase A cannot answer phase B from views."""
+    predicates = sorted(
+        index.predicate_vocabulary, key=index.predicate_frequency
+    )
+    width = num_contexts + 2
+    if len(predicates) < 2 * width:
+        raise RuntimeError(
+            f"corpus has {len(predicates)} predicates, need {2 * width} "
+            "for two disjoint context bands"
+        )
+    bands = [predicates[-width:], predicates[-2 * width: -width]]
+    terms = [
+        t
+        for t in sorted(index.vocabulary, key=index.document_frequency)
+        if index.document_frequency(t) >= 2
+    ]
+    mid = len(terms) // 2
+    phases = []
+    for band_id, heavy in enumerate(bands):
+        contexts = [
+            f"{heavy[-1]} {heavy[-2]} {heavy[i]}"
+            for i in range(num_contexts)
+        ]
+        lo = mid + band_id * num_queries
+        keywords = terms[lo: lo + num_queries]
+        if len(keywords) < num_queries:
+            keywords = terms[-num_queries:]
+        candidates = [
+            f"{kw} | {contexts[i % len(contexts)]}"
+            for i, kw in enumerate(keywords)
+        ]
+        # Keep only queries the reference engine answers: the view-hit
+        # gate needs servable queries (failing ones are covered by the
+        # bit-identity arms, error strings and all).
+        queries = [
+            q
+            for q in candidates
+            if reference_outcome(engine, q, "context")[0] == "ok"
+        ]
+        if len(queries) < max(4, num_contexts):
+            raise RuntimeError(
+                f"drift band {band_id} kept {len(queries)}/"
+                f"{len(candidates)} servable queries — corpus too sparse"
+            )
+        phases.append(queries)
+    return phases
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +257,13 @@ class ClusterArm:
                 }
             )
             self.router = router_thread(
-                cluster, ServiceConfig(workers=1, drain_timeout=0.5)
+                cluster,
+                # Result cache off: timed arms must measure scatter-
+                # gather, not cache hits, and the kill arm's failover
+                # gate needs every repeat to reach a shard.
+                ServiceConfig(
+                    workers=1, drain_timeout=0.5, cache_enabled=False
+                ),
             )
             self.router.start()
             return self
@@ -405,6 +480,159 @@ def run_kill_replica(engine, shard_files, queries, threads, repeat,
     return after, metrics
 
 
+def run_adaptive(engine, index, shard_files, phases, threads, repeat):
+    """Drifting workload against a live 2-shard cluster, static vs
+    shipped-catalog (see the module docstring's adaptive bullet)."""
+    queries_a, queries_b = phases
+    contexts = {
+        frozenset(parse_query(q).predicates) for q in queries_a + queries_b
+    }
+    estimator = ViewSizeEstimator(WideSparseTable.from_index(index), seed=0)
+    # Enough budget to cover either phase outright (plus headroom):
+    # the gate measures adaptivity, not budget pressure.
+    budget = int(1.2 * sum(estimator.exact(c) for c in contexts)) + 1
+    reselector = IncrementalReselector(storage_budget=budget)
+
+    def reselect(queries, trigger):
+        workload = workload_from_queries(
+            [parse_query(q) for q in queries]
+        )
+        return reselector.reselect(index, workload, trigger=trigger)
+
+    with ClusterArm(shard_files, replication=1) as arm:
+        service = arm.router.service
+
+        def view_hit_rate(queries) -> float:
+            client = ServiceClient(*arm.address)
+            hits = 0
+            try:
+                for query in queries:
+                    response = client.request(
+                        {"op": "query", "query": query, "top_k": TOP_K}
+                    )
+                    if response["status"] != "ok":
+                        raise AssertionError(
+                            f"adaptive arm query failed: {response}"
+                        )
+                    path = (
+                        (response.get("report") or {})
+                        .get("resolution", {})
+                        .get("path")
+                    ) or ""
+                    # Any shard answering from views counts; shards
+                    # whose slice has no matching docs fall back per
+                    # shard ("sharded-mixed").
+                    hits += path in ("sharded-views", "sharded-mixed")
+            finally:
+                client.close()
+            return hits / len(queries)
+
+        def timed(queries):
+            report = run_load(
+                arm.address, queries, threads=threads, top_k=TOP_K,
+                repeat=repeat, keep_responses=True,
+            )
+            if report.errors or report.shed or report.ok != report.sent:
+                raise AssertionError(
+                    f"adaptive arm had failures: {report.to_dict()}"
+                )
+            assert_responses_identical(
+                engine, queries, repeat, report.responses
+            )
+            return report
+
+        everything = queries_a + queries_b
+        checked = assert_identical_before_timing(
+            engine, arm.address, everything
+        )
+
+        # Swap 1: train on phase A, ship to the workers.
+        catalog_a, report_a = reselect(queries_a, "train")
+        generation = service.install_catalog(
+            catalog_a, info=report_a.to_dict()
+        )
+        assert generation == 1, generation
+        checked += assert_identical_before_timing(
+            engine, arm.address, everything
+        )
+        hit_a_on_a = view_hit_rate(queries_a)
+        static_hit = view_hit_rate(queries_b)
+        static_load = timed(queries_b)
+
+        # The workload drifts to phase B; swap 2 ships the reselection.
+        catalog_b, report_b = reselect(queries_b, "drift")
+        generation = service.install_catalog(
+            catalog_b, info=report_b.to_dict()
+        )
+        assert generation == 2, generation
+        checked += assert_identical_before_timing(
+            engine, arm.address, queries_b
+        )
+        adaptive_hit = view_hit_rate(queries_b)
+        adaptive_load = timed(queries_b)
+
+        # Swap 3: dropping every catalog is just as rank-safe.
+        assert service.install_catalog(None) == 3
+        checked += assert_identical_before_timing(
+            engine, arm.address, queries_b
+        )
+
+        # Every worker acked the router's final generation.
+        client = ServiceClient(*arm.address)
+        try:
+            health = client.request({"op": "healthz"})
+        finally:
+            client.close()
+        for group in health["groups"]:
+            for replica in group["replicas"]:
+                acked = (replica.get("version_vector") or {}).get(
+                    "catalog_generation"
+                )
+                if acked != 3:
+                    raise AssertionError(
+                        f"worker {replica['address']} acked catalog "
+                        f"generation {acked}, router is at 3"
+                    )
+
+    if hit_a_on_a < 0.9:
+        raise AssertionError(
+            f"phase-A catalog missed its own workload: "
+            f"view-hit rate {hit_a_on_a:.2f}"
+        )
+    if adaptive_hit <= static_hit:
+        raise AssertionError(
+            f"shipped catalog did not lift the drifted view-hit rate: "
+            f"static {static_hit:.2f}, adaptive {adaptive_hit:.2f}"
+        )
+    if adaptive_hit < 0.9:
+        raise AssertionError(
+            f"shipped catalog view-hit rate {adaptive_hit:.2f} < 0.9 on "
+            "the workload it was selected for"
+        )
+    print(
+        f"adaptive:  drifted view-hit rate {static_hit:.2f} -> "
+        f"{adaptive_hit:.2f} after shipping "
+        f"({report_b.built_views} built, {report_b.reused_views} reused); "
+        f"static {static_load.qps:.1f} qps vs shipped "
+        f"{adaptive_load.qps:.1f} qps; {checked} rankings bit-identical "
+        "across 3 swaps",
+        flush=True,
+    )
+    return {
+        "phase_a_queries": len(queries_a),
+        "phase_b_queries": len(queries_b),
+        "storage_budget": budget,
+        "view_hit_rate_phase_a": hit_a_on_a,
+        "view_hit_rate_drifted_static": static_hit,
+        "view_hit_rate_drifted_shipped": adaptive_hit,
+        "drift_reselection": report_b.to_dict(),
+        "static": static_load.to_dict(),
+        "shipped": adaptive_load.to_dict(),
+        "swaps": 3,
+        "rankings_bit_identical_across_swaps": True,
+    }
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -468,6 +696,15 @@ def run(num_docs, num_queries, num_contexts, threads, repeat):
             **kill.to_dict(),
             "router": kill_metrics["router"],
         }
+
+        phases = build_drift_phases(
+            engine, index,
+            num_queries=max(6, len(queries) // 2),
+            num_contexts=2,
+        )
+        results["adaptive"] = run_adaptive(
+            engine, index, two, phases, threads, repeat
+        )
     engine.close()
     return results
 
@@ -498,6 +735,7 @@ def main(argv=None) -> int:
         print(
             "smoke mode: rankings bit-identical through subprocess workers "
             "in all modes, kill arm zero-error with counted failovers, "
+            "shipped catalogs lift the drifted view-hit rate rank-safely, "
             "clean shutdown; JSON not written"
         )
         return 0
@@ -520,6 +758,7 @@ def main(argv=None) -> int:
         "attempt_timeout_ms": ATTEMPT_TIMEOUT_MS,
         "rankings_bit_identical_to_single_node": True,
         "kill_arm_zero_errors": True,
+        "adaptive_arm_rank_safe_swaps": True,
         "arms": results,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

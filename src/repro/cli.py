@@ -507,6 +507,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
             index.close()
     if args.catalog:
         payload["catalog"] = load_catalog_info(args.catalog)
+    # The unified coherence token (repro.core.backend.VersionVector):
+    # data epoch from the index's clock, catalog generation from the
+    # saved catalog's provenance; placement only moves on a router.
+    payload["version_vector"] = {
+        "epoch": payload.get("version", 0),
+        "catalog_generation": (payload.get("catalog") or {}).get(
+            "generation", 0
+        ),
+        "placement_generation": 0,
+    }
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -536,6 +546,7 @@ _ADAPTIVE_FLAGS = (
     "adaptive_coverage",
     "adaptive_growth",
     "adaptive_budget",
+    "reference_index",
 )
 
 
@@ -581,17 +592,27 @@ def _adaptive_controller(args: argparse.Namespace, engine, metrics):
         ),
     )
     reference = None
-    if hasattr(engine, "swap_catalogs"):
+    if getattr(engine, "needs_reference_index", False):
         # Selection needs the whole collection; per-shard sub-indexes
-        # cannot provide it.  A flat artefact re-sharded at load time
-        # still has the flat form on disk — reload it as the reference.
-        reference = load_any_index(args.index)
+        # (and the router, which holds no index at all) cannot provide
+        # it.  A flat artefact re-sharded at load time still has the
+        # flat form on disk — reload it as the reference; the router
+        # takes it explicitly via --reference-index.
+        source = getattr(args, "reference_index", None) or getattr(
+            args, "index", None
+        )
+        if not source:
+            raise ReproError(
+                "route --adaptive needs --reference-index (the "
+                "whole-collection index artefact view selection scans)"
+            )
+        reference = load_any_index(source)
         if not isinstance(reference, InvertedIndex):
             reference.close()
             raise ReproError(
-                "serve --adaptive over a sharded artefact is not "
+                "--adaptive over a sharded artefact is not "
                 "supported: view selection needs the whole collection; "
-                "serve the flat index with --shards N instead"
+                "point it at the flat index artefact instead"
             )
     reselector = IncrementalReselector(
         storage_budget=(
@@ -800,10 +821,22 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    """Run the cluster query router in the foreground."""
+    """Run the cluster query router in the foreground.
+
+    With ``--adaptive`` the router closes the selection loop cluster-wide:
+    served queries feed the workload recorder, reselection runs over the
+    ``--reference-index`` (the whole-collection artefact), and each new
+    catalog is shipped to every shard worker over the ``install_catalog``
+    op — workers re-materialise partial views locally and adopt the
+    router's catalog generation, so the whole cluster reports one
+    version vector.
+    """
+    import asyncio
+
     from .service import QueryServer, load_cluster_config
     from .service.cluster import router_service_factory
 
+    _check_adaptive_args(args)
     cluster = load_cluster_config(args.cluster)
     ranking = ALL_RANKING_FUNCTIONS[args.model]()
     server = QueryServer(
@@ -811,12 +844,48 @@ def _cmd_route(args: argparse.Namespace) -> int:
         _service_config(args),
         service_class=router_service_factory(cluster, ranking),
     )
-    _serve_until_interrupted(
-        server,
-        f"routing {cluster.num_shards} shards x "
-        f"{cluster.replication} replicas ({ranking.name}) "
-        "on {host}:{port}",
-    )
+    controller = reference = None
+    try:
+        if args.adaptive:
+            controller, reference = _adaptive_controller(
+                args, server.service, server.service.metrics.base
+            )
+            server.service.recorder = controller.recorder
+            server.service.adaptive = controller
+            server.service._predicate_analyzer = reference.predicate_analyzer
+
+        async def run() -> None:
+            host, port = await server.start()
+            adaptive_note = (
+                f", adaptive every {controller.config.interval_seconds:g}s"
+                if controller is not None
+                else ""
+            )
+            print(
+                f"routing {cluster.num_shards} shards x "
+                f"{cluster.replication} replicas ({ranking.name}) "
+                f"on {host}:{port}{adaptive_note}"
+            )
+            # The controller bridges install_catalog onto the serving
+            # loop; start it only once the server has captured it.
+            if controller is not None:
+                controller.start()
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("shutting down")
+    finally:
+        if controller is not None:
+            controller.stop()
+        if reference is not None:
+            reference.close()
     return 0
 
 
@@ -1147,6 +1216,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=sorted(ALL_RANKING_FUNCTIONS),
                    default="pivoted-tfidf",
                    help="ranking model — must match the workers'")
+    p.add_argument("--adaptive", action="store_true",
+                   help="continuously reselect views from the routed "
+                        "workload and ship each new catalog to every "
+                        "shard worker (background thread)")
+    p.add_argument("--reference-index", default=None,
+                   help="whole-collection index artefact view selection "
+                        "scans (required with --adaptive)")
+    p.add_argument("--adaptive-interval", type=float, default=None,
+                   help="seconds between trigger checks (default: 30)")
+    p.add_argument("--adaptive-min-queries", type=int, default=None,
+                   help="new queries before the coverage trigger can fire "
+                        "(default: 32)")
+    p.add_argument("--adaptive-coverage", type=float, default=None,
+                   help="reselect when the catalog covers less than this "
+                        "fraction of the recorded workload (default: 0.8)")
+    p.add_argument("--adaptive-growth", type=float, default=None,
+                   help="reselect when the collection grew by this fraction "
+                        "(default: 0.2)")
+    p.add_argument("--adaptive-budget", type=int, default=None,
+                   help="view storage budget in tuples (default: 4096)")
     _add_service_options(p)
     p.set_defaults(func=_cmd_route)
 

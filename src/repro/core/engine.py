@@ -123,6 +123,10 @@ class ContextSearchEngine:
         self.searcher = self._op_conjunction.searcher
         self.plan = self._op_straightforward.plan
         self._global_tc_cache: Dict[str, int] = {}
+        # Provenance of the most recent catalog install (reselection
+        # pass summary) — surfaced by healthz/info alongside the
+        # version vector.
+        self.last_reselection: Optional[dict] = None
 
     # -- public API ---------------------------------------------------------
 
@@ -159,15 +163,47 @@ class ContextSearchEngine:
         this into their epoch so a swap invalidates cached results)."""
         return self.catalog_handle.generation
 
-    def swap_catalog(self, catalog: Optional["ViewCatalog"]) -> int:
+    @property
+    def version(self) -> "VersionVector":
+        """This engine's coherence token (see :mod:`repro.core.backend`).
+
+        The flat engine has no replica placement, so the placement
+        component is always 0.
+        """
+        from .backend import VersionVector
+
+        return VersionVector(
+            epoch=self.epoch,
+            catalog_generation=self.catalog_handle.generation,
+        )
+
+    def install_catalog(
+        self,
+        catalog: Optional["ViewCatalog"],
+        info: Optional[dict] = None,
+        generation: Optional[int] = None,
+    ) -> int:
         """Atomically install a fully built catalog; returns the new
-        generation.
+        generation (the :class:`~repro.core.backend.SearchBackend`
+        entry point, shared by all engine shapes).
 
         Rankings are unchanged by construction (views are exact), so the
         swap only redirects *how* statistics are resolved.  In-flight
         queries that already grabbed the old catalog finish against it.
+        ``info`` records the install's provenance (a reselection pass
+        summary); ``generation`` adopts an externally assigned
+        generation (cluster installs ship the router's).
         """
-        return self.catalog_handle.swap(catalog)
+        new_generation = self.catalog_handle.swap(
+            catalog, generation=generation
+        )
+        self.last_reselection = dict(info) if info else None
+        return new_generation
+
+    def swap_catalog(self, catalog: Optional["ViewCatalog"]) -> int:
+        """Deprecated alias for :meth:`install_catalog` (kept so
+        pre-unification call sites and tests keep working)."""
+        return self.install_catalog(catalog)
 
     def search(
         self,

@@ -60,6 +60,7 @@ from ..errors import EmptyContextError, QueryError, ReproError
 from ..index.postings import CostCounter
 from ..index.sharded import IndexShard, ShardedInvertedIndex
 from ..views.catalog import ViewCatalog
+from .backend import VersionAuthority, VersionVector
 from .engine import (
     BatchOutcome,
     BatchReport,
@@ -895,7 +896,10 @@ class ShardedEngine:
             for i, shard in enumerate(sharded_index.shards)
         ]
         self._backend = _pick_backend(executor)(self.runtimes, max_workers)
-        self._catalog_generation = 0
+        self._authority = VersionAuthority(
+            epoch_source=lambda: self.sharded_index.epoch
+        )
+        self.last_reselection: Optional[dict] = None
         self._global_tc_cache: Dict[str, int] = {}
         # Analyzers are configuration, identical across shards; shard 0's
         # stand in for the collection's.
@@ -916,20 +920,41 @@ class ShardedEngine:
     @property
     def catalog_generation(self) -> int:
         """How many hot-swaps the per-shard catalogs have seen."""
-        return self._catalog_generation
+        return self._authority.catalog_generation
 
-    def swap_catalogs(
-        self, catalogs: Optional[Sequence[Optional[ViewCatalog]]]
+    @property
+    def version(self) -> VersionVector:
+        """The engine's :class:`~repro.core.backend.VersionVector`."""
+        return self._authority.vector()
+
+    @property
+    def supports_hot_swap(self) -> bool:
+        """Fork workers hold copy-on-write runtimes captured at fork
+        time — a parent-side swap can never reach them, so that shape
+        refuses hot-swaps loudly rather than serve a stale catalog."""
+        return self._backend.shares_memory
+
+    # The adaptive controller must not reselect over a shard's partial
+    # index: view definitions are chosen against whole-collection
+    # statistics (then materialised per shard), so it needs the original
+    # unsharded index.
+    needs_reference_index = True
+
+    def install_catalog(
+        self,
+        catalog: Union[ViewCatalog, Sequence[Optional[ViewCatalog]], None],
+        info: Optional[dict] = None,
+        generation: Optional[int] = None,
     ) -> int:
-        """Atomically install one fully built catalog per shard.
+        """Atomically install a catalog across all shards.
 
-        ``None`` drops every shard's catalog.  The fork backend's worker
-        processes hold copy-on-write snapshots of the runtimes captured
-        at fork time, so a parent-side swap can never reach them — that
-        deployment shape must refuse the swap loudly rather than serve a
-        silently stale catalog.
+        ``catalog`` may be a whole-collection :class:`ViewCatalog` (its
+        view *definitions* are re-materialised per shard — exact because
+        df/tc aggregate distributively over shards), a sequence of one
+        pre-materialised catalog per shard, or ``None`` to drop every
+        shard's catalog.  Bumps and returns the catalog generation.
         """
-        if not self._backend.shares_memory:
+        if not self.supports_hot_swap:
             raise QueryError(
                 f"catalog hot-swap is not supported on the "
                 f"{self._backend.name!r} executor: forked shard workers "
@@ -937,6 +962,19 @@ class ShardedEngine:
                 "would keep serving the old catalog (use the serial or "
                 "thread executor for adaptive selection)"
             )
+        if isinstance(catalog, ViewCatalog):
+            from ..views.sharding import (
+                catalog_definitions,
+                materialize_sharded_catalogs,
+            )
+
+            catalogs: Optional[Sequence[Optional[ViewCatalog]]] = (
+                materialize_sharded_catalogs(
+                    self.sharded_index, catalog_definitions(catalog)
+                )
+            )
+        else:
+            catalogs = catalog
         if catalogs is not None and len(catalogs) != self.sharded_index.num_shards:
             raise QueryError(
                 f"{len(catalogs)} catalogs for {self.sharded_index.num_shards} shards"
@@ -945,8 +983,15 @@ class ShardedEngine:
             runtime.catalog_handle.swap(
                 catalogs[i] if catalogs is not None else None
             )
-        self._catalog_generation += 1
-        return self._catalog_generation
+        self.last_reselection = dict(info) if info else None
+        return self._authority.bump_catalog(generation)
+
+    def swap_catalogs(
+        self, catalogs: Optional[Sequence[Optional[ViewCatalog]]]
+    ) -> int:
+        """Deprecated alias for :meth:`install_catalog` with one
+        pre-materialised catalog per shard."""
+        return self.install_catalog(catalogs)
 
     def close(self) -> None:
         """Release backend worker pools and shard index resources

@@ -12,14 +12,13 @@ cache-never-changes-answers (tested).  The cache must be invalidated on
 document ingestion — :meth:`CachingSearchEngine.invalidate` exists for
 exactly the :func:`repro.views.maintenance.maintain_catalog` call sites.
 
-Freshness is additionally guarded by ``engine.epoch``: the single
-version counter every index kind exposes (a flat index's commit clock,
-a sharded index's shared clock, a lifecycle snapshot's stamped
-:class:`~repro.lifecycle.version.VersionClock` value — one source, no
-scattered epoch-bump sites).  Any mutation advances that clock, and
-:meth:`CachingSearchEngine._check_epoch` self-invalidates on the next
-lookup, so a forgotten explicit ``invalidate()`` can narrow freshness
-but never corrupt it.
+Freshness is additionally guarded by the engine's
+:class:`~repro.core.backend.VersionVector` (falling back to the bare
+``epoch`` for wrappers that predate it): any index mutation or catalog
+swap moves the vector, and :meth:`CachingSearchEngine._check_epoch`
+self-invalidates on the next lookup, so a forgotten explicit
+``invalidate()`` can narrow freshness but never corrupt it.  One
+coherence token, no scattered epoch-bump sites.
 """
 
 from __future__ import annotations
@@ -137,19 +136,29 @@ class CachingSearchEngine:
     def __init__(self, engine, max_contexts: int = 128):
         self.engine = engine
         self.cache = StatisticsCache(max_contexts=max_contexts)
-        self._seen_epoch = getattr(engine, "epoch", 0)
+        self._seen_epoch = self._coherence_token()
         self._wrap()
+
+    def _coherence_token(self):
+        """The engine's full :class:`~repro.core.backend.VersionVector`
+        when it exposes one (so catalog swaps invalidate too), else its
+        bare epoch.  Opaque — only compared with ``!=``."""
+        version = getattr(self.engine, "version", None)
+        if version is not None:
+            return version
+        return getattr(self.engine, "epoch", 0)
 
     def _check_epoch(self) -> None:
         """Self-invalidate when the index has mutated underneath us.
 
-        The engine's ``epoch`` bumps on every post-commit document batch,
-        so this closes the stale window even when the ingestion path
-        forgot to call :meth:`invalidate` explicitly.
+        The engine's version vector moves on every post-commit document
+        batch and on every catalog swap, so this closes the stale window
+        even when the mutating path forgot to call :meth:`invalidate`
+        explicitly.
         """
-        epoch = getattr(self.engine, "epoch", 0)
-        if epoch != self._seen_epoch:
-            self._seen_epoch = epoch
+        token = self._coherence_token()
+        if token != self._seen_epoch:
+            self._seen_epoch = token
             self.cache.invalidate()
 
     def _wrap(self) -> None:

@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import IndexError_
-from ..lifecycle.version import VersionClock
 from .analysis import Analyzer, KeywordAnalyzer
 from .documents import Document, DocumentStore, StoredDocument
 from .postings import DEFAULT_SEGMENT_SIZE, PostingList
@@ -101,8 +100,12 @@ class InvertedIndex:
         self._predicates: Dict[str, PostingList] = {}
         self._total_length = 0
         self._committed = False
-        # The single mutation clock (see repro.lifecycle.version); a
-        # sharded wrapper rebinds this so all shards tick one clock.
+        # The single mutation clock (see repro.core.backend); a sharded
+        # wrapper rebinds this so all shards tick one clock.  Imported
+        # here, not at module level: repro.index initialises before
+        # repro.core during package import.
+        from ..core.backend import VersionClock
+
         self._clock = VersionClock()
         self._empty = PostingList.from_pairs("", (), segment_size=segment_size)
         # OS-level resources this index owns (the mmap reader behind a

@@ -22,7 +22,6 @@ from array import array
 from typing import Iterable, List, Optional, Sequence
 
 from ..errors import IndexError_
-from ..lifecycle.version import VersionClock
 from .analysis import Analyzer
 from .documents import Document
 from .inverted_index import (
@@ -134,6 +133,10 @@ class ShardedInvertedIndex:
         # One mutation clock for the whole partitioned collection: every
         # shard index is rebound to it, so an append on any shard ticks
         # the same clock every cache reads (no per-shard counters to sum).
+        # Imported here, not at module level: repro.index initialises
+        # before repro.core during package import.
+        from ..core.backend import VersionClock
+
         self._clock = VersionClock()
         for shard in self.shards:
             shard.index._clock = self._clock
@@ -247,7 +250,7 @@ class ShardedInvertedIndex:
 
     @property
     def epoch(self) -> int:
-        """The shared :class:`~repro.lifecycle.version.VersionClock` value:
+        """The shared :class:`~repro.core.backend.VersionClock` value:
         any shard's append ticks the one clock all shards share."""
         return self._clock.version
 

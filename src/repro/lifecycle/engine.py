@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from typing import Iterable, List, Optional, Sequence, Union
 
+from ..core.backend import VersionAuthority, VersionVector
 from ..core.engine import BatchExecutor, BatchReport, ContextSearchEngine, SearchResults
 from ..core.ranking import RankingFunction
 from ..errors import IndexError_
@@ -74,7 +75,7 @@ class LifecycleEngine:
         # background reselector can react to lifecycle events.  Hooks
         # must be quick (set a flag, wake a thread) — they run on the
         # mutating caller's thread.
-        self._catalog_generation = 0
+        self._authority = VersionAuthority(epoch_source=lambda: self.index.epoch)
         self.last_reselection: Optional[dict] = None
         self._maintenance_hooks: List = []
 
@@ -157,9 +158,19 @@ class LifecycleEngine:
     @property
     def catalog_generation(self) -> int:
         """How many catalog hot-swaps this engine has installed."""
-        return self._catalog_generation
+        return self._authority.catalog_generation
 
-    def install_catalog(self, catalog, info: Optional[dict] = None) -> int:
+    @property
+    def version(self) -> VersionVector:
+        """The engine's :class:`~repro.core.backend.VersionVector`."""
+        return self._authority.vector()
+
+    def install_catalog(
+        self,
+        catalog,
+        info: Optional[dict] = None,
+        generation: Optional[int] = None,
+    ) -> int:
         """Atomically hot-swap the catalog at a snapshot-version boundary.
 
         The new catalog must be fully built and exact for the current
@@ -182,12 +193,12 @@ class LifecycleEngine:
         """
         with self._lock:
             self.catalog = catalog
-            self._catalog_generation += 1
+            new_generation = self._authority.bump_catalog(generation)
             self.index.bump_version()
             self.last_reselection = dict(info) if info else None
             if self._caches:
                 self._invalidate_caches()
-            return self._catalog_generation
+            return new_generation
 
     # -- engine management ------------------------------------------------
 

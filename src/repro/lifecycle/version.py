@@ -1,58 +1,16 @@
-"""The single mutation clock every freshness consumer reads.
+"""Deprecated shim: :class:`VersionClock` moved to :mod:`repro.core.backend`.
 
-Before the segment lifecycle landed, collection freshness was tracked by
-ad-hoc epoch counters scattered across the stack: ``InvertedIndex``
-bumped a private ``_epoch`` in ``append_documents``, the sharded index
-summed its shards' counters, and the statistics/serving caches each kept
-their own "last seen" copy of whichever counter their engine happened to
-expose.  The lifecycle refactor collapses all of that onto one source:
-
-* every mutable index owns exactly one :class:`VersionClock`;
-* every committed mutation (document batch, delete, flush, compaction)
-  is one :meth:`VersionClock.advance`;
-* every read runs against a :class:`~repro.lifecycle.snapshot.Snapshot`
-  stamped with the clock value at creation, and every cache keys or
-  guards its entries with that same value (``engine.epoch``).
-
-The clock is monotonic and thread-safe: concurrent mutators serialise on
-the internal lock, and a reader that observes version ``v`` is
-guaranteed that any entry stamped ``v`` was computed from a collection
-state no older than the last mutation counted into ``v``.
+The clock started life here when the segment lifecycle landed (one
+monotonic counter per mutable index, every cache guarding on it).  The
+unified-backend refactor promoted it to the system-wide coherence
+module — :mod:`repro.core.backend` now owns the clock, the
+:class:`~repro.core.backend.VersionVector` built from it, and the
+version-mutation discipline CI enforces.  Import from there; this
+module re-exports the name so existing call sites keep working.
 """
 
 from __future__ import annotations
 
-import threading
+from ..core.backend import VersionClock
 
 __all__ = ["VersionClock"]
-
-
-class VersionClock:
-    """A thread-safe monotonic counter; one per mutable index."""
-
-    __slots__ = ("_lock", "_version")
-
-    def __init__(self, start: int = 0):
-        self._lock = threading.Lock()
-        self._version = start
-
-    @property
-    def version(self) -> int:
-        """The current version (reads are atomic in CPython)."""
-        return self._version
-
-    def advance(self) -> int:
-        """Count one committed mutation; returns the new version."""
-        with self._lock:
-            self._version += 1
-            return self._version
-
-    def advance_to(self, version: int) -> int:
-        """Fast-forward to at least ``version`` (manifest recovery)."""
-        with self._lock:
-            if version > self._version:
-                self._version = version
-            return self._version
-
-    def __repr__(self) -> str:
-        return f"VersionClock(version={self._version})"

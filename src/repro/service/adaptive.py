@@ -11,11 +11,12 @@ expensive step **off the query path**:
   immediately after a lifecycle flush/compaction, via the engine's
   maintenance hooks) and evaluates the reselection triggers;
 * when triggered, it re-runs workload-driven selection over the current
-  collection and installs the new catalog through the engine's atomic
-  swap entry point (:meth:`~repro.lifecycle.engine.LifecycleEngine.
-  install_catalog`, :meth:`~repro.core.sharded_engine.ShardedEngine.
-  swap_catalogs`, or :meth:`~repro.core.engine.ContextSearchEngine.
-  swap_catalog`).
+  collection and installs the new catalog through the one
+  :class:`~repro.core.backend.SearchBackend` entry point —
+  ``install_catalog`` — which every shape implements: the flat engine
+  swaps its handle, the sharded engine re-materialises per shard, the
+  lifecycle engine swaps at a snapshot boundary, and the cluster router
+  ships the catalog definitions to every shard worker over the wire.
 
 Triggers, checked in order:
 
@@ -219,6 +220,11 @@ class AdaptiveSelectionController:
             "catalog_generation": getattr(
                 self.engine, "catalog_generation", 0
             ),
+            "version_vector": (
+                self.engine.version.to_dict()
+                if hasattr(self.engine, "version")
+                else None
+            ),
             "last_reselection": (
                 self.last_report.to_dict() if self.last_report else None
             ),
@@ -229,45 +235,39 @@ class AdaptiveSelectionController:
     # -- engine dispatch -------------------------------------------------
 
     def _validate_engine(self) -> None:
-        if hasattr(self.engine, "install_catalog"):
-            return  # lifecycle: swap + epoch bump in one entry point
-        if hasattr(self.engine, "swap_catalogs"):
+        """Every backend installs through the one SearchBackend entry
+        point; constraints are declared, not type-sniffed:
+        ``supports_hot_swap`` (False for the fork shard executor, whose
+        copy-on-write workers cannot observe a parent-side swap) and
+        ``needs_reference_index`` (True for shapes that shard or remote
+        the collection, where selection must scan the whole-collection
+        reference index)."""
+        if not hasattr(self.engine, "install_catalog"):
+            raise QueryError(
+                f"engine {type(self.engine).__name__} has no catalog swap "
+                "entry point (install_catalog)"
+            )
+        if not getattr(self.engine, "supports_hot_swap", True):
             backend = getattr(self.engine, "_backend", None)
-            if backend is not None and not backend.shares_memory:
-                raise QueryError(
-                    "adaptive selection is not supported on the "
-                    f"{backend.name!r} shard executor: forked workers "
-                    "cannot observe catalog hot-swaps (use serial or "
-                    "thread)"
-                )
-            if self.reference_index is None:
-                raise QueryError(
-                    "adaptive selection over a sharded engine needs the "
-                    "pre-shard reference index (reference_index=) to run "
-                    "selection over the whole collection"
-                )
-            return
-        if hasattr(self.engine, "swap_catalog"):
-            return
-        raise QueryError(
-            f"engine {type(self.engine).__name__} has no catalog swap "
-            "entry point"
-        )
+            name = getattr(backend, "name", type(self.engine).__name__)
+            raise QueryError(
+                "adaptive selection is not supported on the "
+                f"{name!r} shard executor: forked workers "
+                "cannot observe catalog hot-swaps (use serial or "
+                "thread)"
+            )
+        if (
+            getattr(self.engine, "needs_reference_index", False)
+            and self.reference_index is None
+        ):
+            raise QueryError(
+                "adaptive selection over a sharded or distributed engine "
+                "needs the pre-shard reference index (reference_index=) "
+                "to run selection over the whole collection"
+            )
 
     def _install(self, catalog, report: ReselectionReport) -> int:
-        if hasattr(self.engine, "install_catalog"):
-            return self.engine.install_catalog(catalog, info=report.to_dict())
-        if hasattr(self.engine, "swap_catalogs"):
-            from ..views.sharding import (
-                catalog_definitions,
-                materialize_sharded_catalogs,
-            )
-
-            catalogs = materialize_sharded_catalogs(
-                self.engine.sharded_index, catalog_definitions(catalog)
-            )
-            return self.engine.swap_catalogs(catalogs)
-        return self.engine.swap_catalog(catalog)
+        return self.engine.install_catalog(catalog, info=report.to_dict())
 
     def _selection_index(self):
         if hasattr(self.engine, "lifecycle_info"):
@@ -287,6 +287,10 @@ class AdaptiveSelectionController:
         index = getattr(self.engine, "index", None) or getattr(
             self.engine, "sharded_index", None
         )
+        if index is None:
+            # Remote shapes (the cluster router) hold no local index;
+            # growth is measured against the reference index instead.
+            index = self.reference_index
         return getattr(index, "num_docs", 0)
 
     def _growth_exceeded(self) -> bool:

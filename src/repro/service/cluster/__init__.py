@@ -34,7 +34,13 @@ from .router import (
     router_service_factory,
     router_thread,
 )
-from .shipping import ArtifactShipper, fetch_artifact, ship_chunk_bytes
+from .shipping import (
+    ArtifactShipper,
+    decode_catalog_frame,
+    encode_catalog_frame,
+    fetch_artifact,
+    ship_chunk_bytes,
+)
 from .worker import ShardWorkerService, worker_service_factory, worker_thread
 
 __all__ = [
@@ -53,6 +59,8 @@ __all__ = [
     "WorkerProtocolError",
     "WorkerTimeout",
     "WorkerUnavailable",
+    "decode_catalog_frame",
+    "encode_catalog_frame",
     "fetch_artifact",
     "load_cluster_config",
     "parse_address",

@@ -103,6 +103,10 @@ class ClusterConfig:
     workers: List[str]
     groups: Dict[int, List[str]]
     router: RouterOptions = field(default_factory=RouterOptions)
+    # Seed for the router's placement clock: operators bump this when a
+    # config edit re-places replica groups, so a restarted router's
+    # version vector keeps moving forward instead of resetting to 0.
+    placement_generation: int = 0
 
     def replicas(self, shard_id: int) -> List[Tuple[str, int]]:
         return [parse_address(a) for a in self.groups[shard_id]]
@@ -123,6 +127,7 @@ class ClusterConfig:
                 "fail_threshold": self.router.fail_threshold,
                 "attempt_timeout_ms": self.router.attempt_timeout_ms,
             },
+            "placement_generation": self.placement_generation,
         }
 
     @classmethod
@@ -181,12 +186,21 @@ class ClusterConfig:
                 groups = place_shards(workers, num_shards, replication)
             except ValueError as exc:
                 raise ClusterConfigError(str(exc)) from None
+        try:
+            placement_generation = int(payload.get("placement_generation", 0))
+        except (TypeError, ValueError):
+            raise ClusterConfigError(
+                "placement_generation must be an integer"
+            ) from None
+        if placement_generation < 0:
+            raise ClusterConfigError("placement_generation must be >= 0")
         return cls(
             num_shards=num_shards,
             replication=replication,
             workers=workers,
             groups=groups,
             router=router,
+            placement_generation=placement_generation,
         )
 
 

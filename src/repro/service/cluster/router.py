@@ -33,11 +33,12 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ... import __version__
+from ...core.backend import VersionAuthority, VersionVector
 from ...core.logical import MODE_CONVENTIONAL, MODE_DISJUNCTIVE
 from ...core.ranking import DEFAULT_RANKING_FUNCTION, RankingFunction
 from ...core.report import _counter_from_dict
 from ...core.sharded_engine import ShardMergePlan, _rebuild_query
-from ...errors import ReproError
+from ...errors import QueryError, ReproError
 from ..admission import AdmissionController
 from ..metrics import ServiceMetrics, percentile
 from ..protocol import (
@@ -45,6 +46,7 @@ from ..protocol import (
     MAX_CLUSTER_LINE_BYTES,
     MAX_LINE_BYTES,
     OP_HEALTHZ,
+    OP_INSTALL_CATALOG,
     OP_METRICS,
     OP_SHARD_CONVENTIONAL,
     OP_SHARD_RESOLVE,
@@ -59,6 +61,7 @@ from ..protocol import (
     decode_request,
     encode_response,
 )
+from ..result_cache import ResultCache
 from ..server import ServerThread, ServiceConfig
 from .config import ClusterConfig, parse_address
 
@@ -471,6 +474,13 @@ class RouterService:
 
     line_limit = MAX_LINE_BYTES  # client-facing: the normal frame budget
 
+    # SearchBackend constraint declarations for the adaptive controller:
+    # the router can always hot-swap (workers re-materialise on install),
+    # but selection must scan the whole-collection reference index —
+    # the router holds no local index at all.
+    supports_hot_swap = True
+    needs_reference_index = True
+
     def __init__(
         self,
         cluster: ClusterConfig,
@@ -505,10 +515,35 @@ class RouterService:
             observe_batch=self.metrics.base.observe_batch,
         )
         self._health_task: Optional[asyncio.Task] = None
+        # Version coherence: catalog and placement clocks live here; the
+        # data epoch is the tuple of per-shard worker epochs learned from
+        # health probes.  The router-side result cache keys on the whole
+        # vector, so a cluster-wide catalog install or a placement change
+        # invalidates exactly like a data mutation.
+        self._authority = VersionAuthority(
+            epoch_source=self._cluster_epoch,
+            placement_generation=getattr(cluster, "placement_generation", 0),
+        )
+        self.result_cache = ResultCache(max_entries=self.config.cache_entries)
+        # The last whole-collection catalog this router shipped, plus its
+        # provenance — what healthz reports and what the adaptive
+        # controller diffs coverage against.
+        self.catalog = None
+        self.last_reselection: Optional[dict] = None
+        # Adaptive attachments (wired by ``route --adaptive`` or tests),
+        # mirroring QueryService's.
+        self.recorder = None
+        self.adaptive = None
+        self._predicate_analyzer = None
+        # The serving event loop; captured in on_start so the adaptive
+        # controller's background thread can bridge install/placement
+        # calls onto it.
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def on_start(self) -> None:
+        self._loop = asyncio.get_running_loop()
         await self.check_health()  # resolve unknown states before serving
         self._health_task = asyncio.ensure_future(self._health_loop())
 
@@ -572,7 +607,230 @@ class RouterService:
             "shard_id": worker.get("shard_id"),
             "num_docs": worker.get("num_docs"),
             "ranking": worker.get("ranking"),
+            "epoch": response.get("epoch"),
+            "version_vector": response.get("version_vector"),
+            "catalog": worker.get("catalog"),
         }
+
+    # -- version coherence -------------------------------------------------
+
+    def _cluster_epoch(self) -> tuple:
+        """The cluster's data epoch: one entry per shard, the max epoch
+        any replica of the group has reported.  Opaque to every cache
+        (vectors only compare with ``!=``); a worker restart or append
+        moves it, which is exactly when cached results must die."""
+        return tuple(
+            max(
+                (
+                    replica.info.get("epoch") or 0
+                    for replica in group.replicas
+                ),
+                default=0,
+            )
+            for group in self.groups
+        )
+
+    @property
+    def epoch(self) -> tuple:
+        return self._cluster_epoch()
+
+    @property
+    def catalog_generation(self) -> int:
+        return self._authority.catalog_generation
+
+    @property
+    def placement_generation(self) -> int:
+        return self._authority.placement_generation
+
+    @property
+    def version(self) -> VersionVector:
+        """The cluster-wide :class:`~repro.core.backend.VersionVector`."""
+        return self._authority.vector()
+
+    def invalidate(self) -> None:
+        """Drop the router-side result cache."""
+        self.result_cache.invalidate()
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise QueryError(
+                "router is not serving yet (install/placement need the "
+                "running event loop)"
+            )
+        return self._loop
+
+    def install_catalog(self, catalog, info: Optional[dict] = None) -> int:
+        """Ship ``catalog`` to every replica of every shard group.
+
+        The SearchBackend entry point, extended across the wire: the
+        whole-collection catalog's view *definitions* go out as one
+        crc-verified frame per worker (``install_catalog`` op), each
+        worker re-materialises partial views over its own shard and
+        adopts this router's new catalog generation, and the router-side
+        result cache invalidates off the bumped vector.  Exactness is
+        placement-independent — views only redirect how statistics are
+        resolved — so a partial install (some replica down mid-ship)
+        still serves bit-identical rankings; it is reported by raising
+        :class:`~repro.errors.QueryError` naming the failed workers
+        *after* the healthy workers have installed, so the adaptive loop
+        retries shipping without losing the generation bump.
+
+        Blocking; called from the adaptive controller's background
+        thread (or a test thread), never from the event loop itself.
+        """
+        from ...views.sharding import catalog_definitions
+        from .shipping import encode_catalog_frame
+
+        loop = self._require_loop()
+        definitions = (
+            catalog_definitions(catalog) if catalog is not None else []
+        )
+        frame = encode_catalog_frame(definitions)
+        generation = self._authority.bump_catalog()
+        payload = {
+            "op": OP_INSTALL_CATALOG,
+            "generation": generation,
+            "catalog": frame,
+        }
+        if info:
+            payload["info"] = dict(info)
+        timeout_s = max(30.0, self.options.attempt_timeout_ms / 1000.0)
+        future = asyncio.run_coroutine_threadsafe(
+            self._broadcast_install(payload, timeout_s), loop
+        )
+        failures = future.result(timeout=timeout_s + 10.0)
+        self.catalog = catalog
+        self.last_reselection = dict(info) if info else None
+        self.result_cache.invalidate()
+        if failures:
+            detail = "; ".join(
+                f"{address}: {error}" for address, error in failures
+            )
+            raise QueryError(
+                f"catalog generation {generation} did not reach every "
+                f"worker ({detail}); healthy workers installed it and "
+                "rankings stay exact, retry shipping to the rest"
+            )
+        return generation
+
+    async def _broadcast_install(
+        self, payload: dict, timeout_s: float
+    ) -> List[Tuple[str, str]]:
+        """Send one install frame to every replica; returns failures as
+        ``(address, error)`` pairs and folds each ack's version vector
+        into the replica's health info."""
+        replicas = [
+            replica for group in self.groups for replica in group.replicas
+        ]
+
+        async def _one(replica: Replica):
+            try:
+                response = await replica.call(dict(payload), timeout_s)
+            except WorkerError as exc:
+                replica.note_failure(str(exc))
+                return (replica.address, str(exc))
+            if response.get("status") != STATUS_OK:
+                error = response.get("error", "no error text")
+                replica.note_failure(
+                    f"install_catalog refused: {error}"
+                )
+                return (replica.address, error)
+            replica.note_success()
+            vector = response.get("version_vector")
+            if vector is not None:
+                replica.info["version_vector"] = vector
+                replica.info["epoch"] = vector.get("epoch")
+            return None
+
+        outcomes = await asyncio.gather(*[_one(r) for r in replicas])
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def update_placement(
+        self,
+        groups: Dict[int, List[str]],
+        generation: Optional[int] = None,
+    ) -> int:
+        """Re-place replica groups and bump the placement generation.
+
+        ``groups`` maps every shard id to its new replica address list
+        (the shard count cannot change — that would re-partition data).
+        Replicas whose address survives keep their live connection;
+        removed replicas are closed; new addresses start unknown and are
+        probed immediately.  The placement component of the version
+        vector bumps, so every cached result computed under the old
+        placement is invalidated — rankings are placement-independent,
+        the bump exists so a client can never observe a mix.
+        """
+        if sorted(groups) != list(range(self.cluster.num_shards)):
+            raise QueryError(
+                f"placement must cover shards 0..{self.cluster.num_shards - 1}"
+                f", got {sorted(groups)}"
+            )
+        loop = self._require_loop()
+        timeout_s = max(30.0, self.options.attempt_timeout_ms / 1000.0)
+        future = asyncio.run_coroutine_threadsafe(
+            self._apply_placement(groups), loop
+        )
+        future.result(timeout=timeout_s)
+        new_generation = self._authority.bump_placement(generation)
+        self.result_cache.invalidate()
+        return new_generation
+
+    async def _apply_placement(self, groups: Dict[int, List[str]]) -> None:
+        removed: List[Replica] = []
+        new_groups: List[ReplicaGroup] = []
+        for shard_id in range(self.cluster.num_shards):
+            addresses = list(groups[shard_id])
+            existing = {
+                replica.address: replica
+                for replica in self.groups[shard_id].replicas
+            }
+            group = ReplicaGroup(
+                shard_id, addresses, self.options.fail_threshold
+            )
+            # Keep live connections for addresses that survive the move.
+            group.replicas = [
+                existing.get(address)
+                or Replica(shard_id, address, self.options.fail_threshold)
+                for address in addresses
+            ]
+            removed.extend(
+                replica
+                for address, replica in existing.items()
+                if address not in addresses
+            )
+            new_groups.append(group)
+        self.groups = new_groups
+        self.cluster.groups = {
+            shard_id: list(groups[shard_id])
+            for shard_id in range(self.cluster.num_shards)
+        }
+        for replica in removed:
+            await replica.aclose()
+        await self.check_health()
+
+    def _record_workload(self, query_text, context_size) -> None:
+        """Fold one served query into the workload recorder (mirrors
+        ``QueryService._record_workload``; the predicate analyzer comes
+        from the reference index the CLI wires in)."""
+        if self.recorder is None or not query_text:
+            return
+        from ...core.query import parse_query
+
+        try:
+            parsed = parse_query(query_text)
+        except ReproError:
+            return
+        predicates = list(parsed.predicates)
+        if self._predicate_analyzer is not None:
+            analyzed = []
+            for predicate in predicates:
+                term = self._predicate_analyzer.analyze_query_term(predicate)
+                if term is None:
+                    return
+                analyzed.append(term)
+            predicates = analyzed
+        self.recorder.record(predicates, context_size or 0)
 
     # -- request handling --------------------------------------------------
 
@@ -634,6 +892,34 @@ class RouterService:
             else self.config.default_top_k
         )
         mode, path = request.mode, request.path
+
+        # Serving-cache lookup, keyed exactly like the single-node
+        # service but guarded by the *cluster* version vector: per-shard
+        # worker epochs × catalog generation × placement generation.
+        cache_key = None
+        vector = self.version
+        if self.config.cache_enabled:
+            try:
+                cache_key = ResultCache.key(request.query, mode, top_k)
+            except ReproError:
+                cache_key = None  # unparseable; the workers report it
+            if cache_key is not None:
+                payload = self.result_cache.get(cache_key, vector)
+                if payload is not None:
+                    report = payload.get("report") or {}
+                    self._record_workload(
+                        request.query, report.get("context_size")
+                    )
+                    self.metrics.base.observe_path(
+                        (report.get("resolution") or {}).get("path")
+                    )
+                    self.metrics.base.observe_ok(
+                        time.monotonic() - started, cached=True
+                    )
+                    return self._respond(
+                        request, STATUS_OK, started, body=payload, cached=True
+                    )
+
         # Same graceful degradation as the single-node service: a deep
         # queue forces the cheap planner path (answer-preserving).
         degraded = False
@@ -667,6 +953,9 @@ class RouterService:
         if status == STATUS_OK:
             body = outcome["body"]
             report = body.get("report") or {}
+            if cache_key is not None:
+                self.result_cache.put(cache_key, vector, body)
+            self._record_workload(request.query, report.get("context_size"))
             self.metrics.base.observe_path(
                 (report.get("resolution") or {}).get("path")
             )
@@ -695,6 +984,7 @@ class RouterService:
         body: Optional[dict] = None,
         error: Optional[str] = None,
         degraded: bool = False,
+        cached: bool = False,
     ) -> dict:
         payload = {
             "status": status,
@@ -708,6 +998,8 @@ class RouterService:
             payload["error"] = error
         if degraded:
             payload["degraded"] = True
+        if cached:
+            payload["cached"] = True
         return payload
 
     # -- batch execution ---------------------------------------------------
@@ -1223,6 +1515,11 @@ class RouterService:
                         "last_error": replica.last_error,
                         "num_docs": replica.info.get("num_docs"),
                         "ranking": replica.info.get("ranking"),
+                        # Per-replica coherence state: the worker's full
+                        # version vector plus its catalog's generation
+                        # and provenance, as last probed/acked.
+                        "version_vector": replica.info.get("version_vector"),
+                        "catalog": replica.info.get("catalog"),
                     }
                 )
                 if replica.info.get("num_docs") is not None:
@@ -1243,7 +1540,7 @@ class RouterService:
                     "replicas": replicas,
                 }
             )
-        return {
+        payload = {
             "status": (
                 STATUS_OK if available == len(self.groups) else "degraded"
             ),
@@ -1254,9 +1551,21 @@ class RouterService:
             "num_docs": total_docs if docs_known else None,
             "groups_available": available,
             "ranking": self.ranking.name,
+            "epoch": list(self.epoch),
+            "catalog_generation": self.catalog_generation,
+            "placement_generation": self.placement_generation,
+            "version_vector": self.version.to_dict(),
+            "catalog": {
+                "generation": self.catalog_generation,
+                "views": len(self.catalog) if self.catalog is not None else 0,
+                "provenance": self.last_reselection,
+            },
             "uptime_seconds": time.monotonic() - self.metrics.base.started,
             "groups": groups,
         }
+        if self.adaptive is not None:
+            payload["adaptive"] = self.adaptive.info()
+        return payload
 
     def _metrics(self) -> dict:
         return self.metrics.base.snapshot(
@@ -1266,6 +1575,11 @@ class RouterService:
                 "max_pending": self.admission.max_pending,
                 "degrade_depth": self.admission.degrade_depth,
                 "admitted": self.admission.admitted,
+                "cache": self.result_cache.stats(),
+                "epoch": list(self.epoch),
+                "catalog_generation": self.catalog_generation,
+                "placement_generation": self.placement_generation,
+                "version_vector": self.version.to_dict(),
                 "router": {
                     "failovers": self.metrics.failovers,
                     "group_down_sheds": self.metrics.group_down,
@@ -1278,6 +1592,9 @@ class RouterService:
                             "state": replica.state,
                             "consecutive_failures": (
                                 replica.consecutive_failures
+                            ),
+                            "version_vector": replica.info.get(
+                                "version_vector"
                             ),
                         }
                         for group in self.groups

@@ -29,16 +29,19 @@ from __future__ import annotations
 
 import base64
 import binascii
+import json
 import os
 import zlib
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...errors import ReproError
 from .config import ClusterConfigError
 
 __all__ = [
     "ArtifactShipper",
+    "decode_catalog_frame",
+    "encode_catalog_frame",
     "fetch_artifact",
     "ship_chunk_bytes",
 ]
@@ -222,3 +225,91 @@ def fetch_artifact(
         client.close()
     root = manifest.get("root") or ""
     return (dest / root if root else dest), copied
+
+
+# -- catalog shipping ----------------------------------------------------------
+#
+# The adaptive cluster ships *view definitions*, not materialised views:
+# a definition is three term sets per view (keywords, df terms, tc
+# terms), a few kilobytes, and each worker re-materialises partial views
+# over its own shard — exact, because df and term counts aggregate
+# distributively across shards (see repro.views.sharding).  The frame
+# reuses this module's integrity discipline: one JSON body, base64 on
+# the wire, size + crc32 verified before anything is installed.
+
+
+def encode_catalog_frame(definitions: Sequence[Tuple]) -> dict:
+    """Pack view definitions into a crc-verified wire frame.
+
+    ``definitions`` is what :func:`repro.views.sharding.
+    catalog_definitions` returns: ``(keyword_set, df_terms, tc_terms)``
+    triples of frozensets.  Sets are sorted so the frame (and its crc)
+    is deterministic for a given catalog.
+    """
+    body = json.dumps(
+        [
+            {
+                "keywords": sorted(keywords),
+                "df": sorted(df_terms),
+                "tc": sorted(tc_terms),
+            }
+            for keywords, df_terms, tc_terms in definitions
+        ],
+        sort_keys=True,
+    ).encode("utf-8")
+    return {
+        "data": base64.b64encode(body).decode("ascii"),
+        "size": len(body),
+        "crc32": zlib.crc32(body) & 0xFFFFFFFF,
+    }
+
+
+def decode_catalog_frame(frame: dict) -> List[Tuple]:
+    """Unpack and integrity-check a catalog frame.
+
+    Returns the ``(keyword_set, df_terms, tc_terms)`` frozenset triples;
+    raises :class:`~repro.storage.StorageError` on any size/crc mismatch
+    or malformed body — a worker must never install a catalog it cannot
+    prove it received intact.
+    """
+    if not isinstance(frame, dict) or "data" not in frame:
+        raise _storage_error("catalog frame missing 'data'")
+    try:
+        body = base64.b64decode(frame["data"], validate=True)
+    except (binascii.Error, TypeError, ValueError):
+        raise _storage_error("catalog frame is not valid base64") from None
+    size = frame.get("size")
+    crc = frame.get("crc32")
+    if size is not None and len(body) != int(size):
+        raise _storage_error(
+            f"corrupt catalog frame: got {len(body)} bytes, "
+            f"expected {size}"
+        )
+    if crc is not None and (zlib.crc32(body) & 0xFFFFFFFF) != int(crc):
+        raise _storage_error(
+            f"corrupt catalog frame: crc {zlib.crc32(body) & 0xFFFFFFFF}, "
+            f"expected {crc}"
+        )
+    try:
+        entries = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise _storage_error("catalog frame body is not valid JSON") from None
+    if not isinstance(entries, list):
+        raise _storage_error("catalog frame body must be a list of views")
+    definitions: List[Tuple] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise _storage_error("catalog frame view entry must be a dict")
+        try:
+            definitions.append(
+                (
+                    frozenset(entry["keywords"]),
+                    frozenset(entry["df"]),
+                    frozenset(entry["tc"]),
+                )
+            )
+        except (KeyError, TypeError):
+            raise _storage_error(
+                "catalog frame view entry missing keywords/df/tc"
+            ) from None
+    return definitions

@@ -10,7 +10,13 @@ control, metrics, and ``healthz`` an operator already knows, plus:
   the in-process backends drive (there is no worker-specific resolution
   or scoring code — that is the bit-identity argument's first half);
 - segment shipping (``segment_manifest`` / ``fetch_segment``) so a new
-  replica bootstraps from this worker's sealed artefact files.
+  replica bootstraps from this worker's sealed artefact files;
+- catalog install (``install_catalog``): the router ships crc-verified
+  view definitions, the worker re-materialises partial views over its
+  shard, swaps the one :class:`~repro.views.handle.CatalogHandle` its
+  flat engine and :class:`ShardRuntime` share, adopts the router's
+  catalog generation, and acks with its new
+  :class:`~repro.core.backend.VersionVector`.
 
 Wire ops are *stateless*: phase 1 returns the shard's local candidate
 ids to the router instead of stashing them, so the router may send
@@ -41,10 +47,12 @@ from ...core.sharded_engine import ShardRuntime
 from ...core.statistics import TERM_COUNT, CollectionStatistics
 from ...errors import QueryError, ReproError
 from ...index.sharded import IndexShard
+from ...views.handle import CatalogHandle
 from ..protocol import (
     CLUSTER_OPS,
     MAX_CLUSTER_LINE_BYTES,
     OP_FETCH_SEGMENT,
+    OP_INSTALL_CATALOG,
     OP_SEGMENT_MANIFEST,
     OP_SHARD_CONVENTIONAL,
     OP_SHARD_RESOLVE,
@@ -55,7 +63,7 @@ from ..protocol import (
     Request,
 )
 from ..server import QueryService, ServerThread, ServiceConfig
-from .shipping import ArtifactShipper
+from .shipping import ArtifactShipper, decode_catalog_frame
 
 __all__ = ["ShardWorkerService", "worker_service_factory", "worker_thread"]
 
@@ -124,6 +132,8 @@ class ShardWorkerService(QueryService):
             return self._shard_topk(payload)
         if op == OP_SHARD_CONVENTIONAL:
             return self._shard_conventional(payload)
+        if op == OP_INSTALL_CATALOG:
+            return self._install_catalog(payload)
         if self._shipper is None:
             raise QueryError(
                 "this worker serves an in-memory shard and has no artefact "
@@ -319,6 +329,50 @@ class ShardWorkerService(QueryService):
             )
         return {"results": results}
 
+    # -- catalog install -------------------------------------------------
+
+    def _install_catalog(self, payload: dict) -> dict:
+        """The cluster-wide coherence op: install a shipped catalog.
+
+        The router ships crc-verified view *definitions* plus its
+        catalog generation; this worker re-materialises partial views
+        over its own shard (exact — df/tc aggregate distributively
+        across shards), swaps its shared :class:`CatalogHandle`, adopts
+        the router's generation, and acks with its new version vector.
+        Runs on the worker pool (materialisation is CPU work), already
+        off the event loop via ``handle_request``.
+        """
+        definitions = decode_catalog_frame(payload["catalog"])
+        generation = payload.get("generation")
+        generation = int(generation) if generation is not None else None
+        info = payload.get("info")
+        from ...views.catalog import ViewCatalog
+        from ...views.view import materialize_view
+        from ...views.wide_table import WideSparseTable
+
+        table = WideSparseTable.from_index(self.runtime.index)
+        catalog = ViewCatalog(
+            materialize_view(table, keywords, df_terms, tc_terms)
+            for keywords, df_terms, tc_terms in definitions
+        )
+        new_generation = self.engine.install_catalog(
+            catalog, info=info, generation=generation
+        )
+        # worker_thread/worker_service_factory give the flat engine and
+        # the shard runtime one shared handle; if a custom wiring split
+        # them, swap the runtime's too (advance_to makes this idempotent
+        # when they are the same handle).
+        if self.runtime.catalog_handle is not self.engine.catalog_handle:
+            self.runtime.catalog_handle.swap(
+                catalog,
+                generation=generation if generation is not None else new_generation,
+            )
+        return {
+            "installed_views": len(catalog),
+            "generation": new_generation,
+            "version_vector": self.version.to_dict(),
+        }
+
     def _collection_part(self, keywords: Sequence[str]) -> dict:
         """This shard's slice of the whole-collection statistics — the
         additive summands of ``ShardedEngine._global_statistics``."""
@@ -343,12 +397,18 @@ class ShardWorkerService(QueryService):
     def _healthz(self) -> dict:
         payload = super()._healthz()
         payload["engine"] = "shard-worker"
+        catalog, catalog_generation = self.runtime.catalog_handle.get()
         payload["worker"] = {
             "shard_id": self.runtime.shard_id,
             "num_docs": self.runtime.index.num_docs,
             "total_length": self.runtime.index.total_length,
             "ranking": self.ranking.name,
             "artifact": str(self.artifact) if self.artifact else None,
+            "catalog": {
+                "generation": catalog_generation,
+                "views": len(catalog) if catalog is not None else 0,
+                "provenance": getattr(self.engine, "last_reselection", None),
+            },
         }
         return payload
 
@@ -364,10 +424,16 @@ def worker_service_factory(
 
     Builds the shard's :class:`ShardRuntime` (the same planner stack the
     in-process backends use) plus a flat engine over the same sub-index
-    for plain ``query`` ops.
+    for plain ``query`` ops.  ``catalog`` is wrapped in one shared
+    :class:`CatalogHandle` so an ``install_catalog`` op swaps the
+    runtime's and the flat engine's catalog at one point.
     """
-    runtime = ShardRuntime(shard, ranking or DEFAULT_RANKING_FUNCTION,
-                           catalog, use_skips=use_skips)
+    runtime = ShardRuntime(
+        shard,
+        ranking or DEFAULT_RANKING_FUNCTION,
+        CatalogHandle.ensure(catalog),
+        use_skips=use_skips,
+    )
 
     def factory(engine, config):
         return ShardWorkerService(
@@ -388,14 +454,17 @@ def worker_thread(
 ) -> ServerThread:
     """A ready-to-start shard worker on a background thread (tests, CLI)."""
     ranking = ranking or DEFAULT_RANKING_FUNCTION
+    # One handle shared by the plain-query engine and the shard runtime:
+    # a shipped catalog swap reaches both atomically.
+    handle = CatalogHandle.ensure(catalog)
     engine = ContextSearchEngine(
-        shard.index, ranking, catalog=catalog, use_skips=use_skips
+        shard.index, ranking, catalog=handle, use_skips=use_skips
     )
     return ServerThread(
         engine,
         config,
         service_class=worker_service_factory(
-            shard, ranking, catalog=catalog, artifact=artifact,
+            shard, ranking, catalog=handle, artifact=artifact,
             use_skips=use_skips,
         ),
     )

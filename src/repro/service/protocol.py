@@ -77,6 +77,7 @@ OP_SHARD_TOPK = "shard_topk"
 OP_SHARD_CONVENTIONAL = "shard_conventional"
 OP_SEGMENT_MANIFEST = "segment_manifest"
 OP_FETCH_SEGMENT = "fetch_segment"
+OP_INSTALL_CATALOG = "install_catalog"
 CLUSTER_OPS = (
     OP_SHARD_RESOLVE,
     OP_SHARD_SCORE,
@@ -84,6 +85,7 @@ CLUSTER_OPS = (
     OP_SHARD_CONVENTIONAL,
     OP_SEGMENT_MANIFEST,
     OP_FETCH_SEGMENT,
+    OP_INSTALL_CATALOG,
 )
 
 VALID_OPS = (OP_QUERY, OP_HEALTHZ, OP_METRICS) + CLUSTER_OPS

@@ -13,16 +13,19 @@ Correctness rests on two guards:
   sorted de-duplicated predicate set, mode, and ``top_k``; the forced
   physical path is deliberately *excluded* because path forcing never
   changes rankings);
-* every entry is stamped with the engine's **epoch** — the one version
-  counter the whole stack shares (the lifecycle layer's
-  :class:`~repro.lifecycle.version.VersionClock`: each snapshot is
-  stamped with it, ``engine.epoch`` delegates to it, and every WAL
-  append, flush, delete, and compaction advances it).  A lookup under a
-  newer epoch drops the entry instead of serving it, so a stale result
-  can never be returned after any lifecycle mutation — even if nobody
-  called :meth:`invalidate` explicitly.  ``invalidate()`` exists anyway
-  for the :func:`repro.views.maintenance.maintain_catalog` ``caches=``
-  hook, matching the statistics cache's protocol.
+* every entry is stamped with the backend's
+  :class:`~repro.core.backend.VersionVector` — the one coherence token
+  the whole stack shares.  Any component moving (a WAL append, flush,
+  delete, or compaction advancing the data epoch; a catalog hot-swap
+  bumping the catalog generation; a cluster placement change bumping
+  the placement generation) makes a lookup drop the entry instead of
+  serving it, so a stale result can never be returned after any
+  mutation — even if nobody called :meth:`invalidate` explicitly.  The
+  cache treats the token as opaque (it only ever compares with ``!=``),
+  which is also why plain ints kept working through the refactor.
+  ``invalidate()`` exists anyway for the
+  :func:`repro.views.maintenance.maintain_catalog` ``caches=`` hook,
+  matching the statistics cache's protocol.
 """
 
 from __future__ import annotations
@@ -86,8 +89,9 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: CacheKey, epoch: int) -> Optional[dict]:
-        """The cached payload, or ``None`` on miss/stale."""
+    def get(self, key: CacheKey, epoch) -> Optional[dict]:
+        """The cached payload, or ``None`` on miss/stale.  ``epoch`` is
+        the opaque coherence token (a version vector or plain int)."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -105,7 +109,7 @@ class ResultCache:
             self.metrics.hits += 1
             return payload
 
-    def put(self, key: CacheKey, epoch: int, payload: dict) -> None:
+    def put(self, key: CacheKey, epoch, payload: dict) -> None:
         """Insert/update one entry (LRU-evicting past ``max_entries``)."""
         with self._lock:
             self._entries[key] = (epoch, payload)

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from .. import __version__
+from ..core.backend import VersionVector
 from ..core.engine import BatchExecutor, BatchOutcome
 from ..errors import QueryError, ReproError
 from .admission import AdmissionController, Ticket
@@ -148,13 +149,25 @@ class QueryService:
         """How many catalog hot-swaps the engine has seen."""
         return getattr(self.engine, "catalog_generation", 0)
 
-    def _cache_epoch(self) -> Tuple[int, int]:
-        """The result cache's staleness guard: index epoch × catalog
-        generation.  A flat-engine catalog swap does not touch the index
-        epoch, but it changes plans and view accounting in the cached
-        report bodies — folding the generation in means a swap
-        invalidates exactly like a data mutation."""
-        return (self.epoch, self.catalog_generation)
+    @property
+    def version(self) -> VersionVector:
+        """The backend's :class:`~repro.core.backend.VersionVector` —
+        constructed from the epoch/generation pair for engine wrappers
+        that predate the unified contract."""
+        version = getattr(self.engine, "version", None)
+        if isinstance(version, VersionVector):
+            return version
+        return VersionVector(
+            epoch=self.epoch, catalog_generation=self.catalog_generation
+        )
+
+    def _cache_epoch(self) -> VersionVector:
+        """The result cache's staleness guard: the full version vector.
+        A flat-engine catalog swap does not touch the index epoch, but
+        it changes plans and view accounting in the cached report bodies
+        — one coherence token means a swap (or, in the cluster, a
+        placement change) invalidates exactly like a data mutation."""
+        return self.version
 
     def invalidate(self) -> None:
         """Drop the serving cache (``maintain_catalog`` ``caches=`` hook)."""
@@ -253,6 +266,7 @@ class QueryService:
             "num_docs": getattr(index, "num_docs", None),
             "epoch": self.epoch,
             "catalog_generation": self.catalog_generation,
+            "version_vector": self.version.to_dict(),
             "uptime_seconds": time.monotonic() - self.metrics.started,
         }
         # Lifecycle engines report their segment/WAL/version state so an
@@ -277,6 +291,7 @@ class QueryService:
                 "cache": self.result_cache.stats(),
                 "epoch": self.epoch,
                 "catalog_generation": self.catalog_generation,
+                "version_vector": self.version.to_dict(),
             }
         )
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Optional, Tuple, Union
 
+from ..core.backend import VersionClock
 from .catalog import ViewCatalog
 
 __all__ = ["CatalogHandle"]
@@ -43,7 +44,11 @@ class CatalogHandle:
     ):
         self._lock = threading.Lock()
         self._catalog = catalog
-        self._generation = generation
+        # The generation is a backend VersionClock so every counter in
+        # the system shares one mutation discipline (see
+        # repro.core.backend); the handle's lock still covers the
+        # (catalog, generation) pair read in get().
+        self._clock = VersionClock(generation)
 
     @staticmethod
     def ensure(
@@ -65,29 +70,39 @@ class CatalogHandle:
     def generation(self) -> int:
         """How many swaps this handle has seen (0 = the build-time
         catalog)."""
-        return self._generation
+        return self._clock.version
 
     def get(self) -> Tuple[Optional[ViewCatalog], int]:
         """The (catalog, generation) pair, read consistently."""
         with self._lock:
-            return self._catalog, self._generation
+            return self._catalog, self._clock.version
 
-    def swap(self, catalog: Optional[ViewCatalog]) -> int:
+    def swap(
+        self,
+        catalog: Optional[ViewCatalog],
+        generation: Optional[int] = None,
+    ) -> int:
         """Install ``catalog`` and return the new generation.
 
         The swap is atomic with respect to readers: they see either the
         old object or the new one, never an intermediate state.  The new
         catalog must already be fully built (and exact for the current
         collection) before it is handed here.
+
+        ``generation`` (optional) adopts an externally assigned
+        generation instead of bumping by one — the cluster ships the
+        router's catalog generation with the catalog so every worker's
+        handle reports the same number; the clock never moves backwards.
         """
         with self._lock:
             self._catalog = catalog
-            self._generation += 1
-            return self._generation
+            if generation is not None:
+                return self._clock.advance_to(generation)
+            return self._clock.advance()
 
     def __repr__(self) -> str:
         catalog = self._catalog
         views = len(catalog) if catalog is not None else 0
         return (
-            f"CatalogHandle(generation={self._generation}, views={views})"
+            f"CatalogHandle(generation={self._clock.version}, views={views})"
         )

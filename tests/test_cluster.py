@@ -22,9 +22,10 @@ import time
 
 import pytest
 
-from repro import ContextSearchEngine
+from repro import ContextSearchEngine, ViewCatalog, materialize_view
+from repro.core.backend import VersionVector
 from repro.core.sharded_engine import ShardedEngine
-from repro.errors import ReproError, SelectionError
+from repro.errors import QueryError, ReproError, SelectionError
 from repro.index.sharded import ShardedInvertedIndex
 from repro.service import (
     ServerThread,
@@ -47,6 +48,7 @@ from repro.service.cluster import (
     worker_thread,
 )
 from repro.storage import load_shard, save_sharded_index
+from repro.views import WideSparseTable
 
 MODES = ("context", "conventional", "disjunctive")
 
@@ -555,12 +557,14 @@ class TestRouterObservability:
         with running_cluster(handmade_index, 2, 1) as (_s, _g, router):
             client = ServiceClient(*router.address)
             try:
-                for _ in range(3):
+                # Distinct top_k per request: the router's result cache
+                # would absorb identical repeats before any shard attempt.
+                for top_k in (5, 6, 7):
                     client.request(
                         {
                             "op": "query",
                             "query": "pancreas | DigestiveSystem",
-                            "top_k": 5,
+                            "top_k": top_k,
                         }
                     )
                 metrics = client.request({"op": "metrics"})
@@ -578,6 +582,220 @@ class TestRouterObservability:
                 assert metrics["ok"] == 3
             finally:
                 client.close()
+
+
+# ---------------------------------------------------------------------------
+# Cluster-wide version coherence: shipped catalogs, swap under traffic,
+# placement changes — every event rank-safe, every cache vector-guarded
+
+
+def whole_collection_catalog(index) -> ViewCatalog:
+    """A one-view catalog over the reference (unsharded) index; the
+    router ships its *definitions* and workers re-materialise locally."""
+    table = WideSparseTable.from_index(index)
+    view = materialize_view(
+        table,
+        {"DigestiveSystem"},
+        df_terms=["pancreas"],
+        tc_terms=["pancreas"],
+    )
+    return ViewCatalog([view])
+
+
+class TestClusterCoherence:
+    def test_install_is_bit_identical_and_acked_by_every_worker(
+        self, handmade_index
+    ):
+        with running_cluster(handmade_index, 2, 2) as (
+            sharded,
+            _groups,
+            router,
+        ):
+            flat = ContextSearchEngine(handmade_index)
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                # Before: cluster == in-process sharded == single-node.
+                for query in QUERIES:
+                    assert_router_matches(client, engine, query, "context")
+                status, flat_ranking = run_local(
+                    flat, "pancreas | DigestiveSystem", "context"
+                )
+
+                generation = router.service.install_catalog(
+                    whole_collection_catalog(handmade_index),
+                    info={"trigger": "test-install"},
+                )
+                assert generation == 1
+
+                # The router's vector moved exactly one catalog step,
+                # and every worker acked with the shipped generation.
+                vector = router.service.version
+                assert isinstance(vector, VersionVector)
+                assert vector.catalog_generation == 1
+                assert vector.placement_generation == 0
+                health = client.request({"op": "healthz"})
+                assert health["catalog_generation"] == 1
+                assert health["version_vector"]["catalog_generation"] == 1
+                assert (
+                    health["catalog"]["provenance"]["trigger"]
+                    == "test-install"
+                )
+                for group in health["groups"]:
+                    for replica in group["replicas"]:
+                        acked = replica["version_vector"]
+                        assert acked["catalog_generation"] == 1
+
+                # After: rankings bit-identical to both references —
+                # the install redirected statistics resolution only.
+                for query in QUERIES:
+                    assert_router_matches(client, engine, query, "context")
+                response = client.request(
+                    {
+                        "op": "query",
+                        "query": "pancreas | DigestiveSystem",
+                        "top_k": 10,
+                    }
+                )
+                assert status == "ok"
+                got = [(h["doc"], h["score"]) for h in response["hits"]]
+                assert got == flat_ranking
+            finally:
+                client.close()
+                engine.close()
+                flat.close()
+
+    def test_swap_under_traffic_with_replica_kill(self, handmade_index):
+        """Interleave catalog installs, a replica kill, and live queries:
+        every response the clients see must match the reference ranking
+        (no stale ranking from any cache) and every worker thread must
+        finish (no hung future)."""
+        with running_cluster(handmade_index, 2, 2) as (
+            _sharded,
+            groups,
+            router,
+        ):
+            flat = ContextSearchEngine(handmade_index)
+            traffic_queries = [
+                "pancreas | DigestiveSystem",
+                "pancreas leukemia | DigestiveSystem",
+                "leukemia | Neoplasms",
+            ]
+            expected = {
+                query: run_local(flat, query, "context", top_k=8)
+                for query in traffic_queries
+            }
+            flat.close()
+
+            stop = threading.Event()
+            mismatches = []
+            errors = []
+
+            def drive(thread_id: int):
+                client = ServiceClient(*router.address)
+                try:
+                    while not stop.is_set():
+                        query = traffic_queries[
+                            thread_id % len(traffic_queries)
+                        ]
+                        response = client.request(
+                            {"op": "query", "query": query, "top_k": 8}
+                        )
+                        if response["status"] != "ok":
+                            errors.append((query, response))
+                            continue
+                        got = [
+                            (h["doc"], h["score"]) for h in response["hits"]
+                        ]
+                        if got != expected[query][1]:
+                            mismatches.append((query, got))
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append((f"thread-{thread_id}", repr(exc)))
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=drive, args=(i,), daemon=True)
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                catalog = whole_collection_catalog(handmade_index)
+                # Swap 1 with all replicas healthy.
+                assert router.service.install_catalog(catalog) == 1
+                # Kill one replica of shard 0 mid-traffic; failover
+                # absorbs it.
+                groups[0][0].stop(timeout=10.0)
+                # Swap 2 with the replica dead: healthy workers install,
+                # the dead one is reported by name — generation still
+                # advances and rankings stay exact.
+                try:
+                    generation = router.service.install_catalog(catalog)
+                except QueryError as exc:
+                    assert "did not reach every worker" in str(exc)
+                    generation = router.service.catalog_generation
+                assert generation == 2
+                # Drop every catalog again (swap 3) — still rank-safe.
+                try:
+                    router.service.install_catalog(None)
+                except QueryError as exc:
+                    assert "did not reach every worker" in str(exc)
+                assert router.service.catalog_generation == 3
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+            assert not any(thread.is_alive() for thread in threads), (
+                "hung traffic thread"
+            )
+            assert mismatches == [], mismatches[:3]
+            assert errors == [], errors[:3]
+
+    def test_update_placement_is_rank_safe_and_bumps_generation(
+        self, handmade_index
+    ):
+        with running_cluster(handmade_index, 2, 2) as (
+            sharded,
+            _groups,
+            router,
+        ):
+            engine = ShardedEngine(sharded, executor="serial")
+            client = ServiceClient(*router.address)
+            try:
+                for query in QUERIES:
+                    assert_router_matches(client, engine, query, "context")
+                assert router.service.placement_generation == 0
+
+                # Shrink every group to its first replica — a placement
+                # change that keeps the data identical.
+                new_groups = {
+                    shard_id: [addresses[0]]
+                    for shard_id, addresses in router.service.cluster
+                    .groups.items()
+                }
+                generation = router.service.update_placement(new_groups)
+                assert generation == 1
+
+                health = client.request({"op": "healthz"})
+                assert health["placement_generation"] == 1
+                assert (
+                    health["version_vector"]["placement_generation"] == 1
+                )
+                assert health["replication"] == 2  # config unchanged
+                for group in health["groups"]:
+                    assert len(group["replicas"]) == 1
+
+                # Rankings are placement-independent: still bit-identical.
+                for query in QUERIES:
+                    assert_router_matches(client, engine, query, "context")
+
+                # A placement cover gap is refused readably.
+                with pytest.raises(QueryError, match="placement"):
+                    router.service.update_placement({0: ["127.0.0.1:1"]})
+            finally:
+                client.close()
+                engine.close()
 
 
 # ---------------------------------------------------------------------------

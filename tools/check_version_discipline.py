@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI lint: version counters may only be mutated in repro.core.backend.
+
+The unified-coherence refactor collapsed every epoch/generation counter
+into :mod:`repro.core.backend` (``VersionClock`` / ``VersionAuthority``);
+engines bump versions exclusively through those objects.  This check
+keeps it that way: it walks every module under ``src/repro`` and fails
+if any file other than ``core/backend.py`` *assigns* to a private
+version field — ``obj._epoch = ...``, ``self._generation += 1``, and
+friends.  Reading the fields, or calling ``clock.advance()``, is of
+course fine; so are public config attributes like
+``metrics.catalog_generation`` (service metrics snapshots assign those,
+they are reporting values, not coherence state).
+
+Run from the repo root:
+
+    python tools/check_version_discipline.py
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+# Private version-counter fields only backend.py may assign.  Public
+# names (``catalog_generation = ...`` on a metrics snapshot) are
+# deliberately excluded: the discipline governs coherence state, not
+# reporting fields.
+FORBIDDEN_FIELDS = {
+    "_epoch",
+    "_version",
+    "_generation",
+    "_catalog_generation",
+    "_placement_generation",
+}
+
+ALLOWED = {Path("core") / "backend.py"}
+
+
+def _attribute_targets(node: ast.AST):
+    """Yield every ast.Attribute that an assignment statement writes to."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return
+    stack = list(targets)
+    while stack:
+        target = stack.pop()
+        if isinstance(target, ast.Attribute):
+            yield target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+
+
+def check_file(path: Path, relative: Path) -> list:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [f"{relative}:{exc.lineno}: unparseable ({exc.msg})"]
+    violations = []
+    for node in ast.walk(tree):
+        for attribute in _attribute_targets(node):
+            if attribute.attr in FORBIDDEN_FIELDS:
+                violations.append(
+                    f"{relative}:{node.lineno}: assigns "
+                    f"'{attribute.attr}' — version counters are mutated "
+                    "only in src/repro/core/backend.py (use VersionClock/"
+                    "VersionAuthority)"
+                )
+    return violations
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    if not root.is_dir():
+        print(f"error: {root} not found (run from the repo root)",
+              file=sys.stderr)
+        return 2
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative in ALLOWED:
+            continue
+        violations.extend(check_file(path, Path("src/repro") / relative))
+    if violations:
+        print("version-discipline violations:")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    print(
+        "version discipline ok: no module outside core/backend.py "
+        "mutates a version counter"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
